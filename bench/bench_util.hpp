@@ -1,0 +1,65 @@
+// Shared plumbing for the experiment harnesses: each bench regenerates one
+// of the paper's figures/tables as a measured census and prints it.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "mrt/core/checker.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/inference.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/core/report.hpp"
+#include "mrt/support/table.hpp"
+
+namespace mrt::bench {
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Agreement tally between a derived rule and the oracle.
+struct Census {
+  long both_true = 0;
+  long both_false = 0;
+  long rule_true_oracle_false = 0;   // unsoundness (must stay 0)
+  long rule_false_oracle_true = 0;   // incompleteness of a "false" claim
+  long undecided = 0;                // rule returned Unknown
+
+  void tally(Tri rule, Tri oracle) {
+    if (rule == Tri::Unknown || oracle == Tri::Unknown) {
+      ++undecided;
+    } else if (rule == Tri::True && oracle == Tri::True) {
+      ++both_true;
+    } else if (rule == Tri::False && oracle == Tri::False) {
+      ++both_false;
+    } else if (rule == Tri::True) {
+      ++rule_true_oracle_false;
+    } else {
+      ++rule_false_oracle_true;
+    }
+  }
+
+  long total() const {
+    return both_true + both_false + rule_true_oracle_false +
+           rule_false_oracle_true + undecided;
+  }
+
+  std::vector<std::string> row(const std::string& label) const {
+    return {label,
+            std::to_string(total()),
+            std::to_string(both_true),
+            std::to_string(both_false),
+            std::to_string(rule_true_oracle_false),
+            std::to_string(rule_false_oracle_true),
+            std::to_string(undecided)};
+  }
+};
+
+inline Table census_table() {
+  return Table({"rule", "samples", "agree:yes", "agree:no", "UNSOUND(yes/no)",
+                "miss(no/yes)", "undecided"});
+}
+
+}  // namespace mrt::bench

@@ -1,0 +1,156 @@
+// EXP-CONV — protocol dynamics census.
+//
+// Increasing algebras converge to local optima under every schedule
+// (Sobrinho); the BAD GADGET (not nondecreasing) oscillates; DISAGREE shows
+// multiple stable states plus a sustainable oscillation. Also measures
+// reconvergence after link failure on the two-level region topology with the
+// scoped product.
+#include <functional>
+
+#include "bench_util.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+struct Tally {
+  int runs = 0, converged = 0, stable = 0;
+  long max_events_seen = 0;
+  double mean_messages = 0;
+};
+
+Tally run_many(const std::function<Scenario(Rng&)>& make, int runs,
+               std::uint64_t seed, long cap) {
+  Tally t;
+  Rng rng(seed);
+  for (int i = 0; i < runs; ++i) {
+    Scenario sc = make(rng);
+    SimOptions opts;
+    opts.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    opts.max_events = cap;
+    opts.drop_top_routes = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ++t.runs;
+    t.converged += res.converged ? 1 : 0;
+    t.stable += res.converged &&
+                        is_locally_optimal(sc.alg, sc.net, sc.dest,
+                                           sc.origin, res.routing,
+                                           /*drop_top_routes=*/true)
+                    ? 1
+                    : 0;
+    t.max_events_seen = std::max(t.max_events_seen, res.events);
+    t.mean_messages += static_cast<double>(res.events);
+  }
+  t.mean_messages /= t.runs > 0 ? t.runs : 1;
+  return t;
+}
+
+std::vector<std::string> row(const std::string& name, const Tally& t) {
+  return {name, std::to_string(t.runs),
+          std::to_string(t.converged) + "/" + std::to_string(t.runs),
+          std::to_string(t.stable) + "/" + std::to_string(t.converged),
+          std::to_string(static_cast<long>(t.mean_messages))};
+}
+
+}  // namespace
+}  // namespace mrt
+
+int main() {
+  using namespace mrt;
+  constexpr int kRuns = 30;
+  constexpr long kCap = 30'000;
+
+  bench::banner("EXP-CONV: path-vector protocol dynamics");
+  Table t({"scenario", "runs", "converged", "stable when converged",
+           "mean msgs"});
+
+  t.add_row(row("hop count, random nets (I: converges)",
+                run_many(
+                    [](Rng& rng) {
+                      return random_scenario(ot_hop_count(), Value::integer(0),
+                                             rng, 12, 8);
+                    },
+                    kRuns, 0xC0, kCap)));
+  t.add_row(row("shortest path, random nets (I: converges)",
+                run_many(
+                    [](Rng& rng) {
+                      return random_scenario(ot_shortest_path(5),
+                                             Value::integer(0), rng, 12, 8);
+                    },
+                    kRuns, 0xC1, kCap)));
+  t.add_row(row("widest path, random nets (ND only: still stabilizes)",
+                run_many(
+                    [](Rng& rng) {
+                      return random_scenario(ot_widest_path(5), Value::inf(),
+                                             rng, 12, 8);
+                    },
+                    kRuns, 0xC2, kCap)));
+  t.add_row(row("BAD GADGET (not ND: no stable state)",
+                run_many([](Rng&) { return bad_gadget(); }, kRuns, 0xC3,
+                         kCap)));
+  t.add_row(row("DISAGREE (two stable states + trap)",
+                run_many([](Rng&) { return disagree(); }, kRuns, 0xC4, kCap)));
+  t.add_row(row("Gao-Rexford on valley-free hierarchies (ND only)",
+                run_many(
+                    [](Rng& rng) {
+                      return gao_rexford_hierarchy(rng, 14, 8);
+                    },
+                    kRuns, 0xC6, kCap)));
+  t.add_row(row(
+      "scoped(hops, sp) on region topologies",
+      run_many(
+          [](Rng& rng) {
+            const OrderTransform alg = scoped(ot_hop_count(),
+                                              ot_shortest_path(5));
+            RegionTopology topo = regions_topology(rng, 3, 4, 2);
+            ValueVec labels;
+            for (int id = 0; id < topo.g.num_arcs(); ++id) {
+              if (topo.inter_region(id)) {
+                labels.push_back(Value::tagged(
+                    1, Value::pair(Value::integer(1),
+                                   Value::integer(rng.range(1, 4)))));
+              } else {
+                labels.push_back(Value::tagged(
+                    2, Value::pair(Value::unit(),
+                                   Value::integer(rng.range(1, 4)))));
+              }
+            }
+            return Scenario{alg, LabeledGraph(topo.g, std::move(labels)), 0,
+                            Value::pair(Value::integer(0), Value::integer(0))};
+          },
+          kRuns, 0xC5, kCap)));
+  std::cout << t.render();
+
+  // Failure / recovery reconvergence on a line topology.
+  bench::banner("EXP-CONV: link failure and recovery (shortest path)");
+  const OrderTransform sp = ot_shortest_path(5);
+  Rng rng(0xFA11);
+  int reconverged = 0, still_stable = 0;
+  const int runs = 20;
+  for (int i = 0; i < runs; ++i) {
+    Digraph g = random_connected(rng, 10, 6);
+    LabeledGraph net = label_randomly(sp, std::move(g), rng);
+    SimOptions opts;
+    opts.seed = 0xFA11 + static_cast<std::uint64_t>(i);
+    PathVectorSim sim(sp, net, 0, Value::integer(0), opts);
+    const int victim = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(net.graph().num_arcs())));
+    sim.schedule_link_down(500.0, victim);
+    sim.schedule_link_up(1000.0, victim);
+    const SimResult res = sim.run();
+    reconverged += res.converged ? 1 : 0;
+    still_stable += res.converged && is_locally_optimal(sp, net, 0,
+                                                        Value::integer(0),
+                                                        res.routing)
+                        ? 1
+                        : 0;
+  }
+  std::cout << "fail+recover runs: " << runs << ", reconverged: "
+            << reconverged << ", stable after recovery: " << still_stable
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// EXP-2005 — the original metarouting (SIGCOMM 2005) sufficient rules vs
+// this paper's exact characterizations: a coverage ablation.
+//
+// Over random ⊤-free order transforms the two systems are compared on how
+// many ND/I questions about S ⃗× T each *decides* (the 2005 system can only
+// answer "yes" or "don't know"; the exact system answers both ways), and
+// soundness of every decision is verified against the oracle.
+#include "mrt/support/strings.hpp"
+#include "bench_util.hpp"
+#include "mrt/core/bases.hpp"
+
+namespace mrt {
+namespace {
+
+struct Coverage {
+  long total = 0;
+  long decided = 0;
+  long correct = 0;
+
+  void tally(Tri rule, Tri oracle) {
+    ++total;
+    if (rule == Tri::Unknown) return;
+    ++decided;
+    if (oracle == Tri::Unknown || rule == oracle) ++correct;
+  }
+
+  std::vector<std::string> row(const std::string& label) const {
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(decided) /
+                               static_cast<double>(total);
+    return {label, std::to_string(total), std::to_string(decided),
+            format_double(pct, 1) + "%", std::to_string(decided - correct)};
+  }
+};
+
+}  // namespace
+}  // namespace mrt
+
+int main() {
+  using namespace mrt;
+  Checker chk;
+  Rng rng(0x2005'EAC7);
+
+  Coverage c2005_nd, exact_nd, c2005_inc, exact_inc;
+  for (int i = 0; i < 2500; ++i) {
+    OrderTransform s = random_order_transform(rng);
+    OrderTransform t = random_order_transform(rng);
+    s.props = chk.report(s);
+    t.props = chk.report(t);
+    if (s.props.value(Prop::HasTop) != Tri::False) continue;  // 2005 setting
+    const OrderTransform p = lex(s, t);
+    const Tri o_nd = chk.prop(p, Prop::ND_L).verdict;
+    const Tri o_inc = chk.prop(p, Prop::Inc_L).verdict;
+
+    c2005_nd.tally(classic2005_nd_lex(s.props, t.props), o_nd);
+    exact_nd.tally(paper_rule_nd_lex(s.props, t.props), o_nd);
+    if (t.props.value(Prop::HasTop) == Tri::False) {
+      c2005_inc.tally(classic2005_inc_lex(s.props, t.props), o_inc);
+      exact_inc.tally(paper_rule_inc_lex(s.props, t.props), o_inc);
+    }
+  }
+
+  bench::banner("EXP-2005: 2005 sufficient rules vs exact characterizations");
+  Table t({"rule system", "questions", "decided", "coverage", "wrong"});
+  t.add_row(c2005_nd.row("ND: 2005 (ND&ND => ND)"));
+  t.add_row(exact_nd.row("ND: exact (I(S) | ND&ND, both directions)"));
+  t.add_row(c2005_inc.row("I:  2005 (I | ND&I => I)"));
+  t.add_row(exact_inc.row("I:  exact (iff)"));
+  std::cout << t.render();
+  std::cout << "Reproduced claim: the exact rules decide every question\n"
+               "(100% coverage) including refutations; the 2005 system leaves\n"
+               "everything that is not provably-yes undecided. 'wrong' must\n"
+               "be zero for both.\n";
+  return 0;
+}

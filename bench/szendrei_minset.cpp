@@ -1,0 +1,72 @@
+// EXP-SZ — section VI machinery: the ⃗×_ω product restores the saturating
+// finite chain as a usable first factor, and the min-set map behaves as a
+// Wongseelashote reduction.
+#include "bench_util.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/core/lex.hpp"
+#include "mrt/core/translations.hpp"
+
+int main() {
+  using namespace mrt;
+  Checker chk;
+
+  bench::banner("EXP-SZ: saturating chain as first lex factor (section VI)");
+  Table t({"n (chain bound)", "N(chain)", "M(plain lex)", "M(lex_omega)"});
+  for (int n : {2, 3, 4, 6}) {
+    OrderTransform s = ot_chain_add(n, 1, 2);
+    s.props = chk.report(s);
+    OrderTransform second = ot_chain_add(2, 0, 1);
+    second.props = chk.report(second);
+    const OrderTransform plain = lex(s, second);
+    const OrderTransform collapsed = lex_omega(s, second);
+    t.add_row({std::to_string(n), to_string(s.props.value(Prop::N_L)),
+               to_string(chk.prop(plain, Prop::M_L).verdict),
+               to_string(chk.prop(collapsed, Prop::M_L).verdict)});
+  }
+  std::cout << t.render();
+  std::cout << "N fails at the saturation point for every n, killing M of\n"
+               "the plain product; the omega-collapse absorbs exactly those\n"
+               "collisions and M returns — the paper's section VI claim.\n";
+
+  bench::banner("EXP-SZ: semigroup-level Szendrei product (literal def.)");
+  {
+    auto s = sg_chain_plus(3);
+    auto lom = lex_omega_semigroup(s, sg_chain_min(2));
+    Table q({"check", "result"});
+    const bool absorbing =
+        lom->op(Value::omega(),
+                Value::pair(Value::integer(1), Value::integer(0)))
+            .is_omega();
+    const bool collapses =
+        lom->op(Value::pair(Value::integer(2), Value::integer(0)),
+                Value::pair(Value::integer(1), Value::integer(1)))
+            .is_omega();
+    q.add_row({"omega absorbing", absorbing ? "yes" : "no"});
+    q.add_row({"collapse when s1+s2 saturates", collapses ? "yes" : "no"});
+    q.add_row({"assoc (checker)",
+               to_string(chk.semigroup_prop(*lom, Prop::Assoc).verdict)});
+    q.add_row({"comm (checker)",
+               to_string(chk.semigroup_prop(*lom, Prop::Comm).verdict)});
+    std::cout << q.render();
+  }
+
+  bench::banner("EXP-SZ: min-set translation round trip");
+  {
+    // Order transform → semigroup transform over min-sets: laws measured.
+    OrderTransform ot{"sub", ord_subset_bits(2),
+                      fam_table("or", 4, {{1, 1, 3, 3}, {2, 3, 2, 3}}), {}};
+    const SemigroupTransform st = min_set_transform(ot);
+    Table q({"law of minsets(sub)", "verdict", "witness/coverage"});
+    for (Prop p : {Prop::Assoc, Prop::Comm, Prop::Idem, Prop::HasIdentity,
+                   Prop::Selective, Prop::M_L}) {
+      const CheckResult r = chk.prop(st, p);
+      q.add_row({to_string(p), to_string(r.verdict), r.detail.substr(0, 44)});
+    }
+    std::cout << q.render();
+    std::cout << "The min-set summarization is a commutative idempotent\n"
+               "monoid (NOT selective: genuine multipath), and the lifted\n"
+               "functions are homomorphisms because the base functions are\n"
+               "monotone — the Gondran-Minoux condition for global optima.\n";
+  }
+  return 0;
+}

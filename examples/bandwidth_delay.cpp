@@ -1,0 +1,63 @@
+// The paper's running example, end to end.
+//
+// Sobrinho's observation:   M((ℕ,≤,+) ⃗× (ℕ,≥,min))   but
+//                          ¬M((ℕ,≥,min) ⃗× (ℕ,≤,+)):
+// selecting by bandwidth first and delay second is NOT monotone, so a
+// Dijkstra-style computation can silently return suboptimal routes. The
+// metarouting engine derives this *before* any packet flows — including the
+// reason (N fails for bandwidth, C fails for delay) — and the scoped product
+// repairs it (Theorem 6: M(S ⊙ T) ⟺ M(S) ∧ M(T)).
+#include <iostream>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/report.hpp"
+#include "mrt/routing/dijkstra.hpp"
+#include "mrt/routing/optimality.hpp"
+
+int main() {
+  using namespace mrt;
+  const OrderTransform bw = ot_widest_path(9);
+  const OrderTransform sp = ot_shortest_path(9);
+
+  std::cout << "=== delay before bandwidth: monotone ===\n"
+            << summary_line(lex(sp, bw).props, StructureKind::OrderTransform)
+            << "\n\n";
+
+  const OrderTransform bad = lex(bw, sp);
+  std::cout << "=== bandwidth before delay: NOT monotone ===\n"
+            << describe(bad) << "\n";
+
+  const OrderTransform good = scoped(bw, sp);
+  std::cout << "=== scoped product bandwidth-over-delay: monotone again ===\n"
+            << summary_line(good.props, StructureKind::OrderTransform)
+            << "\n\n";
+
+  // Demonstrate the operational consequence on a 3-node network:
+  //   node 2 → 0: a wide-slow arc (bw 9, d 5) and a narrow-fast arc (bw 3, d 1)
+  //   node 1 → 2: a very narrow arc (bw 2, d 1)
+  Digraph g(3);
+  ValueVec labels;
+  auto arc = [&](int u, int v, std::int64_t b, std::int64_t d) {
+    g.add_arc(u, v);
+    labels.push_back(Value::pair(Value::integer(b), Value::integer(d)));
+  };
+  arc(2, 0, 9, 5);
+  arc(2, 0, 3, 1);
+  arc(1, 2, 2, 1);
+  LabeledGraph net(std::move(g), std::move(labels));
+  const Value origin = Value::pair(Value::inf(), Value::integer(0));
+
+  const Routing r = dijkstra(bad, net, 0, origin);
+  std::cout << "Dijkstra under bandwidth-first lex:\n"
+            << "  node 2 selects " << r.weight[2]->to_string()
+            << "  (correct: prefers the wide arc)\n"
+            << "  node 1 selects " << r.weight[1]->to_string() << "\n";
+  const ValueVec truth = global_min_set(bad, net, 1, 0, origin);
+  std::cout << "  but the true optimum for node 1 is "
+            << truth.front().to_string()
+            << " — through node 2's *narrow-fast* arc, which node 2 itself\n"
+            << "  rightly rejected. Monotonicity failed exactly as the "
+               "N/C analysis predicts.\n";
+  return 0;
+}

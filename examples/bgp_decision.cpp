@@ -1,0 +1,78 @@
+// A BGP-like decision ladder assembled from the metalanguage operators:
+//
+//     bgp = lex( gao_rexford_class,   // economics: customer > peer > provider
+//                as_hops,             // then shortest AS path
+//                igp_cost )           // then hot-potato IGP distance
+//
+// The engine derives: nondecreasing (stable protocol states exist and the
+// hierarchy delivers them) but not increasing, and not monotone — i.e. this
+// ladder is a *local-optima* protocol, exactly BGP's nature. We then run it
+// on a valley-free internet and inspect the chosen routes.
+#include <cstdio>
+#include <iostream>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/report.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/scenario.hpp"
+
+int main() {
+  using namespace mrt;
+
+  const OrderTransform gr = gao_rexford_algebra();
+  const OrderTransform hops = ot_hop_count();
+  const OrderTransform igp = ot_shortest_path(9);
+  const OrderTransform bgp = lex(lex(gr, hops), igp);
+
+  // What the checker can add to the derivation on this composite:
+  Checker chk;
+  OrderTransform annotated = bgp;
+  chk.refine(annotated, annotated.props);
+  std::cout << describe(annotated) << "\n";
+
+  // Build a valley-free topology and dress each Gao-Rexford arc with
+  // (relationship, +1 AS hop, random IGP cost).
+  Rng rng(0xB69);
+  Scenario base = gao_rexford_hierarchy(rng, 10, 5);
+  ValueVec labels;
+  for (int id = 0; id < base.net.graph().num_arcs(); ++id) {
+    labels.push_back(Value::pair(
+        Value::pair(base.net.label(id), Value::integer(1)),
+        Value::integer(rng.range(1, 9))));
+  }
+  LabeledGraph net(base.net.graph(), std::move(labels));
+  const Value origin = Value::pair(
+      Value::pair(Value::integer(0), Value::integer(0)), Value::integer(0));
+
+  SimOptions opts;
+  opts.seed = 17;
+  opts.drop_top_routes = true;
+  PathVectorSim sim(bgp, net, 0, origin, opts);
+  const SimResult res = sim.run();
+
+  const char* kClass[] = {"customer", "peer", "provider", "invalid"};
+  std::printf("converged=%s, stable=%s, messages=%ld\n\n",
+              res.converged ? "yes" : "no",
+              is_locally_optimal(bgp, net, 0, origin, res.routing, true)
+                  ? "yes"
+                  : "NO",
+              res.events);
+  std::printf("%-5s %-10s %-9s %-9s\n", "AS", "class", "AS hops", "IGP cost");
+  for (int v = 1; v < net.num_nodes(); ++v) {
+    if (!res.routing.has_route(v)) {
+      std::printf("%-5d (no route)\n", v);
+      continue;
+    }
+    const Value& w = *res.routing.weight[(std::size_t)v];
+    std::printf("%-5d %-10s %-9s %-9s\n", v,
+                kClass[w.first().first().as_int()],
+                w.first().second().to_string().c_str(),
+                w.second().to_string().c_str());
+  }
+  std::cout << "\nLower tiers reach the destination AS through their"
+            << "\nproviders; economics dominates path length, path length"
+            << "\ndominates IGP cost — BGP's ladder, derived not hand-proved.\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+for ex in build/examples/*; do
+  [ -f "$ex" ] && [ -x "$ex" ] && "$ex" > /dev/null && echo "example ok: $ex"
+done

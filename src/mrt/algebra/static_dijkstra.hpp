@@ -1,0 +1,82 @@
+// Generalized Dijkstra over a *static* order transform: the correctness
+// conditions of the algorithm (total preference, monotone, nondecreasing)
+// are enforced at compile time via the derived property tags — "the proof
+// component" as a static_assert.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mrt/algebra/static_algebra.hpp"
+#include "mrt/graph/digraph.hpp"
+
+namespace mrt::alg {
+
+template <StaticOrderTransform A>
+struct StaticRouting {
+  std::vector<std::optional<typename A::value_type>> weight;
+  std::vector<int> next_arc;
+};
+
+/// Single-destination computation with compile-time checked preconditions.
+/// Use `dijkstra_unchecked` to run on algebras whose guarantees you accept
+/// at your own risk (e.g. to demonstrate anomalies).
+template <StaticOrderTransform A>
+StaticRouting<A> dijkstra_unchecked(
+    const Digraph& g, const std::vector<typename A::label_type>& labels,
+    int dest, const typename A::value_type& origin) {
+  const int n = g.num_nodes();
+  StaticRouting<A> r;
+  r.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+  r.next_arc.assign(static_cast<std::size_t>(n), -1);
+  r.weight[static_cast<std::size_t>(dest)] = origin;
+  std::vector<bool> settled(static_cast<std::size_t>(n), false);
+
+  for (;;) {
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (settled[static_cast<std::size_t>(v)] ||
+          !r.weight[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      if (best < 0 || lt<A>(*r.weight[static_cast<std::size_t>(v)],
+                            *r.weight[static_cast<std::size_t>(best)])) {
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    settled[static_cast<std::size_t>(best)] = true;
+    const auto& wb = *r.weight[static_cast<std::size_t>(best)];
+
+    for (int id : g.in_arcs(best)) {
+      const int u = g.arc(id).src;
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      typename A::value_type cand =
+          A::apply(labels[static_cast<std::size_t>(id)], wb);
+      auto& wu = r.weight[static_cast<std::size_t>(u)];
+      if (!wu || lt<A>(cand, *wu)) {
+        wu = std::move(cand);
+        r.next_arc[static_cast<std::size_t>(u)] = id;
+      }
+    }
+  }
+  return r;
+}
+
+template <StaticOrderTransform A>
+StaticRouting<A> dijkstra(const Digraph& g,
+                          const std::vector<typename A::label_type>& labels,
+                          int dest, const typename A::value_type& origin) {
+  static_assert(A::kTotal,
+                "generalized Dijkstra needs a total preference order; use "
+                "the min-set solver for partial orders");
+  static_assert(A::kM,
+                "algebra is not monotone (Theorem 4): Dijkstra would return "
+                "suboptimal routes — restructure with scoped() or reorder "
+                "the lexicographic factors");
+  static_assert(A::kNd,
+                "algebra is not nondecreasing: greedy settling is unsound");
+  return dijkstra_unchecked<A>(g, labels, dest, origin);
+}
+
+}  // namespace mrt::alg

@@ -1,0 +1,227 @@
+#include <utility>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/numeric.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+class ExtNatOrder : public PreorderSet {
+ public:
+  ExtNatOrder(bool ascending, bool with_inf)
+      : ascending_(ascending), with_inf_(with_inf) {}
+
+  std::string name() const override {
+    return std::string(ascending_ ? "nat_leq" : "nat_geq") +
+           (with_inf_ ? "" : ".nat");
+  }
+  bool contains(const Value& v) const override {
+    if (v.is_inf()) return with_inf_;
+    return v.is_int() && v.as_int() >= 0;
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    return ascending_ ? ext_leq(a, b) : ext_leq(b, a);
+  }
+  bool is_top(const Value& v) const override {
+    // ≤: ⊤ = ∞ (unreachable), absent on plain ℕ; ≥: ⊤ = 0 (zero bandwidth).
+    if (ascending_) return with_inf_ && v.is_inf();
+    return v.is_int() && v.as_int() == 0;
+  }
+  bool has_top() const override { return !ascending_ || with_inf_; }
+  ValueVec sample(Rng& rng, int n) const override {
+    ValueVec out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (with_inf_ && rng.chance(0.1)) {
+        out.push_back(Value::inf());
+      } else {
+        out.push_back(Value::integer(rng.range(0, 15)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool ascending_;
+  bool with_inf_;
+};
+
+class UnitRealGeqOrder : public PreorderSet {
+ public:
+  std::string name() const override { return "unit_real_geq"; }
+  bool contains(const Value& v) const override {
+    return v.kind() == Value::Kind::Real && v.as_real() >= 0.0 &&
+           v.as_real() <= 1.0;
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    return a.as_real() >= b.as_real();  // more reliable = more preferred
+  }
+  bool is_top(const Value& v) const override { return v.as_real() == 0.0; }
+  bool has_top() const override { return true; }
+  ValueVec sample(Rng& rng, int n) const override {
+    ValueVec out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Value::real(static_cast<double>(rng.range(0, 16)) / 16.0));
+    }
+    return out;
+  }
+};
+
+class ChainOrder : public PreorderSet {
+ public:
+  ChainOrder(int n, bool ascending) : n_(n), ascending_(ascending) {
+    MRT_REQUIRE(n >= 0);
+  }
+  std::string name() const override {
+    return std::string(ascending_ ? "chain(" : "chain_rev(") +
+           std::to_string(n_) + ")";
+  }
+  bool contains(const Value& v) const override {
+    return v.is_int() && v.as_int() >= 0 && v.as_int() <= n_;
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    return ascending_ ? a.as_int() <= b.as_int() : a.as_int() >= b.as_int();
+  }
+  std::optional<ValueVec> enumerate() const override {
+    ValueVec out;
+    for (int i = 0; i <= n_; ++i) out.push_back(Value::integer(i));
+    return out;
+  }
+
+ private:
+  int n_;
+  bool ascending_;
+};
+
+class DiscreteOrder : public PreorderSet {
+ public:
+  explicit DiscreteOrder(int n) : n_(n) { MRT_REQUIRE(n >= 1); }
+  std::string name() const override {
+    return "discrete(" + std::to_string(n_) + ")";
+  }
+  bool contains(const Value& v) const override {
+    return v.is_int() && v.as_int() >= 0 && v.as_int() < n_;
+  }
+  bool leq(const Value& a, const Value& b) const override { return a == b; }
+  std::optional<ValueVec> enumerate() const override {
+    ValueVec out;
+    for (int i = 0; i < n_; ++i) out.push_back(Value::integer(i));
+    return out;
+  }
+
+ private:
+  int n_;
+};
+
+class TrivialOrder : public PreorderSet {
+ public:
+  explicit TrivialOrder(int n) : n_(n) { MRT_REQUIRE(n >= 1); }
+  std::string name() const override {
+    return "trivial(" + std::to_string(n_) + ")";
+  }
+  bool contains(const Value& v) const override {
+    return v.is_int() && v.as_int() >= 0 && v.as_int() < n_;
+  }
+  bool leq(const Value&, const Value&) const override { return true; }
+  std::optional<ValueVec> enumerate() const override {
+    ValueVec out;
+    for (int i = 0; i < n_; ++i) out.push_back(Value::integer(i));
+    return out;
+  }
+
+ private:
+  int n_;
+};
+
+class SubsetOrder : public PreorderSet {
+ public:
+  explicit SubsetOrder(int k) : k_(k) { MRT_REQUIRE(k >= 1 && k <= 16); }
+  std::string name() const override {
+    return "subset_bits(" + std::to_string(k_) + ")";
+  }
+  bool contains(const Value& v) const override {
+    return v.is_int() && v.as_int() >= 0 &&
+           v.as_int() < (std::int64_t{1} << k_);
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    const std::int64_t x = a.as_int();
+    const std::int64_t y = b.as_int();
+    return (x & y) == x;  // x ⊆ y
+  }
+  std::optional<ValueVec> enumerate() const override {
+    ValueVec out;
+    for (std::int64_t m = 0; m < (std::int64_t{1} << k_); ++m) {
+      out.push_back(Value::integer(m));
+    }
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+class TableOrder : public PreorderSet {
+ public:
+  TableOrder(std::string name, std::vector<std::vector<std::uint8_t>> leq)
+      : name_(std::move(name)), leq_(std::move(leq)) {
+    const std::size_t n = leq_.size();
+    MRT_REQUIRE(n >= 1);
+    for (const auto& row : leq_) MRT_REQUIRE(row.size() == n);
+    // Preorder laws are preconditions, not measurements: fail loudly here.
+    for (std::size_t i = 0; i < n; ++i) MRT_REQUIRE(leq_[i][i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          if (leq_[i][j] && leq_[j][k]) MRT_REQUIRE(leq_[i][k]);
+        }
+      }
+    }
+  }
+
+  std::string name() const override { return name_; }
+  bool contains(const Value& v) const override {
+    return v.is_int() && v.as_int() >= 0 &&
+           static_cast<std::size_t>(v.as_int()) < leq_.size();
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    MRT_REQUIRE(contains(a) && contains(b));
+    return leq_[static_cast<std::size_t>(a.as_int())]
+               [static_cast<std::size_t>(b.as_int())] != 0;
+  }
+  std::optional<ValueVec> enumerate() const override {
+    ValueVec out;
+    for (std::size_t i = 0; i < leq_.size(); ++i) {
+      out.push_back(Value::integer(static_cast<std::int64_t>(i)));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::uint8_t>> leq_;
+};
+
+}  // namespace
+
+PreorderPtr ord_nat_leq(bool with_inf) {
+  return std::make_shared<ExtNatOrder>(true, with_inf);
+}
+PreorderPtr ord_nat_geq(bool with_inf) {
+  return std::make_shared<ExtNatOrder>(false, with_inf);
+}
+PreorderPtr ord_unit_real_geq() { return std::make_shared<UnitRealGeqOrder>(); }
+PreorderPtr ord_chain(int n) { return std::make_shared<ChainOrder>(n, true); }
+PreorderPtr ord_chain_rev(int n) {
+  return std::make_shared<ChainOrder>(n, false);
+}
+PreorderPtr ord_discrete(int n) { return std::make_shared<DiscreteOrder>(n); }
+PreorderPtr ord_trivial(int n) { return std::make_shared<TrivialOrder>(n); }
+PreorderPtr ord_subset_bits(int k) { return std::make_shared<SubsetOrder>(k); }
+PreorderPtr ord_table(std::string name,
+                      std::vector<std::vector<std::uint8_t>> leq) {
+  return std::make_shared<TableOrder>(std::move(name), std::move(leq));
+}
+
+}  // namespace mrt

@@ -1,0 +1,139 @@
+// The base-algebra catalogue: the atoms of the metalanguage.
+//
+// Base algebras come with *hand-proved* property annotations (the paper's
+// model: atoms are axiomatized, combinators infer) — every annotation here is
+// corroborated by the sampled/finite checker in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+
+// ---------------------------------------------------------------------------
+// Semigroups
+// ---------------------------------------------------------------------------
+
+/// (ℕ∪{∞}, min) or (ℕ, min): selective commutative idempotent;
+/// identity ∞ (only with ∞), absorber 0.
+SemigroupPtr sg_min(bool with_inf = true);
+/// (ℕ∪{∞}, max) or (ℕ, max): selective commutative idempotent;
+/// identity 0, absorber ∞ (only with ∞).
+SemigroupPtr sg_max(bool with_inf = true);
+/// (ℕ∪{∞}, +) saturating, or plain (ℕ, +): commutative monoid;
+/// identity 0, absorber ∞ (only with ∞).
+SemigroupPtr sg_plus(bool with_inf = true);
+/// (ℕ∪{∞}, ×) saturating, or plain (ℕ, ×): commutative monoid; identity 1.
+/// With ∞, saturation makes ∞ absorbing (so 0·∞=∞ — a documented deviation
+/// from exact arithmetic in exchange for a true absorber).
+SemigroupPtr sg_times_nat(bool with_inf = true);
+/// ([0,1], max): selective; identity 0, absorber 1.
+SemigroupPtr sg_max_real();
+/// ([0,1], ×): commutative monoid; identity 1, absorber 0.
+SemigroupPtr sg_times_real();
+
+/// ({0..n}, min): finite chain semilattice (selective monoid, identity n).
+SemigroupPtr sg_chain_min(int n);
+/// ({0..n}, max): finite chain semilattice (selective monoid, identity 0).
+SemigroupPtr sg_chain_max(int n);
+/// ({0..n}, ⊕) with a ⊕ b = min(n, a+b): the paper's §VI saturating example
+/// (commutative monoid, *not* idempotent; N fails at the saturation point).
+SemigroupPtr sg_chain_plus(int n);
+/// (ℤ_n, +): modular addition (commutative group; not idempotent).
+SemigroupPtr sg_plus_mod(int n);
+/// ({0..n-1}, left projection): a ⊗ b = a.
+SemigroupPtr sg_left_proj(int n);
+/// ({0..n-1}, right projection): a ⊗ b = b.
+SemigroupPtr sg_right_proj(int n);
+/// (2^{0..k-1}, ∪) over bitmask values: commutative idempotent monoid,
+/// *not* selective — the canonical non-selective middle factor of Thm 2.
+SemigroupPtr sg_union_bits(int k);
+/// (2^{0..k-1}, ∩): commutative idempotent monoid (identity = full set).
+SemigroupPtr sg_inter_bits(int k);
+
+/// Explicit finite magma over {0..n-1}; `table[i][j]` = i ⊗ j.
+/// No laws assumed — the raw material of the randomized theorem sweeps.
+SemigroupPtr sg_table(std::string name, std::vector<std::vector<int>> table);
+
+// ---------------------------------------------------------------------------
+// Preorders
+// ---------------------------------------------------------------------------
+
+/// (ℕ∪{∞}, ≤) or (ℕ, ≤): total order, smaller better; ⊤ = ∞ only with ∞.
+PreorderPtr ord_nat_leq(bool with_inf = true);
+/// (ℕ∪{∞}, ≥) or (ℕ, ≥): total order, larger better, ⊤ = 0 either way.
+PreorderPtr ord_nat_geq(bool with_inf = true);
+/// ([0,1], ≥): larger better, ⊤ = 0. Reliability preference.
+PreorderPtr ord_unit_real_geq();
+/// ({0..n}, ≤): finite chain.
+PreorderPtr ord_chain(int n);
+/// ({0..n}, ≥): reversed finite chain.
+PreorderPtr ord_chain_rev(int n);
+/// ({0..n-1}, =): discrete order (only reflexive pairs).
+PreorderPtr ord_discrete(int n);
+/// ({0..n-1}, all-related): a single equivalence class.
+PreorderPtr ord_trivial(int n);
+/// (2^{0..k-1}, ⊆) over bitmasks: partial order with ⊥ = ∅, ⊤ = full set.
+PreorderPtr ord_subset_bits(int k);
+
+/// Explicit finite preorder over {0..n-1}; `leq[i][j]` = (i ≲ j).
+/// Precondition: reflexive and transitive (validated).
+PreorderPtr ord_table(std::string name, std::vector<std::vector<std::uint8_t>> leq);
+
+// ---------------------------------------------------------------------------
+// Function families
+// ---------------------------------------------------------------------------
+
+/// {id}: the single identity function (the `right` ingredient).
+FnFamilyPtr fam_id();
+/// {κ_b | b ∈ values}: constant functions (the `left` ingredient).
+FnFamilyPtr fam_const_of(std::string name, ValueVec values);
+/// {λx. x + c | lo ≤ c ≤ hi} on ℕ∪{∞}, saturating.
+FnFamilyPtr fam_add_const(std::int64_t lo, std::int64_t hi);
+/// {λx. min(x, c) | c ∈ {lo..hi} ∪ {∞}} on ℕ∪{∞} (bandwidth arc capacity).
+FnFamilyPtr fam_min_const(std::int64_t lo, std::int64_t hi);
+/// {λx. c·x | c ∈ factors ⊆ (0,1]} on [0,1] (link reliability).
+FnFamilyPtr fam_mul_const_real(std::vector<double> factors);
+/// {λx. min(n, x + c) | lo ≤ c ≤ hi} on the finite chain {0..n}.
+FnFamilyPtr fam_chain_add(int n, int lo, int hi);
+
+/// Explicit finite family over carrier {0..n-1}: `fns[f][x]` = f(x).
+FnFamilyPtr fam_table(std::string name, int carrier_size,
+                      std::vector<std::vector<int>> fns);
+
+// ---------------------------------------------------------------------------
+// Canonical quadrant instances (paper section III examples)
+// ---------------------------------------------------------------------------
+
+/// (ℕ, min, +) — shortest distance.
+Bisemigroup bs_shortest_path();
+/// (ℕ, max, min) — greatest bandwidth.
+Bisemigroup bs_widest_path();
+/// (ℕ, +, ×) — path counting.
+Bisemigroup bs_path_count();
+
+/// (ℕ, ≤, +).
+OrderSemigroup os_shortest_path();
+/// (ℕ, ≥, min).
+OrderSemigroup os_widest_path();
+/// ([0,1], ≥, ×).
+OrderSemigroup os_reliability();
+
+/// (ℕ, min, {+c}).
+SemigroupTransform st_shortest_path(std::int64_t max_c);
+
+/// (ℕ, ≤, {+c | 1 ≤ c ≤ max_c}) — increasing, monotone, cancellative.
+OrderTransform ot_shortest_path(std::int64_t max_c);
+/// (ℕ, ≥, {min(·,c)}) — monotone, nondecreasing, but neither N nor I.
+OrderTransform ot_widest_path(std::int64_t max_c);
+/// ([0,1], ≥, {·c | c ∈ factors}) — increasing when all c < 1.
+OrderTransform ot_reliability(std::vector<double> factors = {0.5, 0.8, 0.9,
+                                                             0.99});
+/// Hop count: shortest path whose only arc function is +1.
+OrderTransform ot_hop_count();
+/// Finite saturating chain ({0..n}, ≤, {min(n, ·+c)}); §VI example.
+OrderTransform ot_chain_add(int n, int lo, int hi);
+
+}  // namespace mrt

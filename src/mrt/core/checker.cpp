@@ -1,0 +1,611 @@
+#include "mrt/core/checker.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+// One quantifier position: either a finite list (exhaustible) or a sampler.
+class Draw {
+ public:
+  static Draw finite(ValueVec xs) {
+    Draw d;
+    d.elems_ = std::move(xs);
+    return d;
+  }
+  static Draw sampled(std::function<Value(Rng&)> f) {
+    Draw d;
+    d.sampler_ = std::move(f);
+    return d;
+  }
+
+  bool is_finite() const { return !sampler_; }
+  const ValueVec& elems() const { return elems_; }
+  Value draw(Rng& rng) const {
+    if (sampler_) return sampler_(rng);
+    MRT_REQUIRE(!elems_.empty());
+    return elems_[static_cast<std::size_t>(rng.below(elems_.size()))];
+  }
+
+ private:
+  ValueVec elems_;
+  std::function<Value(Rng&)> sampler_;
+};
+
+using Violation = std::optional<std::string>;
+using Body = std::function<Violation(const ValueVec&)>;
+
+// Universally quantified check over the given positions: exhaustive odometer
+// iteration when the tuple space is finite and small, sampling otherwise.
+CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
+                   const Body& body) {
+  bool all_finite = true;
+  std::size_t tuples = 1;
+  for (const Draw& d : positions) {
+    if (!d.is_finite()) {
+      all_finite = false;
+      break;
+    }
+    if (d.elems().empty()) {
+      return {Tri::True, true, "vacuous: empty domain"};
+    }
+    tuples *= d.elems().size();
+    if (tuples > lim.max_tuples) {
+      all_finite = false;
+      break;
+    }
+  }
+
+  ValueVec tuple(positions.size());
+  if (all_finite) {
+    std::vector<std::size_t> idx(positions.size(), 0);
+    for (;;) {
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        tuple[i] = positions[i].elems()[idx[i]];
+      }
+      if (Violation v = body(tuple)) {
+        return {Tri::False, true, *v};
+      }
+      std::size_t i = 0;
+      while (i < positions.size() &&
+             ++idx[i] == positions[i].elems().size()) {
+        idx[i] = 0;
+        ++i;
+      }
+      if (i == positions.size()) break;
+    }
+    return {Tri::True, true,
+            "exhaustive over " + std::to_string(tuples) + " tuples"};
+  }
+
+  Rng rng(lim.seed);
+  for (int k = 0; k < lim.samples; ++k) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      tuple[i] = positions[i].draw(rng);
+    }
+    if (Violation v = body(tuple)) {
+      return {Tri::False, false, *v};
+    }
+  }
+  return {Tri::Unknown, false,
+          "no counterexample in " + std::to_string(lim.samples) + " samples"};
+}
+
+Draw elem_draw(const std::optional<ValueVec>& enumd,
+               std::function<Value(Rng&)> sampler, const CheckLimits& lim) {
+  if (enumd && enumd->size() <= lim.max_enum) return Draw::finite(*enumd);
+  return Draw::sampled(std::move(sampler));
+}
+
+Draw semigroup_draw(const Semigroup& s, const CheckLimits& lim) {
+  return elem_draw(s.enumerate(),
+                   [&s](Rng& rng) { return s.sample(rng, 1)[0]; }, lim);
+}
+
+Draw preorder_draw(const PreorderSet& p, const CheckLimits& lim) {
+  return elem_draw(p.enumerate(),
+                   [&p](Rng& rng) { return p.sample(rng, 1)[0]; }, lim);
+}
+
+Draw label_draw(const FunctionFamily& f, const CheckLimits& lim) {
+  return elem_draw(f.labels(),
+                   [&f](Rng& rng) { return f.sample_labels(rng, 1)[0]; }, lim);
+}
+
+std::string show2(const char* na, const Value& a, const char* nb,
+                  const Value& b) {
+  return std::string(na) + "=" + a.to_string() + ", " + nb + "=" +
+         b.to_string();
+}
+
+std::string show3(const char* na, const Value& a, const char* nb,
+                  const Value& b, const char* nc, const Value& c) {
+  return show2(na, a, nb, b) + ", " + nc + "=" + c.to_string();
+}
+
+// Greatest elements visible to the checker: the enumerated tops of a finite
+// order, or the sampled elements that `is_top` accepts.
+std::pair<ValueVec, bool> visible_tops(const PreorderSet& p,
+                                       const CheckLimits& lim) {
+  auto enumd = p.enumerate();
+  if (enumd && enumd->size() <= lim.max_enum) {
+    return {tops(p), true};
+  }
+  Rng rng(lim.seed ^ 0x7055ULL);
+  ValueVec found;
+  for (const Value& v : p.sample(rng, 256)) {
+    if (p.is_top(v) && found.end() == std::find(found.begin(), found.end(), v)) {
+      found.push_back(v);
+    }
+  }
+  return {found, false};
+}
+
+// ---------------------------------------------------------------------------
+// Semigroup laws
+// ---------------------------------------------------------------------------
+
+CheckResult check_semigroup(const Semigroup& s, Prop p,
+                            const CheckLimits& lim) {
+  const Draw d = semigroup_draw(s, lim);
+  switch (p) {
+    case Prop::Assoc:
+    case Prop::MulAssoc:
+      return forall({d, d, d}, lim, [&](const ValueVec& t) -> Violation {
+        if (s.op(s.op(t[0], t[1]), t[2]) != s.op(t[0], s.op(t[1], t[2]))) {
+          return "(a.b).c != a.(b.c) at " +
+                 show3("a", t[0], "b", t[1], "c", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::Comm:
+      return forall({d, d}, lim, [&](const ValueVec& t) -> Violation {
+        if (s.op(t[0], t[1]) != s.op(t[1], t[0])) {
+          return "a.b != b.a at " + show2("a", t[0], "b", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::Idem:
+      return forall({d}, lim, [&](const ValueVec& t) -> Violation {
+        if (s.op(t[0], t[0]) != t[0]) {
+          return "a.a != a at a=" + t[0].to_string();
+        }
+        return std::nullopt;
+      });
+    case Prop::Selective:
+      return forall({d, d}, lim, [&](const ValueVec& t) -> Violation {
+        const Value r = s.op(t[0], t[1]);
+        if (r != t[0] && r != t[1]) {
+          return "a.b is neither operand at " + show2("a", t[0], "b", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::HasIdentity: {
+      if (auto e = s.identity()) {
+        CheckResult r =
+            forall({d}, lim, [&](const ValueVec& t) -> Violation {
+              if (s.op(*e, t[0]) != t[0] || s.op(t[0], *e) != t[0]) {
+                return "declared identity fails at a=" + t[0].to_string();
+              }
+              return std::nullopt;
+            });
+        if (r.verdict != Tri::False) {
+          r.verdict = Tri::True;
+          r.detail = "identity " + e->to_string() + " verified; " + r.detail;
+        }
+        return r;
+      }
+      auto enumd = s.enumerate();
+      if (enumd && enumd->size() <= lim.max_enum) {
+        for (const Value& e : *enumd) {
+          if (acts_as_identity(s, e)) {
+            return {Tri::True, true, "identity " + e.to_string()};
+          }
+        }
+        return {Tri::False, true, "no element acts as identity"};
+      }
+      return {Tri::Unknown, false, "no declared identity; carrier infinite"};
+    }
+    case Prop::HasAbsorber: {
+      if (auto w = s.absorber()) {
+        CheckResult r =
+            forall({d}, lim, [&](const ValueVec& t) -> Violation {
+              if (s.op(*w, t[0]) != *w || s.op(t[0], *w) != *w) {
+                return "declared absorber fails at a=" + t[0].to_string();
+              }
+              return std::nullopt;
+            });
+        if (r.verdict != Tri::False) {
+          r.verdict = Tri::True;
+          r.detail = "absorber " + w->to_string() + " verified; " + r.detail;
+        }
+        return r;
+      }
+      auto enumd = s.enumerate();
+      if (enumd && enumd->size() <= lim.max_enum) {
+        for (const Value& w : *enumd) {
+          bool ok = true;
+          for (const Value& x : *enumd) {
+            if (s.op(w, x) != w || s.op(x, w) != w) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) return {Tri::True, true, "absorber " + w.to_string()};
+        }
+        return {Tri::False, true, "no element acts as absorber"};
+      }
+      return {Tri::Unknown, false, "no declared absorber; carrier infinite"};
+    }
+    default:
+      return {Tri::Unknown, false, "property not applicable to a semigroup"};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Preorder shape
+// ---------------------------------------------------------------------------
+
+CheckResult check_preorder(const PreorderSet& p, Prop q,
+                           const CheckLimits& lim) {
+  const Draw d = preorder_draw(p, lim);
+  switch (q) {
+    case Prop::Total:
+      return forall({d, d}, lim, [&](const ValueVec& t) -> Violation {
+        if (incomp_of(p.cmp(t[0], t[1]))) {
+          return "incomparable: " + show2("a", t[0], "b", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::Antisym:
+      return forall({d, d}, lim, [&](const ValueVec& t) -> Violation {
+        if (equiv_of(p.cmp(t[0], t[1])) && t[0] != t[1]) {
+          return "a ~ b with a != b: " + show2("a", t[0], "b", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::HasTop: {
+      auto enumd = p.enumerate();
+      if (enumd && enumd->size() <= lim.max_enum) {
+        ValueVec ts = tops(p);
+        if (ts.empty()) return {Tri::False, true, "no greatest element"};
+        return {Tri::True, true, "top " + ts.front().to_string()};
+      }
+      return {tri_of(p.has_top()), false, "declared by the order"};
+    }
+    case Prop::OneClass:
+      return forall({d, d}, lim, [&](const ValueVec& t) -> Violation {
+        if (!equiv_of(p.cmp(t[0], t[1]))) {
+          return "not equivalent: " + show2("a", t[0], "b", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::HasBottom: {
+      auto enumd = p.enumerate();
+      if (enumd && enumd->size() <= lim.max_enum) {
+        ValueVec bs = bottoms(p);
+        if (bs.empty()) return {Tri::False, true, "no least element"};
+        return {Tri::True, true, "bottom " + bs.front().to_string()};
+      }
+      return {Tri::Unknown, false, "carrier infinite"};
+    }
+    default:
+      return {Tri::Unknown, false, "property not applicable to a preorder"};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure properties. `mul` is presented as left application a ↦ c ⊗ a or
+// right application a ↦ a ⊗ c via a closure, which unifies the order
+// semigroup and order transform cases.
+// ---------------------------------------------------------------------------
+
+using Apply = std::function<Value(const Value& fn, const Value& arg)>;
+
+CheckResult check_ordered_props(const PreorderSet& ord, const Draw& elems,
+                                const Draw& fns, const Apply& ap, Prop p,
+                                const CheckLimits& lim) {
+  switch (p) {
+    case Prop::M_L:
+    case Prop::M_R:
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        if (ord.leq(t[1], t[2]) && !ord.leq(ap(t[0], t[1]), ap(t[0], t[2]))) {
+          return "a <= b but f(a) !<= f(b): " +
+                 show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::N_L:
+    case Prop::N_R:
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        const Cmp out = ord.cmp(ap(t[0], t[1]), ap(t[0], t[2]));
+        const Cmp in = ord.cmp(t[1], t[2]);
+        if (out == Cmp::Equiv && (in == Cmp::Less || in == Cmp::Greater)) {
+          return "f(a) ~ f(b) but a, b strictly ordered: " +
+                 show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::C_L:
+    case Prop::C_R:
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        if (!equiv_of(ord.cmp(ap(t[0], t[1]), ap(t[0], t[2])))) {
+          return "f(a) !~ f(b): " + show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::ND_L:
+    case Prop::ND_R:
+      return forall({fns, elems}, lim, [&](const ValueVec& t) -> Violation {
+        if (!ord.leq(t[1], ap(t[0], t[1]))) {
+          return "a !<= f(a): " + show2("f", t[0], "a", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::Inc_L:
+    case Prop::Inc_R:
+      return forall({fns, elems}, lim, [&](const ValueVec& t) -> Violation {
+        if (!ord.is_top(t[1]) && !lt_of(ord.cmp(t[1], ap(t[0], t[1])))) {
+          return "a != top but a !< f(a): " + show2("f", t[0], "a", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::SInc_L:
+    case Prop::SInc_R:
+      return forall({fns, elems}, lim, [&](const ValueVec& t) -> Violation {
+        if (!lt_of(ord.cmp(t[1], ap(t[0], t[1])))) {
+          return "a !< f(a): " + show2("f", t[0], "a", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::TFix_L:
+    case Prop::TFix_R: {
+      auto [ts, exhaustive] = visible_tops(ord, lim);
+      if (ts.empty()) {
+        if (exhaustive) return {Tri::True, true, "vacuous: no top"};
+        if (!ord.has_top()) return {Tri::True, false, "vacuous: no top"};
+        return {Tri::Unknown, false, "top exists but none sampled"};
+      }
+      CheckResult r = forall({fns, Draw::finite(ts)}, lim,
+                             [&](const ValueVec& t) -> Violation {
+        if (!equiv_of(ord.cmp(ap(t[0], t[1]), t[1]))) {
+          return "f(top) !~ top: " + show2("f", t[0], "top", t[1]);
+        }
+        return std::nullopt;
+      });
+      r.exhaustive = r.exhaustive && exhaustive;
+      return r;
+    }
+    default:
+      return {Tri::Unknown, false, "not an ordered-structure property"};
+  }
+}
+
+// Algebraic-quadrant structure properties, parameterized the same way.
+CheckResult check_algebraic_props(const Semigroup& add, const Draw& elems,
+                                  const Draw& fns, const Apply& ap, Prop p,
+                                  const CheckLimits& lim) {
+  switch (p) {
+    case Prop::M_L:
+    case Prop::M_R:
+      // f is a ⊕-homomorphism (distributivity in the bisemigroup case).
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        if (ap(t[0], add.op(t[1], t[2])) !=
+            add.op(ap(t[0], t[1]), ap(t[0], t[2]))) {
+          return "f(a+b) != f(a)+f(b): " +
+                 show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::N_L:
+    case Prop::N_R:
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        if (ap(t[0], t[1]) == ap(t[0], t[2]) && t[1] != t[2]) {
+          return "f(a) = f(b), a != b: " +
+                 show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::C_L:
+    case Prop::C_R:
+      return forall({fns, elems, elems}, lim,
+                    [&](const ValueVec& t) -> Violation {
+        if (ap(t[0], t[1]) != ap(t[0], t[2])) {
+          return "f(a) != f(b): " + show3("f", t[0], "a", t[1], "b", t[2]);
+        }
+        return std::nullopt;
+      });
+    case Prop::ND_L:
+    case Prop::ND_R:
+      return forall({fns, elems}, lim, [&](const ValueVec& t) -> Violation {
+        if (t[1] != add.op(t[1], ap(t[0], t[1]))) {
+          return "a != a + f(a): " + show2("f", t[0], "a", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::Inc_L:
+    case Prop::Inc_R:
+    case Prop::SInc_L:
+    case Prop::SInc_R:
+      // In the algebraic quadrants I has no top exemption; SI coincides.
+      return forall({fns, elems}, lim, [&](const ValueVec& t) -> Violation {
+        const Value fa = ap(t[0], t[1]);
+        if (t[1] != add.op(t[1], fa) || t[1] == fa) {
+          return "not (a = a + f(a) != f(a)): " + show2("f", t[0], "a", t[1]);
+        }
+        return std::nullopt;
+      });
+    case Prop::TFix_L:
+    case Prop::TFix_R: {
+      // Algebraic reading of T: the functions fix the ⊕-identity α (which is
+      // the ⊤ of the left natural order). Vacuous without an identity.
+      auto alpha = add.identity();
+      if (!alpha) return {Tri::True, true, "vacuous: no identity"};
+      return forall({fns}, lim, [&](const ValueVec& t) -> Violation {
+        if (ap(t[0], *alpha) != *alpha) {
+          return "f(alpha) != alpha at f=" + t[0].to_string();
+        }
+        return std::nullopt;
+      });
+    }
+    default:
+      return {Tri::Unknown, false, "not an algebraic-structure property"};
+  }
+}
+
+bool is_add_prop(Prop p) {
+  switch (p) {
+    case Prop::Assoc:
+    case Prop::Comm:
+    case Prop::Idem:
+    case Prop::Selective:
+    case Prop::HasIdentity:
+    case Prop::HasAbsorber:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_order_prop(Prop p) {
+  switch (p) {
+    case Prop::Total:
+    case Prop::Antisym:
+    case Prop::HasTop:
+    case Prop::HasBottom:
+    case Prop::OneClass:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_right_version(Prop p) {
+  switch (p) {
+    case Prop::M_R:
+    case Prop::N_R:
+    case Prop::C_R:
+    case Prop::ND_R:
+    case Prop::Inc_R:
+    case Prop::SInc_R:
+    case Prop::TFix_R:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CheckResult Checker::semigroup_prop(const Semigroup& s, Prop p) const {
+  return check_semigroup(s, p, limits_);
+}
+
+CheckResult Checker::preorder_prop(const PreorderSet& s, Prop p) const {
+  return check_preorder(s, p, limits_);
+}
+
+CheckResult Checker::prop(const Bisemigroup& a, Prop p) const {
+  if (is_add_prop(p)) return check_semigroup(*a.add, p, limits_);
+  if (p == Prop::MulAssoc) return check_semigroup(*a.mul, Prop::Assoc, limits_);
+  const Draw elems = semigroup_draw(*a.add, limits_);
+  const Draw cs = semigroup_draw(*a.mul, limits_);
+  const bool right = is_right_version(p);
+  Apply ap = [&a, right](const Value& c, const Value& x) {
+    return right ? a.mul->op(x, c) : a.mul->op(c, x);
+  };
+  return check_algebraic_props(*a.add, elems, cs, ap, p, limits_);
+}
+
+CheckResult Checker::prop(const OrderSemigroup& a, Prop p) const {
+  if (is_order_prop(p)) return check_preorder(*a.ord, p, limits_);
+  if (p == Prop::MulAssoc) return check_semigroup(*a.mul, Prop::Assoc, limits_);
+  const Draw elems = preorder_draw(*a.ord, limits_);
+  const Draw cs = semigroup_draw(*a.mul, limits_);
+  const bool right = is_right_version(p);
+  Apply ap = [&a, right](const Value& c, const Value& x) {
+    return right ? a.mul->op(x, c) : a.mul->op(c, x);
+  };
+  return check_ordered_props(*a.ord, elems, cs, ap, p, limits_);
+}
+
+CheckResult Checker::prop(const SemigroupTransform& a, Prop p) const {
+  if (is_add_prop(p)) return check_semigroup(*a.add, p, limits_);
+  const Draw elems = semigroup_draw(*a.add, limits_);
+  const Draw fns = label_draw(*a.fns, limits_);
+  Apply ap = [&a](const Value& f, const Value& x) {
+    return a.fns->apply(f, x);
+  };
+  return check_algebraic_props(*a.add, elems, fns, ap, p, limits_);
+}
+
+CheckResult Checker::prop(const OrderTransform& a, Prop p) const {
+  if (is_order_prop(p)) return check_preorder(*a.ord, p, limits_);
+  const Draw elems = preorder_draw(*a.ord, limits_);
+  const Draw fns = label_draw(*a.fns, limits_);
+  Apply ap = [&a](const Value& f, const Value& x) {
+    return a.fns->apply(f, x);
+  };
+  return check_ordered_props(*a.ord, elems, fns, ap, p, limits_);
+}
+
+// ---------------------------------------------------------------------------
+// Carrier probes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ValueVec probe_elems(const PreorderSet& p, const CheckLimits& lim,
+                     bool& exhaustive) {
+  auto enumd = p.enumerate();
+  if (enumd && enumd->size() <= lim.max_enum) {
+    exhaustive = true;
+    return *enumd;
+  }
+  exhaustive = false;
+  Rng rng(lim.seed ^ 0x9120ULL);
+  return p.sample(rng, 128);
+}
+
+}  // namespace
+
+Tri probe_multi_element(const PreorderSet& p, const CheckLimits& limits) {
+  bool exhaustive = false;
+  ValueVec xs = probe_elems(p, limits, exhaustive);
+  for (const Value& a : xs) {
+    if (a != xs.front()) return Tri::True;
+  }
+  return exhaustive ? Tri::False : Tri::Unknown;
+}
+
+Tri probe_multi_class(const PreorderSet& p, const CheckLimits& limits) {
+  bool exhaustive = false;
+  ValueVec xs = probe_elems(p, limits, exhaustive);
+  for (const Value& a : xs) {
+    if (!equiv_of(p.cmp(a, xs.front()))) return Tri::True;
+  }
+  return exhaustive ? Tri::False : Tri::Unknown;
+}
+
+Tri probe_no_strict_pair(const PreorderSet& p, const CheckLimits& limits) {
+  bool exhaustive = false;
+  ValueVec xs = probe_elems(p, limits, exhaustive);
+  for (const Value& a : xs) {
+    for (const Value& b : xs) {
+      if (lt_of(p.cmp(a, b))) return Tri::False;
+    }
+  }
+  return exhaustive ? Tri::True : Tri::Unknown;
+}
+
+}  // namespace mrt

@@ -1,0 +1,87 @@
+// The finite-model checker: the oracle of the system.
+//
+// For finite (small) carriers every property of Figures 2 and 3 is decided
+// *exhaustively*, yielding True/False with a concrete counterexample on
+// refutation. For infinite carriers the checker samples: refutations are
+// still definitive (a counterexample is a counterexample), but absence of
+// one only corroborates — the verdict stays Unknown unless exhaustive.
+//
+// The checker serves three roles: ground truth for the theorem-validation
+// experiments, the fallback of the inference engine, and the counterexample
+// generator that tells a routing-language designer *why* an algebra fails.
+#pragma once
+
+#include <cstdint>
+
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+
+struct CheckLimits {
+  /// Carriers/label sets up to this size are enumerated exhaustively.
+  std::size_t max_enum = 64;
+  /// Tuples drawn per property when sampling an infinite structure.
+  int samples = 2000;
+  /// Exhaustive loops are abandoned for sampling beyond this many tuples.
+  std::size_t max_tuples = 2'000'000;
+  std::uint64_t seed = 0xC0FFEEULL;
+};
+
+struct CheckResult {
+  Tri verdict = Tri::Unknown;
+  bool exhaustive = false;  ///< verdict came from complete enumeration
+  std::string detail;       ///< counterexample, or coverage note
+};
+
+class Checker {
+ public:
+  explicit Checker(CheckLimits limits = {}) : limits_(limits) {}
+
+  // Component-level checks.
+  CheckResult semigroup_prop(const Semigroup& s, Prop p) const;
+  CheckResult preorder_prop(const PreorderSet& s, Prop p) const;
+
+  // Structure-level checks (Figures 2 and 3 properties, plus the component
+  // properties of the summarization part).
+  CheckResult prop(const Bisemigroup& a, Prop p) const;
+  CheckResult prop(const OrderSemigroup& a, Prop p) const;
+  CheckResult prop(const SemigroupTransform& a, Prop p) const;
+  CheckResult prop(const OrderTransform& a, Prop p) const;
+
+  /// Complete report: every property relevant to the structure kind.
+  template <typename A>
+  PropertyReport report(const A& a) const {
+    PropertyReport out;
+    for (Prop p : props_for(A::kind)) {
+      CheckResult r = prop(a, p);
+      out.set(p, r.verdict, (r.exhaustive ? "checked: " : "sampled: ") + r.detail);
+    }
+    return out;
+  }
+
+  /// Fills only the Unknown slots of an existing (inferred) report.
+  template <typename A>
+  void refine(const A& a, PropertyReport& report) const {
+    for (Prop p : props_for(A::kind)) {
+      if (report.value(p) != Tri::Unknown) continue;
+      CheckResult r = prop(a, p);
+      report.refine(p, r.verdict,
+                    (r.exhaustive ? "checked: " : "sampled: ") + r.detail);
+    }
+  }
+
+ private:
+  CheckLimits limits_;
+};
+
+// Carrier probes used by the inference rules for left / right / scoped
+// operators (Theorem 6's side conditions).
+//
+/// Does the carrier have at least two elements?
+Tri probe_multi_element(const PreorderSet& p, const CheckLimits& limits = {});
+/// Does the order have at least two equivalence classes?
+Tri probe_multi_class(const PreorderSet& p, const CheckLimits& limits = {});
+/// Is the order free of strictly related pairs (a < b for no a, b)?
+Tri probe_no_strict_pair(const PreorderSet& p, const CheckLimits& limits = {});
+
+}  // namespace mrt

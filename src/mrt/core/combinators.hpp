@@ -1,0 +1,58 @@
+// Quadrant-level combinators: the operators of the metarouting language.
+//
+// Each combinator assembles the component product (lex.hpp) *and* derives
+// the property report of the result via the inference engine — properties
+// are computed at construction, like types at elaboration.
+#pragma once
+
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+
+/// Lexicographic product S ⃗× T, per quadrant (paper section IV).
+Bisemigroup lex(const Bisemigroup& s, const Bisemigroup& t);
+OrderSemigroup lex(const OrderSemigroup& s, const OrderSemigroup& t);
+SemigroupTransform lex(const SemigroupTransform& s,
+                       const SemigroupTransform& t);
+OrderTransform lex(const OrderTransform& s, const OrderTransform& t);
+
+/// Direct (componentwise) product S × T on order transforms: both metrics
+/// count equally, so the preference is a genuine partial order and best
+/// routes form Pareto frontiers (solve with minset_bellman).
+OrderTransform direct(const OrderTransform& s, const OrderTransform& t);
+
+/// Szendrei products ⃗×_ω (paper section VI): the S-side top/absorber
+/// collapses the whole pair to a single error element ω.
+/// Requires S.ord to have a top (order transform) / S.add an absorber
+/// (semigroup transform).
+OrderTransform lex_omega(const OrderTransform& s, const OrderTransform& t);
+SemigroupTransform lex_omega(const SemigroupTransform& s,
+                             const SemigroupTransform& t);
+
+/// left(T) = (T, ≲, {κ_b | b ∈ T}): BGP local-preference flavour.
+OrderTransform left(const OrderTransform& t);
+
+/// right(S) = (S, ≲, {id}): BGP origin flavour.
+OrderTransform right(const OrderTransform& s);
+
+/// Disjoint function union S + T. Precondition: both operands share the
+/// same order component (same object).
+OrderTransform fn_union(const OrderTransform& s, const OrderTransform& t);
+
+/// Adjoins a fresh ⊤ ("invalid route" φ) strictly above everything; every
+/// function fixes it. Turns a ⊤-free theory algebra into a Sobrinho routing
+/// algebra. Exact rules include the pleasing I(add_top(S)) ⟺ SI(S): the old
+/// maximal elements lose their exemption.
+/// Precondition: the carrier does not already contain ω (e.g. a lex_omega
+/// product) — the sentinel must be fresh.
+OrderTransform add_top(const OrderTransform& s);
+
+/// Scoped product S ⊙ T = (S ⃗× left(T)) + (right(S) ⃗× T): BGP-like
+/// region partitioning (paper section II). Inter-region arcs transform S
+/// and *originate* a fresh T component; intra-region arcs copy S.
+OrderTransform scoped(const OrderTransform& s, const OrderTransform& t);
+
+/// S Δ T = (S ⃗× T) + (right(S) ⃗× T): OSPF-area-like partitioning.
+OrderTransform delta(const OrderTransform& s, const OrderTransform& t);
+
+}  // namespace mrt

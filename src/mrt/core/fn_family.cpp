@@ -1,0 +1,16 @@
+#include "mrt/core/fn_family.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+ValueVec FunctionFamily::sample_labels(Rng& rng, int n) const {
+  auto all = labels();
+  MRT_REQUIRE(all.has_value() && !all->empty());
+  ValueVec out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.pick(*all));
+  return out;
+}
+
+}  // namespace mrt

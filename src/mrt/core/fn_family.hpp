@@ -1,0 +1,36 @@
+// Dynamic function families F ⊆ S → S: the "functional" weight-computation
+// building block of the quadrants model (paper Fig. 1).
+//
+// Each function is indexed by an opaque label Value (the paper's (L, •)
+// indexing of Sobrinho algebras); arcs of a network carry labels, and the
+// weight of a path is the composed application of its arcs' functions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mrt/core/value.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+class FunctionFamily {
+ public:
+  virtual ~FunctionFamily() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Applies the function indexed by `label` to carrier element `a`.
+  virtual Value apply(const Value& label, const Value& a) const = 0;
+
+  /// The label (function index) set, when finite.
+  virtual std::optional<ValueVec> labels() const { return std::nullopt; }
+
+  /// `n` labels for randomized checking; default draws from `labels()`.
+  virtual ValueVec sample_labels(Rng& rng, int n) const;
+};
+
+using FnFamilyPtr = std::shared_ptr<const FunctionFamily>;
+
+}  // namespace mrt

@@ -1,0 +1,385 @@
+#include "mrt/core/inference.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+Tri suff(Tri x) { return x == Tri::True ? Tri::True : Tri::Unknown; }
+
+Tri and3(Tri a, Tri b, Tri c) { return tri_and(tri_and(a, b), c); }
+
+// Rule application with provenance.
+void rule(PropertyReport& r, Prop p, Tri v, const char* why) {
+  r.set(p, v, std::string("rule: ") + why);
+}
+
+// Shared summarization-law rules for the algebraic quadrants' lex-⊕
+// (valid under the standing comm+idem preconditions of section IV.A).
+void lex_add_laws(PropertyReport& r, const PropertyReport& s,
+                  const PropertyReport& t) {
+  rule(r, Prop::Assoc, and3(tri_and(s.value(Prop::Assoc), t.value(Prop::Assoc)),
+                            tri_and(s.value(Prop::Comm), t.value(Prop::Comm)),
+                            tri_and(s.value(Prop::Idem), t.value(Prop::Idem))),
+       "thm2: lex of comm+idem semigroups is a semigroup");
+  rule(r, Prop::Comm, tri_and(s.value(Prop::Comm), t.value(Prop::Comm)),
+       "comm(S) & comm(T)");
+  rule(r, Prop::Idem, tri_and(s.value(Prop::Idem), t.value(Prop::Idem)),
+       "idem(S) & idem(T)");
+  rule(r, Prop::Selective,
+       tri_and(s.value(Prop::Selective), t.value(Prop::Selective)),
+       "sel(S) & sel(T)");
+  rule(r, Prop::HasIdentity,
+       tri_and(s.value(Prop::HasIdentity), t.value(Prop::HasIdentity)),
+       "(alpha_S, alpha_T)");
+  rule(r, Prop::HasAbsorber,
+       tri_and(s.value(Prop::HasAbsorber), t.value(Prop::HasAbsorber)),
+       "(omega_S, omega_T)");
+}
+
+// Order-shape rules for the ordered quadrants' lex preorder (all exact).
+void lex_order_laws(PropertyReport& r, const PropertyReport& s,
+                    const PropertyReport& t) {
+  rule(r, Prop::Total, tri_and(s.value(Prop::Total), t.value(Prop::Total)),
+       "lex of total preorders is total");
+  rule(r, Prop::Antisym,
+       tri_and(s.value(Prop::Antisym), t.value(Prop::Antisym)),
+       "lex-equivalence is componentwise");
+  rule(r, Prop::HasTop, tri_and(s.value(Prop::HasTop), t.value(Prop::HasTop)),
+       "Top(lex) = Top(S) x Top(T)");
+  rule(r, Prop::HasBottom,
+       tri_and(s.value(Prop::HasBottom), t.value(Prop::HasBottom)),
+       "Bot(lex) = Bot(S) x Bot(T)");
+  rule(r, Prop::OneClass,
+       tri_and(s.value(Prop::OneClass), t.value(Prop::OneClass)),
+       "lex-equivalence is componentwise");
+}
+
+// Thm 4 global-optima rule plus the exact N/C propagation, for one side
+// (exact in the ordered quadrants).
+void thm4(PropertyReport& r, Prop m, Prop n, Prop c, const PropertyReport& s,
+          const PropertyReport& t) {
+  rule(r, m, and3(s.value(m), t.value(m), tri_or(s.value(n), t.value(c))),
+       "thm4: M(S)&M(T)&(N(S)|C(T))");
+  rule(r, n, tri_and(s.value(n), t.value(n)), "N(S)&N(T) (componentwise)");
+  rule(r, c, tri_and(s.value(c), t.value(c)), "C(S)&C(T) (componentwise)");
+}
+
+// Thm 4 in the algebraic quadrants. Exact as published when S is selective;
+// with a non-selective S the lex-⊕'s fourth case inserts α_T, and M
+// additionally requires T's functions to fix α_T (measured counterexample:
+// see test_thm4_global.cpp and EXPERIMENTS.md). The refutation direction is
+// sound only through M(S)/M(T).
+void thm4_algebraic(PropertyReport& r, Prop m, Prop n, Prop c, Prop tfix,
+                    const PropertyReport& s, const PropertyReport& t) {
+  const Tri base =
+      and3(s.value(m), t.value(m), tri_or(s.value(n), t.value(c)));
+  Tri v = Tri::Unknown;
+  const char* why = "thm4 (algebraic): undecided for non-selective S";
+  if (tri_and(s.value(m), t.value(m)) == Tri::False) {
+    v = Tri::False;
+    why = "thm4: M(S) and M(T) are necessary";
+  } else if (s.value(Prop::Selective) == Tri::True) {
+    v = base;
+    why = "thm4: exact for selective S";
+  } else if (tri_and(base, t.value(tfix)) == Tri::True) {
+    v = Tri::True;
+    why = "refined thm4: fourth case guarded by T-functions fixing alpha";
+  }
+  rule(r, m, v, why);
+  rule(r, n, tri_and(s.value(n), t.value(n)), "N(S)&N(T) (componentwise)");
+  rule(r, c, tri_and(s.value(c), t.value(c)), "C(S)&C(T) (componentwise)");
+  rule(r, tfix,
+       tri_or(tri_not(tri_and(s.value(Prop::HasIdentity),
+                              t.value(Prop::HasIdentity))),
+              tri_and(s.value(tfix), t.value(tfix))),
+       "alpha of lex is componentwise");
+}
+
+// Thm 5 local-optima rules for the *algebraic* quadrants, where I has no ⊤
+// exemption and coincides with SI. Exact as proven in the paper.
+void thm5_algebraic(PropertyReport& r, Prop nd, Prop inc, Prop sinc,
+                    const PropertyReport& s, const PropertyReport& t) {
+  rule(r, nd, tri_or(s.value(inc), tri_and(s.value(nd), t.value(nd))),
+       "thm5: ND <=> I(S) | (ND(S)&ND(T))");
+  rule(r, inc, tri_or(s.value(inc), tri_and(s.value(nd), t.value(inc))),
+       "thm5: I <=> I(S) | (ND(S)&I(T))");
+  rule(r, sinc, r.value(inc), "SI = I in algebraic quadrants");
+}
+
+// Refined ⊤-aware local-optima rules for the *ordered* quadrants (exact for
+// arbitrary preorders; DESIGN.md section 1.1). They coincide with the paper's
+// Fig. 3 rules whenever S is ⊤-free.
+void thm5_ordered(PropertyReport& r, Prop nd, Prop inc, Prop sinc, Prop tfix,
+                  const PropertyReport& s, const PropertyReport& t,
+                  Prop has_top) {
+  // SI(S ⃗× T) ⟺ SI(S) ∨ (ND(S) ∧ SI(T))
+  rule(r, sinc, tri_or(s.value(sinc), tri_and(s.value(nd), t.value(sinc))),
+       "SI(S) | (ND(S)&SI(T))");
+  // ND(S ⃗× T) ⟺ SI(S) ∨ (ND(S) ∧ ND(T))
+  rule(r, nd, tri_or(s.value(sinc), tri_and(s.value(nd), t.value(nd))),
+       "refined thm5: SI(S) | (ND(S)&ND(T))");
+  // I(S ⃗× T) ⟺ [I(S) ∧ (⊤-free(S) ∨ all-top(T) ∨ (T(S) ∧ I(T)))]
+  //              ∨ [ND(S) ∧ SI(T)]
+  // The all-top(T) (single class) disjunct exempts every (⊤_S, b) pair.
+  const Tri top_handled =
+      tri_or(tri_or(tri_not(s.value(has_top)), t.value(Prop::OneClass)),
+             tri_and(s.value(tfix), t.value(inc)));
+  rule(r, inc,
+       tri_or(tri_and(s.value(inc), top_handled),
+              tri_and(s.value(nd), t.value(sinc))),
+       "refined thm5: (I(S) & top-handled) | (ND(S)&SI(T))");
+  // T(S ⃗× T): vacuous without a product top, else componentwise.
+  rule(r, tfix,
+       tri_or(tri_not(tri_and(s.value(has_top), t.value(has_top))),
+              tri_and(s.value(tfix), t.value(tfix))),
+       "top of lex is componentwise");
+}
+
+}  // namespace
+
+PropertyReport infer_lex(StructureKind kind, const PropertyReport& s,
+                         const PropertyReport& t) {
+  PropertyReport r;
+  switch (kind) {
+    case StructureKind::Bisemigroup:
+      lex_add_laws(r, s, t);
+      rule(r, Prop::MulAssoc,
+           tri_and(s.value(Prop::MulAssoc), t.value(Prop::MulAssoc)),
+           "componentwise");
+      thm4_algebraic(r, Prop::M_L, Prop::N_L, Prop::C_L, Prop::TFix_L, s, t);
+      thm4_algebraic(r, Prop::M_R, Prop::N_R, Prop::C_R, Prop::TFix_R, s, t);
+      thm5_algebraic(r, Prop::ND_L, Prop::Inc_L, Prop::SInc_L, s, t);
+      thm5_algebraic(r, Prop::ND_R, Prop::Inc_R, Prop::SInc_R, s, t);
+      return r;
+    case StructureKind::SemigroupTransform:
+      lex_add_laws(r, s, t);
+      thm4_algebraic(r, Prop::M_L, Prop::N_L, Prop::C_L, Prop::TFix_L, s, t);
+      thm5_algebraic(r, Prop::ND_L, Prop::Inc_L, Prop::SInc_L, s, t);
+      return r;
+    case StructureKind::OrderSemigroup:
+      lex_order_laws(r, s, t);
+      rule(r, Prop::MulAssoc,
+           tri_and(s.value(Prop::MulAssoc), t.value(Prop::MulAssoc)),
+           "componentwise");
+      thm4(r, Prop::M_L, Prop::N_L, Prop::C_L, s, t);
+      thm4(r, Prop::M_R, Prop::N_R, Prop::C_R, s, t);
+      thm5_ordered(r, Prop::ND_L, Prop::Inc_L, Prop::SInc_L, Prop::TFix_L, s,
+                   t, Prop::HasTop);
+      thm5_ordered(r, Prop::ND_R, Prop::Inc_R, Prop::SInc_R, Prop::TFix_R, s,
+                   t, Prop::HasTop);
+      return r;
+    case StructureKind::OrderTransform:
+      lex_order_laws(r, s, t);
+      thm4(r, Prop::M_L, Prop::N_L, Prop::C_L, s, t);
+      thm5_ordered(r, Prop::ND_L, Prop::Inc_L, Prop::SInc_L, Prop::TFix_L, s,
+                   t, Prop::HasTop);
+      return r;
+    default:
+      MRT_UNREACHABLE("infer_lex: not a quadrant structure");
+  }
+}
+
+PropertyReport infer_direct(const PropertyReport& s,
+                            const PropertyReport& t) {
+  PropertyReport r;
+  // Order shape. Componentwise comparison makes totality rare: the product
+  // is total iff one factor collapses to a single class and the other is
+  // total (exact).
+  rule(r, Prop::Total,
+       tri_or(tri_and(s.value(Prop::OneClass), t.value(Prop::Total)),
+              tri_and(t.value(Prop::OneClass), s.value(Prop::Total))),
+       "componentwise order is total only if one side is one class");
+  rule(r, Prop::Antisym,
+       tri_and(s.value(Prop::Antisym), t.value(Prop::Antisym)),
+       "product equivalence is componentwise");
+  rule(r, Prop::HasTop, tri_and(s.value(Prop::HasTop), t.value(Prop::HasTop)),
+       "Top(prod) = Top(S) x Top(T)");
+  rule(r, Prop::HasBottom,
+       tri_and(s.value(Prop::HasBottom), t.value(Prop::HasBottom)),
+       "Bot(prod) = Bot(S) x Bot(T)");
+  rule(r, Prop::OneClass,
+       tri_and(s.value(Prop::OneClass), t.value(Prop::OneClass)),
+       "componentwise");
+  // Global optima: all componentwise, all exact.
+  rule(r, Prop::M_L, tri_and(s.value(Prop::M_L), t.value(Prop::M_L)),
+       "M(S)&M(T) (componentwise, exact)");
+  rule(r, Prop::N_L, tri_and(s.value(Prop::N_L), t.value(Prop::N_L)),
+       "N(S)&N(T) (componentwise, exact)");
+  rule(r, Prop::C_L, tri_and(s.value(Prop::C_L), t.value(Prop::C_L)),
+       "C(S)&C(T) (componentwise, exact)");
+  // Local optima.
+  rule(r, Prop::ND_L, tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)),
+       "ND(S)&ND(T) (componentwise, exact)");
+  rule(r, Prop::SInc_L,
+       and3(s.value(Prop::ND_L), t.value(Prop::ND_L),
+            tri_or(s.value(Prop::SInc_L), t.value(Prop::SInc_L))),
+       "ND both + strict somewhere (exact)");
+  // I: decided where the case analysis is uniform; Unknown in the mixed
+  // cases (checker fallback).
+  {
+    Tri v = Tri::Unknown;
+    const char* why = "undecided mixed case (checker decides)";
+    const Tri all = and3(tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)),
+                         tri_and(s.value(Prop::Inc_L), t.value(Prop::Inc_L)),
+                         Tri::True);
+    if (all == Tri::True) {
+      v = Tri::True;
+      why = "ND+I on both factors covers every non-top pair";
+    } else if (tri_and(tri_not(s.value(Prop::OneClass)),
+                       tri_not(t.value(Prop::OneClass))) == Tri::True &&
+               tri_or(s.value(Prop::Inc_L), t.value(Prop::Inc_L)) ==
+                   Tri::False) {
+      v = Tri::False;
+      why = "both factors have non-top fixed points: no strictness";
+    } else if (tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)) ==
+               Tri::False) {
+      // a ≲ f(a) must hold componentwise at non-top points; a refuted ND
+      // with a non-top witness refutes I too — approximated by requiring
+      // SI=false as well to avoid the top-only-witness edge, else Unknown.
+      v = Tri::Unknown;
+      why = "ND refuted, witness location unknown";
+    }
+    rule(r, Prop::Inc_L, v, why);
+  }
+  rule(r, Prop::TFix_L,
+       tri_or(tri_not(tri_and(s.value(Prop::HasTop), t.value(Prop::HasTop))),
+              tri_and(s.value(Prop::TFix_L), t.value(Prop::TFix_L))),
+       "top of prod is componentwise");
+  return r;
+}
+
+PropertyReport infer_lex_omega(StructureKind kind, const PropertyReport& s,
+                               const PropertyReport& t) {
+  MRT_REQUIRE(kind == StructureKind::OrderTransform ||
+              kind == StructureKind::SemigroupTransform);
+  PropertyReport r;
+  if (kind == StructureKind::OrderTransform) {
+    // Sufficient only: a non-totality witness in S may involve only
+    // collapsed (top-first) pairs, so falsity does not transfer.
+    rule(r, Prop::Total,
+         suff(tri_and(s.value(Prop::Total), t.value(Prop::Total))),
+         "suff: omega comparable to all; pairs lex");
+    rule(r, Prop::HasTop, Tri::True, "omega is the top");
+    rule(r, Prop::TFix_L, Tri::True, "functions fix omega");
+    rule(r, Prop::Antisym,
+         suff(tri_and(s.value(Prop::Antisym), t.value(Prop::Antisym))),
+         "suff: componentwise");
+    // Under the collapse the paper's Fig. 2/3 rules hold; we keep only the
+    // sufficient direction and let the checker decide refutations.
+    rule(r, Prop::M_L,
+         suff(and3(s.value(Prop::M_L), t.value(Prop::M_L),
+                   tri_or(s.value(Prop::N_L), t.value(Prop::C_L)))),
+         "suff thm4 under omega-collapse");
+    rule(r, Prop::ND_L,
+         suff(tri_or(s.value(Prop::Inc_L),
+                     tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)))),
+         "suff thm5 under omega-collapse");
+    // Only S's top is collapsed; a ⊤ in T still blocks strictness at pairs
+    // (a, ⊤_T), so the second disjunct needs SI(T), not I(T).
+    rule(r, Prop::Inc_L,
+         suff(tri_or(s.value(Prop::Inc_L),
+                     tri_and(s.value(Prop::ND_L), t.value(Prop::SInc_L)))),
+         "suff thm5 under omega-collapse (SI(T) variant)");
+  } else {
+    rule(r, Prop::Comm,
+         suff(tri_and(s.value(Prop::Comm), t.value(Prop::Comm))),
+         "suff: componentwise");
+    rule(r, Prop::Idem,
+         suff(tri_and(s.value(Prop::Idem), t.value(Prop::Idem))),
+         "suff: componentwise");
+    rule(r, Prop::HasAbsorber, Tri::True, "omega absorbs");
+    rule(r, Prop::M_L,
+         suff(and3(s.value(Prop::M_L), t.value(Prop::M_L),
+                   tri_or(s.value(Prop::N_L), t.value(Prop::C_L)))),
+         "suff thm4 under omega-collapse");
+  }
+  return r;
+}
+
+OrderShape probe_shape(const PreorderSet& ord, const CheckLimits& limits) {
+  OrderShape s;
+  s.multi_element = probe_multi_element(ord, limits);
+  s.multi_class = probe_multi_class(ord, limits);
+  s.no_strict_pair = probe_no_strict_pair(ord, limits);
+  return s;
+}
+
+PropertyReport infer_left(const PropertyReport& t, const OrderShape& shape) {
+  PropertyReport r;
+  for (Prop p : {Prop::Total, Prop::Antisym, Prop::HasTop, Prop::HasBottom,
+                 Prop::OneClass}) {
+    r.set(p, t.value(p), "order unchanged by left()");
+  }
+  rule(r, Prop::M_L, Tri::True, "constant functions are monotone");
+  rule(r, Prop::C_L, Tri::True, "kappa_c(a) = kappa_c(b)");
+  rule(r, Prop::N_L, shape.no_strict_pair,
+       "N(left) <=> no strictly ordered pair");
+  rule(r, Prop::ND_L, tri_not(shape.multi_class),
+       "ND(left) <=> single equivalence class");
+  rule(r, Prop::Inc_L, tri_not(shape.multi_class),
+       "I(left) fails given two classes (paper sec V)");
+  rule(r, Prop::SInc_L, Tri::False, "kappa_a(a) = a is never strict");
+  rule(r, Prop::TFix_L,
+       tri_or(tri_not(t.value(Prop::HasTop)), tri_not(shape.multi_class)),
+       "kappa_c(top) ~ top for all c iff one class");
+  return r;
+}
+
+PropertyReport infer_right(const PropertyReport& s, const OrderShape& shape) {
+  PropertyReport r;
+  for (Prop p : {Prop::Total, Prop::Antisym, Prop::HasTop, Prop::HasBottom,
+                 Prop::OneClass}) {
+    r.set(p, s.value(p), "order unchanged by right()");
+  }
+  rule(r, Prop::M_L, Tri::True, "identity is monotone");
+  rule(r, Prop::N_L, Tri::True, "id(a) ~ id(b) => a ~ b");
+  rule(r, Prop::C_L, tri_not(shape.multi_class),
+       "C(right) <=> single equivalence class");
+  rule(r, Prop::ND_L, Tri::True, "a <= id(a) (paper sec V)");
+  rule(r, Prop::Inc_L, tri_not(shape.multi_class),
+       "I(right) fails given two classes (paper sec V)");
+  rule(r, Prop::SInc_L, Tri::False, "id(a) = a is never strict");
+  rule(r, Prop::TFix_L, Tri::True, "id fixes the top");
+  return r;
+}
+
+PropertyReport infer_union(const PropertyReport& s, const PropertyReport& t) {
+  PropertyReport r;
+  for (Prop p : {Prop::Total, Prop::Antisym, Prop::HasTop, Prop::HasBottom,
+                 Prop::OneClass}) {
+    r.set(p, s.value(p), "shared order");
+  }
+  for (Prop p : {Prop::M_L, Prop::N_L, Prop::C_L, Prop::ND_L, Prop::Inc_L,
+                 Prop::SInc_L, Prop::TFix_L}) {
+    rule(r, p, tri_and(s.value(p), t.value(p)),
+         "P(S+T) <=> P(S) & P(T) (paper sec V)");
+  }
+  return r;
+}
+
+Tri paper_rule_nd_lex(const PropertyReport& s, const PropertyReport& t) {
+  return tri_or(s.value(Prop::Inc_L),
+                tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)));
+}
+
+Tri paper_rule_inc_lex(const PropertyReport& s, const PropertyReport& t) {
+  return tri_or(s.value(Prop::Inc_L),
+                tri_and(s.value(Prop::ND_L), t.value(Prop::Inc_L)));
+}
+
+Tri paper_rule_m_lex(const PropertyReport& s, const PropertyReport& t) {
+  return and3(s.value(Prop::M_L), t.value(Prop::M_L),
+              tri_or(s.value(Prop::N_L), t.value(Prop::C_L)));
+}
+
+Tri classic2005_nd_lex(const PropertyReport& s, const PropertyReport& t) {
+  return suff(tri_and(s.value(Prop::ND_L), t.value(Prop::ND_L)));
+}
+
+Tri classic2005_inc_lex(const PropertyReport& s, const PropertyReport& t) {
+  return suff(tri_or(s.value(Prop::Inc_L),
+                     tri_and(s.value(Prop::ND_L), t.value(Prop::Inc_L))));
+}
+
+}  // namespace mrt

@@ -1,0 +1,71 @@
+// The property-inference engine: the paper's "type system".
+//
+// Given the PropertyReports of the operands, these rules derive the report
+// of a composite algebra. Because the paper's characterizations are *exact*
+// (necessary and sufficient — Theorems 4 and 5), both truth and falsity
+// propagate; three-valued Kleene logic handles unknowns.
+//
+// Ordered-quadrant local-optima rules are the ⊤-aware refinements derived in
+// DESIGN.md §1.1 (the paper's Fig. 3 rules are recovered exactly when the
+// first factor is ⊤-free, or under the ⃗×_ω product); the literal paper
+// rules are also exposed for the comparison experiments.
+#pragma once
+
+#include "mrt/core/checker.hpp"
+#include "mrt/core/properties.hpp"
+
+namespace mrt {
+
+/// Exact rules for the lexicographic product in each quadrant.
+/// `kind` selects the rule family; for Bisemigroup both left and right
+/// slots are derived, for transforms only the left slots.
+PropertyReport infer_lex(StructureKind kind, const PropertyReport& s,
+                         const PropertyReport& t);
+
+/// Rules for the direct (componentwise) product of order transforms:
+/// exact for M/N/C/ND/SI and the order shape; the I rule is partially
+/// decided (sound in both directions, Unknown in the genuinely mixed cases,
+/// where the checker takes over).
+PropertyReport infer_direct(const PropertyReport& s, const PropertyReport& t);
+
+/// Sufficient-only rules for the Szendrei ⃗×_ω product (ordered quadrants):
+/// under the collapse the paper's Fig. 2/3 rules apply; we propagate truth
+/// and leave falsity to the checker.
+PropertyReport infer_lex_omega(StructureKind kind, const PropertyReport& s,
+                               const PropertyReport& t);
+
+/// Order-shape facts needed by the left/right/scoped rules.
+struct OrderShape {
+  Tri multi_element = Tri::Unknown;  ///< at least two elements
+  Tri multi_class = Tri::Unknown;    ///< at least two equivalence classes
+  Tri no_strict_pair = Tri::Unknown; ///< no a < b anywhere
+};
+
+/// Probes the shape by enumeration or sampling.
+OrderShape probe_shape(const PreorderSet& ord, const CheckLimits& limits = {});
+
+/// left(T) = (T, ≲, {κ_b}): exact rules (paper section V facts).
+PropertyReport infer_left(const PropertyReport& t, const OrderShape& shape);
+
+/// right(S) = (S, ≲, {id}): exact rules.
+PropertyReport infer_right(const PropertyReport& s, const OrderShape& shape);
+
+/// Disjoint function union S + T (same order): P(S+T) ⟺ P(S) ∧ P(T).
+PropertyReport infer_union(const PropertyReport& s, const PropertyReport& t);
+
+// The literal paper rules, used by the experiment harnesses to compare
+// paper-exact vs refined vs classic-2005 derivations.
+//
+/// Fig. 3 / Thm 5: ND(S ⃗× T) ⟺ I(S) ∨ (ND(S) ∧ ND(T)).
+Tri paper_rule_nd_lex(const PropertyReport& s, const PropertyReport& t);
+/// Fig. 3 / Thm 5: I(S ⃗× T) ⟺ I(S) ∨ (ND(S) ∧ I(T)).
+Tri paper_rule_inc_lex(const PropertyReport& s, const PropertyReport& t);
+/// Fig. 2 / Thm 4: M(S ⃗× T) ⟺ M(S) ∧ M(T) ∧ (N(S) ∨ C(T)).
+Tri paper_rule_m_lex(const PropertyReport& s, const PropertyReport& t);
+
+/// The 2005 metarouting sufficient rules (paper section II), truth-only:
+/// ND(S)∧ND(T) ⇒ ND(S⃗×T);  I(S)∨(ND(S)∧I(T)) ⇒ I(S⃗×T).
+Tri classic2005_nd_lex(const PropertyReport& s, const PropertyReport& t);
+Tri classic2005_inc_lex(const PropertyReport& s, const PropertyReport& t);
+
+}  // namespace mrt

@@ -1,0 +1,53 @@
+// Lexicographic (and direct) products of the primitive components —
+// semigroups, preorders, and function families (paper section IV.A).
+//
+// The quadrant-level products that assemble these into full structures (with
+// property inference) live in combinators.hpp.
+#pragma once
+
+#include "mrt/core/fn_family.hpp"
+#include "mrt/core/preorder_set.hpp"
+#include "mrt/core/semigroup.hpp"
+
+namespace mrt {
+
+/// The paper's lexicographic product of semigroups:
+///
+///   (s1,t1) ⊕ (s2,t2) = (s, [s = s1]t1 ⊕_T [s = s2]t2)   with s = s1 ⊕_S s2
+///
+/// Defined whenever S is selective or T is a monoid; if the fourth case
+/// (s ∉ {s1, s2}) occurs and T has no identity, `op` throws — that is the
+/// runtime manifestation of Theorem 2's definedness condition.
+SemigroupPtr lex_semigroup(SemigroupPtr s, SemigroupPtr t);
+
+/// Componentwise product (used as the ⊗ of product bisemigroups and the
+/// plain direct product of summarizations).
+SemigroupPtr direct_semigroup(SemigroupPtr s, SemigroupPtr t);
+
+/// Szendrei's ⃗×_ω (paper section VI): requires S to have an absorber ω_S;
+/// the carrier is ((S ∖ {ω_S}) × T) ∪ {ω}, and any combination whose first
+/// component would reach ω_S collapses to ω.
+SemigroupPtr lex_omega_semigroup(SemigroupPtr s, SemigroupPtr t);
+
+/// The componentwise (direct) product of preorders:
+///   (s1,t1) ≲ (s2,t2) ⟺ s1 ≲ s2 ∧ t1 ≲ t2
+/// — a genuine partial order even when both factors are total.
+PreorderPtr direct_preorder(PreorderPtr s, PreorderPtr t);
+
+/// The classical lexicographic product of preorders:
+///
+///   (s1,t1) ≲ (s2,t2)  ⟺  s1 < s2 ∨ (s1 ~ s2 ∧ t1 ≲ t2)
+PreorderPtr lex_preorder(PreorderPtr s, PreorderPtr t);
+
+/// Pairs of functions acting componentwise: F × G with labels (l, m).
+FnFamilyPtr fam_pair(FnFamilyPtr f, FnFamilyPtr g);
+
+/// Disjoint function union F + G (paper section II): labels are tagged so
+/// that both families coexist even when they overlap.
+FnFamilyPtr fam_union(FnFamilyPtr f, FnFamilyPtr g);
+
+/// {κ_b | b ∈ carrier of `ord`}: the constant functions onto a preorder's
+/// carrier (the `left` ingredient, usable on infinite carriers).
+FnFamilyPtr fam_const_of_order(PreorderPtr ord);
+
+}  // namespace mrt

@@ -1,0 +1,131 @@
+#include <utility>
+
+#include "mrt/core/lex.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+class LexPreorder : public PreorderSet {
+ public:
+  LexPreorder(PreorderPtr s, PreorderPtr t)
+      : s_(std::move(s)), t_(std::move(t)) {
+    MRT_REQUIRE(s_ != nullptr && t_ != nullptr);
+  }
+
+  std::string name() const override {
+    return "lex(" + s_->name() + ", " + t_->name() + ")";
+  }
+
+  bool contains(const Value& v) const override {
+    return v.is_tuple() && v.as_tuple().size() == 2 &&
+           s_->contains(v.first()) && t_->contains(v.second());
+  }
+
+  bool leq(const Value& a, const Value& b) const override {
+    switch (s_->cmp(a.first(), b.first())) {
+      case Cmp::Less:
+        return true;
+      case Cmp::Equiv:
+        return t_->leq(a.second(), b.second());
+      case Cmp::Greater:
+      case Cmp::Incomp:
+        return false;
+    }
+    MRT_UNREACHABLE("bad Cmp");
+  }
+
+  bool is_top(const Value& v) const override {
+    // Top of a lexicographic product is Top(S) × Top(T).
+    return s_->is_top(v.first()) && t_->is_top(v.second());
+  }
+
+  bool has_top() const override { return s_->has_top() && t_->has_top(); }
+
+  std::optional<ValueVec> enumerate() const override {
+    auto es = s_->enumerate();
+    auto et = t_->enumerate();
+    if (!es || !et) return std::nullopt;
+    ValueVec out;
+    out.reserve(es->size() * et->size());
+    for (const Value& x : *es) {
+      for (const Value& y : *et) out.push_back(Value::pair(x, y));
+    }
+    return out;
+  }
+
+  ValueVec sample(Rng& rng, int n) const override {
+    ValueVec xs = s_->sample(rng, n);
+    ValueVec ys = t_->sample(rng, n);
+    ValueVec out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Value::pair(xs[static_cast<std::size_t>(i)],
+                                ys[static_cast<std::size_t>(i)]));
+    }
+    return out;
+  }
+
+ private:
+  PreorderPtr s_, t_;
+};
+
+class DirectPreorder : public PreorderSet {
+ public:
+  DirectPreorder(PreorderPtr s, PreorderPtr t)
+      : s_(std::move(s)), t_(std::move(t)) {
+    MRT_REQUIRE(s_ != nullptr && t_ != nullptr);
+  }
+
+  std::string name() const override {
+    return "prod(" + s_->name() + ", " + t_->name() + ")";
+  }
+  bool contains(const Value& v) const override {
+    return v.is_tuple() && v.as_tuple().size() == 2 &&
+           s_->contains(v.first()) && t_->contains(v.second());
+  }
+  bool leq(const Value& a, const Value& b) const override {
+    return s_->leq(a.first(), b.first()) && t_->leq(a.second(), b.second());
+  }
+  bool is_top(const Value& v) const override {
+    return s_->is_top(v.first()) && t_->is_top(v.second());
+  }
+  bool has_top() const override { return s_->has_top() && t_->has_top(); }
+  std::optional<ValueVec> enumerate() const override {
+    auto es = s_->enumerate();
+    auto et = t_->enumerate();
+    if (!es || !et) return std::nullopt;
+    ValueVec out;
+    out.reserve(es->size() * et->size());
+    for (const Value& x : *es) {
+      for (const Value& y : *et) out.push_back(Value::pair(x, y));
+    }
+    return out;
+  }
+  ValueVec sample(Rng& rng, int n) const override {
+    ValueVec xs = s_->sample(rng, n);
+    ValueVec ys = t_->sample(rng, n);
+    ValueVec out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Value::pair(xs[static_cast<std::size_t>(i)],
+                                ys[static_cast<std::size_t>(i)]));
+    }
+    return out;
+  }
+
+ private:
+  PreorderPtr s_, t_;
+};
+
+}  // namespace
+
+PreorderPtr lex_preorder(PreorderPtr s, PreorderPtr t) {
+  return std::make_shared<LexPreorder>(std::move(s), std::move(t));
+}
+
+PreorderPtr direct_preorder(PreorderPtr s, PreorderPtr t) {
+  return std::make_shared<DirectPreorder>(std::move(s), std::move(t));
+}
+
+}  // namespace mrt

@@ -1,0 +1,43 @@
+// Shared numeric helpers for carriers over ℕ ∪ {∞} (Value Int / Inf).
+#pragma once
+
+#include <algorithm>
+
+#include "mrt/core/value.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+/// Membership in ℕ ∪ {∞}.
+inline bool is_ext_nat(const Value& v) {
+  return v.is_inf() || (v.is_int() && v.as_int() >= 0);
+}
+
+/// Saturating addition on ℕ ∪ {∞}.
+inline Value ext_add(const Value& a, const Value& b) {
+  if (a.is_inf() || b.is_inf()) return Value::inf();
+  return Value::integer(a.as_int() + b.as_int());
+}
+
+/// Saturating multiplication on ℕ ∪ {∞}.
+inline Value ext_mul(const Value& a, const Value& b) {
+  if (a.is_inf() || b.is_inf()) return Value::inf();
+  return Value::integer(a.as_int() * b.as_int());
+}
+
+/// Numeric ≤ on ℕ ∪ {∞} (∞ greatest).
+inline bool ext_leq(const Value& a, const Value& b) {
+  if (a.is_inf()) return b.is_inf();
+  if (b.is_inf()) return true;
+  return a.as_int() <= b.as_int();
+}
+
+inline Value ext_min(const Value& a, const Value& b) {
+  return ext_leq(a, b) ? a : b;
+}
+
+inline Value ext_max(const Value& a, const Value& b) {
+  return ext_leq(a, b) ? b : a;
+}
+
+}  // namespace mrt

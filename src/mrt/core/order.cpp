@@ -1,0 +1,15 @@
+#include "mrt/core/order.hpp"
+
+namespace mrt {
+
+std::string to_string(Cmp c) {
+  switch (c) {
+    case Cmp::Less: return "<";
+    case Cmp::Equiv: return "~";
+    case Cmp::Greater: return ">";
+    case Cmp::Incomp: return "#";
+  }
+  return "?";
+}
+
+}  // namespace mrt

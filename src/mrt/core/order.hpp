@@ -1,0 +1,41 @@
+// Comparison outcomes for preorders.
+//
+// A preorder `≲` classifies any pair (a, b) into one of four relations
+// (paper section II): `a < b` (strictly better), `a ~ b` (equivalent),
+// `a > b`, or `a # b` (incomparable).
+#pragma once
+
+#include <string>
+
+namespace mrt {
+
+enum class Cmp : unsigned char {
+  Less,     ///< a ≲ b and not b ≲ a    (written a < b)
+  Equiv,    ///< a ≲ b and b ≲ a        (written a ~ b)
+  Greater,  ///< b ≲ a and not a ≲ b    (written a > b)
+  Incomp,   ///< neither a ≲ b nor b ≲ a (written a # b)
+};
+
+/// Derives the four-way classification from the two directions of ≲.
+constexpr Cmp cmp_from_leq(bool a_le_b, bool b_le_a) {
+  if (a_le_b) return b_le_a ? Cmp::Equiv : Cmp::Less;
+  return b_le_a ? Cmp::Greater : Cmp::Incomp;
+}
+
+constexpr bool leq_of(Cmp c) { return c == Cmp::Less || c == Cmp::Equiv; }
+constexpr bool lt_of(Cmp c) { return c == Cmp::Less; }
+constexpr bool equiv_of(Cmp c) { return c == Cmp::Equiv; }
+constexpr bool incomp_of(Cmp c) { return c == Cmp::Incomp; }
+
+/// Swaps the roles of the two operands.
+constexpr Cmp flip(Cmp c) {
+  switch (c) {
+    case Cmp::Less: return Cmp::Greater;
+    case Cmp::Greater: return Cmp::Less;
+    default: return c;
+  }
+}
+
+std::string to_string(Cmp c);
+
+}  // namespace mrt

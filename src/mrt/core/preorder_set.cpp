@@ -1,0 +1,77 @@
+#include "mrt/core/preorder_set.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+bool PreorderSet::is_top(const Value& v) const {
+  auto all = enumerate();
+  MRT_REQUIRE(all.has_value());
+  for (const Value& y : *all) {
+    if (!leq(y, v)) return false;
+  }
+  return true;
+}
+
+bool PreorderSet::has_top() const {
+  auto all = enumerate();
+  MRT_REQUIRE(all.has_value());
+  for (const Value& v : *all) {
+    if (is_top(v)) return true;
+  }
+  return false;
+}
+
+ValueVec PreorderSet::sample(Rng& rng, int n) const {
+  auto all = enumerate();
+  MRT_REQUIRE(all.has_value() && !all->empty());
+  ValueVec out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.pick(*all));
+  return out;
+}
+
+ValueVec tops(const PreorderSet& p) {
+  auto all = p.enumerate();
+  MRT_REQUIRE(all.has_value());
+  ValueVec out;
+  for (const Value& v : *all) {
+    if (p.is_top(v)) out.push_back(v);
+  }
+  return out;
+}
+
+ValueVec bottoms(const PreorderSet& p) {
+  auto all = p.enumerate();
+  MRT_REQUIRE(all.has_value());
+  ValueVec out;
+  for (const Value& v : *all) {
+    bool least = true;
+    for (const Value& y : *all) {
+      if (!p.leq(v, y)) {
+        least = false;
+        break;
+      }
+    }
+    if (least) out.push_back(v);
+  }
+  return out;
+}
+
+ValueVec min_set(const PreorderSet& p, const ValueVec& xs) {
+  ValueVec uniq = normalize_set(xs);
+  ValueVec out;
+  for (const Value& a : uniq) {
+    bool dominated = false;
+    for (const Value& b : uniq) {
+      if (lt_of(p.cmp(b, a))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace mrt

@@ -1,0 +1,57 @@
+// Dynamic preordered sets (S, ≲): the "ordered" weight-summarization
+// building block of the quadrants model (paper Fig. 1).
+//
+// Only reflexivity and transitivity are assumed (and checkable); totality
+// and antisymmetry are measured, not required — exactly the paper's stance.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mrt/core/order.hpp"
+#include "mrt/core/value.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+class PreorderSet {
+ public:
+  virtual ~PreorderSet() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool contains(const Value& v) const = 0;
+
+  /// The preorder: a ≲ b ("a is at least as preferred as b" — smaller is
+  /// better throughout, following the paper).
+  virtual bool leq(const Value& a, const Value& b) const = 0;
+
+  /// Four-way classification derived from both directions of ≲.
+  Cmp cmp(const Value& a, const Value& b) const {
+    return cmp_from_leq(leq(a, b), leq(b, a));
+  }
+
+  /// True if `v` is a greatest (least preferred, "⊤") element: ∀y. y ≲ v.
+  /// The default decides from `enumerate()`; infinite orders must override.
+  virtual bool is_top(const Value& v) const;
+
+  /// True if some greatest element exists. Default decides from enumerate().
+  virtual bool has_top() const;
+
+  virtual std::optional<ValueVec> enumerate() const { return std::nullopt; }
+  virtual ValueVec sample(Rng& rng, int n) const;
+};
+
+using PreorderPtr = std::shared_ptr<const PreorderSet>;
+
+/// All greatest elements of a finite preorder (empty if none).
+ValueVec tops(const PreorderSet& p);
+
+/// All least elements of a finite preorder (empty if none).
+ValueVec bottoms(const PreorderSet& p);
+
+/// min_≲(A): elements of A with no strictly smaller element in A; exact
+/// duplicates removed. This is the paper's min-set-map.
+ValueVec min_set(const PreorderSet& p, const ValueVec& xs);
+
+}  // namespace mrt

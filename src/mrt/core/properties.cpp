@@ -1,0 +1,120 @@
+#include "mrt/core/properties.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+std::string to_string(Tri t) {
+  switch (t) {
+    case Tri::True: return "yes";
+    case Tri::False: return "no";
+    case Tri::Unknown: return "?";
+  }
+  return "?";
+}
+
+std::string to_string(Prop p) {
+  switch (p) {
+    case Prop::Assoc: return "assoc";
+    case Prop::Comm: return "comm";
+    case Prop::Idem: return "idem";
+    case Prop::Selective: return "selective";
+    case Prop::HasIdentity: return "identity";
+    case Prop::HasAbsorber: return "absorber";
+    case Prop::MulAssoc: return "mul-assoc";
+    case Prop::Total: return "total";
+    case Prop::Antisym: return "antisym";
+    case Prop::HasTop: return "top";
+    case Prop::HasBottom: return "bottom";
+    case Prop::OneClass: return "one-class";
+    case Prop::M_L: return "M";
+    case Prop::M_R: return "M.r";
+    case Prop::N_L: return "N";
+    case Prop::N_R: return "N.r";
+    case Prop::C_L: return "C";
+    case Prop::C_R: return "C.r";
+    case Prop::ND_L: return "ND";
+    case Prop::ND_R: return "ND.r";
+    case Prop::Inc_L: return "I";
+    case Prop::Inc_R: return "I.r";
+    case Prop::SInc_L: return "SI";
+    case Prop::SInc_R: return "SI.r";
+    case Prop::TFix_L: return "T";
+    case Prop::TFix_R: return "T.r";
+    case Prop::Count_: break;
+  }
+  MRT_UNREACHABLE("bad Prop");
+}
+
+void PropertyReport::set(Prop p, Tri v, std::string why) {
+  slots_[index(p)] = PropStatus{v, std::move(why)};
+}
+
+void PropertyReport::refine(Prop p, Tri v, std::string why) {
+  if (slots_[index(p)].value == Tri::Unknown && v != Tri::Unknown) {
+    set(p, v, std::move(why));
+  }
+}
+
+std::vector<Prop> PropertyReport::known() const {
+  std::vector<Prop> out;
+  for (std::size_t i = 0; i < kPropCount; ++i) {
+    if (slots_[i].value != Tri::Unknown) out.push_back(static_cast<Prop>(i));
+  }
+  return out;
+}
+
+std::string to_string(StructureKind k) {
+  switch (k) {
+    case StructureKind::Semigroup: return "semigroup";
+    case StructureKind::Preorder: return "preorder";
+    case StructureKind::Bisemigroup: return "bisemigroup";
+    case StructureKind::OrderSemigroup: return "order semigroup";
+    case StructureKind::SemigroupTransform: return "semigroup transform";
+    case StructureKind::OrderTransform: return "order transform";
+  }
+  return "?";
+}
+
+const std::vector<Prop>& props_for(StructureKind k) {
+  static const std::vector<Prop> semigroup = {
+      Prop::Assoc, Prop::Comm, Prop::Idem, Prop::Selective,
+      Prop::HasIdentity, Prop::HasAbsorber};
+  static const std::vector<Prop> preorder = {Prop::Total, Prop::Antisym,
+                                             Prop::HasTop, Prop::HasBottom,
+                                             Prop::OneClass};
+  static const std::vector<Prop> bisemigroup = {
+      Prop::Assoc, Prop::Comm, Prop::Idem, Prop::Selective,
+      Prop::HasIdentity, Prop::HasAbsorber, Prop::MulAssoc,
+      Prop::M_L, Prop::M_R, Prop::N_L, Prop::N_R, Prop::C_L, Prop::C_R,
+      Prop::ND_L, Prop::ND_R, Prop::Inc_L, Prop::Inc_R,
+      Prop::SInc_L, Prop::SInc_R, Prop::TFix_L, Prop::TFix_R};
+  static const std::vector<Prop> order_semigroup = {
+      Prop::Total, Prop::Antisym, Prop::HasTop, Prop::HasBottom,
+      Prop::OneClass, Prop::MulAssoc,
+      Prop::M_L, Prop::M_R, Prop::N_L, Prop::N_R, Prop::C_L, Prop::C_R,
+      Prop::ND_L, Prop::ND_R, Prop::Inc_L, Prop::Inc_R,
+      Prop::SInc_L, Prop::SInc_R, Prop::TFix_L, Prop::TFix_R};
+  static const std::vector<Prop> semigroup_transform = {
+      Prop::Assoc, Prop::Comm, Prop::Idem, Prop::Selective,
+      Prop::HasIdentity, Prop::HasAbsorber,
+      Prop::M_L, Prop::N_L, Prop::C_L,
+      Prop::ND_L, Prop::Inc_L, Prop::SInc_L, Prop::TFix_L};
+  static const std::vector<Prop> order_transform = {
+      Prop::Total, Prop::Antisym, Prop::HasTop, Prop::HasBottom,
+      Prop::OneClass,
+      Prop::M_L, Prop::N_L, Prop::C_L,
+      Prop::ND_L, Prop::Inc_L, Prop::SInc_L, Prop::TFix_L};
+
+  switch (k) {
+    case StructureKind::Semigroup: return semigroup;
+    case StructureKind::Preorder: return preorder;
+    case StructureKind::Bisemigroup: return bisemigroup;
+    case StructureKind::OrderSemigroup: return order_semigroup;
+    case StructureKind::SemigroupTransform: return semigroup_transform;
+    case StructureKind::OrderTransform: return order_transform;
+  }
+  MRT_UNREACHABLE("bad StructureKind");
+}
+
+}  // namespace mrt

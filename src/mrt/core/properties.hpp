@@ -1,0 +1,125 @@
+// The property lattice of the metarouting system.
+//
+// Every algebra carries a `PropertyReport`: for each property of interest, a
+// three-valued verdict (Proved / Refuted / Unknown) together with a
+// provenance string — the inference rule that fired, or the counterexample
+// found. This is the paper's central idea: algebraic properties required by
+// routing algorithms are *derived* from the metalanguage expression, the way
+// types are derived in programming languages, and because the derivation
+// rules are exact (necessary and sufficient), failures are derivable too.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace mrt {
+
+/// Kleene three-valued truth.
+enum class Tri : unsigned char { False, True, Unknown };
+
+constexpr Tri tri_of(bool b) { return b ? Tri::True : Tri::False; }
+
+constexpr Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::False || b == Tri::False) return Tri::False;
+  if (a == Tri::True && b == Tri::True) return Tri::True;
+  return Tri::Unknown;
+}
+
+constexpr Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::True || b == Tri::True) return Tri::True;
+  if (a == Tri::False && b == Tri::False) return Tri::False;
+  return Tri::Unknown;
+}
+
+constexpr Tri tri_not(Tri a) {
+  if (a == Tri::True) return Tri::False;
+  if (a == Tri::False) return Tri::True;
+  return Tri::Unknown;
+}
+
+std::string to_string(Tri t);
+
+/// The properties tracked across the four quadrants. Names follow the paper
+/// (Figures 2 and 3); `_L`/`_R` are the left/right variants. Function-based
+/// structures (transforms) use the `_L` slot for their single version.
+enum class Prop : unsigned char {
+  // Semigroup laws (of the summarization operation ⊕ unless noted).
+  Assoc,        ///< associativity
+  Comm,         ///< commutativity
+  Idem,         ///< idempotence
+  Selective,    ///< a ⊕ b ∈ {a, b}
+  HasIdentity,  ///< α exists: α ⊕ a = a = a ⊕ α
+  HasAbsorber,  ///< ω exists: ω ⊕ a = ω = a ⊕ ω
+  MulAssoc,     ///< associativity of the computation operation ⊗
+
+  // Preorder shape.
+  Total,      ///< fullness: a ≲ b or b ≲ a (preference relation)
+  Antisym,    ///< antisymmetry
+  HasTop,     ///< a greatest (least preferred) element exists
+  HasBottom,  ///< a least (most preferred) element exists
+  OneClass,   ///< a single equivalence class (every element is a top)
+
+  // Global-optima properties (Fig. 2): monotone / cancellative-ish / condensed.
+  M_L, M_R,
+  N_L, N_R,
+  C_L, C_R,
+
+  // Local-optima properties (Fig. 3) and refinements.
+  ND_L, ND_R,    ///< nondecreasing
+  Inc_L, Inc_R,  ///< increasing (strict below ⊤, per Fig. 3)
+  SInc_L, SInc_R,///< strictly increasing at *every* element (refinement; no ⊤ exemption)
+  TFix_L, TFix_R,///< the top is fixed up to equivalence: f(⊤) ~ ⊤ (paper's T)
+
+  Count_  // sentinel
+};
+
+constexpr std::size_t kPropCount = static_cast<std::size_t>(Prop::Count_);
+
+std::string to_string(Prop p);
+
+/// Verdict plus provenance for one property.
+struct PropStatus {
+  Tri value = Tri::Unknown;
+  std::string why;  ///< inference rule, proof note, or counterexample
+};
+
+/// Property verdicts for one algebra.
+class PropertyReport {
+ public:
+  const PropStatus& get(Prop p) const { return slots_[index(p)]; }
+  Tri value(Prop p) const { return slots_[index(p)].value; }
+  bool proved(Prop p) const { return value(p) == Tri::True; }
+  bool refuted(Prop p) const { return value(p) == Tri::False; }
+
+  void set(Prop p, Tri v, std::string why);
+  void set(Prop p, bool v, std::string why) { set(p, tri_of(v), std::move(why)); }
+
+  /// Sets only if currently Unknown (used when a checker refines a report).
+  void refine(Prop p, Tri v, std::string why);
+
+  /// All properties with a definite verdict.
+  std::vector<Prop> known() const;
+
+ private:
+  static std::size_t index(Prop p) { return static_cast<std::size_t>(p); }
+  std::array<PropStatus, kPropCount> slots_;
+};
+
+/// Which structure family a report belongs to; used to pick the relevant
+/// property subset for display and checking.
+enum class StructureKind : unsigned char {
+  Semigroup,
+  Preorder,
+  Bisemigroup,
+  OrderSemigroup,
+  SemigroupTransform,
+  OrderTransform,
+};
+
+std::string to_string(StructureKind k);
+
+/// Properties meaningful for a structure family, in display order.
+const std::vector<Prop>& props_for(StructureKind k);
+
+}  // namespace mrt

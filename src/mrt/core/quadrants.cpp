@@ -1,0 +1,39 @@
+#include "mrt/core/quadrants.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+// Components of a structure must share a carrier; we spot-check the finite
+// enumerations when both sides have one.
+template <typename A, typename B>
+void check_same_carrier(const A& a, const B& b) {
+  auto ea = a.enumerate();
+  auto eb = b.enumerate();
+  if (!ea || !eb) return;
+  MRT_REQUIRE(ea->size() == eb->size());
+  for (const Value& v : *ea) MRT_REQUIRE(b.contains(v));
+}
+
+}  // namespace
+
+void validate(const Bisemigroup& a) {
+  MRT_REQUIRE(a.add != nullptr && a.mul != nullptr);
+  check_same_carrier(*a.add, *a.mul);
+}
+
+void validate(const OrderSemigroup& a) {
+  MRT_REQUIRE(a.ord != nullptr && a.mul != nullptr);
+  check_same_carrier(*a.ord, *a.mul);
+}
+
+void validate(const SemigroupTransform& a) {
+  MRT_REQUIRE(a.add != nullptr && a.fns != nullptr);
+}
+
+void validate(const OrderTransform& a) {
+  MRT_REQUIRE(a.ord != nullptr && a.fns != nullptr);
+}
+
+}  // namespace mrt

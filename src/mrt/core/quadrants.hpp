@@ -1,0 +1,69 @@
+// The four structure families of the quadrants model (paper Fig. 1):
+//
+//                      | summarization: algebraic | summarization: ordered
+//   computation: alg.  | Bisemigroup (S,⊕,⊗)      | OrderSemigroup (S,≲,⊗)
+//   computation: fn.   | SemigroupTransform (S,⊕,F) | OrderTransform (S,≲,F)
+//
+// Order transforms are Sobrinho's routing algebras — the structure routing
+// protocols actually run on; the other three exist in the literature
+// (semirings, ordered semigroups, monoid endomorphisms) and are connected by
+// the translation maps in translations.hpp.
+//
+// Each structure is a value type: a name, shared immutable components, and a
+// PropertyReport derived at construction time by the inference engine.
+#pragma once
+
+#include <string>
+
+#include "mrt/core/fn_family.hpp"
+#include "mrt/core/preorder_set.hpp"
+#include "mrt/core/properties.hpp"
+#include "mrt/core/semigroup.hpp"
+
+namespace mrt {
+
+/// (S, ⊕, ⊗): algebraic summarization, algebraic computation.
+/// Semirings and nondistributive semirings live here.
+struct Bisemigroup {
+  static constexpr StructureKind kind = StructureKind::Bisemigroup;
+  std::string name;
+  SemigroupPtr add;  ///< ⊕ — summarization ("pick/merge best")
+  SemigroupPtr mul;  ///< ⊗ — computation ("extend along an arc")
+  PropertyReport props;
+};
+
+/// (S, ≲, ⊗): ordered summarization, algebraic computation.
+struct OrderSemigroup {
+  static constexpr StructureKind kind = StructureKind::OrderSemigroup;
+  std::string name;
+  PreorderPtr ord;
+  SemigroupPtr mul;
+  PropertyReport props;
+};
+
+/// (S, ⊕, F): algebraic summarization, functional computation.
+struct SemigroupTransform {
+  static constexpr StructureKind kind = StructureKind::SemigroupTransform;
+  std::string name;
+  SemigroupPtr add;
+  FnFamilyPtr fns;
+  PropertyReport props;
+};
+
+/// (S, ≲, F): ordered summarization, functional computation — a Sobrinho
+/// routing algebra generalized to arbitrary preorders.
+struct OrderTransform {
+  static constexpr StructureKind kind = StructureKind::OrderTransform;
+  std::string name;
+  PreorderPtr ord;
+  FnFamilyPtr fns;
+  PropertyReport props;
+};
+
+/// Sanity validators: components present, carriers agree on a sample.
+void validate(const Bisemigroup& a);
+void validate(const OrderSemigroup& a);
+void validate(const SemigroupTransform& a);
+void validate(const OrderTransform& a);
+
+}  // namespace mrt

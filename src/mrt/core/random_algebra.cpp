@@ -1,0 +1,327 @@
+#include "mrt/core/random_algebra.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/order.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> closure(
+    std::vector<std::vector<std::uint8_t>> m) {
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) m[i][i] = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!m[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (m[k][j]) m[i][j] = 1;
+      }
+    }
+  }
+  return m;
+}
+
+// Is f monotone / nondecreasing w.r.t. ord on {0..n-1}?
+bool fn_monotone(const std::vector<int>& f, const PreorderSet& ord) {
+  const int n = static_cast<int>(f.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (ord.leq(Value::integer(a), Value::integer(b)) &&
+          !ord.leq(Value::integer(f[static_cast<std::size_t>(a)]),
+                   Value::integer(f[static_cast<std::size_t>(b)]))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool fn_nondecreasing(const std::vector<int>& f, const PreorderSet& ord) {
+  const int n = static_cast<int>(f.size());
+  for (int a = 0; a < n; ++a) {
+    if (!ord.leq(Value::integer(a),
+                 Value::integer(f[static_cast<std::size_t>(a)]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> random_fn(Rng& rng, int n) {
+  std::vector<int> f(static_cast<std::size_t>(n));
+  for (int& y : f) y = static_cast<int>(rng.range(0, n - 1));
+  return f;
+}
+
+}  // namespace
+
+PreorderPtr random_total_preorder(Rng& rng, int n) {
+  MRT_REQUIRE(n >= 1);
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int& r : rank) r = static_cast<int>(rng.range(0, n - 1));
+  std::vector<std::vector<std::uint8_t>> leq(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(n), 0));
+  for (std::size_t i = 0; i < leq.size(); ++i) {
+    for (std::size_t j = 0; j < leq.size(); ++j) {
+      leq[i][j] = rank[i] <= rank[j] ? 1 : 0;
+    }
+  }
+  return ord_table("rand_total", std::move(leq));
+}
+
+PreorderPtr random_preorder(Rng& rng, int n) {
+  MRT_REQUIRE(n >= 1);
+  std::vector<std::vector<std::uint8_t>> leq(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(n), 0));
+  for (std::size_t i = 0; i < leq.size(); ++i) {
+    for (std::size_t j = 0; j < leq.size(); ++j) {
+      if (i == j || rng.chance(0.3)) leq[i][j] = 1;
+    }
+  }
+  return ord_table("rand_pre", closure(std::move(leq)));
+}
+
+SemigroupPtr random_semilattice(Rng& rng, int width, bool with_identity) {
+  MRT_REQUIRE(width >= 1 && width <= 4);
+  const int full = (1 << width) - 1;
+  std::vector<int> masks;
+  const int seeds = 2 + static_cast<int>(rng.range(0, 2));
+  for (int i = 0; i < seeds; ++i) {
+    masks.push_back(static_cast<int>(rng.range(0, full)));
+  }
+  if (with_identity) masks.push_back(full);
+  // Close under intersection.
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      const int m = masks[i] & masks[j];
+      if (std::find(masks.begin(), masks.end(), m) == masks.end()) {
+        masks.push_back(m);
+      }
+    }
+  }
+  std::sort(masks.begin(), masks.end());
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+
+  std::map<int, int> index;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    index[masks[i]] = static_cast<int>(i);
+  }
+  const std::size_t m = masks.size();
+  std::vector<std::vector<int>> table(m, std::vector<int>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      table[i][j] = index.at(masks[i] & masks[j]);
+    }
+  }
+  return sg_table(with_identity ? "rand_semilattice_monoid"
+                                : "rand_semilattice",
+                  std::move(table));
+}
+
+SemigroupPtr random_chain_semilattice(Rng& rng, int n) {
+  MRT_REQUIRE(n >= 1);
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = static_cast<int>(i);
+  rng.shuffle(rank);
+  std::vector<std::vector<int>> table(static_cast<std::size_t>(n),
+                                      std::vector<int>(static_cast<std::size_t>(n)));
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = 0; j < table.size(); ++j) {
+      table[i][j] = rank[i] <= rank[j] ? static_cast<int>(i)
+                                       : static_cast<int>(j);
+    }
+  }
+  return sg_table("rand_chain", std::move(table));
+}
+
+SemigroupPtr random_magma(Rng& rng, int n) {
+  MRT_REQUIRE(n >= 1);
+  std::vector<std::vector<int>> table(static_cast<std::size_t>(n),
+                                      std::vector<int>(static_cast<std::size_t>(n)));
+  for (auto& row : table) {
+    for (int& v : row) v = static_cast<int>(rng.range(0, n - 1));
+  }
+  return sg_table("rand_magma", std::move(table));
+}
+
+FnFamilyPtr random_fn_family(Rng& rng, int n, int nfns, FnStyle style,
+                             const PreorderSet* ord) {
+  MRT_REQUIRE(n >= 1 && nfns >= 1);
+  MRT_REQUIRE(style == FnStyle::Arbitrary || ord != nullptr);
+  std::vector<std::vector<int>> fns;
+  fns.reserve(static_cast<std::size_t>(nfns));
+  for (int k = 0; k < nfns; ++k) {
+    std::vector<int> f;
+    switch (style) {
+      case FnStyle::Arbitrary:
+        f = random_fn(rng, n);
+        break;
+      case FnStyle::Monotone: {
+        bool found = false;
+        for (int tries = 0; tries < 60 && !found; ++tries) {
+          f = random_fn(rng, n);
+          found = fn_monotone(f, *ord);
+        }
+        if (!found) {
+          // Constants are always monotone.
+          f.assign(static_cast<std::size_t>(n),
+                   static_cast<int>(rng.range(0, n - 1)));
+        }
+        break;
+      }
+      case FnStyle::NonDecreasing: {
+        bool found = false;
+        for (int tries = 0; tries < 60 && !found; ++tries) {
+          f = random_fn(rng, n);
+          found = fn_nondecreasing(f, *ord);
+        }
+        if (!found) {
+          f.resize(static_cast<std::size_t>(n));
+          for (int a = 0; a < n; ++a) f[static_cast<std::size_t>(a)] = a;
+        }
+        break;
+      }
+      case FnStyle::Increasing: {
+        f.resize(static_cast<std::size_t>(n));
+        for (int a = 0; a < n; ++a) {
+          std::vector<int> above;
+          for (int b = 0; b < n; ++b) {
+            if (lt_of(ord->cmp(Value::integer(a), Value::integer(b)))) {
+              above.push_back(b);
+            }
+          }
+          if (ord->is_top(Value::integer(a)) || above.empty()) {
+            f[static_cast<std::size_t>(a)] = a;
+          } else {
+            f[static_cast<std::size_t>(a)] =
+                above[static_cast<std::size_t>(rng.below(above.size()))];
+          }
+        }
+        break;
+      }
+      case FnStyle::ConstId: {
+        f.resize(static_cast<std::size_t>(n));
+        if (rng.chance(0.4)) {
+          for (int a = 0; a < n; ++a) f[static_cast<std::size_t>(a)] = a;
+        } else {
+          const int b = static_cast<int>(rng.range(0, n - 1));
+          f.assign(static_cast<std::size_t>(n), b);
+        }
+        break;
+      }
+    }
+    fns.push_back(std::move(f));
+  }
+  return fam_table("rand_fns", n, std::move(fns));
+}
+
+OrderTransform random_order_transform(Rng& rng, const RandomConfig& cfg) {
+  const int n = static_cast<int>(rng.range(cfg.min_elems, cfg.max_elems));
+  PreorderPtr ord;
+  switch (rng.range(0, 4)) {
+    case 0: ord = random_total_preorder(rng, n); break;
+    case 1: ord = random_preorder(rng, n); break;
+    case 2: ord = ord_chain(n - 1); break;
+    case 3: ord = ord_discrete(n); break;
+    default: ord = ord_trivial(n); break;
+  }
+  const auto style = static_cast<FnStyle>(rng.range(0, 4));
+  const int nfns = static_cast<int>(rng.range(cfg.min_fns, cfg.max_fns));
+  FnFamilyPtr fns = random_fn_family(rng, n, nfns, style, ord.get());
+  return OrderTransform{"rand_ot", std::move(ord), std::move(fns), {}};
+}
+
+namespace {
+
+SemigroupPtr random_mul_for(Rng& rng, int n, const PreorderSet* ord) {
+  switch (rng.range(0, 3)) {
+    case 0: return random_magma(rng, n);
+    case 1: return sg_left_proj(n);
+    case 2: return sg_right_proj(n);
+    default: {
+      if (ord != nullptr) {
+        // min by a linear extension-ish rank of ord: monotone by construction
+        // when ord is total.
+        std::vector<std::vector<int>> table(
+            static_cast<std::size_t>(n),
+            std::vector<int>(static_cast<std::size_t>(n)));
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) {
+            table[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                ord->leq(Value::integer(i), Value::integer(j)) ? i : j;
+          }
+        }
+        return sg_table("ord_min", std::move(table));
+      }
+      return random_magma(rng, n);
+    }
+  }
+}
+
+}  // namespace
+
+OrderSemigroup random_order_semigroup(Rng& rng, const RandomConfig& cfg) {
+  const int n = static_cast<int>(rng.range(cfg.min_elems, cfg.max_elems));
+  PreorderPtr ord = rng.chance(0.5) ? random_total_preorder(rng, n)
+                                    : random_preorder(rng, n);
+  SemigroupPtr mul = random_mul_for(rng, n, ord.get());
+  return OrderSemigroup{"rand_os", std::move(ord), std::move(mul), {}};
+}
+
+SemigroupTransform random_semigroup_transform(Rng& rng,
+                                              const RandomConfig& cfg) {
+  SemigroupPtr add;
+  switch (rng.range(0, 2)) {
+    case 0: add = random_semilattice(rng, 2, rng.chance(0.5)); break;
+    case 1: add = random_chain_semilattice(
+                rng, static_cast<int>(rng.range(cfg.min_elems, cfg.max_elems)));
+            break;
+    default: add = random_semilattice(rng, 3, rng.chance(0.5)); break;
+  }
+  const int n = static_cast<int>(add->enumerate()->size());
+  std::vector<std::vector<int>> fns;
+  const int nfns = static_cast<int>(rng.range(cfg.min_fns, cfg.max_fns));
+  for (int k = 0; k < nfns; ++k) {
+    if (rng.chance(0.5)) {
+      // ⊕-translation f(x) = x ⊕ c: a homomorphism by comm+idem, biasing
+      // the sweep toward M = true cases.
+      const int c = static_cast<int>(rng.range(0, n - 1));
+      std::vector<int> f(static_cast<std::size_t>(n));
+      for (int x = 0; x < n; ++x) {
+        f[static_cast<std::size_t>(x)] = static_cast<int>(
+            add->op(Value::integer(x), Value::integer(c)).as_int());
+      }
+      fns.push_back(std::move(f));
+    } else {
+      fns.push_back(random_fn(rng, n));
+    }
+  }
+  return SemigroupTransform{"rand_st", std::move(add),
+                            fam_table("rand_fns", n, std::move(fns)), {}};
+}
+
+Bisemigroup random_bisemigroup(Rng& rng, const RandomConfig& cfg) {
+  SemigroupPtr add;
+  if (rng.chance(0.5)) {
+    add = random_chain_semilattice(
+        rng, static_cast<int>(rng.range(cfg.min_elems, cfg.max_elems)));
+  } else {
+    add = random_semilattice(rng, 2, rng.chance(0.5));
+  }
+  const int n = static_cast<int>(add->enumerate()->size());
+  SemigroupPtr mul;
+  if (rng.chance(0.25)) {
+    mul = add;  // ⊗ = ⊕ distributes over itself (comm+idem)
+  } else {
+    mul = random_mul_for(rng, n, nullptr);
+  }
+  return Bisemigroup{"rand_bs", std::move(add), std::move(mul), {}};
+}
+
+}  // namespace mrt

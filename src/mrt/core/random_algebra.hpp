@@ -1,0 +1,64 @@
+// Random finite algebras: the raw material of the theorem-validation sweeps.
+//
+// Every generator is deterministic in the supplied Rng, and each is designed
+// so that both sides of the paper's iff characterizations occur with useful
+// frequency (e.g. monotone function families are generated *by construction*
+// often enough that M(S ⃗× T) = true cases are well represented).
+#pragma once
+
+#include "mrt/core/quadrants.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+struct RandomConfig {
+  int min_elems = 2;
+  int max_elems = 4;
+  int min_fns = 1;
+  int max_fns = 3;
+};
+
+/// A random total preorder (ranking with ties) on {0..n-1}.
+PreorderPtr random_total_preorder(Rng& rng, int n);
+
+/// A random preorder on {0..n-1}: random relation, reflexive-transitively
+/// closed (may contain equivalences and incomparabilities).
+PreorderPtr random_preorder(Rng& rng, int n);
+
+/// A random commutative idempotent semigroup (= finite semilattice),
+/// built as an intersection-closed family of bitmask sets. At most
+/// 2^width elements. With `with_identity`, the ground set is included
+/// (making it a monoid).
+SemigroupPtr random_semilattice(Rng& rng, int width, bool with_identity);
+
+/// A random *selective* commutative idempotent semigroup: min over a random
+/// total order on {0..n-1}.
+SemigroupPtr random_chain_semilattice(Rng& rng, int n);
+
+/// A completely random magma on {0..n-1} (rarely associative) — legitimate
+/// for the product theorems, whose statements never use associativity.
+SemigroupPtr random_magma(Rng& rng, int n);
+
+/// How function families are biased during generation.
+enum class FnStyle {
+  Arbitrary,  ///< uniform random functions
+  Monotone,   ///< order-preserving (rejection-sampled; falls back to consts)
+  NonDecreasing,  ///< a ≲ f(a) pointwise
+  Increasing,     ///< a < f(a) below the top, top fixed
+  ConstId,    ///< a mix of constant functions and the identity
+};
+
+/// A random function family over carrier {0..n-1}. Styles other than
+/// Arbitrary are relative to `ord` (which must be non-null for them).
+FnFamilyPtr random_fn_family(Rng& rng, int n, int nfns, FnStyle style,
+                             const PreorderSet* ord);
+
+/// Assembled random structures (components get checker-derived reports in
+/// the sweeps, not here).
+OrderTransform random_order_transform(Rng& rng, const RandomConfig& cfg = {});
+OrderSemigroup random_order_semigroup(Rng& rng, const RandomConfig& cfg = {});
+SemigroupTransform random_semigroup_transform(Rng& rng,
+                                              const RandomConfig& cfg = {});
+Bisemigroup random_bisemigroup(Rng& rng, const RandomConfig& cfg = {});
+
+}  // namespace mrt

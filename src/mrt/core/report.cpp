@@ -1,0 +1,52 @@
+#include "mrt/core/report.hpp"
+
+#include <sstream>
+
+#include "mrt/support/table.hpp"
+
+namespace mrt {
+
+std::string render_report(const std::string& name, StructureKind kind,
+                          const PropertyReport& report) {
+  std::ostringstream out;
+  out << name << " : " << to_string(kind) << "\n";
+  Table t({"property", "holds", "because"});
+  for (Prop p : props_for(kind)) {
+    const PropStatus& st = report.get(p);
+    t.add_row({to_string(p), to_string(st.value),
+               st.why.empty() ? "(not derived)" : st.why});
+  }
+  out << t.render();
+  return out.str();
+}
+
+std::string describe(const Bisemigroup& a) {
+  return render_report(a.name, StructureKind::Bisemigroup, a.props);
+}
+std::string describe(const OrderSemigroup& a) {
+  return render_report(a.name, StructureKind::OrderSemigroup, a.props);
+}
+std::string describe(const SemigroupTransform& a) {
+  return render_report(a.name, StructureKind::SemigroupTransform, a.props);
+}
+std::string describe(const OrderTransform& a) {
+  return render_report(a.name, StructureKind::OrderTransform, a.props);
+}
+
+std::string summary_line(const PropertyReport& report, StructureKind kind) {
+  const bool ordered = kind == StructureKind::OrderSemigroup ||
+                       kind == StructureKind::OrderTransform;
+  std::ostringstream out;
+  auto show = [&](const char* label, Prop p) {
+    out << label << "=" << to_string(report.value(p)) << " ";
+  };
+  show("M", Prop::M_L);
+  show("N", Prop::N_L);
+  show("C", Prop::C_L);
+  show("ND", Prop::ND_L);
+  show("I", Prop::Inc_L);
+  if (ordered) show("T", Prop::TFix_L);
+  return out.str();
+}
+
+}  // namespace mrt

@@ -1,0 +1,24 @@
+// Rendering of property reports — the user-visible face of the inference
+// engine ("show props" in the metalanguage).
+#pragma once
+
+#include <string>
+
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+
+/// Renders one report as an aligned table (property / verdict / provenance).
+std::string render_report(const std::string& name, StructureKind kind,
+                          const PropertyReport& report);
+
+std::string describe(const Bisemigroup& a);
+std::string describe(const OrderSemigroup& a);
+std::string describe(const SemigroupTransform& a);
+std::string describe(const OrderTransform& a);
+
+/// One-line summary of the headline routing properties:
+/// "M=yes ND=yes I=no ..." — used in experiment tables.
+std::string summary_line(const PropertyReport& report, StructureKind kind);
+
+}  // namespace mrt

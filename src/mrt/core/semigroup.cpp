@@ -1,0 +1,32 @@
+#include "mrt/core/semigroup.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+ValueVec Semigroup::sample(Rng& rng, int n) const {
+  auto all = enumerate();
+  MRT_REQUIRE(all.has_value() && !all->empty());
+  ValueVec out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.pick(*all));
+  return out;
+}
+
+bool acts_as_identity(const Semigroup& s, const Value& v) {
+  auto all = s.enumerate();
+  MRT_REQUIRE(all.has_value());
+  for (const Value& x : *all) {
+    if (s.op(v, x) != x || s.op(x, v) != x) return false;
+  }
+  return true;
+}
+
+Value fold(const Semigroup& s, const ValueVec& xs) {
+  MRT_REQUIRE(!xs.empty());
+  Value acc = xs.front();
+  for (std::size_t i = 1; i < xs.size(); ++i) acc = s.op(acc, xs[i]);
+  return acc;
+}
+
+}  // namespace mrt

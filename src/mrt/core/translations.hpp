@@ -1,0 +1,40 @@
+// Translations between the four quadrants (paper section III):
+//
+//   Cayley:       (S,⊕,⊗) → (S,⊕,F)   and   (S,≲,⊗) → (S,≲,F)
+//                 with F = { λy. x ⊗ y | x ∈ S }
+//   NO^L / NO^R:  (S,⊕,·) → (S,≲^L,·) / (S,≲^R,·)  (natural orders)
+//   min-set:      (S,≲,F) → (S',⊕,F') over minimal sets
+//                 (the Wongseelashote reduction construction)
+#pragma once
+
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+
+/// Cayley map: bisemigroup → semigroup transform (left multiplications).
+SemigroupTransform cayley(const Bisemigroup& a);
+/// Cayley map: order semigroup → order transform (left multiplications).
+OrderTransform cayley(const OrderSemigroup& a);
+
+/// The left/right natural order of a semigroup:
+///   s1 ≲L s2 ⟺ s1 = s1 ⊕ s2        s1 ≲R s2 ⟺ s2 = s1 ⊕ s2
+/// Exposed directly so Theorem 3 can be tested at the component level.
+PreorderPtr natural_order(SemigroupPtr s, bool left_order);
+
+/// NO^L / NO^R on bisemigroups.
+OrderSemigroup natural_order_left(const Bisemigroup& a);
+OrderSemigroup natural_order_right(const Bisemigroup& a);
+
+/// NO^L / NO^R on semigroup transforms.
+OrderTransform natural_order_left(const SemigroupTransform& a);
+OrderTransform natural_order_right(const SemigroupTransform& a);
+
+/// Min-set translation: order transform → semigroup transform whose carrier
+/// is the min-closed subsets (as canonical tuples), with
+///   A ⊕ B = min_≲(A ∪ B)     f'(A) = min_≲{ f(a) | a ∈ A }.
+SemigroupTransform min_set_transform(const OrderTransform& a);
+
+/// The min-set summarization semigroup alone (used by multipath routing).
+SemigroupPtr min_set_semigroup(PreorderPtr ord);
+
+}  // namespace mrt

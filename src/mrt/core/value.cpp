@@ -1,0 +1,191 @@
+#include "mrt/core/value.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "mrt/support/require.hpp"
+#include "mrt/support/strings.hpp"
+
+namespace mrt {
+
+Value Value::integer(std::int64_t v) {
+  Value out;
+  out.kind_ = Kind::Int;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::real(double v) {
+  Value out;
+  out.kind_ = Kind::Real;
+  out.real_ = v;
+  return out;
+}
+
+Value Value::inf() {
+  Value out;
+  out.kind_ = Kind::Inf;
+  return out;
+}
+
+Value Value::omega() {
+  Value out;
+  out.kind_ = Kind::Omega;
+  return out;
+}
+
+Value Value::tuple(ValueVec elems) {
+  Value out;
+  out.kind_ = Kind::Tuple;
+  out.kids_ = std::make_shared<const ValueVec>(std::move(elems));
+  return out;
+}
+
+Value Value::pair(Value a, Value b) {
+  ValueVec v;
+  v.reserve(2);
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return tuple(std::move(v));
+}
+
+Value Value::tagged(int tag, Value v) {
+  Value out;
+  out.kind_ = Kind::Tagged;
+  out.tag_ = tag;
+  ValueVec kid;
+  kid.push_back(std::move(v));
+  out.kids_ = std::make_shared<const ValueVec>(std::move(kid));
+  return out;
+}
+
+std::int64_t Value::as_int() const {
+  MRT_REQUIRE(kind_ == Kind::Int);
+  return int_;
+}
+
+double Value::as_real() const {
+  MRT_REQUIRE(kind_ == Kind::Real);
+  return real_;
+}
+
+const ValueVec& Value::as_tuple() const {
+  MRT_REQUIRE(kind_ == Kind::Tuple);
+  return *kids_;
+}
+
+const Value& Value::first() const {
+  const ValueVec& t = as_tuple();
+  MRT_REQUIRE(t.size() == 2);
+  return t[0];
+}
+
+const Value& Value::second() const {
+  const ValueVec& t = as_tuple();
+  MRT_REQUIRE(t.size() == 2);
+  return t[1];
+}
+
+int Value::tag() const {
+  MRT_REQUIRE(kind_ == Kind::Tagged);
+  return tag_;
+}
+
+const Value& Value::untagged() const {
+  MRT_REQUIRE(kind_ == Kind::Tagged);
+  return (*kids_)[0];
+}
+
+int Value::compare(const Value& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::Unit:
+    case Kind::Inf:
+    case Kind::Omega:
+      return 0;
+    case Kind::Int:
+      if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+      return 0;
+    case Kind::Real:
+      if (real_ != other.real_) return real_ < other.real_ ? -1 : 1;
+      return 0;
+    case Kind::Tuple: {
+      const ValueVec& a = *kids_;
+      const ValueVec& b = *other.kids_;
+      const std::size_t n = std::min(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (int c = a[i].compare(b[i]); c != 0) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::Tagged: {
+      if (tag_ != other.tag_) return tag_ < other.tag_ ? -1 : 1;
+      return (*kids_)[0].compare((*other.kids_)[0]);
+    }
+  }
+  MRT_UNREACHABLE("bad Value kind");
+}
+
+std::size_t Value::hash() const {
+  auto mix = [](std::size_t h, std::size_t x) {
+    // boost::hash_combine-style mixing.
+    return h ^ (x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  std::size_t h = static_cast<std::size_t>(kind_) * 0x9ddfea08eb382d69ULL;
+  switch (kind_) {
+    case Kind::Unit:
+    case Kind::Inf:
+    case Kind::Omega:
+      return h;
+    case Kind::Int:
+      return mix(h, static_cast<std::size_t>(int_));
+    case Kind::Real:
+      return mix(h, std::bit_cast<std::size_t>(real_));
+    case Kind::Tuple: {
+      for (const Value& v : *kids_) h = mix(h, v.hash());
+      return mix(h, kids_->size());
+    }
+    case Kind::Tagged:
+      return mix(mix(h, static_cast<std::size_t>(tag_)), (*kids_)[0].hash());
+  }
+  MRT_UNREACHABLE("bad Value kind");
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::Unit:
+      return "()";
+    case Kind::Int:
+      return std::to_string(int_);
+    case Kind::Real:
+      return format_double(real_);
+    case Kind::Inf:
+      return "inf";
+    case Kind::Omega:
+      return "omega";
+    case Kind::Tuple: {
+      std::vector<std::string> parts;
+      parts.reserve(kids_->size());
+      for (const Value& v : *kids_) parts.push_back(v.to_string());
+      return "(" + join(parts, ", ") + ")";
+    }
+    case Kind::Tagged:
+      return "#" + std::to_string(tag_) + ":" + (*kids_)[0].to_string();
+  }
+  MRT_UNREACHABLE("bad Value kind");
+}
+
+ValueVec normalize_set(ValueVec xs) {
+  std::sort(xs.begin(), xs.end(),
+            [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](const Value& a, const Value& b) { return a == b; }),
+           xs.end());
+  return xs;
+}
+
+}  // namespace mrt

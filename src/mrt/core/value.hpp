@@ -1,0 +1,90 @@
+// Dynamic route-weight values.
+//
+// Every algebra in the dynamic (metalanguage) layer operates on `Value`: a
+// small structural datatype closed under the constructions the paper uses —
+// integers, reals, +infinity, the Szendrei absorber `omega`, tuples (for
+// direct and lexicographic products) and tagged values (for disjoint unions).
+//
+// Values are immutable, cheap to copy (tuple payloads are shared), totally
+// ordered by an arbitrary-but-canonical structural order (used for
+// deterministic tie-breaking and for set containers — *not* a route
+// preference), and hashable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mrt {
+
+class Value;
+using ValueVec = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Unit, Int, Real, Inf, Omega, Tuple, Tagged };
+
+  /// Default-constructs the unit value.
+  Value() : kind_(Kind::Unit) {}
+
+  // -- Factories ------------------------------------------------------------
+  static Value unit() { return Value(); }
+  static Value integer(std::int64_t v);
+  static Value real(double v);
+  /// Positive infinity (the "unreachable" weight of e.g. shortest paths).
+  static Value inf();
+  /// The Szendrei absorber: the collapsed error/absorbing element of a
+  /// lexicographic-omega product (paper section VI).
+  static Value omega();
+  static Value tuple(ValueVec elems);
+  static Value pair(Value a, Value b);
+  static Value tagged(int tag, Value v);
+
+  // -- Observers ------------------------------------------------------------
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_inf() const { return kind_ == Kind::Inf; }
+  bool is_omega() const { return kind_ == Kind::Omega; }
+  bool is_tuple() const { return kind_ == Kind::Tuple; }
+  bool is_tagged() const { return kind_ == Kind::Tagged; }
+
+  std::int64_t as_int() const;
+  double as_real() const;
+  const ValueVec& as_tuple() const;
+  /// First / second component of a 2-tuple.
+  const Value& first() const;
+  const Value& second() const;
+  int tag() const;
+  /// Payload of a tagged value.
+  const Value& untagged() const;
+
+  // -- Structural equality / canonical order / hash --------------------------
+  /// Three-way structural comparison: negative, zero, positive.
+  int compare(const Value& other) const;
+  bool operator==(const Value& other) const { return compare(other) == 0; }
+  bool operator!=(const Value& other) const { return compare(other) != 0; }
+  bool operator<(const Value& other) const { return compare(other) < 0; }
+
+  std::size_t hash() const;
+  std::string to_string() const;
+
+ private:
+  Kind kind_;
+  int tag_ = 0;
+  std::int64_t int_ = 0;
+  double real_ = 0.0;
+  // Tuple elements, or the single payload of a tagged value; shared so that
+  // copying product weights around route tables is O(1).
+  std::shared_ptr<const ValueVec> kids_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+/// Canonically sorts and removes exact duplicates (set normal form used by
+/// the min-set translation).
+ValueVec normalize_set(ValueVec xs);
+
+}  // namespace mrt

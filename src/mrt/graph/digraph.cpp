@@ -1,0 +1,78 @@
+#include "mrt/graph/digraph.hpp"
+
+#include <deque>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+Digraph::Digraph(int num_nodes) {
+  MRT_REQUIRE(num_nodes >= 0);
+  out_.resize(static_cast<std::size_t>(num_nodes));
+  in_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Digraph::check_node(int u) const {
+  MRT_REQUIRE(u >= 0 && u < num_nodes());
+}
+
+int Digraph::add_arc(int u, int v) {
+  check_node(u);
+  check_node(v);
+  const int id = num_arcs();
+  arcs_.push_back(Arc{u, v});
+  out_[static_cast<std::size_t>(u)].push_back(id);
+  in_[static_cast<std::size_t>(v)].push_back(id);
+  return id;
+}
+
+const Arc& Digraph::arc(int id) const {
+  MRT_REQUIRE(id >= 0 && id < num_arcs());
+  return arcs_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Digraph::out_arcs(int u) const {
+  check_node(u);
+  return out_[static_cast<std::size_t>(u)];
+}
+
+const std::vector<int>& Digraph::in_arcs(int u) const {
+  check_node(u);
+  return in_[static_cast<std::size_t>(u)];
+}
+
+bool Digraph::has_arc(int u, int v) const {
+  check_node(u);
+  check_node(v);
+  for (int id : out_[static_cast<std::size_t>(u)]) {
+    if (arcs_[static_cast<std::size_t>(id)].dst == v) return true;
+  }
+  return false;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(num_nodes());
+  for (const Arc& a : arcs_) r.add_arc(a.dst, a.src);
+  return r;
+}
+
+std::vector<bool> Digraph::reachable_from(int src) const {
+  check_node(src);
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes()), false);
+  std::deque<int> queue{src};
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int id : out_arcs(u)) {
+      const int v = arc(id).dst;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace mrt

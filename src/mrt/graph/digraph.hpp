@@ -1,0 +1,49 @@
+// Directed-graph substrate for the routing layer.
+//
+// Nodes are dense indices 0..n-1; arcs are stored once and indexed, with
+// per-node out- and in-adjacency (arc id lists). Arc payloads (labels,
+// weights) live in parallel arrays owned by the layers above.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrt {
+
+struct Arc {
+  int src = -1;
+  int dst = -1;
+};
+
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_arcs() const { return static_cast<int>(arcs_.size()); }
+
+  /// Adds the arc (u, v); returns its id. Parallel arcs are allowed.
+  int add_arc(int u, int v);
+
+  const Arc& arc(int id) const;
+  /// Ids of arcs leaving / entering `u`.
+  const std::vector<int>& out_arcs(int u) const;
+  const std::vector<int>& in_arcs(int u) const;
+
+  bool has_arc(int u, int v) const;
+
+  /// The graph with every arc reversed (arc ids preserved).
+  Digraph reversed() const;
+
+  /// Nodes reachable from `src` along arcs.
+  std::vector<bool> reachable_from(int src) const;
+
+ private:
+  void check_node(int u) const;
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+}  // namespace mrt

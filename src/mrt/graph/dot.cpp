@@ -1,0 +1,41 @@
+#include "mrt/graph/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrt {
+
+std::string to_dot(const Digraph& g, const DotOptions& opts) {
+  std::ostringstream out;
+  out << "digraph " << opts.graph_name << " {\n";
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v;
+    if (static_cast<std::size_t>(v) < opts.node_labels.size()) {
+      out << " [label=\"" << opts.node_labels[static_cast<std::size_t>(v)]
+          << "\"]";
+    }
+    out << ";\n";
+  }
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    const Arc& a = g.arc(id);
+    out << "  n" << a.src << " -> n" << a.dst;
+    const bool bold =
+        std::find(opts.highlight_arcs.begin(), opts.highlight_arcs.end(),
+                  id) != opts.highlight_arcs.end();
+    const bool labeled = static_cast<std::size_t>(id) < opts.arc_labels.size();
+    if (bold || labeled) {
+      out << " [";
+      if (labeled) {
+        out << "label=\"" << opts.arc_labels[static_cast<std::size_t>(id)]
+            << "\"";
+      }
+      if (bold) out << (labeled ? ", " : "") << "style=bold";
+      out << "]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mrt

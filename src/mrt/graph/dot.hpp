@@ -1,0 +1,21 @@
+// Graphviz export for topologies and routing solutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrt/graph/digraph.hpp"
+
+namespace mrt {
+
+struct DotOptions {
+  std::vector<std::string> node_labels;  ///< optional, indexed by node
+  std::vector<std::string> arc_labels;   ///< optional, indexed by arc id
+  std::vector<int> highlight_arcs;       ///< drawn bold (e.g. chosen next hops)
+  std::string graph_name = "G";
+};
+
+/// Renders the digraph in DOT syntax.
+std::string to_dot(const Digraph& g, const DotOptions& opts = {});
+
+}  // namespace mrt

@@ -1,0 +1,142 @@
+#include "mrt/graph/generators.hpp"
+
+#include <numeric>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+void add_both(Digraph& g, int u, int v) {
+  g.add_arc(u, v);
+  g.add_arc(v, u);
+}
+
+// Bidirectional random spanning tree over the given node ids.
+void random_tree(Rng& rng, Digraph& g, const std::vector<int>& nodes) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const int parent =
+        nodes[static_cast<std::size_t>(rng.below(i))];
+    add_both(g, nodes[i], parent);
+  }
+}
+
+}  // namespace
+
+Digraph line(int n) {
+  MRT_REQUIRE(n >= 1);
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) add_both(g, i, i + 1);
+  return g;
+}
+
+Digraph ring(int n) {
+  MRT_REQUIRE(n >= 3);
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) add_both(g, i, (i + 1) % n);
+  return g;
+}
+
+Digraph grid(int w, int h) {
+  MRT_REQUIRE(w >= 1 && h >= 1);
+  Digraph g(w * h);
+  auto id = [w](int x, int y) { return y * w + x; };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) add_both(g, id(x, y), id(x + 1, y));
+      if (y + 1 < h) add_both(g, id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Digraph complete(int n) {
+  MRT_REQUIRE(n >= 1);
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v) g.add_arc(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph gnp(Rng& rng, int n, double p, bool symmetric) {
+  MRT_REQUIRE(n >= 1 && p >= 0.0 && p <= 1.0);
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = symmetric ? u + 1 : 0; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.chance(p)) {
+        if (symmetric) {
+          add_both(g, u, v);
+        } else {
+          g.add_arc(u, v);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Digraph random_connected(Rng& rng, int n, int extra_arcs) {
+  MRT_REQUIRE(n >= 1 && extra_arcs >= 0);
+  Digraph g(n);
+  std::vector<int> nodes(static_cast<std::size_t>(n));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  random_tree(rng, g, nodes);
+  for (int k = 0; k < extra_arcs; ++k) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u != v && !g.has_arc(u, v)) add_both(g, u, v);
+  }
+  return g;
+}
+
+RegionTopology regions_topology(Rng& rng, int regions, int per_region,
+                                int extra_backbone_arcs) {
+  MRT_REQUIRE(regions >= 1 && per_region >= 1);
+  RegionTopology topo;
+  topo.g = Digraph(regions * per_region);
+  topo.region.resize(static_cast<std::size_t>(regions * per_region));
+
+  // Intra-region: a random tree plus one extra arc per region when possible.
+  for (int r = 0; r < regions; ++r) {
+    std::vector<int> members;
+    for (int i = 0; i < per_region; ++i) {
+      const int v = r * per_region + i;
+      topo.region[static_cast<std::size_t>(v)] = r;
+      members.push_back(v);
+    }
+    random_tree(rng, topo.g, members);
+    if (per_region >= 3) {
+      const int a = members[static_cast<std::size_t>(
+          rng.below(members.size()))];
+      const int b = members[static_cast<std::size_t>(
+          rng.below(members.size()))];
+      if (a != b && !topo.g.has_arc(a, b)) add_both(topo.g, a, b);
+    }
+  }
+
+  // Inter-region backbone: connect region r to region r-1 through random
+  // border nodes (a tree over regions), plus extra shortcut links.
+  auto border = [&](int r) {
+    return r * per_region + static_cast<int>(rng.below(
+               static_cast<std::uint64_t>(per_region)));
+  };
+  for (int r = 1; r < regions; ++r) {
+    add_both(topo.g, border(r), border(static_cast<int>(rng.below(
+                                    static_cast<std::uint64_t>(r)))));
+  }
+  for (int k = 0; k < extra_backbone_arcs; ++k) {
+    const int r1 = static_cast<int>(rng.below(static_cast<std::uint64_t>(regions)));
+    const int r2 = static_cast<int>(rng.below(static_cast<std::uint64_t>(regions)));
+    if (r1 == r2) continue;
+    const int a = border(r1);
+    const int b = border(r2);
+    if (!topo.g.has_arc(a, b)) add_both(topo.g, a, b);
+  }
+  return topo;
+}
+
+}  // namespace mrt

@@ -1,0 +1,44 @@
+// Topology generators: deterministic shapes plus seeded random families,
+// including the two-level region topology used to exercise the scoped
+// product (BGP-like autonomous systems / OSPF-like areas).
+#pragma once
+
+#include "mrt/graph/digraph.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+/// 0 → 1 → … → n-1 plus reverse arcs (a bidirectional path).
+Digraph line(int n);
+/// A bidirectional cycle on n nodes.
+Digraph ring(int n);
+/// A w×h grid with bidirectional arcs.
+Digraph grid(int w, int h);
+/// Complete digraph (all ordered pairs).
+Digraph complete(int n);
+
+/// Directed G(n, p). `symmetric` adds each arc in both directions.
+Digraph gnp(Rng& rng, int n, double p, bool symmetric);
+
+/// A random strongly connected graph: bidirectional random spanning tree
+/// plus `extra_arcs` random arcs.
+Digraph random_connected(Rng& rng, int n, int extra_arcs);
+
+/// A two-level "internet": `regions` clusters of `per_region` nodes, each
+/// cluster internally connected, plus a connected inter-region backbone of
+/// border nodes. `region[v]` maps nodes to clusters; an arc is inter-region
+/// iff its endpoints' regions differ.
+struct RegionTopology {
+  Digraph g{0};
+  std::vector<int> region;
+  bool inter_region(int arc_id) const {
+    const Arc& a = g.arc(arc_id);
+    return region[static_cast<std::size_t>(a.src)] !=
+           region[static_cast<std::size_t>(a.dst)];
+  }
+};
+
+RegionTopology regions_topology(Rng& rng, int regions, int per_region,
+                                int extra_backbone_arcs = 2);
+
+}  // namespace mrt

@@ -1,0 +1,63 @@
+#include "mrt/lang/ast.hpp"
+
+#include "mrt/support/strings.hpp"
+
+namespace mrt::lang {
+
+std::string Expr::show() const {
+  switch (kind) {
+    case Kind::Name:
+      return name;
+    case Kind::IntLit:
+      return std::to_string(int_value);
+    case Kind::RealLit:
+      return format_double(real_value);
+    case Kind::Call: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const ExprPtr& a : args) parts.push_back(a->show());
+      return name + "(" + join(parts, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr make_name(std::string name, int line, int column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Name;
+  e->name = std::move(name);
+  e->line = line;
+  e->column = column;
+  return e;
+}
+
+ExprPtr make_int(std::int64_t v, int line, int column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::IntLit;
+  e->int_value = v;
+  e->line = line;
+  e->column = column;
+  return e;
+}
+
+ExprPtr make_real(double v, int line, int column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::RealLit;
+  e->real_value = v;
+  e->line = line;
+  e->column = column;
+  return e;
+}
+
+ExprPtr make_call(std::string head, std::vector<ExprPtr> args, int line,
+                  int column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Call;
+  e->name = std::move(head);
+  e->args = std::move(args);
+  e->line = line;
+  e->column = column;
+  return e;
+}
+
+}  // namespace mrt::lang

@@ -1,0 +1,57 @@
+// Abstract syntax of the metarouting language.
+//
+//   program := stmt*
+//   stmt    := 'let' IDENT '=' expr
+//            | 'show' expr
+//            | 'check' expr
+//            | 'solve' expr 'on' topology 'to' INT 'from' value
+//   expr    := IDENT | NUMBER | IDENT '(' expr (',' expr)* ')'
+//   (topologies and values reuse the expr grammar: ring(6), random(8,4,7),
+//    pair(0, inf), inf, 3, …)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mrt::lang {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind : unsigned char { Name, IntLit, RealLit, Call };
+  Kind kind = Kind::Name;
+  std::string name;            // Name / Call head
+  std::int64_t int_value = 0;  // IntLit
+  double real_value = 0.0;     // RealLit
+  std::vector<ExprPtr> args;   // Call
+  int line = 1;
+  int column = 1;
+
+  /// Re-renders the expression (used in reports and error messages).
+  std::string show() const;
+};
+
+struct Stmt {
+  enum class Kind : unsigned char { Let, Show, Check, Solve };
+  Kind kind = Kind::Let;
+  std::string name;  // Let target
+  ExprPtr expr;
+  // Solve only:
+  ExprPtr topology;      // ring(6) | line(n) | grid(w,h) | complete(n)
+                         // | random(n, extra [, seed])
+  std::int64_t dest = 0; // destination node
+  ExprPtr origin;        // value expression: INT | REAL | inf | pair(v, v)
+  int line = 1;
+};
+
+using Program = std::vector<Stmt>;
+
+ExprPtr make_name(std::string name, int line, int column);
+ExprPtr make_int(std::int64_t v, int line, int column);
+ExprPtr make_real(double v, int line, int column);
+ExprPtr make_call(std::string head, std::vector<ExprPtr> args, int line,
+                  int column);
+
+}  // namespace mrt::lang

@@ -1,0 +1,309 @@
+#include "mrt/lang/elaborate.hpp"
+
+#include <algorithm>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/translations.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt::lang {
+namespace {
+
+Error err(const Expr& e, std::string msg) {
+  return Error{std::move(msg), e.line, e.column};
+}
+
+struct Arg {
+  AlgebraValue value;
+};
+
+// ---------------------------------------------------------------------------
+// Argument plumbing
+// ---------------------------------------------------------------------------
+
+bool is_number(const ExprPtr& e) {
+  return e->kind == Expr::Kind::IntLit || e->kind == Expr::Kind::RealLit;
+}
+
+Expected<std::int64_t> want_int(const ExprPtr& e) {
+  if (e->kind != Expr::Kind::IntLit) {
+    return err(*e, "expected an integer literal, found " + e->show());
+  }
+  return e->int_value;
+}
+
+}  // namespace
+
+StructureKind kind_of(const AlgebraValue& v) {
+  return std::visit([](const auto& a) { return a.kind; }, v);
+}
+
+const std::string& name_of(const AlgebraValue& v) {
+  return std::visit([](const auto& a) -> const std::string& { return a.name; },
+                    v);
+}
+
+const PropertyReport& props_of(const AlgebraValue& v) {
+  return std::visit(
+      [](const auto& a) -> const PropertyReport& { return a.props; }, v);
+}
+
+PropertyReport& props_of(AlgebraValue& v) {
+  return std::visit([](auto& a) -> PropertyReport& { return a.props; }, v);
+}
+
+std::vector<std::string> builtin_names() {
+  return {"shortest_path", "sp",       "widest_path", "bw",
+          "reliability",   "rel",      "hops",        "chain",
+          "gadget",        "sp_os",    "bw_os",       "rel_os",
+          "sp_bs",         "bw_bs",    "count_bs",    "sp_st",
+          "lex",           "lex_omega","scoped",      "delta",
+          "prod",          "add_top",
+          "left",          "right",    "union",       "cayley",
+          "no_l",          "no_r",     "minset"};
+}
+
+Expected<AlgebraValue> elaborate(const ExprPtr& expr, const Env& env) {
+  switch (expr->kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::RealLit:
+      return err(*expr, "a number is not an algebra");
+
+    case Expr::Kind::Name: {
+      if (auto it = env.find(expr->name); it != env.end()) return it->second;
+      // Zero-argument builtins may be written without parentheses.
+      return elaborate(make_call(expr->name, {}, expr->line, expr->column),
+                       env);
+    }
+
+    case Expr::Kind::Call:
+      break;
+  }
+
+  const std::string& head = expr->name;
+  const auto& raw_args = expr->args;
+
+  auto arity_error = [&](const char* wanted) -> Error {
+    return err(*expr, head + " expects " + wanted + ", got " +
+                          std::to_string(raw_args.size()) + " argument(s)");
+  };
+
+  // --- Base algebras -------------------------------------------------------
+  auto int_arg_or = [&](std::size_t i, std::int64_t dflt)
+      -> Expected<std::int64_t> {
+    if (raw_args.size() <= i) return dflt;
+    return want_int(raw_args[i]);
+  };
+
+  if (head == "shortest_path" || head == "sp") {
+    auto maxc = int_arg_or(0, 9);
+    if (!maxc) return maxc.error();
+    if (*maxc < 1) return err(*expr, "shortest_path: max cost must be >= 1");
+    return AlgebraValue{ot_shortest_path(*maxc)};
+  }
+  if (head == "widest_path" || head == "bw") {
+    auto maxc = int_arg_or(0, 9);
+    if (!maxc) return maxc.error();
+    if (*maxc < 0) return err(*expr, "widest_path: max capacity must be >= 0");
+    return AlgebraValue{ot_widest_path(*maxc)};
+  }
+  if (head == "reliability" || head == "rel") {
+    return AlgebraValue{ot_reliability()};
+  }
+  if (head == "hops") return AlgebraValue{ot_hop_count()};
+  if (head == "chain") {
+    if (raw_args.empty() || raw_args.size() > 3) {
+      return arity_error("chain(n [, lo, hi])");
+    }
+    auto n = want_int(raw_args[0]);
+    if (!n) return n.error();
+    if (*n < 1) return err(*expr, "chain: n must be >= 1");
+    auto lo = int_arg_or(1, 1);
+    if (!lo) return lo.error();
+    auto hi = int_arg_or(2, std::min<std::int64_t>(*n, 2));
+    if (!hi) return hi.error();
+    if (!(0 <= *lo && *lo <= *hi && *hi <= *n)) {
+      return err(*expr, "chain: need 0 <= lo <= hi <= n");
+    }
+    return AlgebraValue{ot_chain_add(static_cast<int>(*n),
+                                     static_cast<int>(*lo),
+                                     static_cast<int>(*hi))};
+  }
+  if (head == "gadget") return AlgebraValue{gadget_algebra()};
+  if (head == "sp_os") return AlgebraValue{os_shortest_path()};
+  if (head == "bw_os") return AlgebraValue{os_widest_path()};
+  if (head == "rel_os") return AlgebraValue{os_reliability()};
+  if (head == "sp_bs") return AlgebraValue{bs_shortest_path()};
+  if (head == "bw_bs") return AlgebraValue{bs_widest_path()};
+  if (head == "count_bs") return AlgebraValue{bs_path_count()};
+  if (head == "sp_st") {
+    auto maxc = int_arg_or(0, 9);
+    if (!maxc) return maxc.error();
+    return AlgebraValue{st_shortest_path(*maxc)};
+  }
+
+  // --- Combinators: evaluate operands first --------------------------------
+  auto is_builtin = [&](const std::string& n) {
+    auto names = builtin_names();
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  if (!is_builtin(head)) {
+    return err(*expr, "unknown algebra or operator '" + head + "'");
+  }
+
+  std::vector<AlgebraValue> ops;
+  for (const ExprPtr& a : raw_args) {
+    if (is_number(a)) {
+      return err(*a, head + ": expected an algebra, found a number");
+    }
+    auto v = elaborate(a, env);
+    if (!v) return v.error();
+    ops.push_back(std::move(v.value()));
+  }
+
+  auto want_ot = [&](std::size_t i) -> Expected<OrderTransform> {
+    if (kind_of(ops[i]) != StructureKind::OrderTransform) {
+      return err(*raw_args[i],
+                 head + ": operand must be an order transform, but '" +
+                     name_of(ops[i]) + "' is a " +
+                     to_string(kind_of(ops[i])));
+    }
+    return std::get<OrderTransform>(ops[i]);
+  };
+
+  if (head == "lex") {
+    if (ops.size() < 2) return arity_error("at least 2 algebras");
+    const StructureKind k = kind_of(ops[0]);
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      if (kind_of(ops[i]) != k) {
+        return err(*raw_args[i],
+                   "lex: all operands must come from the same quadrant ('" +
+                       name_of(ops[0]) + "' is a " + to_string(k) + ", '" +
+                       name_of(ops[i]) + "' is a " +
+                       to_string(kind_of(ops[i])) + ")");
+      }
+    }
+    AlgebraValue acc = ops[0];
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      switch (k) {
+        case StructureKind::Bisemigroup:
+          acc = lex(std::get<Bisemigroup>(acc), std::get<Bisemigroup>(ops[i]));
+          break;
+        case StructureKind::OrderSemigroup:
+          acc = lex(std::get<OrderSemigroup>(acc),
+                    std::get<OrderSemigroup>(ops[i]));
+          break;
+        case StructureKind::SemigroupTransform:
+          acc = lex(std::get<SemigroupTransform>(acc),
+                    std::get<SemigroupTransform>(ops[i]));
+          break;
+        case StructureKind::OrderTransform:
+          acc = lex(std::get<OrderTransform>(acc),
+                    std::get<OrderTransform>(ops[i]));
+          break;
+        default:
+          return err(*expr, "lex: unsupported quadrant");
+      }
+    }
+    return acc;
+  }
+
+  if (head == "lex_omega") {
+    if (ops.size() != 2) return arity_error("2 algebras");
+    if (kind_of(ops[0]) == StructureKind::OrderTransform &&
+        kind_of(ops[1]) == StructureKind::OrderTransform) {
+      const auto& s = std::get<OrderTransform>(ops[0]);
+      if (!s.ord->has_top()) {
+        return err(*raw_args[0],
+                   "lex_omega: first operand needs a top element to collapse");
+      }
+      return AlgebraValue{lex_omega(s, std::get<OrderTransform>(ops[1]))};
+    }
+    if (kind_of(ops[0]) == StructureKind::SemigroupTransform &&
+        kind_of(ops[1]) == StructureKind::SemigroupTransform) {
+      const auto& s = std::get<SemigroupTransform>(ops[0]);
+      if (!s.add->absorber()) {
+        return err(*raw_args[0],
+                   "lex_omega: first operand needs an absorber to collapse");
+      }
+      return AlgebraValue{lex_omega(s, std::get<SemigroupTransform>(ops[1]))};
+    }
+    return err(*expr, "lex_omega: operands must both be order transforms or "
+                      "both semigroup transforms");
+  }
+
+  if (head == "scoped" || head == "delta" || head == "prod") {
+    if (ops.size() != 2) return arity_error("2 order transforms");
+    auto s = want_ot(0);
+    if (!s) return s.error();
+    auto t = want_ot(1);
+    if (!t) return t.error();
+    if (head == "scoped") return AlgebraValue{scoped(*s, *t)};
+    if (head == "delta") return AlgebraValue{delta(*s, *t)};
+    return AlgebraValue{direct(*s, *t)};
+  }
+
+  if (head == "left" || head == "right" || head == "add_top") {
+    if (ops.size() != 1) return arity_error("1 order transform");
+    auto s = want_ot(0);
+    if (!s) return s.error();
+    if (head == "left") return AlgebraValue{left(*s)};
+    if (head == "right") return AlgebraValue{right(*s)};
+    return AlgebraValue{add_top(*s)};
+  }
+
+  if (head == "union") {
+    if (ops.size() != 2) return arity_error("2 order transforms");
+    auto s = want_ot(0);
+    if (!s) return s.error();
+    auto t = want_ot(1);
+    if (!t) return t.error();
+    if (s->ord != t->ord) {
+      return err(*expr,
+                 "union: operands must share one order component (apply "
+                 "left/right/union to the same named algebra)");
+    }
+    return AlgebraValue{fn_union(*s, *t)};
+  }
+
+  if (head == "cayley") {
+    if (ops.size() != 1) return arity_error("1 algebra");
+    if (kind_of(ops[0]) == StructureKind::Bisemigroup) {
+      return AlgebraValue{cayley(std::get<Bisemigroup>(ops[0]))};
+    }
+    if (kind_of(ops[0]) == StructureKind::OrderSemigroup) {
+      return AlgebraValue{cayley(std::get<OrderSemigroup>(ops[0]))};
+    }
+    return err(*raw_args[0],
+               "cayley: operand must be a bisemigroup or an order semigroup");
+  }
+
+  if (head == "no_l" || head == "no_r") {
+    if (ops.size() != 1) return arity_error("1 algebra");
+    const bool left_order = head == "no_l";
+    if (kind_of(ops[0]) == StructureKind::Bisemigroup) {
+      const auto& a = std::get<Bisemigroup>(ops[0]);
+      return AlgebraValue{left_order ? natural_order_left(a)
+                                     : natural_order_right(a)};
+    }
+    if (kind_of(ops[0]) == StructureKind::SemigroupTransform) {
+      const auto& a = std::get<SemigroupTransform>(ops[0]);
+      return AlgebraValue{left_order ? natural_order_left(a)
+                                     : natural_order_right(a)};
+    }
+    return err(*raw_args[0],
+               head + ": operand must be a bisemigroup or semigroup transform");
+  }
+
+  if (head == "minset") {
+    if (ops.size() != 1) return arity_error("1 order transform");
+    auto s = want_ot(0);
+    if (!s) return s.error();
+    return AlgebraValue{min_set_transform(*s)};
+  }
+
+  return err(*expr, "unknown algebra or operator '" + head + "'");
+}
+
+}  // namespace mrt::lang

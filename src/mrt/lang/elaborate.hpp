@@ -1,0 +1,35 @@
+// Elaboration: typed evaluation of metarouting-language expressions into
+// quadrant structures, with property inference happening inside the
+// combinators — the paper's "routing language whose types are algebraic
+// properties".
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "mrt/core/quadrants.hpp"
+#include "mrt/lang/ast.hpp"
+#include "mrt/support/expected.hpp"
+
+namespace mrt::lang {
+
+/// A value of the language: one structure from some quadrant.
+using AlgebraValue = std::variant<Bisemigroup, OrderSemigroup,
+                                  SemigroupTransform, OrderTransform>;
+
+StructureKind kind_of(const AlgebraValue& v);
+const std::string& name_of(const AlgebraValue& v);
+const PropertyReport& props_of(const AlgebraValue& v);
+PropertyReport& props_of(AlgebraValue& v);
+
+using Env = std::map<std::string, AlgebraValue>;
+
+/// Evaluates `expr` under `env`. Reports unknown names, arity and quadrant
+/// type errors with source positions.
+Expected<AlgebraValue> elaborate(const ExprPtr& expr, const Env& env);
+
+/// Names of all builtins (for diagnostics and the tour example).
+std::vector<std::string> builtin_names();
+
+}  // namespace mrt::lang

@@ -1,0 +1,198 @@
+#include "mrt/lang/interp.hpp"
+
+#include <sstream>
+
+#include "mrt/core/report.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/lang/parser.hpp"
+#include "mrt/routing/dijkstra.hpp"
+#include "mrt/routing/minset.hpp"
+#include "mrt/support/table.hpp"
+
+namespace mrt::lang {
+namespace {
+
+Error err(const Expr& e, std::string msg) {
+  return Error{std::move(msg), e.line, e.column};
+}
+
+// Value literals: INT | REAL | inf | omega | pair(v, v) | tuple(v, …).
+Expected<Value> evaluate_value(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+      return Value::integer(e->int_value);
+    case Expr::Kind::RealLit:
+      return Value::real(e->real_value);
+    case Expr::Kind::Name:
+      if (e->name == "inf") return Value::inf();
+      if (e->name == "omega") return Value::omega();
+      return err(*e, "unknown value '" + e->name + "'");
+    case Expr::Kind::Call: {
+      if (e->name != "pair" && e->name != "tuple") {
+        return err(*e, "unknown value constructor '" + e->name + "'");
+      }
+      if (e->name == "pair" && e->args.size() != 2) {
+        return err(*e, "pair takes exactly 2 values");
+      }
+      ValueVec elems;
+      for (const ExprPtr& a : e->args) {
+        auto v = evaluate_value(a);
+        if (!v) return v.error();
+        elems.push_back(std::move(v.value()));
+      }
+      return Value::tuple(std::move(elems));
+    }
+  }
+  return err(*e, "not a value");
+}
+
+Expected<Digraph> build_topology(const ExprPtr& e, std::uint64_t& seed_out) {
+  if (e->kind != Expr::Kind::Call) {
+    return err(*e, "expected a topology like ring(6) or random(8, 4, 7)");
+  }
+  std::vector<std::int64_t> args;
+  for (const ExprPtr& a : e->args) {
+    if (a->kind != Expr::Kind::IntLit) {
+      return err(*a, "topology arguments must be integers");
+    }
+    args.push_back(a->int_value);
+  }
+  auto want = [&](std::size_t lo, std::size_t hi) {
+    return args.size() >= lo && args.size() <= hi;
+  };
+  seed_out = 1;
+  if (e->name == "ring" && want(1, 2)) {
+    if (args.size() == 2) seed_out = static_cast<std::uint64_t>(args[1]);
+    return ring(static_cast<int>(args[0]));
+  }
+  if (e->name == "line" && want(1, 2)) {
+    if (args.size() == 2) seed_out = static_cast<std::uint64_t>(args[1]);
+    return line(static_cast<int>(args[0]));
+  }
+  if (e->name == "grid" && want(2, 3)) {
+    if (args.size() == 3) seed_out = static_cast<std::uint64_t>(args[2]);
+    return grid(static_cast<int>(args[0]), static_cast<int>(args[1]));
+  }
+  if (e->name == "complete" && want(1, 2)) {
+    if (args.size() == 2) seed_out = static_cast<std::uint64_t>(args[1]);
+    return complete(static_cast<int>(args[0]));
+  }
+  if (e->name == "random" && want(2, 3)) {
+    if (args.size() == 3) seed_out = static_cast<std::uint64_t>(args[2]);
+    Rng rng(seed_out);
+    return random_connected(rng, static_cast<int>(args[0]),
+                            static_cast<int>(args[1]));
+  }
+  return err(*e, "unknown topology '" + e->name +
+                     "' (ring/line/grid/complete/random)");
+}
+
+}  // namespace
+
+Interp::Interp(CheckLimits check_limits) : checker_(check_limits) {}
+
+Expected<std::string> Interp::run(std::string_view source) {
+  auto program = parse(source);
+  if (!program) return program.error();
+
+  std::ostringstream out;
+  for (const Stmt& stmt : *program) {
+    auto value = elaborate(stmt.expr, env_);
+    if (!value) return value.error();
+    AlgebraValue v = std::move(value.value());
+
+    switch (stmt.kind) {
+      case Stmt::Kind::Let:
+        out << stmt.name << " = " << name_of(v) << " : "
+            << to_string(kind_of(v)) << "\n";
+        env_.insert_or_assign(stmt.name, std::move(v));
+        break;
+      case Stmt::Kind::Show:
+        out << render_report(name_of(v), kind_of(v), props_of(v)) << "\n";
+        break;
+      case Stmt::Kind::Solve: {
+        if (kind_of(v) != StructureKind::OrderTransform) {
+          return Error{"solve: the algebra must be an order transform, got " +
+                           to_string(kind_of(v)),
+                       stmt.line, 1};
+        }
+        const OrderTransform& alg = std::get<OrderTransform>(v);
+        std::uint64_t seed = 1;
+        auto topo = build_topology(stmt.topology, seed);
+        if (!topo) return topo.error();
+        if (stmt.dest < 0 || stmt.dest >= topo->num_nodes()) {
+          return Error{"solve: destination out of range", stmt.line, 1};
+        }
+        auto origin = evaluate_value(stmt.origin);
+        if (!origin) return origin.error();
+        if (!alg.ord->contains(*origin)) {
+          return err(*stmt.origin, "origin value " + origin->to_string() +
+                                       " is not in the carrier of " +
+                                       alg.name);
+        }
+        Rng rng(seed);
+        LabeledGraph net = label_randomly(alg, std::move(topo.value()), rng);
+
+        // The "proof component": say what the derived properties license.
+        out << "solving " << alg.name << " to node " << stmt.dest << "\n";
+        if (alg.props.value(Prop::M_L) != Tri::True) {
+          out << "  warning: M not established (" 
+              << to_string(alg.props.value(Prop::M_L))
+              << ") - computed routes may not be globally optimal\n";
+        }
+        if (alg.props.value(Prop::ND_L) != Tri::True) {
+          out << "  warning: ND not established ("
+              << to_string(alg.props.value(Prop::ND_L))
+              << ") - greedy/iterative solving may be unsound\n";
+        }
+        const int dest = static_cast<int>(stmt.dest);
+        if (alg.props.value(Prop::Total) == Tri::True) {
+          const Routing r = dijkstra(alg, net, dest, *origin);
+          Table t({"node", "weight", "next hop"});
+          for (int node = 0; node < net.num_nodes(); ++node) {
+            const bool has = r.has_route(node);
+            t.add_row({std::to_string(node),
+                       has ? r.weight[(std::size_t)node]->to_string()
+                           : "(no route)",
+                       has && r.next_arc[(std::size_t)node] >= 0
+                           ? std::to_string(
+                                 net.graph()
+                                     .arc(r.next_arc[(std::size_t)node])
+                                     .dst)
+                           : "-"});
+          }
+          out << t.render();
+        } else {
+          out << "  order is not total: computing Pareto frontiers\n";
+          const MinSetResult ms = minset_bellman(alg, net, dest, *origin);
+          Table t({"node", "frontier"});
+          for (int node = 0; node < net.num_nodes(); ++node) {
+            std::string cell;
+            for (const Value& w : ms.weights[(std::size_t)node]) {
+              cell += w.to_string() + " ";
+            }
+            t.add_row({std::to_string(node),
+                       cell.empty() ? "(no route)" : cell});
+          }
+          out << t.render();
+        }
+        break;
+      }
+      case Stmt::Kind::Check: {
+        // Fill every Unknown slot with the checker's verdict, then render.
+        std::visit([&](auto& a) { checker_.refine(a, a.props); }, v);
+        out << render_report(name_of(v), kind_of(v), props_of(v)) << "\n";
+        // If the checked expression is a bare name, persist the refinement.
+        if (stmt.expr->kind == Expr::Kind::Name) {
+          if (auto it = env_.find(stmt.expr->name); it != env_.end()) {
+            it->second = std::move(v);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mrt::lang

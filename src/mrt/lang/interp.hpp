@@ -1,0 +1,26 @@
+// The metarouting-language interpreter: runs programs of let/show/check/solve
+// statements, keeping named algebra bindings and rendering property reports.
+#pragma once
+
+#include "mrt/core/checker.hpp"
+#include "mrt/lang/elaborate.hpp"
+
+namespace mrt::lang {
+
+class Interp {
+ public:
+  explicit Interp(CheckLimits check_limits = {});
+
+  /// Runs a whole program; returns its accumulated printed output, or the
+  /// first error (with position).
+  Expected<std::string> run(std::string_view source);
+
+  /// Access to bindings (for embedding: examples fetch elaborated algebras).
+  const Env& env() const { return env_; }
+
+ private:
+  Env env_;
+  Checker checker_;
+};
+
+}  // namespace mrt::lang

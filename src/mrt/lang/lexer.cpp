@@ -1,0 +1,116 @@
+#include "mrt/lang/lexer.hpp"
+
+#include <cctype>
+
+namespace mrt::lang {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_rest(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+Expected<std::vector<Token>> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+
+  auto push = [&](TokKind k, int at_col) {
+    Token t;
+    t.kind = k;
+    t.line = line;
+    t.column = at_col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    const int at_col = col;
+    if (c == '\n') {
+      // Collapse blank lines: emit Semi only after a real token.
+      if (!out.empty() && out.back().kind != TokKind::Semi) push(TokKind::Semi, at_col);
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ';') { push(TokKind::Semi, at_col); ++i; ++col; continue; }
+    if (c == '(') { push(TokKind::LParen, at_col); ++i; ++col; continue; }
+    if (c == ')') { push(TokKind::RParen, at_col); ++i; ++col; continue; }
+    if (c == ',') { push(TokKind::Comma, at_col); ++i; ++col; continue; }
+    if (c == '=') { push(TokKind::Equals, at_col); ++i; ++col; continue; }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      bool is_real = false;
+      if (j < src.size() && src[j] == '.' && j + 1 < src.size() &&
+          std::isdigit(static_cast<unsigned char>(src[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      Token t;
+      t.line = line;
+      t.column = at_col;
+      const std::string text(src.substr(i, j - i));
+      if (is_real) {
+        t.kind = TokKind::Real;
+        t.real_value = std::stod(text);
+      } else {
+        t.kind = TokKind::Int;
+        t.int_value = std::stoll(text);
+      }
+      out.push_back(std::move(t));
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_rest(src[j])) ++j;
+      Token t;
+      t.line = line;
+      t.column = at_col;
+      t.text = std::string(src.substr(i, j - i));
+      if (t.text == "let") {
+        t.kind = TokKind::KwLet;
+      } else if (t.text == "show") {
+        t.kind = TokKind::KwShow;
+      } else if (t.text == "check") {
+        t.kind = TokKind::KwCheck;
+      } else {
+        t.kind = TokKind::Ident;
+      }
+      out.push_back(std::move(t));
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+
+    return Error{std::string("unexpected character '") + c + "'", line,
+                 at_col};
+  }
+  if (!out.empty() && out.back().kind != TokKind::Semi) {
+    push(TokKind::Semi, col);
+  }
+  push(TokKind::End, col);
+  return out;
+}
+
+}  // namespace mrt::lang

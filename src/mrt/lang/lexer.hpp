@@ -1,0 +1,14 @@
+// Lexer for the metarouting language. Newlines terminate statements (as do
+// semicolons); `//` and `#` start line comments.
+#pragma once
+
+#include <vector>
+
+#include "mrt/lang/token.hpp"
+#include "mrt/support/expected.hpp"
+
+namespace mrt::lang {
+
+Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace mrt::lang

@@ -1,0 +1,143 @@
+#include "mrt/lang/parser.hpp"
+
+#include <optional>
+
+#include "mrt/lang/lexer.hpp"
+
+namespace mrt::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Expected<Program> program() {
+    Program out;
+    skip_semis();
+    while (!at(TokKind::End)) {
+      auto stmt = statement();
+      if (!stmt) return stmt.error();
+      out.push_back(std::move(stmt.value()));
+      if (!at(TokKind::End)) {
+        if (!at(TokKind::Semi)) return unexpected("end of statement");
+        skip_semis();
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& peek() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return peek().kind == k; }
+  Token take() { return toks_[pos_++]; }
+  void skip_semis() {
+    while (at(TokKind::Semi)) ++pos_;
+  }
+
+  Error unexpected(const std::string& wanted) const {
+    return Error{"expected " + wanted + ", found " + peek().describe(),
+                 peek().line, peek().column};
+  }
+
+  Expected<Stmt> statement() {
+    Stmt s;
+    s.line = peek().line;
+    if (at(TokKind::KwLet)) {
+      take();
+      if (!at(TokKind::Ident)) return unexpected("a name after 'let'");
+      s.kind = Stmt::Kind::Let;
+      s.name = take().text;
+      if (!at(TokKind::Equals)) return unexpected("'='");
+      take();
+    } else if (at(TokKind::KwShow)) {
+      take();
+      s.kind = Stmt::Kind::Show;
+    } else if (at(TokKind::KwCheck)) {
+      take();
+      s.kind = Stmt::Kind::Check;
+    } else if (at(TokKind::Ident) && peek().text == "solve") {
+      take();
+      s.kind = Stmt::Kind::Solve;
+      auto alg = expression();
+      if (!alg) return alg.error();
+      s.expr = std::move(alg.value());
+      auto soft = [&](const char* kw) -> std::optional<Error> {
+        if (!at(TokKind::Ident) || peek().text != kw) {
+          return unexpected(std::string("'") + kw + "'");
+        }
+        take();
+        return std::nullopt;
+      };
+      if (auto e = soft("on")) return *e;
+      auto topo = expression();
+      if (!topo) return topo.error();
+      s.topology = std::move(topo.value());
+      if (auto e = soft("to")) return *e;
+      if (!at(TokKind::Int)) return unexpected("a destination node id");
+      s.dest = take().int_value;
+      if (auto e = soft("from")) return *e;
+      auto origin = expression();
+      if (!origin) return origin.error();
+      s.origin = std::move(origin.value());
+      return s;
+    } else {
+      return unexpected("'let', 'show', 'check' or 'solve'");
+    }
+    auto e = expression();
+    if (!e) return e.error();
+    s.expr = std::move(e.value());
+    return s;
+  }
+
+  Expected<ExprPtr> expression() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::Int: {
+        Token tok = take();
+        return make_int(tok.int_value, tok.line, tok.column);
+      }
+      case TokKind::Real: {
+        Token tok = take();
+        return make_real(tok.real_value, tok.line, tok.column);
+      }
+      case TokKind::Ident: {
+        Token head = take();
+        if (!at(TokKind::LParen)) {
+          return make_name(head.text, head.line, head.column);
+        }
+        take();  // (
+        std::vector<ExprPtr> args;
+        if (!at(TokKind::RParen)) {
+          for (;;) {
+            auto a = expression();
+            if (!a) return a.error();
+            args.push_back(std::move(a.value()));
+            if (at(TokKind::Comma)) {
+              take();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!at(TokKind::RParen)) return unexpected("')' or ','");
+        take();
+        return make_call(head.text, std::move(args), head.line, head.column);
+      }
+      default:
+        return unexpected("an expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Program> parse(std::string_view source) {
+  auto toks = tokenize(source);
+  if (!toks) return toks.error();
+  return Parser(std::move(toks.value())).program();
+}
+
+}  // namespace mrt::lang

@@ -1,0 +1,11 @@
+// Recursive-descent parser for the metarouting language.
+#pragma once
+
+#include "mrt/lang/ast.hpp"
+#include "mrt/support/expected.hpp"
+
+namespace mrt::lang {
+
+Expected<Program> parse(std::string_view source);
+
+}  // namespace mrt::lang

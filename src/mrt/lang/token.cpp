@@ -1,0 +1,29 @@
+#include "mrt/lang/token.hpp"
+
+namespace mrt::lang {
+
+std::string to_string(TokKind k) {
+  switch (k) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Int: return "integer";
+    case TokKind::Real: return "number";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Comma: return "','";
+    case TokKind::Equals: return "'='";
+    case TokKind::Semi: return "end of statement";
+    case TokKind::KwLet: return "'let'";
+    case TokKind::KwShow: return "'show'";
+    case TokKind::KwCheck: return "'check'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::describe() const {
+  if (kind == TokKind::Ident) return "identifier '" + text + "'";
+  if (kind == TokKind::Int) return "integer " + std::to_string(int_value);
+  return to_string(kind);
+}
+
+}  // namespace mrt::lang

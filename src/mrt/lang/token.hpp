@@ -1,0 +1,37 @@
+// Tokens of the metarouting language (RML).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mrt::lang {
+
+enum class TokKind : unsigned char {
+  Ident,   // names: lex, scoped, sp, my_algebra …
+  Int,     // integer literal
+  Real,    // floating literal
+  LParen,
+  RParen,
+  Comma,
+  Equals,
+  Semi,    // statement separator (newline or ';')
+  KwLet,
+  KwShow,
+  KwCheck,
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;       // for Ident
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  int line = 1;
+  int column = 1;
+
+  std::string describe() const;
+};
+
+std::string to_string(TokKind k);
+
+}  // namespace mrt::lang

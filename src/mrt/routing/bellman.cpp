@@ -1,0 +1,102 @@
+#include "mrt/routing/bellman.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+// Best candidate at node u given neighbours' routes in `r`.
+struct Candidate {
+  std::optional<Value> weight;
+  int arc = -1;
+};
+
+Candidate best_candidate(const OrderTransform& alg, const LabeledGraph& net,
+                         int u, const Routing& r) {
+  Candidate best;
+  for (int id : net.graph().out_arcs(u)) {
+    const int v = net.graph().arc(id).dst;
+    const auto& wv = r.weight[static_cast<std::size_t>(v)];
+    if (!wv) continue;
+    Value cand = alg.fns->apply(net.label(id), *wv);
+    if (!best.weight ||
+        lt_of(alg.ord->cmp(cand, *best.weight))) {
+      best.weight = std::move(cand);
+      best.arc = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
+                  int dest, const Value& origin, Routing& r,
+                  const BellmanOptions& opts) {
+  const int n = net.num_nodes();
+  Routing next = r;
+  bool changed = false;
+  for (int u = 0; u < n; ++u) {
+    if (u == dest) {
+      // The destination always keeps its originated route.
+      next.weight[static_cast<std::size_t>(u)] = origin;
+      next.next_arc[static_cast<std::size_t>(u)] = -1;
+      continue;
+    }
+    Candidate cand = best_candidate(alg, net, u, r);
+    auto& cur = next.weight[static_cast<std::size_t>(u)];
+    auto& cur_arc = next.next_arc[static_cast<std::size_t>(u)];
+    if (!cand.weight) {
+      if (cur) changed = true;
+      cur = std::nullopt;
+      cur_arc = -1;
+      continue;
+    }
+    if (cur && opts.sticky) {
+      // Keep the current route if it is still available and not strictly
+      // worse than the best candidate.
+      const int arc = cur_arc;
+      if (arc >= 0) {
+        const int v = net.graph().arc(arc).dst;
+        const auto& wv = r.weight[static_cast<std::size_t>(v)];
+        if (wv) {
+          Value via_cur = alg.fns->apply(net.label(arc), *wv);
+          if (!lt_of(alg.ord->cmp(*cand.weight, via_cur))) {
+            if (!(via_cur == *cur)) changed = true;
+            cur = std::move(via_cur);
+            continue;
+          }
+        }
+      }
+    }
+    if (!cur || !(*cand.weight == *cur) || cur_arc != cand.arc) {
+      changed = changed || !cur || !(*cand.weight == *cur);
+      cur = cand.weight;
+      cur_arc = cand.arc;
+    }
+  }
+  r = std::move(next);
+  return changed;
+}
+
+BellmanResult bellman_sync(const OrderTransform& alg, const LabeledGraph& net,
+                           int dest, const Value& origin,
+                           const BellmanOptions& opts) {
+  const int n = net.num_nodes();
+  MRT_REQUIRE(dest >= 0 && dest < n);
+  BellmanResult out;
+  out.routing.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+  out.routing.next_arc.assign(static_cast<std::size_t>(n), -1);
+  out.routing.weight[static_cast<std::size_t>(dest)] = origin;
+
+  for (out.iterations = 0; out.iterations < opts.max_iterations;
+       ++out.iterations) {
+    if (!bellman_step(alg, net, dest, origin, out.routing, opts)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrt

@@ -1,0 +1,101 @@
+#include "mrt/routing/closure.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+using Entry = std::optional<Value>;
+
+// "No walk" behaves as the ⊕-identity and the ⊗-annihilator.
+Entry opt_plus(const Bisemigroup& alg, const Entry& x, const Entry& y) {
+  if (!x) return y;
+  if (!y) return x;
+  return alg.add->op(*x, *y);
+}
+
+Entry opt_times(const Bisemigroup& alg, const Entry& x, const Entry& y) {
+  if (!x || !y) return std::nullopt;
+  return alg.mul->op(*x, *y);
+}
+
+WeightMatrix identity_matrix(const Bisemigroup& alg, std::size_t n) {
+  WeightMatrix id(n, std::vector<Entry>(n));
+  if (auto one = alg.mul->identity()) {
+    for (std::size_t i = 0; i < n; ++i) id[i][i] = *one;
+  }
+  return id;
+}
+
+}  // namespace
+
+WeightMatrix arc_matrix(const Bisemigroup& alg, const Digraph& g,
+                        const ValueVec& arc_weights) {
+  MRT_REQUIRE(static_cast<int>(arc_weights.size()) == g.num_arcs());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  WeightMatrix a(n, std::vector<Entry>(n));
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    const Arc& arc = g.arc(id);
+    auto& cell = a[static_cast<std::size_t>(arc.src)]
+                  [static_cast<std::size_t>(arc.dst)];
+    cell = opt_plus(alg, cell, arc_weights[static_cast<std::size_t>(id)]);
+  }
+  return a;
+}
+
+ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a) {
+  const std::size_t n = a.size();
+  for (const auto& row : a) MRT_REQUIRE(row.size() == n);
+
+  // Elimination over intermediate nodes; for ⊕-idempotent, nondecreasing
+  // algebras cycles never improve a walk, so a[k][k]* collapses away.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!a[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[i][j] = opt_plus(alg, a[i][j],
+                           opt_times(alg, a[i][k], a[k][j]));
+      }
+    }
+  }
+  // Adjoin the empty walk.
+  if (auto one = alg.mul->identity()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i][i] = opt_plus(alg, a[i][i], Entry(*one));
+    }
+  }
+  return ClosureResult{std::move(a), true, 0};
+}
+
+ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
+                                const ClosureOptions& opts) {
+  const std::size_t n = a.size();
+  for (const auto& row : a) MRT_REQUIRE(row.size() == n);
+
+  ClosureResult out;
+  out.star = identity_matrix(alg, n);
+  out.converged = false;
+
+  for (out.iterations = 0; out.iterations < opts.max_power;
+       ++out.iterations) {
+    // next = I ⊕ A ⊗ star
+    WeightMatrix next = identity_matrix(alg, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!a[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          next[i][j] = opt_plus(alg, next[i][j],
+                                opt_times(alg, a[i][k], out.star[k][j]));
+        }
+      }
+    }
+    if (next == out.star) {
+      out.converged = true;
+      break;
+    }
+    out.star = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace mrt

@@ -1,0 +1,55 @@
+#include "mrt/routing/dijkstra.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
+                 const Value& origin) {
+  const int n = net.num_nodes();
+  MRT_REQUIRE(dest >= 0 && dest < n);
+  Routing r;
+  r.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+  r.next_arc.assign(static_cast<std::size_t>(n), -1);
+  r.weight[static_cast<std::size_t>(dest)] = origin;
+
+  std::vector<bool> settled(static_cast<std::size_t>(n), false);
+  const PreorderSet& ord = *alg.ord;
+
+  // O(V² + VE) selection loop: robust for arbitrary total preorders and the
+  // graph sizes of the experiments; a d-heap variant adds nothing here
+  // because cmp() dominates.
+  for (;;) {
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (settled[static_cast<std::size_t>(v)] ||
+          !r.weight[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      if (best < 0 ||
+          lt_of(ord.cmp(*r.weight[static_cast<std::size_t>(v)],
+                        *r.weight[static_cast<std::size_t>(best)]))) {
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    settled[static_cast<std::size_t>(best)] = true;
+    const Value& wb = *r.weight[static_cast<std::size_t>(best)];
+
+    // Relax arcs *into* best's routing state: an arc (u, best) lets u route
+    // via best with weight f_label(w_best).
+    for (int id : net.graph().in_arcs(best)) {
+      const int u = net.graph().arc(id).src;
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      Value cand = alg.fns->apply(net.label(id), wb);
+      auto& wu = r.weight[static_cast<std::size_t>(u)];
+      if (!wu || lt_of(ord.cmp(cand, *wu))) {
+        wu = std::move(cand);
+        r.next_arc[static_cast<std::size_t>(u)] = id;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace mrt

@@ -1,0 +1,23 @@
+// Generalized Dijkstra over an order transform (Sobrinho's generalization;
+// the paper's "global optima" algorithm for monotone algebras).
+//
+// Requirements for correctness, all *measurable* through the property
+// system: the preference order must be total, the algebra nondecreasing
+// (ND — no "negative arcs"), and monotone (M) for the greedy choice to be
+// globally optimal. The experiment suite demonstrates both the guarantee
+// and its failure when M does not hold (the paper's bandwidth ⃗× delay
+// example).
+#pragma once
+
+#include "mrt/routing/labeled_graph.hpp"
+
+namespace mrt {
+
+/// Single-destination route computation: weights of best paths from every
+/// node *to* `dest`, where `dest` originates `origin`.
+/// Ties (equivalent candidates) break toward the smaller node id, making
+/// the result deterministic.
+Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
+                 const Value& origin);
+
+}  // namespace mrt

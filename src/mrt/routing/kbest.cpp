@@ -1,0 +1,85 @@
+#include "mrt/routing/kbest.hpp"
+
+#include <algorithm>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+ValueVec k_best(const PreorderSet& ord, const ValueVec& xs, int k) {
+  MRT_REQUIRE(k >= 1);
+  ValueVec sorted = normalize_set(xs);  // dedup exact duplicates
+  std::sort(sorted.begin(), sorted.end(),
+            [&ord](const Value& a, const Value& b) {
+              const Cmp c = ord.cmp(a, b);
+              MRT_REQUIRE(c != Cmp::Incomp);  // total order required
+              if (c == Cmp::Less) return true;
+              if (c == Cmp::Greater) return false;
+              return a.compare(b) < 0;  // deterministic within a class
+            });
+  if (sorted.size() > static_cast<std::size_t>(k)) {
+    sorted.resize(static_cast<std::size_t>(k));
+  }
+  return sorted;
+}
+
+KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
+                          int dest, const Value& origin, int k,
+                          const KBestOptions& opts) {
+  const int n = net.num_nodes();
+  MRT_REQUIRE(dest >= 0 && dest < n && k >= 1);
+  KBestResult out;
+  out.weights.assign(static_cast<std::size_t>(n), {});
+  out.weights[static_cast<std::size_t>(dest)] = {origin};
+
+  for (out.iterations = 0; out.iterations < opts.max_iterations;
+       ++out.iterations) {
+    bool changed = false;
+    std::vector<ValueVec> next(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      ValueVec pool;
+      if (u == dest) pool.push_back(origin);
+      for (int id : net.graph().out_arcs(u)) {
+        const int v = net.graph().arc(id).dst;
+        for (const Value& w : out.weights[static_cast<std::size_t>(v)]) {
+          pool.push_back(alg.fns->apply(net.label(id), w));
+        }
+      }
+      ValueVec reduced = k_best(*alg.ord, pool, k);
+      if (!(reduced == out.weights[static_cast<std::size_t>(u)])) {
+        changed = true;
+      }
+      next[static_cast<std::size_t>(u)] = std::move(reduced);
+    }
+    out.weights = std::move(next);
+    if (!changed) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+bool kbest_certified(const OrderTransform& alg, const LabeledGraph& net,
+                     int dest, const Value& origin, const KBestResult& r) {
+  for (int u = 0; u < net.num_nodes(); ++u) {
+    for (const Value& w : r.weights[static_cast<std::size_t>(u)]) {
+      if (u == dest && w == origin) continue;
+      bool achieved = false;
+      for (int id : net.graph().out_arcs(u)) {
+        const int v = net.graph().arc(id).dst;
+        for (const Value& wv : r.weights[static_cast<std::size_t>(v)]) {
+          if (alg.fns->apply(net.label(id), wv) == w) {
+            achieved = true;
+            break;
+          }
+        }
+        if (achieved) break;
+      }
+      if (!achieved) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mrt

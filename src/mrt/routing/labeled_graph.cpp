@@ -1,0 +1,51 @@
+#include "mrt/routing/labeled_graph.hpp"
+
+#include <utility>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+LabeledGraph::LabeledGraph(Digraph g, ValueVec arc_labels)
+    : g_(std::move(g)), labels_(std::move(arc_labels)) {
+  MRT_REQUIRE(static_cast<int>(labels_.size()) == g_.num_arcs());
+}
+
+const Value& LabeledGraph::label(int arc_id) const {
+  MRT_REQUIRE(arc_id >= 0 &&
+              static_cast<std::size_t>(arc_id) < labels_.size());
+  return labels_[static_cast<std::size_t>(arc_id)];
+}
+
+void LabeledGraph::relabel(int arc_id, Value label) {
+  MRT_REQUIRE(arc_id >= 0 &&
+              static_cast<std::size_t>(arc_id) < labels_.size());
+  labels_[static_cast<std::size_t>(arc_id)] = std::move(label);
+}
+
+LabeledGraph label_randomly(const OrderTransform& alg, Digraph g, Rng& rng) {
+  const int m = g.num_arcs();
+  ValueVec labels =
+      m > 0 ? alg.fns->sample_labels(rng, m) : ValueVec{};
+  return LabeledGraph(std::move(g), std::move(labels));
+}
+
+std::optional<std::vector<int>> forwarding_path(const LabeledGraph& net,
+                                                const Routing& r, int src,
+                                                int dest) {
+  std::vector<int> path{src};
+  std::vector<bool> seen(static_cast<std::size_t>(net.num_nodes()), false);
+  int v = src;
+  seen[static_cast<std::size_t>(v)] = true;
+  while (v != dest) {
+    const int arc = r.next_arc[static_cast<std::size_t>(v)];
+    if (arc < 0) return std::nullopt;  // dead end
+    v = net.graph().arc(arc).dst;
+    if (seen[static_cast<std::size_t>(v)]) return std::nullopt;  // loop
+    seen[static_cast<std::size_t>(v)] = true;
+    path.push_back(v);
+  }
+  return path;
+}
+
+}  // namespace mrt

@@ -1,0 +1,55 @@
+// A topology whose arcs carry labels of an order transform: the "configured
+// network" that the routing algorithms solve.
+//
+// Semantics (paper section II): the weight of a path p = (i1,i2),…,(ik-1,ik)
+// toward a destination that originates `a` is f_(i1,i2)(… f_(ik-1,ik)(a) …):
+// routes propagate from the destination outward, each arc applying its
+// label's function.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/core/quadrants.hpp"
+#include "mrt/graph/digraph.hpp"
+
+namespace mrt {
+
+class LabeledGraph {
+ public:
+  LabeledGraph(Digraph g, ValueVec arc_labels);
+
+  const Digraph& graph() const { return g_; }
+  int num_nodes() const { return g_.num_nodes(); }
+  const Value& label(int arc_id) const;
+
+  /// Replaces one arc's label (policy change experiments).
+  void relabel(int arc_id, Value label);
+
+ private:
+  Digraph g_;
+  ValueVec labels_;
+};
+
+/// Labels every arc with a random label of `alg`'s function family.
+LabeledGraph label_randomly(const OrderTransform& alg, Digraph g, Rng& rng);
+
+/// A per-destination routing solution: for each node, an optional weight
+/// (nullopt = no route) and the chosen out-arc (-1 = none / destination).
+struct Routing {
+  std::vector<std::optional<Value>> weight;
+  std::vector<int> next_arc;
+
+  bool has_route(int v) const {
+    return weight[static_cast<std::size_t>(v)].has_value();
+  }
+};
+
+/// Follows next_arc pointers from `src`; returns the node sequence, or
+/// nullopt if a forwarding loop is encountered before the destination.
+std::optional<std::vector<int>> forwarding_path(const LabeledGraph& net,
+                                                const Routing& r, int src,
+                                                int dest);
+
+}  // namespace mrt

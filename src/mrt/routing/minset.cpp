@@ -1,0 +1,49 @@
+#include "mrt/routing/minset.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+MinSetResult minset_bellman(const OrderTransform& alg, const LabeledGraph& net,
+                            int dest, const Value& origin,
+                            const MinSetOptions& opts) {
+  const int n = net.num_nodes();
+  MRT_REQUIRE(dest >= 0 && dest < n);
+  MinSetResult out;
+  out.weights.assign(static_cast<std::size_t>(n), {});
+  out.weights[static_cast<std::size_t>(dest)] = {origin};
+
+  for (out.iterations = 0; out.iterations < opts.max_iterations;
+       ++out.iterations) {
+    bool changed = false;
+    std::vector<ValueVec> next(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      ValueVec pool;
+      if (u == dest) pool.push_back(origin);
+      for (int id : net.graph().out_arcs(u)) {
+        const int v = net.graph().arc(id).dst;
+        for (const Value& w : out.weights[static_cast<std::size_t>(v)]) {
+          pool.push_back(alg.fns->apply(net.label(id), w));
+        }
+      }
+      ValueVec reduced = min_set(*alg.ord, pool);
+      if (reduced.size() > opts.max_set_size) {
+        out.converged = false;
+        out.weights[static_cast<std::size_t>(u)] = std::move(reduced);
+        return out;  // blowup: report what we have
+      }
+      if (!(reduced == out.weights[static_cast<std::size_t>(u)])) {
+        changed = true;
+      }
+      next[static_cast<std::size_t>(u)] = std::move(reduced);
+    }
+    out.weights = std::move(next);
+    if (!changed) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrt

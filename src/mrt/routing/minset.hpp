@@ -1,0 +1,31 @@
+// Multipath (Pareto) global solver: the min-set translation in action.
+//
+// For a preorder that is not total there may be no single best route; the
+// globally optimal answer is the *min-set* of all path weights. This solver
+// iterates X_i ← min_≲( ⋃_{(i,j)} f_(i,j)(X_j) ∪ origin·[i = dest] ) to a
+// fixed point — the matrix iteration of the semiring literature lifted
+// through the paper's min-set-map.
+#pragma once
+
+#include "mrt/routing/labeled_graph.hpp"
+
+namespace mrt {
+
+struct MinSetResult {
+  /// Per node, the min-set of route weights (empty = unreachable).
+  std::vector<ValueVec> weights;
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct MinSetOptions {
+  int max_iterations = 200;
+  /// Safety valve against pathological blowup on adversarial algebras.
+  std::size_t max_set_size = 4096;
+};
+
+MinSetResult minset_bellman(const OrderTransform& alg, const LabeledGraph& net,
+                            int dest, const Value& origin,
+                            const MinSetOptions& opts = {});
+
+}  // namespace mrt

@@ -1,0 +1,117 @@
+#include "mrt/routing/optimality.hpp"
+
+#include <stdexcept>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace {
+
+// DFS over simple paths src → dest collecting arc-id sequences' weights.
+// Weights compose right-to-left, so we collect paths first and then fold;
+// to avoid quadratic recomputation we fold during backtracking instead:
+// weight(prefix + arc + suffix) needs the suffix value, so we enumerate from
+// src and evaluate by recomputing along the completed path (paths are short
+// on the graphs the validators run on).
+void dfs(const OrderTransform& alg, const LabeledGraph& net, int v, int dest,
+         const Value& origin, std::vector<int>& arc_stack,
+         std::vector<bool>& on_path, ValueVec& out,
+         const PathEnumOptions& opts) {
+  if (v == dest) {
+    Value w = origin;
+    for (std::size_t i = arc_stack.size(); i-- > 0;) {
+      w = alg.fns->apply(net.label(arc_stack[i]), w);
+    }
+    out.push_back(std::move(w));
+    if (out.size() > opts.max_paths) {
+      throw std::runtime_error("all_path_weights: path budget exceeded");
+    }
+    return;
+  }
+  for (int id : net.graph().out_arcs(v)) {
+    const int u = net.graph().arc(id).dst;
+    if (on_path[static_cast<std::size_t>(u)]) continue;
+    on_path[static_cast<std::size_t>(u)] = true;
+    arc_stack.push_back(id);
+    dfs(alg, net, u, dest, origin, arc_stack, on_path, out, opts);
+    arc_stack.pop_back();
+    on_path[static_cast<std::size_t>(u)] = false;
+  }
+}
+
+}  // namespace
+
+ValueVec all_path_weights(const OrderTransform& alg, const LabeledGraph& net,
+                          int src, int dest, const Value& origin,
+                          const PathEnumOptions& opts) {
+  const int n = net.num_nodes();
+  MRT_REQUIRE(src >= 0 && src < n && dest >= 0 && dest < n);
+  ValueVec out;
+  std::vector<int> arc_stack;
+  std::vector<bool> on_path(static_cast<std::size_t>(n), false);
+  on_path[static_cast<std::size_t>(src)] = true;
+  dfs(alg, net, src, dest, origin, arc_stack, on_path, out, opts);
+  return out;
+}
+
+ValueVec global_min_set(const OrderTransform& alg, const LabeledGraph& net,
+                        int src, int dest, const Value& origin,
+                        const PathEnumOptions& opts) {
+  return min_set(*alg.ord, all_path_weights(alg, net, src, dest, origin, opts));
+}
+
+bool is_globally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                         int src, int dest, const Value& origin,
+                         const Value& w, const PathEnumOptions& opts) {
+  ValueVec all = all_path_weights(alg, net, src, dest, origin, opts);
+  bool achieved = false;
+  for (const Value& p : all) {
+    const Cmp c = alg.ord->cmp(p, w);
+    if (c == Cmp::Less) return false;  // a strictly better path exists
+    if (c == Cmp::Equiv) achieved = true;
+  }
+  return achieved;
+}
+
+bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                        int dest, const Value& origin, const Routing& r,
+                        bool drop_top_routes) {
+  const int n = net.num_nodes();
+  for (int u = 0; u < n; ++u) {
+    ValueVec candidates;
+    if (u == dest) candidates.push_back(origin);
+    for (int id : net.graph().out_arcs(u)) {
+      const int v = net.graph().arc(id).dst;
+      const auto& wv = r.weight[static_cast<std::size_t>(v)];
+      if (!wv) continue;
+      Value cand = alg.fns->apply(net.label(id), *wv);
+      if (drop_top_routes && alg.ord->is_top(cand)) continue;
+      candidates.push_back(std::move(cand));
+    }
+    const auto& wu = r.weight[static_cast<std::size_t>(u)];
+    if (!wu) {
+      if (!candidates.empty()) return false;  // has a candidate, uses none
+      continue;
+    }
+    if (candidates.empty()) return false;  // has a route out of thin air
+    bool achieved = false;
+    for (const Value& c : candidates) {
+      const Cmp cm = alg.ord->cmp(c, *wu);
+      if (cm == Cmp::Less) return false;  // strictly better candidate ignored
+      if (cm == Cmp::Equiv) achieved = true;
+    }
+    if (!achieved) return false;  // the claimed weight is not attainable
+  }
+  return true;
+}
+
+bool forwarding_consistent(const LabeledGraph& net, const Routing& r,
+                           int dest) {
+  for (int u = 0; u < net.num_nodes(); ++u) {
+    if (!r.has_route(u)) continue;
+    if (!forwarding_path(net, r, u, dest)) return false;
+  }
+  return true;
+}
+
+}  // namespace mrt

@@ -1,0 +1,46 @@
+// Ground-truth validators ("the proof component, by measurement"):
+// exhaustive path enumeration decides global optimality on small graphs,
+// and the Bellman fixed-point condition decides local optimality (stability)
+// of any routing.
+#pragma once
+
+#include "mrt/routing/labeled_graph.hpp"
+
+namespace mrt {
+
+struct PathEnumOptions {
+  std::size_t max_paths = 200'000;
+};
+
+/// Weights of *all* simple paths src → dest (dest originating `origin`).
+/// The trivial path (src == dest) contributes `origin`.
+/// Throws if the path count exceeds the budget.
+ValueVec all_path_weights(const OrderTransform& alg, const LabeledGraph& net,
+                          int src, int dest, const Value& origin,
+                          const PathEnumOptions& opts = {});
+
+/// min_≲ over all simple-path weights: the globally optimal weight set.
+ValueVec global_min_set(const OrderTransform& alg, const LabeledGraph& net,
+                        int src, int dest, const Value& origin,
+                        const PathEnumOptions& opts = {});
+
+/// Is `w` globally optimal for src → dest, i.e. ≲-minimal among all simple
+/// path weights and actually achieved (equivalent to some path weight)?
+bool is_globally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                         int src, int dest, const Value& origin,
+                         const Value& w, const PathEnumOptions& opts = {});
+
+/// Local optimality (stability): every node's route is a best extension of
+/// its neighbours' routes — the Bellman fixed-point / Sobrinho "in
+/// equilibrium" condition. Unreachable nodes must have no candidates.
+/// With `drop_top_routes`, candidates whose weight is ⊤ count as no route
+/// (Sobrinho's φ semantics, matching SimOptions::drop_top_routes).
+bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                        int dest, const Value& origin, const Routing& r,
+                        bool drop_top_routes = false);
+
+/// All nodes with a route can actually forward to dest without loops.
+bool forwarding_consistent(const LabeledGraph& net, const Routing& r,
+                           int dest);
+
+}  // namespace mrt

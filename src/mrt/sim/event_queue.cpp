@@ -1,0 +1,30 @@
+#include "mrt/sim/event_queue.hpp"
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+std::uint64_t EventQueue::push(double time, Event::Kind kind, int arc,
+                               std::optional<Value> weight,
+                               std::vector<int> path) {
+  MRT_REQUIRE(time >= now_);
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.arc = arc;
+  e.weight = std::move(weight);
+  e.path = std::move(path);
+  heap_.push(std::move(e));
+  return next_seq_ - 1;
+}
+
+Event EventQueue::pop() {
+  MRT_REQUIRE(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  return e;
+}
+
+}  // namespace mrt

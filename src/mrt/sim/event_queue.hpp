@@ -1,0 +1,60 @@
+// Discrete-event core for the asynchronous protocol simulator.
+//
+// Events are totally ordered by (time, sequence number), making every run
+// deterministic for a given Rng seed even when many events share a time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "mrt/core/value.hpp"
+
+namespace mrt {
+
+struct Event {
+  enum class Kind : unsigned char {
+    Deliver,   ///< a route advertisement arrives along `arc`
+    LinkDown,  ///< `arc` fails
+    LinkUp,    ///< `arc` comes (back) up
+  };
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
+  Kind kind = Kind::Deliver;
+  int arc = -1;
+  /// The advertised weight (nullopt = withdrawal). Only for Deliver.
+  std::optional<Value> weight;
+  /// The advertised node path (most recent hop first); carried only when the
+  /// simulator runs with path-vector loop detection.
+  std::vector<int> path;
+};
+
+class EventQueue {
+ public:
+  /// Schedules at absolute `time`; returns the assigned sequence number.
+  std::uint64_t push(double time, Event::Kind kind, int arc,
+                     std::optional<Value> weight = std::nullopt,
+                     std::vector<int> path = {});
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pops the earliest event. Precondition: not empty.
+  Event pop();
+
+  double now() const { return now_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace mrt

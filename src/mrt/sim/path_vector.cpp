@@ -1,0 +1,169 @@
+#include "mrt/sim/path_vector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
+                             int dest, Value origin, SimOptions opts)
+    : alg_(alg),
+      net_(std::move(net)),
+      dest_(dest),
+      origin_(std::move(origin)),
+      opts_(opts),
+      rng_(opts.seed) {
+  const int n = net_.num_nodes();
+  const int m = net_.graph().num_arcs();
+  MRT_REQUIRE(dest_ >= 0 && dest_ < n);
+  rib_in_.assign(static_cast<std::size_t>(m), std::nullopt);
+  rib_in_path_.assign(static_cast<std::size_t>(m), {});
+  arc_up_.assign(static_cast<std::size_t>(m), true);
+  arc_last_delivery_.assign(static_cast<std::size_t>(m), 0.0);
+  selected_.assign(static_cast<std::size_t>(n), std::nullopt);
+  selected_arc_.assign(static_cast<std::size_t>(n), -1);
+  selected_path_.assign(static_cast<std::size_t>(n), {});
+  flaps_.assign(static_cast<std::size_t>(n), 0);
+  selected_[static_cast<std::size_t>(dest_)] = origin_;
+  selected_path_[static_cast<std::size_t>(dest_)] = {dest_};
+}
+
+void PathVectorSim::schedule_link_down(double t, int arc) {
+  queue_.push(t, Event::Kind::LinkDown, arc);
+}
+
+void PathVectorSim::schedule_link_up(double t, int arc) {
+  queue_.push(t, Event::Kind::LinkUp, arc);
+}
+
+std::optional<Value> PathVectorSim::candidate_via(int arc) const {
+  if (!arc_up_[static_cast<std::size_t>(arc)]) return std::nullopt;
+  const auto& adv = rib_in_[static_cast<std::size_t>(arc)];
+  if (!adv) return std::nullopt;
+  if (opts_.loop_detection) {
+    // BGP-style: refuse a route whose path already contains this node.
+    const int self = net_.graph().arc(arc).src;
+    const auto& path = rib_in_path_[static_cast<std::size_t>(arc)];
+    if (std::find(path.begin(), path.end(), self) != path.end()) {
+      return std::nullopt;
+    }
+  }
+  Value cand = alg_.fns->apply(net_.label(arc), *adv);
+  if (opts_.drop_top_routes && alg_.ord->is_top(cand)) return std::nullopt;
+  return cand;
+}
+
+// Sends `node`'s current selection to every in-neighbour, respecting per-arc
+// FIFO (a later message never overtakes an earlier one).
+void PathVectorSim::advertise(int node, double now) {
+  for (int id : net_.graph().in_arcs(node)) {
+    if (!arc_up_[static_cast<std::size_t>(id)]) continue;
+    const double delay =
+        opts_.min_delay + rng_.unit() * (opts_.max_delay - opts_.min_delay);
+    // FIFO per arc: each message departs after the previous one *arrived*,
+    // but always with fresh random latency — collapsing onto the previous
+    // arrival time would lock oscillating nodes into artificial lockstep.
+    auto& last = arc_last_delivery_[static_cast<std::size_t>(id)];
+    const double when = std::max(last, now) + delay;
+    last = when;
+    queue_.push(when, Event::Kind::Deliver, id,
+                selected_[static_cast<std::size_t>(node)],
+                selected_path_[static_cast<std::size_t>(node)]);
+  }
+}
+
+void PathVectorSim::reselect(int node, double now) {
+  if (node == dest_) return;  // the destination's route is pinned
+
+  // Best candidate, deterministic: scan out-arcs in id order, strict
+  // improvement replaces.
+  std::optional<Value> best;
+  int best_arc = -1;
+  for (int id : net_.graph().out_arcs(node)) {
+    auto cand = candidate_via(id);
+    if (!cand) continue;
+    if (!best || lt_of(alg_.ord->cmp(*cand, *best))) {
+      best = std::move(cand);
+      best_arc = id;
+    }
+  }
+
+  // Stickiness: keep the current arc while it remains non-strictly-worse.
+  const int cur_arc = selected_arc_[static_cast<std::size_t>(node)];
+  if (cur_arc >= 0 && best) {
+    if (auto via_cur = candidate_via(cur_arc)) {
+      if (!lt_of(alg_.ord->cmp(*best, *via_cur))) {
+        best = via_cur;
+        best_arc = cur_arc;
+      }
+    }
+  }
+
+  auto& sel = selected_[static_cast<std::size_t>(node)];
+  auto& sel_arc = selected_arc_[static_cast<std::size_t>(node)];
+  std::vector<int> best_path;
+  if (opts_.loop_detection && best_arc >= 0) {
+    best_path.push_back(node);
+    const auto& via = rib_in_path_[static_cast<std::size_t>(best_arc)];
+    best_path.insert(best_path.end(), via.begin(), via.end());
+  }
+  const bool weight_changed =
+      best.has_value() != sel.has_value() || (best && !(*best == *sel));
+  const bool path_changed =
+      opts_.loop_detection &&
+      best_path != selected_path_[static_cast<std::size_t>(node)];
+  if (weight_changed || path_changed || best_arc != sel_arc) {
+    ++flaps_[static_cast<std::size_t>(node)];
+    sel = best;
+    sel_arc = best_arc;
+    selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    if (weight_changed || path_changed) advertise(node, now);
+  }
+}
+
+SimResult PathVectorSim::run() {
+  advertise(dest_, 0.0);
+
+  while (!queue_.empty() && delivered_ < opts_.max_events) {
+    Event e = queue_.pop();
+    switch (e.kind) {
+      case Event::Kind::Deliver: {
+        if (!arc_up_[static_cast<std::size_t>(e.arc)]) break;  // lost
+        ++delivered_;
+        rib_in_[static_cast<std::size_t>(e.arc)] = e.weight;
+        rib_in_path_[static_cast<std::size_t>(e.arc)] = std::move(e.path);
+        reselect(net_.graph().arc(e.arc).src, queue_.now());
+        break;
+      }
+      case Event::Kind::LinkDown: {
+        arc_up_[static_cast<std::size_t>(e.arc)] = false;
+        rib_in_[static_cast<std::size_t>(e.arc)] = std::nullopt;
+        reselect(net_.graph().arc(e.arc).src, queue_.now());
+        break;
+      }
+      case Event::Kind::LinkUp: {
+        arc_up_[static_cast<std::size_t>(e.arc)] = true;
+        // The arc's head re-advertises so the tail can learn the route.
+        const int head = net_.graph().arc(e.arc).dst;
+        if (selected_[static_cast<std::size_t>(head)]) {
+          advertise(head, queue_.now());
+        }
+        break;
+      }
+    }
+  }
+
+  SimResult out;
+  out.converged = queue_.empty();
+  out.events = delivered_;
+  out.finish_time = queue_.now();
+  out.routing.weight = selected_;
+  out.routing.next_arc = selected_arc_;
+  out.flaps = flaps_;
+  out.paths = selected_path_;
+  return out;
+}
+
+}  // namespace mrt

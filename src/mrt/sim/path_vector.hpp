@@ -1,0 +1,86 @@
+// Asynchronous path-vector protocol over an order transform.
+//
+// Each node keeps a RIB-in of the latest advertisement per out-arc, selects
+// the ≲-best extension, and advertises its selection to its in-neighbours
+// over per-arc FIFO channels with random delays. This is the protocol whose
+// stable states are the *local optima* of the algebra; with an increasing
+// (I) algebra it converges under every schedule (Sobrinho), and without I
+// it can oscillate forever — both are measured by the experiments
+// (convergence census, BAD-GADGET divergence, failure reconvergence).
+#pragma once
+
+#include "mrt/routing/labeled_graph.hpp"
+#include "mrt/sim/event_queue.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  /// Message delay is drawn uniformly from [min_delay, max_delay].
+  double min_delay = 0.1;
+  double max_delay = 1.0;
+  /// Divergence declaration threshold.
+  long max_events = 100'000;
+  /// Treat ⊤-weighted candidates as unusable (Sobrinho's φ — "invalid
+  /// route"): they are never selected and thus never advertised as routes.
+  bool drop_top_routes = false;
+  /// Carry the node path in advertisements and reject routes whose path
+  /// already contains the learning node (BGP's AS-path loop detection).
+  bool loop_detection = false;
+};
+
+struct SimEventLog {
+  double time;
+  int node;
+  std::string what;
+};
+
+struct SimResult {
+  bool converged = false;  ///< queue drained below the event cap
+  long events = 0;         ///< messages delivered
+  double finish_time = 0.0;
+  Routing routing;
+  std::vector<int> flaps;  ///< selection changes per node
+  /// Node paths of the selected routes (only with loop_detection).
+  std::vector<std::vector<int>> paths;
+};
+
+class PathVectorSim {
+ public:
+  PathVectorSim(const OrderTransform& alg, LabeledGraph net, int dest,
+                Value origin, SimOptions opts = {});
+
+  /// Injects a link failure / recovery at absolute time `t` (must be called
+  /// before run()).
+  void schedule_link_down(double t, int arc);
+  void schedule_link_up(double t, int arc);
+
+  /// Runs to quiescence or to the event cap.
+  SimResult run();
+
+ private:
+  void advertise(int node, double now);
+  void reselect(int node, double now);
+  std::optional<Value> candidate_via(int arc) const;
+
+  const OrderTransform& alg_;
+  LabeledGraph net_;
+  int dest_;
+  Value origin_;
+  SimOptions opts_;
+  Rng rng_;
+
+  EventQueue queue_;
+  std::vector<std::optional<Value>> rib_in_;   // per arc id
+  std::vector<std::vector<int>> rib_in_path_;  // per arc id
+  std::vector<bool> arc_up_;                   // per arc id
+  std::vector<double> arc_last_delivery_;      // per arc id (FIFO)
+  std::vector<std::optional<Value>> selected_; // per node
+  std::vector<int> selected_arc_;              // per node
+  std::vector<std::vector<int>> selected_path_;// per node
+  std::vector<int> flaps_;                     // per node
+  long delivered_ = 0;
+};
+
+}  // namespace mrt

@@ -1,0 +1,115 @@
+#include "mrt/sim/scenario.hpp"
+
+#include "mrt/core/bases.hpp"
+#include "mrt/graph/generators.hpp"
+
+namespace mrt {
+
+OrderTransform gadget_algebra() {
+  // Carrier {0,1,2,3}, numeric order; fn 0 = dir, fn 1 = peer.
+  return OrderTransform{
+      "gadget", ord_chain(3),
+      fam_table("gadget_fns", 4, {{2, 3, 3, 3}, {3, 3, 1, 3}}), {}};
+}
+
+Value gadget_dir_label() { return Value::integer(0); }
+Value gadget_peer_label() { return Value::integer(1); }
+
+namespace {
+
+// Ring of `k` gadget nodes (1..k) around destination 0: each node has a
+// direct arc to 0 and a peer arc to the next node in the cycle.
+Scenario gadget_ring(int k) {
+  Digraph g(k + 1);
+  ValueVec labels;
+  for (int i = 1; i <= k; ++i) {
+    g.add_arc(i, 0);
+    labels.push_back(gadget_dir_label());
+    g.add_arc(i, 1 + (i % k));
+    labels.push_back(gadget_peer_label());
+  }
+  return Scenario{gadget_algebra(),
+                  LabeledGraph(std::move(g), std::move(labels)), 0,
+                  Value::integer(0)};
+}
+
+}  // namespace
+
+Scenario bad_gadget() { return gadget_ring(3); }
+
+Scenario disagree() { return gadget_ring(2); }
+
+Scenario good_gadget_hops() {
+  OrderTransform hops = ot_hop_count();
+  Digraph g(4);
+  ValueVec labels;
+  for (int i = 1; i <= 3; ++i) {
+    g.add_arc(i, 0);
+    labels.push_back(Value::integer(1));
+    g.add_arc(i, 1 + (i % 3));
+    labels.push_back(Value::integer(1));
+  }
+  return Scenario{std::move(hops), LabeledGraph(std::move(g), std::move(labels)),
+                  0, Value::integer(0)};
+}
+
+Scenario random_scenario(const OrderTransform& alg, Value origin, Rng& rng,
+                         int nodes, int extra_arcs) {
+  Digraph g = random_connected(rng, nodes, extra_arcs);
+  LabeledGraph net = label_randomly(alg, std::move(g), rng);
+  return Scenario{alg, std::move(net), 0, std::move(origin)};
+}
+
+OrderTransform gao_rexford_algebra() {
+  // fn 0 = cust, fn 1 = peer, fn 2 = prov over carrier {C, R, P, ⊤}.
+  return OrderTransform{"gao_rexford", ord_chain(3),
+                        fam_table("gr_fns", 4,
+                                  {{0, 3, 3, 3},    // cust: C↦C else ⊤
+                                   {1, 3, 3, 3},    // peer: C↦R else ⊤
+                                   {2, 2, 2, 3}}),  // prov: any valid ↦ P
+                        {}};
+}
+
+Value gr_cust_label() { return Value::integer(0); }
+Value gr_peer_label() { return Value::integer(1); }
+Value gr_prov_label() { return Value::integer(2); }
+
+Scenario gao_rexford_hierarchy(Rng& rng, int nodes, int extra_links) {
+  // Node i's tier is its id: lower id = closer to the top of the hierarchy.
+  // Each node other than 0 picks a provider with a smaller id, giving an
+  // acyclic customer→provider relation rooted at node 0 (the destination's
+  // AS). For each relationship j-provider-of-k we add both learning arcs:
+  //   (k, j) labeled prov  (k learns from its provider j)
+  //   (j, k) labeled cust  (j learns from its customer k)
+  Digraph g(nodes);
+  ValueVec labels;
+  auto relate = [&](int provider, int customer) {
+    g.add_arc(customer, provider);
+    labels.push_back(gr_prov_label());
+    g.add_arc(provider, customer);
+    labels.push_back(gr_cust_label());
+  };
+  for (int k = 1; k < nodes; ++k) {
+    relate(static_cast<int>(rng.below(static_cast<std::uint64_t>(k))), k);
+  }
+  for (int e = 0; e < extra_links; ++e) {
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+    const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+    if (a == b || g.has_arc(a, b)) continue;
+    if (rng.chance(0.5)) {
+      // Peer link: both sides learn peer routes.
+      g.add_arc(a, b);
+      labels.push_back(gr_peer_label());
+      g.add_arc(b, a);
+      labels.push_back(gr_peer_label());
+    } else {
+      relate(std::min(a, b), std::max(a, b));  // extra provider edge, acyclic
+    }
+  }
+  // The destination AS originates a customer-class route.
+  return Scenario{gao_rexford_algebra(),
+                  LabeledGraph(std::move(g), std::move(labels)), 0,
+                  Value::integer(0)};
+}
+
+}  // namespace mrt

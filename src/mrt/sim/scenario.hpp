@@ -1,0 +1,68 @@
+// Canned protocol scenarios: the classic BGP stability gadgets expressed as
+// finite order transforms, plus helpers the convergence experiments share.
+//
+// The gadget algebra has carrier {0,1,2,3} ordered numerically (smaller
+// preferred): 0 = originated, 1 = via-peer (most preferred real route),
+// 2 = direct, 3 = ⊤ (forbidden/invalid). Arc functions:
+//   dir:  0 ↦ 2, else ↦ 3      (a direct link to the destination)
+//   peer: 2 ↦ 1, else ↦ 3      (a customer-like detour through a peer,
+//                               usable only on the peer's *direct* route)
+// This algebra is not nondecreasing (peer maps 2 to 1), which is exactly
+// what permits instability.
+#pragma once
+
+#include "mrt/sim/path_vector.hpp"
+
+namespace mrt {
+
+/// The gadget order transform described above.
+OrderTransform gadget_algebra();
+
+/// Label value for the gadget's direct / peer arc functions.
+Value gadget_dir_label();
+Value gadget_peer_label();
+
+/// A scenario: network + destination + originated value.
+struct Scenario {
+  OrderTransform alg;
+  LabeledGraph net;
+  int dest = 0;
+  Value origin;
+};
+
+/// BAD GADGET: 3 nodes in a preference cycle around the destination — no
+/// stable routing exists; every fair schedule oscillates forever.
+Scenario bad_gadget();
+
+/// DISAGREE: 2 nodes that each prefer the route through the other — two
+/// distinct stable routings exist; the schedule picks which one is reached.
+Scenario disagree();
+
+/// The same 3-node topology as BAD GADGET but with the (increasing)
+/// hop-count algebra: converges under every schedule.
+Scenario good_gadget_hops();
+
+/// A random connected network labeled from `alg`'s function family.
+Scenario random_scenario(const OrderTransform& alg, Value origin, Rng& rng,
+                         int nodes, int extra_arcs);
+
+/// The Gao–Rexford customer/peer/provider algebra as an order transform:
+/// carrier {0 = via-customer, 1 = via-peer, 2 = via-provider, 3 = ⊤/invalid}
+/// preferred in that order. Arc functions encode the export rules — only
+/// customer-learned routes cross peer and customer→provider arcs:
+///   cust: C ↦ C,      R,P ↦ ⊤      (learning from a customer)
+///   peer: C ↦ R,      R,P ↦ ⊤      (learning from a peer)
+///   prov: C,R,P ↦ P                (learning from a provider: exports all)
+/// Nondecreasing but NOT increasing — convergence rests on the economic
+/// hierarchy (acyclic customer→provider relation), not on Theorem 5.
+OrderTransform gao_rexford_algebra();
+Value gr_cust_label();
+Value gr_peer_label();
+Value gr_prov_label();
+
+/// A random valley-free internet: a random customer→provider DAG by node
+/// rank, plus a few peer links between equal-rank nodes. Every arc carries
+/// the correct relationship label for the *learning* direction.
+Scenario gao_rexford_hierarchy(Rng& rng, int nodes, int extra_links);
+
+}  // namespace mrt

@@ -1,0 +1,60 @@
+// A small C++20 stand-in for std::expected<T, Error>, used on user-input
+// paths (the metalanguage front end) where failure is a normal outcome and
+// exceptions would be the wrong tool.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+/// A user-facing error: message plus optional source position.
+struct Error {
+  std::string message;
+  int line = 0;    ///< 1-based; 0 when not applicable
+  int column = 0;  ///< 1-based; 0 when not applicable
+
+  std::string to_string() const {
+    if (line == 0) return message;
+    return std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : rep_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return rep_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    MRT_REQUIRE(ok());
+    return std::get<0>(rep_);
+  }
+  T& value() & {
+    MRT_REQUIRE(ok());
+    return std::get<0>(rep_);
+  }
+  T&& value() && {
+    MRT_REQUIRE(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  const Error& error() const {
+    MRT_REQUIRE(!ok());
+    return std::get<1>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+}  // namespace mrt

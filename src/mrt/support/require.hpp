@@ -1,0 +1,33 @@
+// Contract-checking macros, in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations are programmer errors, so they throw
+// std::logic_error with the failing condition and source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mrt {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* cond,
+                                            const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " failed: " + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace mrt
+
+// Precondition on the caller.
+#define MRT_REQUIRE(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) ::mrt::contract_violation("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+// Internal invariant.
+#define MRT_ASSERT(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) ::mrt::contract_violation("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+// Marks unreachable control flow.
+#define MRT_UNREACHABLE(msg) \
+  ::mrt::contract_violation("unreachable", msg, __FILE__, __LINE__)

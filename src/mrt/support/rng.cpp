@@ -1,0 +1,70 @@
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+namespace {
+
+// splitmix64, used to expand the seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Guard against the all-zero state, which xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  MRT_REQUIRE(bound > 0);
+  // Debiased modulo (Lemire-style rejection would be overkill here; the
+  // classic rejection loop keeps the distribution exactly uniform).
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit && limit != 0);
+  return x % bound;
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  MRT_REQUIRE(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit span
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::unit() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  return unit() < p;
+}
+
+Rng Rng::split() {
+  return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace mrt

@@ -1,0 +1,59 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// All randomized components of the library (random finite algebras, graph
+// generators, asynchronous protocol schedules) take an explicit Rng so that
+// every experiment is reproducible from a seed; there is no global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    MRT_REQUIRE(!xs.empty());
+    return xs[static_cast<std::size_t>(below(xs.size()))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel experiment arms).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrt

@@ -1,0 +1,29 @@
+// Small string utilities shared by the metalanguage and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrt {
+
+/// Joins the elements with `sep` ("a, b, c").
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Left/right-pads with spaces to at least `width` columns.
+std::string pad_right(std::string s, std::size_t width);
+std::string pad_left(std::string s, std::size_t width);
+
+/// Fixed-precision double formatting ("0.125"), trailing zeros trimmed.
+std::string format_double(double x, int precision = 4);
+
+}  // namespace mrt

@@ -1,0 +1,53 @@
+#include "mrt/support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "mrt/support/require.hpp"
+#include "mrt/support/strings.hpp"
+
+namespace mrt {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MRT_REQUIRE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MRT_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << pad_right(row[c], widths[c]);
+    }
+    out << " |\n";
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace mrt

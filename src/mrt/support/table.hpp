@@ -1,0 +1,31 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// paper's figures/tables in the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header rule.
+  std::string render() const;
+
+  /// Convenience: render straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrt

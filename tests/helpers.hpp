@@ -1,0 +1,44 @@
+// Shared helpers for the metarouting test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mrt/core/bases.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt::testing {
+
+inline Value I(std::int64_t v) { return Value::integer(v); }
+
+/// A finite order transform from explicit tables (carrier {0..n-1}).
+inline OrderTransform make_ot(std::vector<std::vector<std::uint8_t>> leq,
+                              std::vector<std::vector<int>> fns,
+                              std::string name = "t") {
+  const int n = static_cast<int>(leq.size());
+  return OrderTransform{std::move(name), ord_table("ord", std::move(leq)),
+                        fam_table("fns", n, std::move(fns)),
+                        {}};
+}
+
+/// Asserts that an inferred verdict never contradicts the oracle's.
+inline void expect_consistent(Prop p, Tri inferred, Tri oracle,
+                              const std::string& context) {
+  if (inferred == Tri::Unknown || oracle == Tri::Unknown) return;
+  EXPECT_EQ(inferred, oracle) << context << ": property " << to_string(p)
+                              << " inferred " << to_string(inferred)
+                              << " but oracle says " << to_string(oracle);
+}
+
+/// Asserts an exact rule: whenever the oracle decides, inference must have
+/// decided identically (components were fully decided by construction).
+inline void expect_exact(Prop p, Tri inferred, Tri oracle,
+                         const std::string& context) {
+  ASSERT_NE(oracle, Tri::Unknown) << context << ": oracle failed to decide";
+  EXPECT_EQ(inferred, oracle) << context << ": exact rule for "
+                              << to_string(p) << " disagrees with oracle";
+}
+
+}  // namespace mrt::testing

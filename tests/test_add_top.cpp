@@ -1,0 +1,119 @@
+// The add_top operator: adjoining the invalid route φ. Exact rules validated
+// against the oracle; the I(add_top(S)) ⟺ SI(S) relationship; and the
+// operational payoff: theory algebras over plain ℕ become routable Sobrinho
+// algebras.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/lang/interp.hpp"
+#include "mrt/routing/dijkstra.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/path_vector.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+TEST(AddTop, OrderAndApplicationSemantics) {
+  OrderTransform s{"sp.nat", ord_nat_leq(false), fam_add_const(1, 3), {}};
+  const OrderTransform t = add_top(s);
+  EXPECT_TRUE(t.ord->leq(I(5), Value::omega()));
+  EXPECT_FALSE(t.ord->leq(Value::omega(), I(1'000'000)));
+  EXPECT_TRUE(t.ord->is_top(Value::omega()));
+  EXPECT_TRUE(t.ord->has_top());
+  EXPECT_TRUE(t.ord->contains(Value::omega()));
+  // Functions fix ω and behave as before elsewhere.
+  EXPECT_EQ(t.fns->apply(I(2), Value::omega()), Value::omega());
+  EXPECT_EQ(t.fns->apply(I(2), I(5)), I(7));
+}
+
+class AddTopSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddTopSweep, ExactRulesMatchOracle) {
+  Rng rng(0xADD70 + static_cast<std::uint64_t>(GetParam()));
+  OrderTransform s = random_order_transform(rng);
+  s.props = checker().report(s);
+  const OrderTransform t = add_top(s);
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  for (Prop prop : {Prop::Total, Prop::Antisym, Prop::HasTop, Prop::OneClass,
+                    Prop::M_L, Prop::N_L, Prop::C_L, Prop::ND_L, Prop::Inc_L,
+                    Prop::SInc_L, Prop::TFix_L}) {
+    mrt::testing::expect_exact(prop, t.props.value(prop),
+                               checker().prop(t, prop).verdict, ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddTopSweep, ::testing::Range(0, 120));
+
+TEST(AddTop, IncIffStrictlyIncreasing) {
+  const Checker& chk = checker();
+  // ot_chain_add(3,1,2) is I but not SI (its own top 3 is fixed):
+  // after add_top the old top 3 is no longer exempt, so I is lost.
+  OrderTransform inc_not_si = ot_chain_add(3, 1, 2);
+  inc_not_si.props = chk.report(inc_not_si);
+  ASSERT_EQ(inc_not_si.props.value(Prop::Inc_L), Tri::True);
+  ASSERT_EQ(inc_not_si.props.value(Prop::SInc_L), Tri::False);
+  const OrderTransform lifted = add_top(inc_not_si);
+  EXPECT_EQ(lifted.props.value(Prop::Inc_L), Tri::False);
+  EXPECT_EQ(chk.prop(lifted, Prop::Inc_L).verdict, Tri::False);
+
+  // A genuinely SI algebra (plain ℕ, +c with c ≥ 1) keeps I after lifting.
+  OrderTransform si{"sp.nat", ord_nat_leq(false), fam_add_const(1, 3), {}};
+  si.props.set(Prop::SInc_L, Tri::True, "axiom: a < a+c on plain N");
+  si.props.set(Prop::ND_L, Tri::True, "axiom");
+  si.props.set(Prop::M_L, Tri::True, "axiom");
+  si.props.set(Prop::N_L, Tri::True, "axiom");
+  si.props.set(Prop::Total, Tri::True, "axiom");
+  const OrderTransform routable = add_top(si);
+  EXPECT_EQ(routable.props.value(Prop::Inc_L), Tri::True);
+  EXPECT_EQ(routable.props.value(Prop::HasTop), Tri::True);
+  EXPECT_EQ(routable.props.value(Prop::TFix_L), Tri::True);
+  EXPECT_NE(checker().prop(routable, Prop::Inc_L).verdict, Tri::False);
+}
+
+TEST(AddTop, LiftedAlgebraRoutesAndConverges) {
+  // The routing payoff: a ⊤-free theory algebra becomes a protocol-ready
+  // algebra; Dijkstra solves it and path-vector converges to local optima.
+  OrderTransform si{"sp.nat", ord_nat_leq(false), fam_add_const(1, 4), {}};
+  si.props.set(Prop::M_L, Tri::True, "axiom");
+  si.props.set(Prop::ND_L, Tri::True, "axiom");
+  si.props.set(Prop::SInc_L, Tri::True, "axiom");
+  si.props.set(Prop::Total, Tri::True, "axiom");
+  const OrderTransform alg = add_top(si);
+
+  Rng rng(0xADD);
+  Digraph g = random_connected(rng, 7, 4);
+  LabeledGraph net = label_randomly(alg, std::move(g), rng);
+  const Routing r = dijkstra(alg, net, 0, I(0));
+  for (int v = 1; v < net.num_nodes(); ++v) {
+    ASSERT_TRUE(r.has_route(v));
+    EXPECT_TRUE(is_globally_optimal(alg, net, v, 0, I(0), *r.weight[v]));
+  }
+  SimOptions opts;
+  opts.seed = 5;
+  opts.drop_top_routes = true;
+  PathVectorSim sim(alg, net, 0, I(0), opts);
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(is_locally_optimal(alg, net, 0, I(0), res.routing, true));
+}
+
+TEST(AddTop, LanguageSupport) {
+  lang::Interp in;
+  auto out = in.run("show add_top(chain(3, 1, 2))");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(out->find("add_top("), std::string::npos);
+  EXPECT_NE(out->find("old maxima lose their exemption"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,156 @@
+// The checker itself (oracle quality: verdicts, counterexamples, sampling
+// behaviour) and the comparison between the original 2005 sufficient rules
+// and the paper's exact rules.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/inference.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/core/report.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+using mrt::testing::make_ot;
+
+TEST(Checker, KnownVerdictsOnCanonicalAlgebras) {
+  Checker chk;
+  const OrderTransform sp = ot_shortest_path(3);
+  // Infinite carrier: truths come back Unknown (sampled), falsities definite.
+  EXPECT_NE(chk.prop(sp, Prop::M_L).verdict, Tri::False);
+  EXPECT_NE(chk.prop(sp, Prop::ND_L).verdict, Tri::False);
+  EXPECT_EQ(chk.prop(sp, Prop::C_L).verdict, Tri::False);
+
+  const OrderTransform bw = ot_widest_path(3);
+  EXPECT_EQ(chk.prop(bw, Prop::N_L).verdict, Tri::False);
+  EXPECT_EQ(chk.prop(bw, Prop::Inc_L).verdict, Tri::False);
+  EXPECT_NE(chk.prop(bw, Prop::ND_L).verdict, Tri::False);
+}
+
+TEST(Checker, CounterexamplesAreConcrete) {
+  Checker chk;
+  const OrderTransform bw = ot_widest_path(3);
+  const CheckResult r = chk.prop(bw, Prop::N_L);
+  ASSERT_EQ(r.verdict, Tri::False);
+  // The detail must name the witnesses.
+  EXPECT_NE(r.detail.find("f="), std::string::npos);
+  EXPECT_NE(r.detail.find("a="), std::string::npos);
+}
+
+TEST(Checker, ExhaustiveOnFiniteCarriers) {
+  Checker chk;
+  const OrderTransform c = ot_chain_add(3, 1, 2);
+  const CheckResult r = chk.prop(c, Prop::M_L);
+  EXPECT_EQ(r.verdict, Tri::True);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_NE(r.detail.find("exhaustive"), std::string::npos);
+}
+
+TEST(Checker, TFixUsesVisibleTops) {
+  Checker chk;
+  EXPECT_EQ(chk.prop(ot_shortest_path(3), Prop::TFix_L).verdict, Tri::True);
+  // A top that moves: 0 < 1 (⊤ = 1), f sends 1 to 0.
+  const OrderTransform moved = make_ot({{1, 1}, {0, 1}}, {{0, 0}});
+  EXPECT_EQ(chk.prop(moved, Prop::TFix_L).verdict, Tri::False);
+}
+
+TEST(Checker, RefineFillsOnlyUnknowns) {
+  Checker chk;
+  OrderTransform c = ot_chain_add(3, 1, 2);
+  c.props.set(Prop::M_L, Tri::False, "deliberately wrong annotation");
+  chk.refine(c, c.props);
+  // refine must not overwrite the existing (wrong) verdict…
+  EXPECT_EQ(c.props.value(Prop::M_L), Tri::False);
+  // …but must fill unknowns.
+  EXPECT_NE(c.props.value(Prop::ND_L), Tri::Unknown);
+}
+
+TEST(Checker, ReportCoversAllRelevantProps) {
+  Checker chk;
+  const OrderTransform c = ot_chain_add(2, 0, 1);
+  const PropertyReport r = chk.report(c);
+  for (Prop p : props_for(StructureKind::OrderTransform)) {
+    EXPECT_NE(r.value(p), Tri::Unknown) << to_string(p);
+  }
+}
+
+TEST(Report, RenderingContainsVerdictsAndProvenance) {
+  const OrderTransform sp = ot_shortest_path(3);
+  const std::string text = describe(sp);
+  EXPECT_NE(text.find("order transform"), std::string::npos);
+  EXPECT_NE(text.find("| M "), std::string::npos);
+  EXPECT_NE(text.find("axiom"), std::string::npos);
+  EXPECT_FALSE(summary_line(sp.props, StructureKind::OrderTransform).empty());
+}
+
+// ---------------------------------------------------------------------------
+// 2005 sufficient rules vs the exact rules
+// ---------------------------------------------------------------------------
+
+class Rules2005 : public ::testing::TestWithParam<int> {};
+
+// Soundness: whenever a 2005 rule fires (True), the oracle agrees.
+TEST_P(Rules2005, SufficientRulesAreSound) {
+  Checker chk;
+  Rng rng(0x2005 + static_cast<std::uint64_t>(GetParam()));
+  OrderTransform s = random_order_transform(rng);
+  OrderTransform t = random_order_transform(rng);
+  s.props = chk.report(s);
+  t.props = chk.report(t);
+  // The 2005 story presumes Sobrinho algebras; restrict to ⊤-respecting,
+  // ⊤-free-or-collapsed settings where the classical claims live.
+  if (s.props.value(Prop::HasTop) != Tri::False) return;
+
+  const OrderTransform p = lex(s, t);
+  if (classic2005_nd_lex(s.props, t.props) == Tri::True) {
+    EXPECT_EQ(chk.prop(p, Prop::ND_L).verdict, Tri::True)
+        << "seed " << GetParam();
+  }
+  if (classic2005_inc_lex(s.props, t.props) == Tri::True &&
+      t.props.value(Prop::HasTop) == Tri::False) {
+    EXPECT_EQ(chk.prop(p, Prop::Inc_L).verdict, Tri::True)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rules2005, ::testing::Range(0, 100));
+
+// Incompleteness: the exact rules decide cases the 2005 rules cannot.
+// ND(S ⃗× T) with I(S) but ¬ND(T): the 2005 ND rule (ND(S) ∧ ND(T)) stays
+// silent, the exact rule proves ND — and refutations are entirely beyond the
+// 2005 system, which can only ever answer "yes" or "don't know".
+TEST(Rules2005, ExactRulesStrictlyMoreComplete) {
+  Checker chk;
+  // S: strictly increasing everywhere (2-chain, f = step up with no fixed
+  // non-top point … on a finite chain the top must move, so use a 3-cycle
+  // free construction: 0 < 1, f(0) = 1, f(1) = …). A finite SI algebra
+  // cannot exist (see test_thm5_local.cpp), so take I(S) with ⊤ fixed and
+  // use the ⃗×_ω product, where the paper rules are exact.
+  OrderTransform s = ot_chain_add(2, 1, 1);
+  s.props = chk.report(s);
+  ASSERT_EQ(s.props.value(Prop::Inc_L), Tri::True);
+
+  OrderTransform t = make_ot({{1, 1}, {0, 1}}, {{0, 0}});  // not ND
+  t.props = chk.report(t);
+  ASSERT_EQ(t.props.value(Prop::ND_L), Tri::False);
+
+  // 2005: unknown (its only ND rule needs ND of both factors).
+  EXPECT_EQ(classic2005_nd_lex(s.props, t.props), Tri::Unknown);
+  // Exact Fig. 3 rule: ND via I(S). Oracle on the collapsed product agrees.
+  EXPECT_EQ(paper_rule_nd_lex(s.props, t.props), Tri::True);
+  const OrderTransform p = lex_omega(s, t);
+  EXPECT_EQ(chk.prop(p, Prop::ND_L).verdict, Tri::True);
+
+  // Refutation: N(S) fails and C(T) fails ⇒ exact rule *derives* ¬M of the
+  // plain product; the 2005 system has no way to state this.
+  OrderTransform bw = ot_widest_path(3);
+  OrderTransform sp = ot_shortest_path(3);
+  const OrderTransform q = lex(bw, sp);
+  EXPECT_EQ(q.props.value(Prop::M_L), Tri::False);
+  EXPECT_FALSE(q.props.get(Prop::M_L).why.empty());
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,126 @@
+// Deep random combinator trees: the integration test of the whole inference
+// engine. Random expressions over {lex, prod, scoped, delta, left, right,
+// union, add_top, lex_omega} applied to random finite base algebras — at
+// every node of every tree, every derived verdict must agree with brute
+// force whenever both decide.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/random_algebra.hpp"
+
+namespace mrt {
+namespace {
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+// Carrier-size guard: products of products explode; cap enumeration size.
+std::size_t carrier_size(const OrderTransform& a) {
+  auto e = a.ord->enumerate();
+  return e ? e->size() : 1'000'000;
+}
+
+std::size_t label_count(const OrderTransform& a) {
+  auto l = a.fns->labels();
+  return l ? l->size() : 1'000'000;
+}
+
+OrderTransform random_tree(Rng& rng, int depth, int& budget) {
+  if (depth == 0 || budget <= 0) {
+    RandomConfig cfg;
+    cfg.max_elems = 3;
+    cfg.max_fns = 2;
+    OrderTransform leaf = random_order_transform(rng, cfg);
+    leaf.props = checker().report(leaf);
+    return leaf;
+  }
+  --budget;
+  const int op = static_cast<int>(rng.range(0, 7));
+  switch (op) {
+    case 0: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      OrderTransform t = random_tree(rng, depth - 1, budget);
+      return lex(s, t);
+    }
+    case 1: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      OrderTransform t = random_tree(rng, depth - 1, budget);
+      return direct(s, t);
+    }
+    case 2: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      OrderTransform t = random_tree(rng, depth - 1, budget);
+      return scoped(s, t);
+    }
+    case 3: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      OrderTransform t = random_tree(rng, depth - 1, budget);
+      return delta(s, t);
+    }
+    case 4: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      return rng.chance(0.5) ? left(s) : right(s);
+    }
+    case 5: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      return fn_union(left(s), right(s));
+    }
+    case 6: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      // add_top requires a fresh sentinel: skip omega-containing carriers.
+      if (s.ord->contains(Value::omega())) return s;
+      return add_top(s);
+    }
+    default: {
+      OrderTransform s = random_tree(rng, depth - 1, budget);
+      OrderTransform t = random_tree(rng, depth - 1, budget);
+      if (s.ord->has_top()) return lex_omega(s, t);
+      return lex(s, t);
+    }
+  }
+}
+
+class DeepCompositions : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepCompositions, EngineNeverContradictsOracle) {
+  Rng rng(0xDEE9 + static_cast<std::uint64_t>(GetParam()));
+  int budget = 4;  // combinator applications per tree
+  const OrderTransform tree = random_tree(rng, 3, budget);
+  if (carrier_size(tree) > 40 || label_count(tree) > 40) {
+    return;  // keep the oracle exhaustive and fast
+  }
+  for (Prop p : props_for(StructureKind::OrderTransform)) {
+    const CheckResult oracle = checker().prop(tree, p);
+    mrt::testing::expect_consistent(
+        p, tree.props.value(p), oracle.verdict,
+        "seed " + std::to_string(GetParam()) + " on " + tree.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepCompositions, ::testing::Range(0, 200));
+
+// Coverage meter: across the sweep, the engine should *decide* (not abstain
+// on) the overwhelming majority of headline-property questions — that is the
+// metalanguage's value proposition.
+TEST(DeepCompositions, EngineDecidesMostQuestions) {
+  Rng rng(0xDEC1DE);
+  long decided = 0, total = 0;
+  for (int i = 0; i < 150; ++i) {
+    int budget = 4;
+    const OrderTransform tree = random_tree(rng, 3, budget);
+    for (Prop p : {Prop::M_L, Prop::ND_L, Prop::Inc_L, Prop::N_L, Prop::C_L}) {
+      ++total;
+      decided += tree.props.value(p) != Tri::Unknown ? 1 : 0;
+    }
+  }
+  // Abstentions concentrate in the documented sufficient-only corners
+  // (lex_omega, direct's mixed I cases); measured coverage sits near 89%.
+  EXPECT_GT(static_cast<double>(decided) / static_cast<double>(total), 0.85)
+      << decided << "/" << total;
+}
+
+}  // namespace
+}  // namespace mrt

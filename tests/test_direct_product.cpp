@@ -1,0 +1,130 @@
+// The direct (componentwise) product of order transforms: semantics, exact
+// property rules validated against the oracle, and multipath routing over
+// the resulting partial order.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/inference.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/routing/minset.hpp"
+#include "mrt/lang/interp.hpp"
+#include "mrt/routing/optimality.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+Value pr(Value a, Value b) { return Value::pair(std::move(a), std::move(b)); }
+
+TEST(DirectProduct, ComponentwiseComparison) {
+  const OrderTransform p = direct(ot_shortest_path(5), ot_widest_path(5));
+  // Better on both criteria: comparable.
+  EXPECT_EQ(p.ord->cmp(pr(I(1), I(9)), pr(I(2), I(3))), Cmp::Less);
+  // Trade-off: genuinely incomparable (unlike lex).
+  EXPECT_EQ(p.ord->cmp(pr(I(1), I(3)), pr(I(2), I(9))), Cmp::Incomp);
+  EXPECT_EQ(p.ord->cmp(pr(I(2), I(3)), pr(I(2), I(3))), Cmp::Equiv);
+  // Application is componentwise.
+  EXPECT_EQ(p.fns->apply(pr(I(2), I(4)), pr(I(1), I(9))), pr(I(3), I(4)));
+  // Top is componentwise.
+  EXPECT_TRUE(p.ord->is_top(pr(Value::inf(), I(0))));
+  EXPECT_FALSE(p.ord->is_top(pr(Value::inf(), I(3))));
+}
+
+TEST(DirectProduct, DerivedProperties) {
+  const OrderTransform p = direct(ot_shortest_path(5), ot_widest_path(5));
+  // Both factors monotone ⇒ product monotone (no side condition, unlike lex).
+  EXPECT_EQ(p.props.value(Prop::M_L), Tri::True);
+  // Totality is lost: trade-offs are incomparable.
+  EXPECT_EQ(p.props.value(Prop::Total), Tri::False);
+  EXPECT_EQ(p.props.value(Prop::ND_L), Tri::True);
+  // N fails in the bandwidth component.
+  EXPECT_EQ(p.props.value(Prop::N_L), Tri::False);
+}
+
+class DirectSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectSweep, ExactRulesMatchOracle) {
+  Rng rng(0xD12EC7 + static_cast<std::uint64_t>(GetParam()));
+  OrderTransform s = random_order_transform(rng);
+  OrderTransform t = random_order_transform(rng);
+  s.props = checker().report(s);
+  t.props = checker().report(t);
+  const OrderTransform p = direct(s, t);
+  const std::string ctx = "seed " + std::to_string(GetParam());
+
+  for (Prop prop : {Prop::Total, Prop::Antisym, Prop::HasTop, Prop::OneClass,
+                    Prop::M_L, Prop::N_L, Prop::C_L, Prop::ND_L, Prop::SInc_L,
+                    Prop::TFix_L}) {
+    mrt::testing::expect_exact(prop, p.props.value(prop),
+                               checker().prop(p, prop).verdict, ctx);
+  }
+  // I is partially decided: must never contradict.
+  mrt::testing::expect_consistent(Prop::Inc_L, p.props.value(Prop::Inc_L),
+                                  checker().prop(p, Prop::Inc_L).verdict, ctx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectSweep, ::testing::Range(0, 150));
+
+TEST(DirectProduct, MultipathRoutingOverTradeoffs) {
+  // delay × bandwidth componentwise: the min-set solver returns the Pareto
+  // frontier at each node and matches exhaustive search (M holds).
+  const OrderTransform p = direct(ot_shortest_path(4), ot_widest_path(4));
+  Rng rng(0xDD);
+  for (int trial = 0; trial < 8; ++trial) {
+    Digraph g = random_connected(rng, 6, 4);
+    LabeledGraph net = label_randomly(p, std::move(g), rng);
+    const Value origin = pr(I(0), Value::inf());
+    const MinSetResult ms = minset_bellman(p, net, 0, origin);
+    ASSERT_TRUE(ms.converged);
+    for (int v = 0; v < net.num_nodes(); ++v) {
+      const ValueVec truth = global_min_set(p, net, v, 0, origin);
+      ASSERT_EQ(ms.weights[(std::size_t)v].size(), truth.size()) << v;
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_TRUE(equiv_of(p.ord->cmp(ms.weights[(std::size_t)v][i],
+                                        truth[i])) ||
+                    ms.weights[(std::size_t)v][i] == truth[i]);
+      }
+    }
+  }
+}
+
+TEST(DirectProduct, FrontiersCanHaveSeveralRoutes) {
+  // A diamond with a fast-narrow and a slow-wide branch: the frontier at the
+  // source has exactly two incomparable optima.
+  const OrderTransform p = direct(ot_shortest_path(9), ot_widest_path(9));
+  Digraph g(4);
+  ValueVec labels;
+  auto arc = [&](int u, int v, std::int64_t d, std::int64_t b) {
+    g.add_arc(u, v);
+    labels.push_back(pr(I(d), I(b)));
+  };
+  arc(1, 2, 1, 9);  // via 2: fast start, then narrow
+  arc(2, 0, 1, 2);
+  arc(1, 3, 3, 9);  // via 3: slow start, stays wide
+  arc(3, 0, 3, 9);
+  LabeledGraph net(std::move(g), std::move(labels));
+  const Value origin = pr(I(0), Value::inf());
+  const MinSetResult ms = minset_bellman(p, net, 0, origin);
+  ASSERT_TRUE(ms.converged);
+  EXPECT_EQ(normalize_set(ms.weights[1]),
+            normalize_set({pr(I(2), I(2)), pr(I(6), I(9))}));
+}
+
+TEST(DirectProduct, LanguageSupport) {
+  lang::Interp in;
+  auto out = in.run("let p = prod(sp, bw)\nshow p");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(out->find("prod("), std::string::npos);
+  EXPECT_NE(out->find("| total     | no"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,136 @@
+// Base function families and remaining component APIs.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/core/lex.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+TEST(FamId, SingleIdentityLabel) {
+  auto f = fam_id();
+  EXPECT_EQ(f->labels()->size(), 1u);
+  EXPECT_EQ(f->apply(Value::unit(), I(7)), I(7));
+  EXPECT_EQ(f->apply(Value::unit(), Value::inf()), Value::inf());
+}
+
+TEST(FamConstOf, LabelsAreTheValues) {
+  auto f = fam_const_of("consts", {I(1), I(2)});
+  EXPECT_EQ(f->labels()->size(), 2u);
+  EXPECT_EQ(f->apply(I(2), I(99)), I(2));
+  EXPECT_THROW(fam_const_of("empty", {}), std::logic_error);
+}
+
+TEST(FamAddConst, LabelsAndSaturation) {
+  auto f = fam_add_const(1, 3);
+  EXPECT_EQ(*f->labels(), (ValueVec{I(1), I(2), I(3)}));
+  EXPECT_EQ(f->apply(I(2), I(5)), I(7));
+  EXPECT_EQ(f->apply(I(2), Value::inf()), Value::inf());
+  EXPECT_THROW(fam_add_const(3, 1), std::logic_error);
+  EXPECT_THROW(fam_add_const(-1, 1), std::logic_error);
+}
+
+TEST(FamMinConst, IncludesUnlimitedLink) {
+  auto f = fam_min_const(0, 2);
+  const ValueVec labels = *f->labels();
+  ASSERT_EQ(labels.size(), 4u);  // 0,1,2,inf
+  EXPECT_EQ(labels.back(), Value::inf());
+  EXPECT_EQ(f->apply(I(1), I(5)), I(1));
+  EXPECT_EQ(f->apply(Value::inf(), I(5)), I(5));
+}
+
+TEST(FamMulConstReal, ValidatesFactors) {
+  auto f = fam_mul_const_real({0.5, 1.0});
+  EXPECT_EQ(f->apply(Value::real(0.5), Value::real(0.5)), Value::real(0.25));
+  EXPECT_THROW(fam_mul_const_real({0.0}), std::logic_error);   // must be > 0
+  EXPECT_THROW(fam_mul_const_real({1.5}), std::logic_error);   // must be <= 1
+  EXPECT_THROW(fam_mul_const_real({}), std::logic_error);
+}
+
+TEST(FamChainAdd, SaturatesAtBound) {
+  auto f = fam_chain_add(4, 1, 2);
+  EXPECT_EQ(f->apply(I(2), I(3)), I(4));
+  EXPECT_EQ(f->apply(I(1), I(1)), I(2));
+  EXPECT_THROW(fam_chain_add(4, 1, 5), std::logic_error);  // hi > n
+}
+
+TEST(FamTable, ValidatesShape) {
+  EXPECT_THROW(fam_table("bad", 2, {{0, 1, 0}}), std::logic_error);  // arity
+  EXPECT_THROW(fam_table("bad", 2, {{0, 2}}), std::logic_error);     // range
+  EXPECT_THROW(fam_table("bad", 2, {}), std::logic_error);           // empty
+  auto f = fam_table("ok", 2, {{1, 0}});
+  EXPECT_EQ(f->apply(I(0), I(0)), I(1));
+  EXPECT_THROW(f->apply(I(1), I(0)), std::logic_error);  // unknown label
+}
+
+TEST(FamPair, CrossesLabels) {
+  auto f = fam_pair(fam_add_const(1, 2), fam_min_const(0, 1));
+  // 2 add labels x 3 min labels (0,1,inf).
+  EXPECT_EQ(f->labels()->size(), 6u);
+  EXPECT_EQ(f->apply(Value::pair(I(1), I(0)), Value::pair(I(4), I(9))),
+            Value::pair(I(5), I(0)));
+}
+
+TEST(FamUnion, TagsSelectTheSide) {
+  auto f = fam_union(fam_add_const(1, 1), fam_id());
+  EXPECT_EQ(f->apply(Value::tagged(1, I(1)), I(5)), I(6));
+  EXPECT_EQ(f->apply(Value::tagged(2, Value::unit()), I(5)), I(5));
+  EXPECT_THROW(f->apply(I(0), I(5)), std::logic_error);  // untagged label
+  EXPECT_THROW(f->apply(Value::tagged(3, I(0)), I(5)), std::logic_error);
+}
+
+TEST(FamUnion, LabelEnumerationKeepsBothSides) {
+  auto f = fam_union(fam_add_const(1, 2), fam_id());
+  const ValueVec labels = *f->labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0].tag(), 1);
+  EXPECT_EQ(labels[2].tag(), 2);
+}
+
+TEST(SampleLabels, DeterministicInSeed) {
+  auto f = fam_add_const(1, 9);
+  Rng a(3), b(3);
+  EXPECT_EQ(f->sample_labels(a, 10), f->sample_labels(b, 10));
+}
+
+TEST(Quadrants, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(bs_shortest_path()));
+  EXPECT_NO_THROW(validate(os_widest_path()));
+  EXPECT_NO_THROW(validate(st_shortest_path(3)));
+  EXPECT_NO_THROW(validate(ot_reliability()));
+}
+
+TEST(Quadrants, ValidateRejectsNullAndMismatchedCarriers) {
+  Bisemigroup broken{"broken", nullptr, sg_plus(), {}};
+  EXPECT_THROW(validate(broken), std::logic_error);
+  // Mismatched finite carriers: chain(2) vs chain(5).
+  Bisemigroup mismatched{"m", sg_chain_min(2), sg_chain_plus(5), {}};
+  EXPECT_THROW(validate(mismatched), std::logic_error);
+}
+
+TEST(CheckerLimits, SmallEnumBudgetFallsBackToSampling) {
+  Checker tight(CheckLimits{.max_enum = 2, .samples = 50,
+                            .max_tuples = 1000, .seed = 1});
+  // chain has 5 elements > max_enum 2: verdicts become sampled.
+  const CheckResult r = tight.prop(ot_chain_add(4, 1, 2), Prop::M_L);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_NE(r.verdict, Tri::False);
+}
+
+TEST(Sampling, InfiniteCarrierSamplesStayInCarrier) {
+  Rng rng(9);
+  auto ord = ord_unit_real_geq();
+  for (const Value& v : ord->sample(rng, 100)) {
+    EXPECT_TRUE(ord->contains(v)) << v.to_string();
+  }
+  auto sg = sg_plus();
+  for (const Value& v : sg->sample(rng, 100)) {
+    EXPECT_TRUE(sg->contains(v)) << v.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,116 @@
+// The Gao–Rexford customer/peer/provider algebra: the flagship application
+// of metarouting-style analysis to interdomain policy.
+//
+// The property engine shows the algebra is nondecreasing but NOT increasing,
+// so Theorem 5 gives no convergence guarantee — and indeed safety comes from
+// the economic hierarchy (acyclic customer→provider relation), which we
+// measure: valley-free hierarchies always converge to stable, loop-free
+// routings, while a weight-only protocol on a customer *cycle* admits a
+// stable state that forwards in a loop — the measured reason BGP carries the
+// AS path on top of its preference algebra.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+TEST(GaoRexford, AlgebraProperties) {
+  Checker chk;
+  const OrderTransform gr = gao_rexford_algebra();
+  // Export rules preserve or worsen the route class: ND holds…
+  EXPECT_EQ(chk.prop(gr, Prop::ND_L).verdict, Tri::True);
+  // …but a customer route stays a customer route: not increasing.
+  EXPECT_EQ(chk.prop(gr, Prop::Inc_L).verdict, Tri::False);
+  // Monotone: better classes never map below worse ones.
+  EXPECT_EQ(chk.prop(gr, Prop::M_L).verdict, Tri::True);
+  // The invalid class is fixed.
+  EXPECT_EQ(chk.prop(gr, Prop::TFix_L).verdict, Tri::True);
+}
+
+TEST(GaoRexford, ExportRules) {
+  const OrderTransform gr = gao_rexford_algebra();
+  // Customer-learned routes propagate everywhere.
+  EXPECT_EQ(gr.fns->apply(gr_cust_label(), I(0)), I(0));
+  EXPECT_EQ(gr.fns->apply(gr_peer_label(), I(0)), I(1));
+  EXPECT_EQ(gr.fns->apply(gr_prov_label(), I(0)), I(2));
+  // Peer/provider routes do not cross peer or customer→provider arcs
+  // (valley-free): they become invalid.
+  EXPECT_EQ(gr.fns->apply(gr_cust_label(), I(1)), I(3));
+  EXPECT_EQ(gr.fns->apply(gr_peer_label(), I(2)), I(3));
+  // …but do go down to customers.
+  EXPECT_EQ(gr.fns->apply(gr_prov_label(), I(1)), I(2));
+  EXPECT_EQ(gr.fns->apply(gr_prov_label(), I(2)), I(2));
+}
+
+TEST(GaoRexford, HierarchiesConvergeToStableLoopFreeRoutings) {
+  Rng rng(0x6A0);
+  for (int trial = 0; trial < 12; ++trial) {
+    Scenario sc = gao_rexford_hierarchy(rng, 12, 6);
+    SimOptions opts;
+    opts.seed = 0x6A0 + static_cast<std::uint64_t>(trial);
+    opts.drop_top_routes = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "trial " << trial;
+    EXPECT_TRUE(is_locally_optimal(sc.alg, sc.net, sc.dest, sc.origin,
+                                   res.routing, /*drop_top_routes=*/true))
+        << "trial " << trial;
+    EXPECT_TRUE(forwarding_consistent(sc.net, res.routing, sc.dest))
+        << "trial " << trial;
+    // Everyone reaches the destination AS in a valley-free hierarchy rooted
+    // at it (providers reach customers and vice versa).
+    for (int v = 0; v < sc.net.num_nodes(); ++v) {
+      EXPECT_TRUE(res.routing.has_route(v)) << "trial " << trial << " " << v;
+    }
+  }
+}
+
+// Weight-only protocols cannot see loops: on a customer cycle there is a
+// stable assignment in which three ASes forward "customer routes" around a
+// cycle that never reaches the destination.
+TEST(GaoRexford, CustomerCycleAdmitsStableForwardingLoop) {
+  const OrderTransform gr = gao_rexford_algebra();
+  // Nodes 1,2,3 in a customer cycle (each learns from the "customer" next in
+  // the ring); node 1 also has a legitimate provider route to dest 0.
+  Digraph g(4);
+  ValueVec labels;
+  const int a12 = g.add_arc(1, 2);
+  labels.push_back(gr_cust_label());
+  const int a23 = g.add_arc(2, 3);
+  labels.push_back(gr_cust_label());
+  const int a31 = g.add_arc(3, 1);
+  labels.push_back(gr_cust_label());
+  g.add_arc(1, 0);
+  labels.push_back(gr_prov_label());
+  LabeledGraph net(std::move(g), std::move(labels));
+
+  // The looping state: everyone claims a customer route via the ring.
+  Routing looping;
+  looping.weight = {I(0), I(0), I(0), I(0)};
+  looping.next_arc = {-1, a12, a23, a31};
+  // It is a Bellman fixed point (locally optimal!)…
+  EXPECT_TRUE(is_locally_optimal(gr, net, 0, I(0), looping, true));
+  // …but it forwards in a circle.
+  EXPECT_FALSE(forwarding_consistent(net, looping, 0));
+
+  // The intended state (1 routes via its provider; 2 and 3 via the ring
+  // toward 1) is also stable — and actually delivers.
+  Routing honest;
+  honest.weight = {I(0), I(2), I(0), I(0)};
+  honest.next_arc = {-1, 3 /*arc (1,0)*/, a23, a31};
+  // 2 learns from customer 3 whose route is via... 3 learns from 1? 3's arc
+  // goes to 1 with class cust: f_cust(P=2) = ⊤ — so in the honest state 2 and
+  // 3 have no valid route at all; recompute: only node 1 is routable.
+  honest.weight = {I(0), I(2), std::nullopt, std::nullopt};
+  honest.next_arc = {-1, 3, -1, -1};
+  EXPECT_TRUE(is_locally_optimal(gr, net, 0, I(0), honest, true));
+  EXPECT_TRUE(forwarding_consistent(net, honest, 0));
+}
+
+}  // namespace
+}  // namespace mrt

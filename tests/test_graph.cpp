@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "mrt/graph/digraph.hpp"
+#include "mrt/graph/dot.hpp"
+#include "mrt/graph/generators.hpp"
+
+namespace mrt {
+namespace {
+
+TEST(Digraph, ArcsAndAdjacency) {
+  Digraph g(3);
+  const int a = g.add_arc(0, 1);
+  const int b = g.add_arc(1, 2);
+  const int c = g.add_arc(0, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_arcs(), 3);
+  EXPECT_EQ(g.arc(a).src, 0);
+  EXPECT_EQ(g.arc(b).dst, 2);
+  EXPECT_EQ(g.out_arcs(0), (std::vector<int>{a, c}));
+  EXPECT_EQ(g.in_arcs(2), (std::vector<int>{b, c}));
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(Digraph, BoundsChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 2), std::logic_error);
+  EXPECT_THROW(g.arc(0), std::logic_error);
+  EXPECT_THROW(g.out_arcs(-1), std::logic_error);
+}
+
+TEST(Digraph, ReversedPreservesArcIds) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  Digraph r = g.reversed();
+  EXPECT_EQ(r.arc(0).src, 1);
+  EXPECT_EQ(r.arc(0).dst, 0);
+  EXPECT_EQ(r.arc(1).src, 2);
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  auto seen = g.reachable_from(0);
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(Generators, Shapes) {
+  EXPECT_EQ(line(4).num_arcs(), 6);
+  EXPECT_EQ(ring(5).num_arcs(), 10);
+  EXPECT_EQ(grid(3, 2).num_nodes(), 6);
+  EXPECT_EQ(grid(3, 2).num_arcs(), 2 * (2 * 2 + 3 * 1));
+  EXPECT_EQ(complete(4).num_arcs(), 12);
+}
+
+TEST(Generators, GnpDeterministicInSeed) {
+  Rng a(5), b(5);
+  Digraph g1 = gnp(a, 10, 0.3, false);
+  Digraph g2 = gnp(b, 10, 0.3, false);
+  ASSERT_EQ(g1.num_arcs(), g2.num_arcs());
+  for (int i = 0; i < g1.num_arcs(); ++i) {
+    EXPECT_EQ(g1.arc(i).src, g2.arc(i).src);
+    EXPECT_EQ(g1.arc(i).dst, g2.arc(i).dst);
+  }
+}
+
+TEST(Generators, RandomConnectedIsStronglyConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Digraph g = random_connected(rng, 12, 5);
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      auto seen = g.reachable_from(v);
+      for (int u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_TRUE(seen[u]) << "seed " << seed << ": " << u
+                             << " unreachable from " << v;
+      }
+    }
+  }
+}
+
+TEST(Generators, RegionTopologyPartitions) {
+  Rng rng(3);
+  RegionTopology topo = regions_topology(rng, 3, 4);
+  EXPECT_EQ(topo.g.num_nodes(), 12);
+  // Region labels are the block structure.
+  for (int v = 0; v < 12; ++v) EXPECT_EQ(topo.region[(std::size_t)v], v / 4);
+  // There is at least one inter-region arc and at least one intra-region arc.
+  int inter = 0, intra = 0;
+  for (int id = 0; id < topo.g.num_arcs(); ++id) {
+    (topo.inter_region(id) ? inter : intra)++;
+  }
+  EXPECT_GT(inter, 0);
+  EXPECT_GT(intra, 0);
+  // Whole topology is connected.
+  auto seen = topo.g.reachable_from(0);
+  for (int v = 0; v < 12; ++v) EXPECT_TRUE(seen[(std::size_t)v]);
+}
+
+TEST(Dot, RendersNodesArcsAndHighlights) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  DotOptions opts;
+  opts.node_labels = {"a", "b"};
+  opts.arc_labels = {"w=3"};
+  opts.highlight_arcs = {0};
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"w=3\""), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrt

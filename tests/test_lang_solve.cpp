@@ -1,0 +1,92 @@
+// The solve statement: the metalanguage driving the routing algorithms,
+// with the derived properties acting as the "proof component".
+#include <gtest/gtest.h>
+
+#include "mrt/lang/interp.hpp"
+#include "mrt/lang/parser.hpp"
+
+namespace mrt::lang {
+namespace {
+
+TEST(SolveParse, FullForm) {
+  auto p = parse("solve lex(sp, bw) on random(8, 4, 7) to 0 from pair(0, inf)");
+  ASSERT_TRUE(p.ok()) << p.error().to_string();
+  ASSERT_EQ(p->size(), 1u);
+  const Stmt& s = (*p)[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::Solve);
+  EXPECT_EQ(s.expr->show(), "lex(sp, bw)");
+  EXPECT_EQ(s.topology->show(), "random(8, 4, 7)");
+  EXPECT_EQ(s.dest, 0);
+  EXPECT_EQ(s.origin->show(), "pair(0, inf)");
+}
+
+TEST(SolveParse, Errors) {
+  EXPECT_FALSE(parse("solve sp ring(5) to 0 from 0").ok());   // missing 'on'
+  EXPECT_FALSE(parse("solve sp on ring(5) to x from 0").ok()); // bad dest
+  EXPECT_FALSE(parse("solve sp on ring(5) from 0").ok());      // missing 'to'
+}
+
+TEST(Solve, TotalOrderUsesDijkstra) {
+  Interp in;
+  auto out = in.run("solve sp on ring(5) to 0 from 0");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(out->find("| node | weight"), std::string::npos);
+  EXPECT_NE(out->find("| 0    | 0"), std::string::npos);
+  // sp is monotone and ND: no warnings.
+  EXPECT_EQ(out->find("warning"), std::string::npos);
+}
+
+TEST(Solve, NonMonotoneAlgebraWarns) {
+  Interp in;
+  auto out = in.run("solve lex(bw, sp) on line(4) to 0 from pair(inf, 0)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("warning: M not established (no)"), std::string::npos);
+}
+
+TEST(Solve, PartialOrderComputesFrontiers) {
+  Interp in;
+  auto out = in.run("solve prod(sp, bw) on ring(5) to 0 from pair(0, inf)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("Pareto frontiers"), std::string::npos);
+  EXPECT_NE(out->find("| node | frontier"), std::string::npos);
+}
+
+TEST(Solve, UsesBindings) {
+  Interp in;
+  auto out = in.run("let a = hops\nsolve a on grid(3, 2) to 0 from 0");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(out->find("solving hops"), std::string::npos);
+}
+
+TEST(Solve, RejectsWrongQuadrantAndBadInputs) {
+  Interp in;
+  EXPECT_FALSE(in.run("solve sp_bs on ring(5) to 0 from 0").ok());
+  EXPECT_FALSE(in.run("solve sp on ring(5) to 99 from 0").ok());
+  EXPECT_FALSE(in.run("solve sp on hexagon(5) to 0 from 0").ok());
+  // Origin not in the carrier: a bare pair for a scalar algebra.
+  auto bad = in.run("solve sp on ring(5) to 0 from pair(0, 0)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("not in the carrier"), std::string::npos);
+}
+
+TEST(Solve, ValueLiterals) {
+  Interp in;
+  // inf as an origin for widest path (infinite capacity at the source).
+  auto out = in.run("solve bw on line(3) to 0 from inf");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(out->find("| 0    | inf"), std::string::npos);
+}
+
+TEST(Solve, DeterministicInTopologySeed) {
+  Interp a, b;
+  auto x = a.run("solve sp on random(8, 4, 42) to 0 from 0");
+  auto y = b.run("solve sp on random(8, 4, 42) to 0 from 0");
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ(*x, *y);
+  auto z = a.run("solve sp on random(8, 4, 43) to 0 from 0");
+  ASSERT_TRUE(z.ok());
+  EXPECT_NE(*x, *z);
+}
+
+}  // namespace
+}  // namespace mrt::lang

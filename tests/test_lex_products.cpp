@@ -1,0 +1,251 @@
+// Lexicographic products of the primitive components: the section IV.A case
+// analysis, Theorem 2 (definedness and n-ary structure), Theorem 3 (natural
+// orders commute with the product), and the Szendrei ⃗×_ω variant.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/lex.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/core/translations.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+Value P(Value a, Value b) { return Value::pair(std::move(a), std::move(b)); }
+
+// ---------------------------------------------------------------------------
+// The four defining cases of the lex semigroup product
+// ---------------------------------------------------------------------------
+
+TEST(LexSemigroup, FirstComponentStrictlyWins) {
+  auto l = lex_semigroup(sg_min(), sg_min());
+  // s1 < s2: take the left pair wholesale.
+  EXPECT_EQ(l->op(P(I(1), I(9)), P(I(2), I(0))), P(I(1), I(9)));
+  // s2 < s1: take the right pair.
+  EXPECT_EQ(l->op(P(I(5), I(0)), P(I(3), I(7))), P(I(3), I(7)));
+}
+
+TEST(LexSemigroup, TieFallsToSecondComponent) {
+  auto l = lex_semigroup(sg_min(), sg_min());
+  EXPECT_EQ(l->op(P(I(4), I(9)), P(I(4), I(2))), P(I(4), I(2)));
+}
+
+TEST(LexSemigroup, FourthCaseUsesIdentityOfT) {
+  // S = union_bits (not selective): 01 ⊕ 10 = 00, a third element; the T
+  // component must become α_T = ∞ for min.
+  auto l = lex_semigroup(sg_inter_bits(2), sg_min());
+  EXPECT_EQ(l->op(P(I(0b01), I(3)), P(I(0b10), I(4))),
+            P(I(0b00), Value::inf()));
+}
+
+TEST(LexSemigroup, FourthCaseWithoutIdentityThrows) {
+  // T = plain-N min has no identity: the product is undefined exactly there.
+  auto l = lex_semigroup(sg_inter_bits(2), sg_min(false));
+  EXPECT_EQ(l->op(P(I(0b01), I(3)), P(I(0b01), I(4))), P(I(0b01), I(3)));
+  EXPECT_THROW(l->op(P(I(0b01), I(3)), P(I(0b10), I(4))), std::logic_error);
+}
+
+TEST(LexSemigroup, SelectiveFirstFactorNeverNeedsIdentity) {
+  // S selective: the fourth case cannot occur, so T may lack an identity.
+  auto l = lex_semigroup(sg_min(), sg_min(false));
+  auto all_ok = [&](Value a, Value b) { return l->op(a, b); };
+  EXPECT_EQ(all_ok(P(I(1), I(5)), P(I(2), I(6))), P(I(1), I(5)));
+  EXPECT_EQ(all_ok(P(I(2), I(5)), P(I(2), I(3))), P(I(2), I(3)));
+}
+
+TEST(LexSemigroup, IdentityAndAbsorberAreComponentwise) {
+  auto l = lex_semigroup(sg_min(), sg_min());
+  EXPECT_EQ(*l->identity(), P(Value::inf(), Value::inf()));
+  EXPECT_EQ(*l->absorber(), P(I(0), I(0)));
+  auto l2 = lex_semigroup(sg_min(false), sg_min());
+  EXPECT_FALSE(l2->identity().has_value());
+}
+
+TEST(LexSemigroup, PaperFormulaMatchesCaseAnalysis) {
+  // (s, [s = s1]t1 ⊕ [s = s2]t2) checked against the case table on an
+  // exhaustively enumerated finite instance.
+  auto s = sg_chain_min(2);
+  auto t = sg_chain_min(2);
+  auto l = lex_semigroup(s, t);
+  const ValueVec elems = *l->enumerate();
+  for (const Value& a : elems) {
+    for (const Value& b : elems) {
+      const Value sv = s->op(a.first(), b.first());
+      const Value t1 = sv == a.first() ? a.second() : *t->identity();
+      const Value t2 = sv == b.first() ? b.second() : *t->identity();
+      EXPECT_EQ(l->op(a, b), P(sv, t->op(t1, t2)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2: n-ary products, preservation of comm/idem, associativity of ⃗×
+// ---------------------------------------------------------------------------
+
+TEST(Thm2, ProductOfCommIdemIsCommIdemAssoc) {
+  Checker chk;
+  Rng rng(20250705);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto s = random_chain_semilattice(rng, 3);   // selective
+    auto m = random_semilattice(rng, 2, false);  // free middle factor
+    auto t = random_semilattice(rng, 2, true);   // monoid
+    auto p = lex_semigroup(lex_semigroup(s, m), t);
+    EXPECT_EQ(chk.semigroup_prop(*p, Prop::Assoc).verdict, Tri::True);
+    EXPECT_EQ(chk.semigroup_prop(*p, Prop::Comm).verdict, Tri::True);
+    EXPECT_EQ(chk.semigroup_prop(*p, Prop::Idem).verdict, Tri::True);
+  }
+}
+
+TEST(Thm2, OperatorIsAssociative) {
+  // (S ⃗× T) ⃗× U ≅ S ⃗× (T ⃗× U): compare through the shape isomorphism.
+  Rng rng(7);
+  auto s = random_chain_semilattice(rng, 3);
+  auto t = random_semilattice(rng, 2, true);
+  auto u = random_semilattice(rng, 2, true);
+  auto left_assoc = lex_semigroup(lex_semigroup(s, t), u);
+  auto right_assoc = lex_semigroup(s, lex_semigroup(t, u));
+
+  auto to_left = [](const Value& a, const Value& b, const Value& c) {
+    return P(P(a, b), c);
+  };
+  auto to_right = [](const Value& a, const Value& b, const Value& c) {
+    return P(a, P(b, c));
+  };
+  const ValueVec se = *s->enumerate();
+  const ValueVec te = *t->enumerate();
+  const ValueVec ue = *u->enumerate();
+  for (const Value& a1 : se) {
+    for (const Value& b1 : te) {
+      for (const Value& c1 : ue) {
+        for (const Value& a2 : se) {
+          for (const Value& b2 : te) {
+            for (const Value& c2 : ue) {
+              const Value l = left_assoc->op(to_left(a1, b1, c1),
+                                             to_left(a2, b2, c2));
+              const Value r = right_assoc->op(to_right(a1, b1, c1),
+                                              to_right(a2, b2, c2));
+              // Flatten both shapes to triples and compare.
+              EXPECT_EQ(l.first().first(), r.first());
+              EXPECT_EQ(l.first().second(), r.second().first());
+              EXPECT_EQ(l.second(), r.second().second());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Thm2, MisplacedNonSelectiveFactorBreaksDefinedness) {
+  // Two non-selective non-monoid factors: the product must be undefined
+  // somewhere (Theorem 2 allows only ONE free factor).
+  auto free1 = sg_inter_bits(2);    // identity exists? inter has identity=full
+  auto no_id = sg_min(false);       // no identity, selective though...
+  // Build: S = inter_bits (NOT selective), T = plain-N min (no identity):
+  auto l = lex_semigroup(free1, no_id);
+  bool threw = false;
+  try {
+    l->op(P(I(0b01), I(1)), P(I(0b10), I(2)));
+  } catch (const std::logic_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3: NO^L/R(S ⃗× T) = NO^L/R(S) ⃗× NO^L/R(T)
+// ---------------------------------------------------------------------------
+
+class Thm3Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm3Sweep, NaturalOrdersCommuteWithLex) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  SemigroupPtr s = rng.chance(0.5) ? random_chain_semilattice(rng, 3)
+                                   : random_semilattice(rng, 2, true);
+  SemigroupPtr t = random_semilattice(rng, 2, true);  // monoid required
+  auto product = lex_semigroup(s, t);
+
+  for (const bool left : {true, false}) {
+    auto no_of_product = natural_order(product, left);
+    auto product_of_no =
+        lex_preorder(natural_order(s, left), natural_order(t, left));
+    const ValueVec pe = *product->enumerate();
+    for (const Value& a : pe) {
+      for (const Value& b : pe) {
+        EXPECT_EQ(no_of_product->leq(a, b), product_of_no->leq(a, b))
+            << (left ? "NO_L" : "NO_R") << " disagrees at a=" << a.to_string()
+            << " b=" << b.to_string() << " with S=" << s->name()
+            << " T=" << t->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm3Sweep, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Lex preorder formula and tops
+// ---------------------------------------------------------------------------
+
+TEST(LexPreorder, Formula) {
+  auto l = lex_preorder(ord_nat_leq(), ord_nat_geq());
+  // First strictly better: wins regardless of second.
+  EXPECT_TRUE(l->leq(P(I(1), I(0)), P(I(2), I(100))));
+  // First equivalent: falls to second (bandwidth: larger preferred).
+  EXPECT_TRUE(l->leq(P(I(1), I(7)), P(I(1), I(3))));
+  EXPECT_FALSE(l->leq(P(I(1), I(3)), P(I(1), I(7))));
+  // First strictly worse.
+  EXPECT_FALSE(l->leq(P(I(3), I(100)), P(I(2), I(0))));
+}
+
+TEST(LexPreorder, IncomparabilityPropagates) {
+  auto l = lex_preorder(ord_discrete(2), ord_chain(2));
+  EXPECT_EQ(l->cmp(P(I(0), I(1)), P(I(1), I(0))), Cmp::Incomp);
+  EXPECT_EQ(l->cmp(P(I(0), I(1)), P(I(0), I(2))), Cmp::Less);
+}
+
+TEST(LexPreorder, TopIsComponentwise) {
+  auto l = lex_preorder(ord_nat_leq(), ord_nat_geq());
+  EXPECT_TRUE(l->is_top(P(Value::inf(), I(0))));
+  EXPECT_FALSE(l->is_top(P(Value::inf(), I(1))));
+  EXPECT_TRUE(l->has_top());
+  auto l2 = lex_preorder(ord_nat_leq(false), ord_nat_geq());
+  EXPECT_FALSE(l2->has_top());
+}
+
+// ---------------------------------------------------------------------------
+// Szendrei ⃗×_ω semigroup (section VI)
+// ---------------------------------------------------------------------------
+
+TEST(SzendreiSemigroup, CollapsesAbsorber) {
+  // S = chain_plus(3) (absorber 3), T = chain_min(2) monoid.
+  auto l = lex_omega_semigroup(sg_chain_plus(3), sg_chain_min(2));
+  EXPECT_EQ(l->op(Value::omega(), P(I(1), I(0))), Value::omega());
+  EXPECT_EQ(*l->absorber(), Value::omega());
+  // min(1,2)=1 with chain-plus ⊕... chain_plus is min(n, a+b): 1 ⊕ 2 = 3 =
+  // absorber → collapse.
+  EXPECT_EQ(l->op(P(I(1), I(0)), P(I(2), I(1))), Value::omega());
+  // Non-collapsing case behaves like the plain product.
+  EXPECT_EQ(l->op(P(I(1), I(0)), P(I(1), I(1))), P(I(2), *sg_chain_min(2)->identity()));
+}
+
+TEST(SzendreiSemigroup, CarrierExcludesCollapsedPairs) {
+  auto l = lex_omega_semigroup(sg_chain_plus(3), sg_chain_min(2));
+  EXPECT_TRUE(l->contains(Value::omega()));
+  EXPECT_TRUE(l->contains(P(I(2), I(1))));
+  EXPECT_FALSE(l->contains(P(I(3), I(1))));  // first component is ω_S
+  // Enumeration: 3 surviving S values × 3 T values + ω.
+  EXPECT_EQ(l->enumerate()->size(), 10u);
+}
+
+TEST(SzendreiSemigroup, RequiresAbsorber) {
+  EXPECT_THROW(lex_omega_semigroup(sg_plus(false), sg_chain_min(2)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,107 @@
+// Path-vector loop detection (BGP's AS-path mechanism): with paths carried
+// in advertisements, the stable-but-looping states of weight-only protocols
+// become unreachable, while genuinely unstable gadgets still diverge.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+TEST(LoopDetection, SelectedPathsAreReportedAndLoopFree) {
+  const OrderTransform sp = ot_shortest_path(4);
+  Digraph g(3);
+  ValueVec labels;
+  g.add_arc(1, 0);
+  labels.push_back(I(1));
+  g.add_arc(2, 1);
+  labels.push_back(I(1));
+  LabeledGraph net(std::move(g), std::move(labels));
+  SimOptions opts;
+  opts.loop_detection = true;
+  PathVectorSim sim(sp, net, 0, I(0), opts);
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.paths[0], (std::vector<int>{0}));
+  EXPECT_EQ(res.paths[1], (std::vector<int>{1, 0}));
+  EXPECT_EQ(res.paths[2], (std::vector<int>{2, 1, 0}));
+}
+
+TEST(LoopDetection, GaoRexfordCustomerCycleCannotLockIntoTheLoop) {
+  // The same customer cycle whose looping state is a stable fixed point of
+  // the weight-only protocol (test_gao_rexford.cpp): with paths carried,
+  // every run converges to a loop-free state.
+  const OrderTransform gr = gao_rexford_algebra();
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Digraph g(4);
+    ValueVec labels;
+    g.add_arc(1, 2);
+    labels.push_back(gr_cust_label());
+    g.add_arc(2, 3);
+    labels.push_back(gr_cust_label());
+    g.add_arc(3, 1);
+    labels.push_back(gr_cust_label());
+    g.add_arc(1, 0);
+    labels.push_back(gr_prov_label());
+    LabeledGraph net(std::move(g), std::move(labels));
+
+    SimOptions opts;
+    opts.seed = seed;
+    opts.drop_top_routes = true;
+    opts.loop_detection = true;
+    PathVectorSim sim(gr, net, 0, I(0), opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    EXPECT_TRUE(forwarding_consistent(net, res.routing, 0)) << "seed " << seed;
+    // Node 1 must use its honest provider route, not the cycle.
+    ASSERT_TRUE(res.routing.has_route(1));
+    EXPECT_EQ(*res.routing.weight[1], I(2)) << "seed " << seed;
+  }
+}
+
+TEST(LoopDetection, RandomIncreasingScenariosStillConvergeWithPaths) {
+  Rng rng(0x100D);
+  const OrderTransform sp = ot_shortest_path(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario sc = random_scenario(sp, I(0), rng, 10, 6);
+    SimOptions opts;
+    opts.seed = 77 + static_cast<std::uint64_t>(trial);
+    opts.loop_detection = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged);
+    EXPECT_TRUE(is_locally_optimal(sc.alg, sc.net, sc.dest, sc.origin,
+                                   res.routing));
+    EXPECT_TRUE(forwarding_consistent(sc.net, res.routing, sc.dest));
+    // Every reported path actually follows selected arcs to the destination.
+    for (int v = 0; v < sc.net.num_nodes(); ++v) {
+      if (!res.routing.has_route(v)) continue;
+      auto fwd = forwarding_path(sc.net, res.routing, v, sc.dest);
+      ASSERT_TRUE(fwd.has_value());
+      EXPECT_EQ(*fwd, res.paths[(std::size_t)v]) << "node " << v;
+    }
+  }
+}
+
+TEST(LoopDetection, BadGadgetStillDivergesWithPaths) {
+  // The classic result: AS-path loop detection does not make BGP safe —
+  // BAD GADGET has no stable state with or without paths.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Scenario sc = bad_gadget();
+    SimOptions opts;
+    opts.seed = seed;
+    opts.max_events = 20'000;
+    opts.drop_top_routes = true;
+    opts.loop_detection = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    EXPECT_FALSE(res.converged) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mrt

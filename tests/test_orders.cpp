@@ -1,0 +1,143 @@
+// Base preorders: comparisons, tops/bottoms, shape probes, min-sets.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/inference.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+TEST(OrdNatLeq, TotalWithInfTop) {
+  auto p = ord_nat_leq();
+  EXPECT_EQ(p->cmp(I(2), I(5)), Cmp::Less);
+  EXPECT_EQ(p->cmp(I(5), I(5)), Cmp::Equiv);
+  EXPECT_EQ(p->cmp(Value::inf(), I(5)), Cmp::Greater);
+  EXPECT_TRUE(p->is_top(Value::inf()));
+  EXPECT_FALSE(p->is_top(I(1000)));
+  EXPECT_TRUE(p->has_top());
+}
+
+TEST(OrdNatLeq, PlainNatHasNoTop) {
+  auto p = ord_nat_leq(false);
+  EXPECT_FALSE(p->has_top());
+  EXPECT_FALSE(p->is_top(I(1'000'000)));
+}
+
+TEST(OrdNatGeq, BandwidthPreference) {
+  auto p = ord_nat_geq();
+  // Larger bandwidth is preferred (smaller in the preference order).
+  EXPECT_EQ(p->cmp(I(10), I(3)), Cmp::Less);
+  EXPECT_TRUE(p->is_top(I(0)));
+  EXPECT_EQ(p->cmp(Value::inf(), I(3)), Cmp::Less);
+}
+
+TEST(OrdRealGeq, ReliabilityPreference) {
+  auto p = ord_unit_real_geq();
+  EXPECT_EQ(p->cmp(Value::real(0.9), Value::real(0.5)), Cmp::Less);
+  EXPECT_TRUE(p->is_top(Value::real(0.0)));
+}
+
+TEST(OrdDiscrete, OnlyReflexivePairs) {
+  auto p = ord_discrete(3);
+  EXPECT_EQ(p->cmp(I(0), I(1)), Cmp::Incomp);
+  EXPECT_EQ(p->cmp(I(2), I(2)), Cmp::Equiv);
+  EXPECT_FALSE(p->has_top());
+}
+
+TEST(OrdTrivial, SingleClass) {
+  auto p = ord_trivial(3);
+  EXPECT_EQ(p->cmp(I(0), I(2)), Cmp::Equiv);
+  EXPECT_TRUE(p->has_top());
+  EXPECT_EQ(tops(*p).size(), 3u);
+}
+
+TEST(OrdSubset, PartialOrderShape) {
+  auto p = ord_subset_bits(2);
+  EXPECT_EQ(p->cmp(I(0b01), I(0b11)), Cmp::Less);
+  EXPECT_EQ(p->cmp(I(0b01), I(0b10)), Cmp::Incomp);
+  EXPECT_TRUE(p->is_top(I(0b11)));
+  EXPECT_EQ(bottoms(*p), ValueVec{I(0)});
+}
+
+TEST(OrdTable, ValidatesPreorderLaws) {
+  // Not reflexive.
+  EXPECT_THROW(ord_table("bad", {{0, 1}, {0, 1}}), std::logic_error);
+  // Not transitive: 0<=1, 1<=2 but not 0<=2.
+  EXPECT_THROW(ord_table("bad", {{1, 1, 0}, {0, 1, 1}, {0, 0, 1}}),
+               std::logic_error);
+  // A valid preorder with an equivalence 0 ~ 1.
+  auto p = ord_table("ok", {{1, 1, 1}, {1, 1, 1}, {0, 0, 1}});
+  EXPECT_EQ(p->cmp(I(0), I(1)), Cmp::Equiv);
+  EXPECT_EQ(p->cmp(I(2), I(0)), Cmp::Greater);
+}
+
+TEST(CmpHelpers, FlipAndPredicates) {
+  EXPECT_EQ(flip(Cmp::Less), Cmp::Greater);
+  EXPECT_EQ(flip(Cmp::Equiv), Cmp::Equiv);
+  EXPECT_EQ(flip(Cmp::Incomp), Cmp::Incomp);
+  EXPECT_TRUE(leq_of(Cmp::Less));
+  EXPECT_TRUE(leq_of(Cmp::Equiv));
+  EXPECT_FALSE(leq_of(Cmp::Incomp));
+  EXPECT_EQ(to_string(Cmp::Incomp), "#");
+}
+
+TEST(MinSet, KeepsParetoFrontier) {
+  auto p = ord_subset_bits(2);
+  // {01, 10, 11}: 11 dominated by both, 01 # 10 both stay.
+  ValueVec ms = min_set(*p, {I(0b01), I(0b10), I(0b11)});
+  EXPECT_EQ(ms, (ValueVec{I(0b01), I(0b10)}));
+}
+
+TEST(MinSet, KeepsEquivalentElementsButNotDuplicates) {
+  auto p = ord_trivial(3);  // everything equivalent
+  ValueVec ms = min_set(*p, {I(2), I(0), I(2)});
+  EXPECT_EQ(ms, (ValueVec{I(0), I(2)}));
+}
+
+TEST(MinSet, EmptyInEmptyOut) {
+  auto p = ord_chain(3);
+  EXPECT_TRUE(min_set(*p, {}).empty());
+}
+
+TEST(Probes, ShapesOfBases) {
+  const OrderShape chain = probe_shape(*ord_chain(3));
+  EXPECT_EQ(chain.multi_element, Tri::True);
+  EXPECT_EQ(chain.multi_class, Tri::True);
+  EXPECT_EQ(chain.no_strict_pair, Tri::False);
+
+  const OrderShape triv = probe_shape(*ord_trivial(3));
+  EXPECT_EQ(triv.multi_element, Tri::True);
+  EXPECT_EQ(triv.multi_class, Tri::False);
+  EXPECT_EQ(triv.no_strict_pair, Tri::True);
+
+  const OrderShape disc = probe_shape(*ord_discrete(2));
+  EXPECT_EQ(disc.multi_class, Tri::True);
+  EXPECT_EQ(disc.no_strict_pair, Tri::True);
+
+  const OrderShape one = probe_shape(*ord_trivial(1));
+  EXPECT_EQ(one.multi_element, Tri::False);
+}
+
+TEST(CheckerOrders, TotalAndAntisym) {
+  Checker chk;
+  EXPECT_EQ(chk.preorder_prop(*ord_chain(3), Prop::Total).verdict, Tri::True);
+  EXPECT_EQ(chk.preorder_prop(*ord_chain(3), Prop::Antisym).verdict,
+            Tri::True);
+  EXPECT_EQ(chk.preorder_prop(*ord_discrete(3), Prop::Total).verdict,
+            Tri::False);
+  EXPECT_EQ(chk.preorder_prop(*ord_trivial(3), Prop::Antisym).verdict,
+            Tri::False);
+  EXPECT_EQ(chk.preorder_prop(*ord_subset_bits(2), Prop::HasTop).verdict,
+            Tri::True);
+  EXPECT_EQ(chk.preorder_prop(*ord_discrete(2), Prop::HasTop).verdict,
+            Tri::False);
+  EXPECT_EQ(chk.preorder_prop(*ord_chain(3), Prop::HasBottom).verdict,
+            Tri::True);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,138 @@
+// The random-algebra generators that power the theorem sweeps: determinism,
+// structural guarantees (the laws each generator promises), and coverage
+// (the sweeps must see both truth values of the key properties).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/random_algebra.hpp"
+
+namespace mrt {
+namespace {
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Rng a(7), b(7);
+  OrderTransform x = random_order_transform(a);
+  OrderTransform y = random_order_transform(b);
+  const ValueVec ex = *x.ord->enumerate();
+  const ValueVec ey = *y.ord->enumerate();
+  ASSERT_EQ(ex.size(), ey.size());
+  for (const Value& v : ex) {
+    for (const Value& w : ex) {
+      EXPECT_EQ(x.ord->leq(v, w), y.ord->leq(v, w));
+    }
+  }
+}
+
+TEST(Generators, TotalPreordersAreTotalAndTransitive) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    auto p = random_total_preorder(rng, 4);
+    EXPECT_EQ(checker().preorder_prop(*p, Prop::Total).verdict, Tri::True);
+    // ord_table construction validates reflexivity+transitivity already;
+    // spot-check a law anyway.
+    const ValueVec e = *p->enumerate();
+    for (const Value& a : e) EXPECT_TRUE(p->leq(a, a));
+  }
+}
+
+TEST(Generators, GeneralPreordersAreClosedButNotAlwaysTotal) {
+  Rng rng(12);
+  int non_total = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto p = random_preorder(rng, 4);  // construction throws if not closed
+    non_total +=
+        checker().preorder_prop(*p, Prop::Total).verdict == Tri::False ? 1 : 0;
+  }
+  EXPECT_GT(non_total, 0) << "sweeps need partial orders too";
+}
+
+TEST(Generators, SemilatticesSatisfyTheSemilatticeLaws) {
+  Rng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    auto s = random_semilattice(rng, 3, i % 2 == 0);
+    EXPECT_EQ(checker().semigroup_prop(*s, Prop::Assoc).verdict, Tri::True);
+    EXPECT_EQ(checker().semigroup_prop(*s, Prop::Comm).verdict, Tri::True);
+    EXPECT_EQ(checker().semigroup_prop(*s, Prop::Idem).verdict, Tri::True);
+    if (i % 2 == 0) {
+      EXPECT_EQ(checker().semigroup_prop(*s, Prop::HasIdentity).verdict,
+                Tri::True);
+    }
+  }
+}
+
+TEST(Generators, ChainSemilatticesAreSelective) {
+  Rng rng(14);
+  for (int i = 0; i < 25; ++i) {
+    auto s = random_chain_semilattice(rng, 4);
+    EXPECT_EQ(checker().semigroup_prop(*s, Prop::Selective).verdict,
+              Tri::True);
+    EXPECT_EQ(checker().semigroup_prop(*s, Prop::Assoc).verdict, Tri::True);
+  }
+}
+
+TEST(Generators, FnStylesDeliverTheirBias) {
+  Rng rng(15);
+  auto ord = random_total_preorder(rng, 4);
+  // Monotone style: every generated function really is monotone.
+  auto mono = random_fn_family(rng, 4, 3, FnStyle::Monotone, ord.get());
+  OrderTransform mt{"m", ord, mono, {}};
+  EXPECT_EQ(checker().prop(mt, Prop::M_L).verdict, Tri::True);
+  // NonDecreasing style.
+  auto nd = random_fn_family(rng, 4, 3, FnStyle::NonDecreasing, ord.get());
+  OrderTransform nt{"n", ord, nd, {}};
+  EXPECT_EQ(checker().prop(nt, Prop::ND_L).verdict, Tri::True);
+  // ConstId style: constants and identities are monotone and C-or-N.
+  auto ci = random_fn_family(rng, 4, 3, FnStyle::ConstId, ord.get());
+  OrderTransform ct{"c", ord, ci, {}};
+  EXPECT_EQ(checker().prop(ct, Prop::M_L).verdict, Tri::True);
+}
+
+TEST(Generators, SweepCoverageHitsBothTruthValues) {
+  // The theorem sweeps are only meaningful if the generators produce both
+  // M-true and M-false (ND-true/false, …) structures with decent frequency.
+  Rng rng(16);
+  int m_yes = 0, m_no = 0, nd_yes = 0, nd_no = 0, top_yes = 0, top_no = 0;
+  for (int i = 0; i < 120; ++i) {
+    OrderTransform s = random_order_transform(rng);
+    const PropertyReport r = checker().report(s);
+    (r.proved(Prop::M_L) ? m_yes : m_no)++;
+    (r.proved(Prop::ND_L) ? nd_yes : nd_no)++;
+    (r.proved(Prop::HasTop) ? top_yes : top_no)++;
+  }
+  EXPECT_GT(m_yes, 10);
+  EXPECT_GT(m_no, 10);
+  EXPECT_GT(nd_yes, 10);
+  EXPECT_GT(nd_no, 10);
+  EXPECT_GT(top_yes, 10);
+  EXPECT_GT(top_no, 10);
+}
+
+TEST(Generators, BisemigroupAddIsAlwaysACommIdemSemigroup) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    Bisemigroup b = random_bisemigroup(rng);
+    EXPECT_EQ(checker().semigroup_prop(*b.add, Prop::Comm).verdict, Tri::True);
+    EXPECT_EQ(checker().semigroup_prop(*b.add, Prop::Idem).verdict, Tri::True);
+    EXPECT_EQ(checker().semigroup_prop(*b.add, Prop::Assoc).verdict,
+              Tri::True);
+  }
+}
+
+TEST(Generators, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(random_total_preorder(rng, 0), std::logic_error);
+  EXPECT_THROW(random_semilattice(rng, 0, false), std::logic_error);
+  EXPECT_THROW(random_fn_family(rng, 3, 0, FnStyle::Arbitrary, nullptr),
+               std::logic_error);
+  EXPECT_THROW(random_fn_family(rng, 3, 2, FnStyle::Monotone, nullptr),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -1,0 +1,200 @@
+// The asynchronous path-vector protocol: convergence with increasing
+// algebras under arbitrary schedules, the BAD GADGET divergence, DISAGREE's
+// two stable outcomes, and reconvergence after link failures.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/routing/optimality.hpp"
+#include "mrt/sim/event_queue.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  EventQueue q;
+  q.push(2.0, Event::Kind::Deliver, 1);
+  q.push(1.0, Event::Kind::Deliver, 2);
+  q.push(1.0, Event::Kind::LinkDown, 3);
+  EXPECT_EQ(q.size(), 3u);
+  Event a = q.pop();
+  EXPECT_EQ(a.arc, 2);  // earliest time, lowest seq
+  Event b = q.pop();
+  EXPECT_EQ(b.arc, 3);  // same time, later seq
+  EXPECT_EQ(q.pop().arc, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.push(5.0, Event::Kind::Deliver, 0);
+  (void)q.pop();
+  EXPECT_THROW(q.push(1.0, Event::Kind::Deliver, 0), std::logic_error);
+}
+
+TEST(PathVector, ConvergesOnIncreasingAlgebra) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario sc = good_gadget_hops();
+    SimOptions opts;
+    opts.seed = seed;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    // Stable state is a local optimum; here (hop count) also the unique one.
+    EXPECT_TRUE(is_locally_optimal(sc.alg, sc.net, sc.dest, sc.origin,
+                                   res.routing));
+    EXPECT_EQ(*res.routing.weight[1], I(1));
+    EXPECT_EQ(*res.routing.weight[2], I(1));
+    EXPECT_EQ(*res.routing.weight[3], I(1));
+  }
+}
+
+TEST(PathVector, RandomIncreasingScenariosConverge) {
+  Rng rng(0xC0471);
+  const OrderTransform sp = ot_shortest_path(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Scenario sc = random_scenario(sp, I(0), rng, 10, 6);
+    SimOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(trial);
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "trial " << trial;
+    EXPECT_TRUE(is_locally_optimal(sc.alg, sc.net, sc.dest, sc.origin,
+                                   res.routing));
+    EXPECT_TRUE(forwarding_consistent(sc.net, res.routing, sc.dest));
+  }
+}
+
+TEST(PathVector, BadGadgetOscillatesUnderEveryTestedSchedule) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario sc = bad_gadget();
+    SimOptions opts;
+    opts.seed = seed;
+    opts.max_events = 20'000;
+    opts.drop_top_routes = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    EXPECT_FALSE(res.converged) << "seed " << seed;
+    EXPECT_GE(res.events, opts.max_events);
+  }
+}
+
+TEST(PathVector, BadGadgetHasNoStableState) {
+  // Independent of the simulator: no assignment is a local optimum.
+  Scenario sc = bad_gadget();
+  // Weights per node come from {0..3}; enumerate all assignments for 1,2,3.
+  for (int w1 = 0; w1 < 4; ++w1) {
+    for (int w2 = 0; w2 < 4; ++w2) {
+      for (int w3 = 0; w3 < 4; ++w3) {
+        Routing r;
+        r.weight = {I(0), I(w1), I(w2), I(w3)};
+        r.next_arc = {-1, -1, -1, -1};
+        EXPECT_FALSE(is_locally_optimal(sc.alg, sc.net, sc.dest, sc.origin, r))
+            << w1 << w2 << w3;
+      }
+    }
+  }
+}
+
+TEST(PathVector, DisagreeOutcomesMatchTheory) {
+  // DISAGREE (Griffin–Shepherd–Wilfong) has exactly two stable routings —
+  // one node gets the preferred via-peer route, the other goes direct — plus
+  // a sustainable oscillation when the two nodes fall into the symmetric
+  // trap (both select direct before hearing from each other and then flip in
+  // lockstep forever). All three outcomes must occur across schedules, and
+  // every converged run must land in a stable state.
+  bool saw_1_preferred = false;
+  bool saw_2_preferred = false;
+  bool saw_oscillation = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Scenario sc = disagree();
+    SimOptions opts;
+    opts.seed = seed;
+    opts.drop_top_routes = true;
+    opts.max_events = 4000;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    if (!res.converged) {
+      saw_oscillation = true;
+      continue;
+    }
+    const Value w1 = *res.routing.weight[1];
+    const Value w2 = *res.routing.weight[2];
+    ASSERT_TRUE((w1 == I(1) && w2 == I(2)) || (w1 == I(2) && w2 == I(1)))
+        << "seed " << seed << ": " << w1.to_string() << ", " << w2.to_string();
+    saw_1_preferred = saw_1_preferred || w1 == I(1);
+    saw_2_preferred = saw_2_preferred || w2 == I(1);
+  }
+  EXPECT_TRUE(saw_1_preferred);
+  EXPECT_TRUE(saw_2_preferred);
+  EXPECT_TRUE(saw_oscillation);
+}
+
+TEST(PathVector, LinkFailureTriggersReconvergence) {
+  // Line 2 — 1 — 0: node 2 routes through 1. Fail (1,0); node 2 and 1 lose
+  // their routes; bring it back and they reconverge.
+  const OrderTransform sp = ot_shortest_path(4);
+  Digraph g(3);
+  ValueVec labels;
+  const int a10 = g.add_arc(1, 0);
+  labels.push_back(I(1));
+  g.add_arc(2, 1);
+  labels.push_back(I(1));
+  LabeledGraph net(std::move(g), std::move(labels));
+
+  {
+    PathVectorSim sim(sp, net, 0, I(0));
+    // Fail the critical link well after initial convergence.
+    sim.schedule_link_down(100.0, a10);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged);
+    EXPECT_FALSE(res.routing.has_route(1));
+    EXPECT_FALSE(res.routing.has_route(2));
+  }
+  {
+    PathVectorSim sim(sp, net, 0, I(0));
+    sim.schedule_link_down(100.0, a10);
+    sim.schedule_link_up(200.0, a10);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged);
+    ASSERT_TRUE(res.routing.has_route(2));
+    EXPECT_EQ(*res.routing.weight[2], I(2));
+    // The failure caused visible reselection churn.
+    EXPECT_GE(res.flaps[1], 2);
+  }
+}
+
+TEST(PathVector, WithdrawalsPropagate) {
+  // Chain 3-2-1-0; failing (1,0) must withdraw routes all the way to 3.
+  const OrderTransform sp = ot_shortest_path(4);
+  Digraph g(4);
+  ValueVec labels;
+  const int a10 = g.add_arc(1, 0);
+  labels.push_back(I(1));
+  g.add_arc(2, 1);
+  labels.push_back(I(1));
+  g.add_arc(3, 2);
+  labels.push_back(I(1));
+  LabeledGraph net(std::move(g), std::move(labels));
+  PathVectorSim sim(sp, net, 0, I(0));
+  sim.schedule_link_down(100.0, a10);
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.converged);
+  for (int v = 1; v <= 3; ++v) EXPECT_FALSE(res.routing.has_route(v));
+}
+
+TEST(Scenario, GadgetAlgebraShape) {
+  Checker chk;
+  Scenario sc = bad_gadget();
+  // The gadget algebra is not nondecreasing (peer maps 2 to 1) — that is
+  // exactly what Theorem 5 requires for instability to be possible.
+  EXPECT_EQ(chk.prop(sc.alg, Prop::ND_L).verdict, Tri::False);
+  // peer maps 1 ≤ 2 to 3 > 1: not monotone either.
+  EXPECT_EQ(chk.prop(sc.alg, Prop::M_L).verdict, Tri::False);
+}
+
+}  // namespace
+}  // namespace mrt

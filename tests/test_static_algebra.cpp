@@ -1,0 +1,171 @@
+// The static (compile-time) algebra layer: derived property tags must match
+// the dynamic engine's verdicts, and the static Dijkstra must agree with the
+// dynamic one route for route.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/algebra/static_algebra.hpp"
+#include "mrt/algebra/static_dijkstra.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/routing/dijkstra.hpp"
+
+namespace mrt {
+namespace {
+
+namespace a = mrt::alg;
+using mrt::testing::I;
+
+// --- compile-time property derivations (the theorems as static_asserts) ----
+
+using SpBw = a::Lex<a::ShortestPath, a::WidestPath>;
+using BwSp = a::Lex<a::WidestPath, a::ShortestPath>;
+using ScopedBwSp = a::Scoped<a::WidestPath, a::ShortestPath>;
+using Triple = a::Lex<a::Lex<a::ShortestPath, a::WidestPath>, a::Reliability>;
+using TripleN = a::Lex<a::Lex<a::ShortestPath, a::Reliability>, a::WidestPath>;
+
+// Sobrinho's example, decided by the compiler:
+static_assert(SpBw::kM, "delay-then-bandwidth is monotone (N(sp) holds)");
+static_assert(!BwSp::kM, "bandwidth-then-delay is NOT monotone");
+// Theorem 6, decided by the compiler:
+static_assert(ScopedBwSp::kM, "scoped product restores monotonicity");
+// Local optima:
+static_assert(SpBw::kNd && !SpBw::kSInc, "ND but never strict at the top");
+static_assert(!SpBw::kInc,
+              "not increasing under plain lex: bandwidth (the second factor) "
+              "has non-strict extensions, and sp's top blocks the exemption — "
+              "the refined Thm 5 rule, evaluated by the compiler");
+// n-ary stacks: bandwidth in the middle destroys N for everything after it
+// (so appending reliability breaks M), while keeping the cancellative
+// factors up front preserves M — Theorem 4 applied associatively.
+static_assert(!Triple::kM, "bandwidth in the middle kills N, so M fails");
+static_assert(TripleN::kM, "cancellative prefix keeps the stack monotone");
+static_assert(SpBw::kTotal && SpBw::kHasTop && !SpBw::kOneClass,
+              "order shape is componentwise");
+
+// Concept coverage.
+static_assert(a::StaticOrderTransform<a::ShortestPath>);
+static_assert(a::StaticOrderTransform<a::WidestPath>);
+static_assert(a::StaticOrderTransform<a::Reliability>);
+static_assert(a::StaticOrderTransform<SpBw>);
+static_assert(a::StaticOrderTransform<ScopedBwSp>);
+
+TEST(StaticAlgebra, TagsMatchDynamicEngine) {
+  // The same compositions through the dynamic engine must agree with the
+  // compile-time tags on every headline property.
+  const OrderTransform dyn_spbw = lex(ot_shortest_path(9), ot_widest_path(9));
+  EXPECT_EQ(dyn_spbw.props.value(Prop::M_L), tri_of(SpBw::kM));
+  EXPECT_EQ(dyn_spbw.props.value(Prop::ND_L), tri_of(SpBw::kNd));
+  EXPECT_EQ(dyn_spbw.props.value(Prop::Inc_L), tri_of(SpBw::kInc));
+  EXPECT_EQ(dyn_spbw.props.value(Prop::N_L), tri_of(SpBw::kN));
+
+  const OrderTransform dyn_bwsp = lex(ot_widest_path(9), ot_shortest_path(9));
+  EXPECT_EQ(dyn_bwsp.props.value(Prop::M_L), tri_of(BwSp::kM));
+
+  const OrderTransform dyn_scoped =
+      scoped(ot_widest_path(9), ot_shortest_path(9));
+  EXPECT_EQ(dyn_scoped.props.value(Prop::M_L), tri_of(ScopedBwSp::kM));
+}
+
+TEST(StaticAlgebra, ValueSemantics) {
+  using V = SpBw::value_type;
+  const V a{3, 9};
+  const V b{3, 4};
+  const V c{5, 100};
+  EXPECT_TRUE(SpBw::leq(a, b));   // same delay, wider wins
+  EXPECT_FALSE(SpBw::leq(b, a));
+  EXPECT_TRUE(SpBw::leq(a, c));   // lower delay wins outright
+  const V ext = SpBw::apply({2, 5}, a);
+  EXPECT_EQ(ext.first, 5u);
+  EXPECT_EQ(ext.second, 5u);
+  EXPECT_TRUE(SpBw::is_top({a::ShortestPath::kInf, 0}));
+  EXPECT_FALSE(SpBw::is_top({a::ShortestPath::kInf, 1}));
+}
+
+TEST(StaticAlgebra, SaturatingApply) {
+  EXPECT_EQ(a::ShortestPath::apply(5, a::ShortestPath::kInf),
+            a::ShortestPath::kInf);
+  EXPECT_EQ(a::ShortestPath::apply(5, a::ShortestPath::kInf - 2),
+            a::ShortestPath::kInf);
+  EXPECT_EQ(a::WidestPath::apply(3, 10), 3u);
+  EXPECT_EQ(a::WidestPath::apply(12, 10), 10u);
+}
+
+TEST(StaticAlgebra, ScopedApplySemantics) {
+  using Sc = ScopedBwSp;
+  const Sc::value_type v{7, 4};
+  // Inter-region: transform bandwidth, originate fresh delay.
+  const Sc::label_type inter = Sc::Inter{5, 1};
+  const auto after_inter = Sc::apply(inter, v);
+  EXPECT_EQ(after_inter.first, 5u);
+  EXPECT_EQ(after_inter.second, 1u);
+  // Intra-region: copy bandwidth, accumulate delay.
+  const Sc::label_type intra = Sc::Intra{3};
+  const auto after_intra = Sc::apply(intra, v);
+  EXPECT_EQ(after_intra.first, 7u);
+  EXPECT_EQ(after_intra.second, 7u);
+}
+
+TEST(StaticDijkstra, AgreesWithDynamicOnRandomNetworks) {
+  Rng rng(0x57A71C);
+  const OrderTransform dyn = lex(ot_shortest_path(6), ot_widest_path(6));
+  for (int trial = 0; trial < 10; ++trial) {
+    Digraph g = random_connected(rng, 9, 6);
+    // Shared random labels.
+    std::vector<SpBw::label_type> slabels;
+    ValueVec dlabels;
+    for (int id = 0; id < g.num_arcs(); ++id) {
+      const auto c = static_cast<std::uint32_t>(rng.range(1, 6));
+      const auto w = static_cast<std::uint32_t>(rng.range(0, 6));
+      slabels.push_back({c, w});
+      dlabels.push_back(Value::pair(I(c), I(w)));
+    }
+    LabeledGraph net(g, dlabels);
+
+    const auto sr = a::dijkstra<SpBw>(g, slabels, 0, {0, a::WidestPath::kUnlimited});
+    const Routing dr = dijkstra(dyn, net, 0, Value::pair(I(0), Value::inf()));
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(sr.weight[(std::size_t)v].has_value(), dr.has_route(v));
+      if (!dr.has_route(v)) continue;
+      const auto& sw = *sr.weight[(std::size_t)v];
+      EXPECT_EQ(I(sw.first), dr.weight[(std::size_t)v]->first()) << v;
+      // Bandwidth "unlimited" sentinel corresponds to dynamic inf.
+      const Value& dbw = dr.weight[(std::size_t)v]->second();
+      if (sw.second == a::WidestPath::kUnlimited) {
+        EXPECT_TRUE(dbw.is_inf());
+      } else {
+        EXPECT_EQ(I(sw.second), dbw);
+      }
+    }
+  }
+}
+
+TEST(StaticDijkstra, HopCountOnLine) {
+  Digraph g = line(5);
+  std::vector<a::HopCount::label_type> labels(
+      static_cast<std::size_t>(g.num_arcs()));
+  const auto r = a::dijkstra<a::HopCount>(g, labels, 0, 0);
+  EXPECT_EQ(*r.weight[4], 4u);
+  EXPECT_EQ(*r.weight[1], 1u);
+}
+
+// The compile-time proof obligation: `a::dijkstra<BwSp>` would not compile
+// (static_assert on kM). The unchecked variant runs — and reproduces the
+// anomaly, matching the dynamic demonstration in test_routing.cpp.
+TEST(StaticDijkstra, UncheckedExhibitsTheAnomaly) {
+  Digraph g(3);
+  std::vector<BwSp::label_type> labels;
+  g.add_arc(2, 0);
+  labels.push_back({9, 5});
+  g.add_arc(2, 0);
+  labels.push_back({3, 1});
+  g.add_arc(1, 2);
+  labels.push_back({2, 1});
+  const auto r = a::dijkstra_unchecked<BwSp>(
+      g, labels, 0, {a::WidestPath::kUnlimited, 0});
+  EXPECT_EQ(r.weight[2]->first, 9u);
+  EXPECT_EQ(r.weight[1]->second, 6u);  // suboptimal: true best is (2, 2)
+}
+
+}  // namespace
+}  // namespace mrt

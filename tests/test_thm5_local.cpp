@@ -1,0 +1,229 @@
+// Theorem 5: exact local-optima rules for lexicographic products.
+//
+// Algebraic quadrants (bisemigroups, semigroup transforms) use the paper's
+// rules verbatim — they are exact as stated:
+//     ND(S ⃗× T) ⟺ I(S) ∨ (ND(S) ∧ ND(T))
+//     I(S ⃗× T)  ⟺ I(S) ∨ (ND(S) ∧ I(T))
+//
+// Ordered quadrants use the ⊤-aware refinement (DESIGN.md §1.1); these tests
+// validate the refinement as exact and confirm that the paper's literal
+// Fig. 3 rules coincide with it whenever the first factor is ⊤-free.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/combinators.hpp"
+#include "mrt/core/inference.hpp"
+#include "mrt/core/random_algebra.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::expect_exact;
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+template <typename A>
+A with_report(A a) {
+  a.props = checker().report(a);
+  return a;
+}
+
+// --- Algebraic quadrants: the paper's rules, exact --------------------------
+
+class Thm5SemigroupTransform : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm5SemigroupTransform, PaperRulesExact) {
+  Rng rng(0x10CA1 + static_cast<std::uint64_t>(GetParam()));
+  const SemigroupTransform s = with_report(random_semigroup_transform(rng));
+  SemigroupTransform t = random_semigroup_transform(rng);
+  if (!t.add->identity()) return;
+  t.props = checker().report(t);
+  const SemigroupTransform p = lex(s, t);
+
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  for (Prop prop : {Prop::ND_L, Prop::Inc_L}) {
+    expect_exact(prop, p.props.value(prop), checker().prop(p, prop).verdict,
+                 ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm5SemigroupTransform,
+                         ::testing::Range(0, 120));
+
+class Thm5Bisemigroup : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm5Bisemigroup, PaperRulesExact) {
+  Rng rng(0xB10CA + static_cast<std::uint64_t>(GetParam()));
+  const Bisemigroup s = with_report(random_bisemigroup(rng));
+  Bisemigroup t = random_bisemigroup(rng);
+  if (!t.add->identity()) return;
+  t.props = checker().report(t);
+  const Bisemigroup p = lex(s, t);
+
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  for (Prop prop : {Prop::ND_L, Prop::ND_R, Prop::Inc_L, Prop::Inc_R}) {
+    expect_exact(prop, p.props.value(prop), checker().prop(p, prop).verdict,
+                 ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm5Bisemigroup, ::testing::Range(0, 120));
+
+// --- Ordered quadrants: refined rules exact ---------------------------------
+
+class Thm5OrderTransform : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm5OrderTransform, RefinedRulesExact) {
+  Rng rng(0x07CA1 + static_cast<std::uint64_t>(GetParam()));
+  const OrderTransform s = with_report(random_order_transform(rng));
+  const OrderTransform t = with_report(random_order_transform(rng));
+  const OrderTransform p = lex(s, t);
+
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  for (Prop prop : {Prop::ND_L, Prop::Inc_L, Prop::SInc_L, Prop::TFix_L,
+                    Prop::HasTop, Prop::Total, Prop::Antisym}) {
+    expect_exact(prop, p.props.value(prop), checker().prop(p, prop).verdict,
+                 ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm5OrderTransform, ::testing::Range(0, 150));
+
+// The paper's literal Fig. 3 rules are exact on plain ⃗× under ⊤-freeness:
+// the ND rule needs only S ⊤-free; the I rule needs both factors ⊤-free
+// (with a ⊤ in T, pairs (a, ⊤_T) with a ~ f(a) are non-top in the product
+// but cannot strictly increase — a second refinement the sweep uncovered).
+TEST_P(Thm5OrderTransform, PaperRuleCoincidesWhenTopFree) {
+  Rng rng(0x07CA1 + static_cast<std::uint64_t>(GetParam()));
+  const OrderTransform s = with_report(random_order_transform(rng));
+  const OrderTransform t = with_report(random_order_transform(rng));
+  if (s.props.value(Prop::HasTop) != Tri::False) return;  // only ⊤-free S
+  const OrderTransform p = lex(s, t);
+
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  expect_exact(Prop::ND_L, paper_rule_nd_lex(s.props, t.props),
+               checker().prop(p, Prop::ND_L).verdict, ctx + " (paper ND)");
+  if (t.props.value(Prop::HasTop) == Tri::False) {
+    expect_exact(Prop::Inc_L, paper_rule_inc_lex(s.props, t.props),
+                 checker().prop(p, Prop::Inc_L).verdict, ctx + " (paper I)");
+  }
+}
+
+class Thm5OrderSemigroup : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm5OrderSemigroup, RefinedRulesExact) {
+  Rng rng(0x05CA1 + static_cast<std::uint64_t>(GetParam()));
+  const OrderSemigroup s = with_report(random_order_semigroup(rng));
+  const OrderSemigroup t = with_report(random_order_semigroup(rng));
+  const OrderSemigroup p = lex(s, t);
+
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  for (Prop prop : {Prop::ND_L, Prop::ND_R, Prop::Inc_L, Prop::Inc_R,
+                    Prop::SInc_L, Prop::SInc_R, Prop::TFix_L, Prop::TFix_R}) {
+    expect_exact(prop, p.props.value(prop), checker().prop(p, prop).verdict,
+                 ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm5OrderSemigroup, ::testing::Range(0, 150));
+
+// --- The documented counterexample to the literal Fig. 3 reading ------------
+
+TEST(Thm5TopSubtlety, PaperRuleFailsWithToppedFirstFactor) {
+  // S = shortest paths over ℕ∪{∞} (I holds, ⊤ = ∞ exists);
+  // T = a two-class order with a genuinely decreasing function.
+  const Checker& chk = checker();
+  OrderTransform s = ot_shortest_path(3);
+  OrderTransform t = mrt::testing::make_ot(
+      {{1, 1}, {0, 1}},  // 0 < 1
+      {{0, 0}},          // f: both ↦ 0 — decreases 1 to 0
+      "decreasing_t");
+  t.props = chk.report(t);
+  ASSERT_EQ(t.props.value(Prop::ND_L), Tri::False);
+
+  // Literal Fig. 3: ND(S ⃗× T) ⟺ I(S) ∨ … = True via I(S).
+  s.props.set(Prop::Inc_L, Tri::True, "axiom");
+  s.props.set(Prop::ND_L, Tri::True, "axiom");
+  EXPECT_EQ(paper_rule_nd_lex(s.props, t.props), Tri::True);
+
+  // But the plain lexicographic product decreases at ((∞, 1)) via (+c, f):
+  // (∞, 1) ↦ (∞, 0) < (∞, 1). The oracle refutes ND.
+  const OrderTransform p = lex(s, t);
+  EXPECT_EQ(chk.prop(p, Prop::ND_L).verdict, Tri::False);
+  // The refined rule agrees with the oracle.
+  EXPECT_EQ(p.props.value(Prop::ND_L), Tri::False);
+}
+
+// --- Corollary 2: n-ary increasing products ---------------------------------
+
+// Corollary 2's guard pattern (ND-prefix, one increasing factor, arbitrary
+// suffix) under plain ⃗×. A measured refinement: on *finite* algebras a
+// strictly-increasing-everywhere factor cannot exist (every finite preorder
+// has maximal elements), so the corollary's positive case needs a ⊤-free
+// guard — here, shortest paths over plain ℕ.
+TEST(Cor2, GuardPatternWithTopFreeGuard) {
+  const Checker& chk = checker();
+
+  // ND prefix: widest path over plain ℕ (has a top, 0, which is fixed).
+  OrderTransform nd{"bw.nat", ord_nat_geq(false), fam_min_const(0, 5), {}};
+  nd.props = chk.report(nd);
+  EXPECT_NE(nd.props.value(Prop::ND_L), Tri::False);
+
+  // Increasing guard: +c over plain ℕ — strictly increasing *everywhere*.
+  OrderTransform guard{"sp.nat", ord_nat_leq(false), fam_add_const(1, 5), {}};
+  guard.props = chk.report(guard);
+  EXPECT_NE(guard.props.value(Prop::SInc_L), Tri::False);
+  guard.props.set(Prop::SInc_L, Tri::True, "axiom: a < a+c on plain N, c>=1");
+  guard.props.set(Prop::ND_L, Tri::True, "axiom: a <= a+c");
+  guard.props.set(Prop::Inc_L, Tri::True, "axiom: no top on plain N");
+  guard.props.set(Prop::HasTop, Tri::False, "axiom: plain N unbounded");
+  nd.props.set(Prop::ND_L, Tri::True, "axiom: min(a,c) <=num a");
+
+  // Arbitrary suffix: a finite table with no useful property at all.
+  OrderTransform anything{"any", ord_chain(2),
+                          fam_table("f", 3, {{2, 0, 1}}), {}};
+  anything.props = chk.report(anything);
+  ASSERT_EQ(anything.props.value(Prop::ND_L), Tri::False);
+
+  // ND-prefix, ⊤-free increasing guard, arbitrary suffix ⇒ increasing.
+  const OrderTransform p = lex(lex(nd, guard), anything);
+  EXPECT_EQ(p.props.value(Prop::Inc_L), Tri::True);
+  // Sampled corroboration: the oracle finds no counterexample.
+  EXPECT_NE(chk.prop(p, Prop::Inc_L).verdict, Tri::False);
+
+  // Without the guard the product is not increasing (exhaustive refutation
+  // is possible here because the failure is at finite reachable points).
+  const OrderTransform q = lex(nd, anything);
+  EXPECT_EQ(q.props.value(Prop::Inc_L), Tri::False);
+  EXPECT_NE(chk.prop(q, Prop::Inc_L).verdict, Tri::True);
+
+  // Guard too late: an arbitrary factor before the guard breaks it.
+  const OrderTransform r = lex(anything, guard);
+  EXPECT_EQ(r.props.value(Prop::Inc_L), Tri::False);
+}
+
+// The finite-case refutation that motivated the ⊤-free reading: a finite
+// increasing guard (⊤ exempted) does NOT make the plain-⃗× product
+// increasing, because (a, ⊤_guard) pairs are non-top yet cannot strictly
+// increase.
+TEST(Cor2, FiniteToppedGuardFailsUnderPlainLex) {
+  const Checker& chk = checker();
+  OrderTransform nd = ot_chain_add(3, 0, 2);  // ND but not I (c = 0 allowed)
+  nd.props = chk.report(nd);
+  ASSERT_EQ(nd.props.value(Prop::ND_L), Tri::True);
+  ASSERT_EQ(nd.props.value(Prop::Inc_L), Tri::False);
+
+  OrderTransform inc = ot_chain_add(3, 1, 2);  // increasing, ⊤ = 3 fixed
+  inc.props = chk.report(inc);
+  ASSERT_EQ(inc.props.value(Prop::Inc_L), Tri::True);
+
+  const OrderTransform p = lex(nd, inc);
+  EXPECT_EQ(chk.prop(p, Prop::Inc_L).verdict, Tri::False);
+  EXPECT_EQ(p.props.value(Prop::Inc_L), Tri::False);  // refined rule agrees
+}
+
+}  // namespace
+}  // namespace mrt

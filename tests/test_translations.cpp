@@ -1,0 +1,258 @@
+// Section III translations between the quadrants: Cayley maps, natural
+// orders, and the min-set construction (with Wongseelashote's reduction
+// axioms from section VI).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/core/checker.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/core/translations.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+const Checker& checker() {
+  static const Checker chk;
+  return chk;
+}
+
+// ---------------------------------------------------------------------------
+// Cayley maps
+// ---------------------------------------------------------------------------
+
+TEST(Cayley, BisemigroupToSemigroupTransform) {
+  const SemigroupTransform st = cayley(bs_shortest_path());
+  // f_x(y) = x + y.
+  EXPECT_EQ(st.fns->apply(I(3), I(4)), I(7));
+  // ⊕ is untouched.
+  EXPECT_EQ(st.add->op(I(3), I(4)), I(3));
+  // Left properties carry over verbatim.
+  EXPECT_EQ(st.props.value(Prop::M_L), Tri::True);
+  EXPECT_EQ(st.props.value(Prop::N_L), Tri::True);
+  EXPECT_EQ(st.props.value(Prop::ND_L), Tri::True);
+}
+
+TEST(Cayley, OrderSemigroupToOrderTransform) {
+  const OrderTransform ot = cayley(os_widest_path());
+  EXPECT_EQ(ot.fns->apply(I(3), I(9)), I(3));  // min(3, 9)
+  EXPECT_EQ(ot.props.value(Prop::M_L), Tri::True);
+  EXPECT_EQ(ot.props.value(Prop::N_L), Tri::False);
+  EXPECT_EQ(ot.props.value(Prop::ND_L), Tri::True);
+}
+
+class CayleySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CayleySweep, PropertiesTransferExactly) {
+  // The carried annotations must agree with the checker run directly on the
+  // translated structure (the statements are literally the same formulas).
+  Rng rng(0xCA11E + static_cast<std::uint64_t>(GetParam()));
+  OrderSemigroup os = random_order_semigroup(rng);
+  os.props = checker().report(os);
+  const OrderTransform ot = cayley(os);
+  for (Prop p : {Prop::M_L, Prop::N_L, Prop::C_L, Prop::ND_L, Prop::Inc_L,
+                 Prop::SInc_L, Prop::TFix_L}) {
+    mrt::testing::expect_exact(p, ot.props.value(p),
+                               checker().prop(ot, p).verdict,
+                               "seed " + std::to_string(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CayleySweep, ::testing::Range(0, 60));
+
+// ---------------------------------------------------------------------------
+// Natural orders
+// ---------------------------------------------------------------------------
+
+TEST(NaturalOrder, LeftOfMinIsNumericOrder) {
+  auto no = natural_order(sg_min(), true);
+  // s1 ≲L s2 ⟺ s1 = min(s1, s2) ⟺ s1 ≤ s2.
+  EXPECT_TRUE(no->leq(I(2), I(5)));
+  EXPECT_FALSE(no->leq(I(5), I(2)));
+  EXPECT_TRUE(no->leq(I(4), Value::inf()));
+  // ⊤ of ≲L is the ⊕-identity: ∞.
+  EXPECT_TRUE(no->is_top(Value::inf()));
+  EXPECT_TRUE(no->has_top());
+}
+
+TEST(NaturalOrder, RightOfMinIsReversed) {
+  auto no = natural_order(sg_min(), false);
+  // s1 ≲R s2 ⟺ s2 = min(s1, s2) ⟺ s2 ≤ s1.
+  EXPECT_TRUE(no->leq(I(5), I(2)));
+  EXPECT_FALSE(no->leq(I(2), I(5)));
+  // ⊤ of ≲R is the ⊕-absorber: 0.
+  EXPECT_TRUE(no->is_top(I(0)));
+}
+
+TEST(NaturalOrder, DualityOnSemilattices) {
+  // For commutative idempotent semigroups ≲L and ≲R are dual partial orders.
+  Rng rng(99);
+  auto s = random_semilattice(rng, 3, true);
+  auto nl = natural_order(s, true);
+  auto nr = natural_order(s, false);
+  const ValueVec elems = *s->enumerate();
+  for (const Value& a : elems) {
+    for (const Value& b : elems) {
+      EXPECT_EQ(nl->leq(a, b), nr->leq(b, a));
+      // Antisymmetry (partial order, not just preorder).
+      if (nl->leq(a, b) && nl->leq(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST(NaturalOrder, NonIdempotentGivesNonReflexivePairs) {
+  // (ℤ4, +) is not idempotent: a ≲L a fails for a ≠ 0, so ≲L is not even a
+  // preorder — "using other kinds of semigroup may not result in orders with
+  // such desirable properties" (section III).
+  auto no = natural_order(sg_plus_mod(4), true);
+  EXPECT_FALSE(no->leq(I(1), I(1)));  // 1 ≠ 1 + 1
+}
+
+TEST(NaturalOrder, QuadrantLift) {
+  const OrderSemigroup os = natural_order_left(bs_shortest_path());
+  EXPECT_TRUE(os.ord->leq(I(1), I(4)));
+  EXPECT_EQ(os.mul->op(I(1), I(4)), I(5));
+  const OrderTransform ot = natural_order_right(st_shortest_path(3));
+  EXPECT_TRUE(ot.ord->leq(I(4), I(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Min-set translation and the reduction axioms
+// ---------------------------------------------------------------------------
+
+Value mset(std::initializer_list<Value> xs) {
+  return Value::tuple(normalize_set(ValueVec(xs)));
+}
+
+TEST(MinSetTransform, BasicSemantics) {
+  const SemigroupTransform st = min_set_transform(ot_widest_path(5));
+  // {3, 7} ⊕ {5} keeps the widest: min-set under ≥-preference is {7}.
+  EXPECT_EQ(st.add->op(mset({I(3), I(7)}), mset({I(5)})), mset({I(7)}));
+  // Identity is the empty set.
+  EXPECT_EQ(st.add->op(*st.add->identity(), mset({I(5)})), mset({I(5)}));
+  // f'({3,7}) = min{min(3,c), min(7,c)}.
+  EXPECT_EQ(st.fns->apply(I(5), mset({I(3), I(7)})), mset({I(5)}));
+}
+
+TEST(MinSetTransform, KeepsIncomparableElements) {
+  // Subset order: {01, 10} is a genuine two-element Pareto frontier.
+  OrderTransform ot{"sub", ord_subset_bits(2), fam_id(), {}};
+  const SemigroupTransform st = min_set_transform(ot);
+  EXPECT_EQ(st.add->op(mset({I(0b01)}), mset({I(0b10)})),
+            mset({I(0b01), I(0b10)}));
+  EXPECT_EQ(st.add->op(mset({I(0b01), I(0b10)}), mset({I(0b11)})),
+            mset({I(0b01), I(0b10)}));
+}
+
+TEST(MinSetTransform, CarrierIsMinClosedSets) {
+  OrderTransform ot = ot_chain_add(2, 0, 1);
+  const SemigroupTransform st = min_set_transform(ot);
+  EXPECT_TRUE(st.add->contains(mset({I(1)})));
+  EXPECT_TRUE(st.add->contains(Value::tuple({})));
+  // {0, 1} is not min-closed on a chain (0 dominates 1).
+  EXPECT_FALSE(st.add->contains(mset({I(0), I(1)})));
+  // Enumeration: chain of 3 ⇒ singletons + empty set.
+  EXPECT_EQ(st.add->enumerate()->size(), 4u);
+}
+
+TEST(MinSetTransform, SemilatticeLawsHold) {
+  // The translated ⊕ must be a commutative idempotent monoid — checked
+  // exhaustively on a small partial order (where min-sets are interesting).
+  OrderTransform ot{"sub", ord_subset_bits(2),
+                    fam_table("f", 4, {{0, 0, 2, 2}, {3, 1, 3, 3}}), {}};
+  const SemigroupTransform st = min_set_transform(ot);
+  EXPECT_EQ(checker().prop(st, Prop::Assoc).verdict, Tri::True);
+  EXPECT_EQ(checker().prop(st, Prop::Comm).verdict, Tri::True);
+  EXPECT_EQ(checker().prop(st, Prop::Idem).verdict, Tri::True);
+  EXPECT_EQ(checker().prop(st, Prop::HasIdentity).verdict, Tri::True);
+}
+
+// Wongseelashote's reduction axioms (section VI) for r = min_≲ on the
+// semigroup of sets under ∪ and under pointwise function application:
+//   (1) r(∅) = ∅
+//   (2) r(A ∪ B) = r(r(A) ∪ B)
+//   (3) r(f(A)) = r(f(r(A)))
+class ReductionAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionAxioms, MinSetIsAReduction) {
+  Rng rng(0x8ED0 + static_cast<std::uint64_t>(GetParam()));
+  OrderTransform ot = random_order_transform(rng);
+  const PreorderSet& ord = *ot.ord;
+  const ValueVec elems = *ord.enumerate();
+
+  // (1)
+  EXPECT_TRUE(min_set(ord, {}).empty());
+
+  // Random subsets A, B of the carrier.
+  auto random_subset = [&](Rng& r) {
+    ValueVec out;
+    for (const Value& v : elems) {
+      if (r.chance(0.5)) out.push_back(v);
+    }
+    return out;
+  };
+  for (int round = 0; round < 20; ++round) {
+    ValueVec a = random_subset(rng);
+    ValueVec b = random_subset(rng);
+
+    // (2) r(A ∪ B) = r(r(A) ∪ B)
+    ValueVec ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    ValueVec ra_b = min_set(ord, a);
+    ra_b.insert(ra_b.end(), b.begin(), b.end());
+    EXPECT_EQ(min_set(ord, ab), min_set(ord, ra_b));
+
+    // (3) r(f(A)) = r(f(r(A))) for every *monotone* function of the family
+    // (the condition under which min is a reduction — min is a reduction on
+    // (ℕ, +) precisely because + is monotone). On non-antisymmetric
+    // preorders even monotone functions can break set equality (f(a) ~ f(x)
+    // with f(a) ≠ f(x) keeps both on one side only), so gate on antisymmetry.
+    bool antisym = true;
+    for (const Value& x : elems) {
+      for (const Value& y : elems) {
+        if (equiv_of(ord.cmp(x, y)) && x != y) antisym = false;
+      }
+    }
+    if (!antisym) continue;
+    const ValueVec labels = *ot.fns->labels();
+    for (const Value& l : labels) {
+      bool monotone = true;
+      for (const Value& x : elems) {
+        for (const Value& y : elems) {
+          if (ord.leq(x, y) &&
+              !ord.leq(ot.fns->apply(l, x), ot.fns->apply(l, y))) {
+            monotone = false;
+          }
+        }
+      }
+      if (!monotone) continue;
+      auto image = [&](const ValueVec& xs) {
+        ValueVec out;
+        for (const Value& x : xs) out.push_back(ot.fns->apply(l, x));
+        return out;
+      };
+      EXPECT_EQ(min_set(ord, image(a)), min_set(ord, image(min_set(ord, a))));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionAxioms, ::testing::Range(0, 40));
+
+TEST(ReductionAxiomsNegative, NonMonotoneFunctionBreaksAxiom3) {
+  // 0 < 1 with f swapping them: r(f({0,1})) = {0} but r(f(r({0,1}))) = {1}.
+  auto ord = ord_chain(1);
+  auto fns = fam_table("swap", 2, {{1, 0}});
+  ValueVec a{I(0), I(1)};
+  auto image = [&](const ValueVec& xs) {
+    ValueVec out;
+    for (const Value& x : xs) out.push_back(fns->apply(I(0), x));
+    return out;
+  };
+  EXPECT_NE(min_set(*ord, image(a)), min_set(*ord, image(min_set(*ord, a))));
+}
+
+}  // namespace
+}  // namespace mrt

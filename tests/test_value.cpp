@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "mrt/core/value.hpp"
+
+namespace mrt {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value::unit().kind(), Value::Kind::Unit);
+  EXPECT_EQ(Value::integer(5).as_int(), 5);
+  EXPECT_EQ(Value::real(0.5).as_real(), 0.5);
+  EXPECT_TRUE(Value::inf().is_inf());
+  EXPECT_TRUE(Value::omega().is_omega());
+
+  const Value p = Value::pair(Value::integer(1), Value::integer(2));
+  EXPECT_TRUE(p.is_tuple());
+  EXPECT_EQ(p.first().as_int(), 1);
+  EXPECT_EQ(p.second().as_int(), 2);
+
+  const Value t = Value::tagged(3, Value::integer(9));
+  EXPECT_EQ(t.tag(), 3);
+  EXPECT_EQ(t.untagged().as_int(), 9);
+}
+
+TEST(Value, AccessorPreconditions) {
+  EXPECT_THROW(Value::integer(1).as_real(), std::logic_error);
+  EXPECT_THROW(Value::unit().as_int(), std::logic_error);
+  EXPECT_THROW(Value::integer(1).first(), std::logic_error);
+  EXPECT_THROW(Value::tuple({Value::integer(1)}).first(), std::logic_error);
+  EXPECT_THROW(Value::integer(1).untagged(), std::logic_error);
+}
+
+TEST(Value, EqualityIsStructural) {
+  EXPECT_EQ(Value::integer(3), Value::integer(3));
+  EXPECT_NE(Value::integer(3), Value::integer(4));
+  EXPECT_NE(Value::integer(3), Value::real(3.0));
+  EXPECT_EQ(Value::pair(Value::inf(), Value::integer(0)),
+            Value::pair(Value::inf(), Value::integer(0)));
+  EXPECT_NE(Value::tagged(1, Value::integer(0)),
+            Value::tagged(2, Value::integer(0)));
+  EXPECT_EQ(Value::omega(), Value::omega());
+}
+
+TEST(Value, CanonicalOrderIsTotalAndConsistent) {
+  const ValueVec vs = {
+      Value::unit(),
+      Value::integer(-1),
+      Value::integer(7),
+      Value::real(0.25),
+      Value::inf(),
+      Value::omega(),
+      Value::pair(Value::integer(1), Value::integer(2)),
+      Value::pair(Value::integer(1), Value::integer(3)),
+      Value::tuple({Value::integer(1)}),
+      Value::tagged(1, Value::integer(5)),
+      Value::tagged(2, Value::integer(5)),
+  };
+  for (const Value& a : vs) {
+    EXPECT_EQ(a.compare(a), 0);
+    for (const Value& b : vs) {
+      EXPECT_EQ(a.compare(b), -b.compare(a));
+      for (const Value& c : vs) {
+        if (a.compare(b) < 0 && b.compare(c) < 0) {
+          EXPECT_LT(a.compare(c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Value, TupleOrderIsLexThenLength) {
+  const Value ab = Value::pair(Value::integer(1), Value::integer(2));
+  const Value ac = Value::pair(Value::integer(1), Value::integer(3));
+  const Value a = Value::tuple({Value::integer(1)});
+  EXPECT_LT(ab.compare(ac), 0);
+  EXPECT_LT(a.compare(ab), 0);  // shorter prefix first
+}
+
+TEST(Value, HashAgreesWithEquality) {
+  const Value a = Value::pair(Value::integer(1), Value::inf());
+  const Value b = Value::pair(Value::integer(1), Value::inf());
+  EXPECT_EQ(a.hash(), b.hash());
+
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+  set.insert(Value::integer(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::unit().to_string(), "()");
+  EXPECT_EQ(Value::integer(42).to_string(), "42");
+  EXPECT_EQ(Value::inf().to_string(), "inf");
+  EXPECT_EQ(Value::omega().to_string(), "omega");
+  EXPECT_EQ(Value::real(0.5).to_string(), "0.5");
+  EXPECT_EQ(Value::pair(Value::integer(1), Value::inf()).to_string(),
+            "(1, inf)");
+  EXPECT_EQ(Value::tagged(2, Value::integer(7)).to_string(), "#2:7");
+  EXPECT_EQ(
+      Value::tuple({Value::pair(Value::integer(1), Value::integer(2))})
+          .to_string(),
+      "((1, 2))");
+}
+
+TEST(Value, CopyIsCheapAndIndependentlyUsable) {
+  Value a = Value::tuple({Value::integer(1), Value::integer(2)});
+  Value b = a;  // shares the payload
+  EXPECT_EQ(a, b);
+  a = Value::integer(0);
+  EXPECT_EQ(b.as_tuple().size(), 2u);
+}
+
+TEST(Value, NormalizeSetSortsAndDedupes) {
+  ValueVec xs = {Value::integer(3), Value::integer(1), Value::integer(3),
+                 Value::inf(), Value::integer(1)};
+  ValueVec norm = normalize_set(std::move(xs));
+  ASSERT_EQ(norm.size(), 3u);
+  EXPECT_EQ(norm[0], Value::integer(1));
+  EXPECT_EQ(norm[1], Value::integer(3));
+  EXPECT_EQ(norm[2], Value::inf());
+}
+
+}  // namespace
+}  // namespace mrt

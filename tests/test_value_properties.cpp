@@ -1,0 +1,97 @@
+// Property-based sweep over randomly generated nested Values: the canonical
+// order must be a strict total order consistent with equality, hashing must
+// respect equality, and printing must round-trip structural distinctions.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "mrt/core/value.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+namespace {
+
+Value random_value(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.range(0, depth > 0 ? 6 : 4));
+  switch (kind) {
+    case 0: return Value::unit();
+    case 1: return Value::integer(rng.range(-3, 3));
+    case 2: return Value::real(static_cast<double>(rng.range(0, 4)) / 4.0);
+    case 3: return Value::inf();
+    case 4: return Value::omega();
+    case 5: {
+      ValueVec elems;
+      const int n = static_cast<int>(rng.range(0, 3));
+      for (int i = 0; i < n; ++i) elems.push_back(random_value(rng, depth - 1));
+      return Value::tuple(std::move(elems));
+    }
+    default:
+      return Value::tagged(static_cast<int>(rng.range(1, 3)),
+                           random_value(rng, depth - 1));
+  }
+}
+
+class ValueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueFuzz, CanonicalOrderIsConsistent) {
+  Rng rng(0xFA22 + static_cast<std::uint64_t>(GetParam()));
+  ValueVec vs;
+  for (int i = 0; i < 40; ++i) vs.push_back(random_value(rng, 3));
+
+  for (const Value& a : vs) {
+    EXPECT_EQ(a.compare(a), 0);
+    EXPECT_EQ(a, a);
+    for (const Value& b : vs) {
+      // Antisymmetry of the three-way comparison.
+      EXPECT_EQ(a.compare(b) == 0, b.compare(a) == 0);
+      EXPECT_EQ(a.compare(b) < 0, b.compare(a) > 0);
+      // Equality ⇔ compare == 0, and hash respects it.
+      EXPECT_EQ(a == b, a.compare(b) == 0);
+      if (a == b) {
+        EXPECT_EQ(a.hash(), b.hash());
+        EXPECT_EQ(a.to_string(), b.to_string());
+      }
+      // Transitivity spot check.
+      for (const Value& c : vs) {
+        if (a.compare(b) <= 0 && b.compare(c) <= 0) {
+          EXPECT_LE(a.compare(c), 0)
+              << a.to_string() << " " << b.to_string() << " " << c.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ValueFuzz, NormalizeSetIsIdempotentAndSorted) {
+  Rng rng(0x5E7 + static_cast<std::uint64_t>(GetParam()));
+  ValueVec vs;
+  for (int i = 0; i < 30; ++i) vs.push_back(random_value(rng, 2));
+  const ValueVec once = normalize_set(vs);
+  EXPECT_EQ(normalize_set(once), once);
+  for (std::size_t i = 1; i < once.size(); ++i) {
+    EXPECT_LT(once[i - 1].compare(once[i]), 0);
+  }
+  // Every input value appears exactly once.
+  for (const Value& v : vs) {
+    EXPECT_NE(std::find(once.begin(), once.end(), v), once.end());
+  }
+}
+
+TEST_P(ValueFuzz, HashDistinguishesMostValues) {
+  Rng rng(0x4A54 + static_cast<std::uint64_t>(GetParam()));
+  std::unordered_set<Value, ValueHash> set;
+  ValueVec distinct;
+  for (int i = 0; i < 200; ++i) {
+    Value v = random_value(rng, 3);
+    if (std::find(distinct.begin(), distinct.end(), v) == distinct.end()) {
+      distinct.push_back(v);
+    }
+    set.insert(std::move(v));
+  }
+  EXPECT_EQ(set.size(), distinct.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mrt
