@@ -2,15 +2,22 @@
 // of the paper's figures/tables as a measured census and prints it.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "mrt/core/checker.hpp"
 #include "mrt/core/combinators.hpp"
 #include "mrt/core/inference.hpp"
 #include "mrt/core/random_algebra.hpp"
 #include "mrt/core/report.hpp"
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/table.hpp"
 
 namespace mrt::bench {
@@ -18,6 +25,86 @@ namespace mrt::bench {
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+/// Extracts `--json <path>` or `--json=<path>` from argv (removing the
+/// consumed arguments so downstream flag parsers — e.g. google-benchmark's —
+/// never see them); falls back to the MRT_BENCH_JSON environment variable.
+/// Returns "" when no output was requested.
+inline std::string take_json_path(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  if (path.empty()) {
+    if (const char* env = std::getenv("MRT_BENCH_JSON")) path = env;
+  }
+  return path;
+}
+
+/// Writes one BENCH_*.json-compatible record on destruction: the bench name,
+/// wall time of the whole run, any explicitly attached metrics, and a
+/// snapshot of the obs registry (counters + gauges). Construct it first
+/// thing in main(); when a JSON path is requested it turns observability on
+/// so the counters actually populate.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int& argc, char** argv)
+      : name_(std::move(name)),
+        path_(take_json_path(argc, argv)),
+        t0_(std::chrono::steady_clock::now()) {
+    if (active()) obs::set_enabled(true);
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+  /// Attaches an extra scalar to the record (e.g. a census total).
+  void metric(const std::string& key, double v) { metrics_[key] = v; }
+
+  ~JsonReport() {
+    if (!active()) return;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path_ << "\n";
+      return;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("bench").value(name_);
+    w.key("wall_s").value(wall_s);
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : metrics_) w.key(k).value(v);
+    w.end_object();
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : obs::registry().counters()) w.key(k).value(v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [k, v] : obs::registry().gauges()) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+    out << '\n';
+    std::cout << "bench: wrote JSON record to " << path_ << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point t0_;
+  std::map<std::string, double> metrics_;
+};
 
 /// Agreement tally between a derived rule and the oracle.
 struct Census {

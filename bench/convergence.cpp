@@ -20,6 +20,9 @@ struct Tally {
   int runs = 0, converged = 0, stable = 0;
   long max_events_seen = 0;
   double mean_messages = 0;
+  double mean_sent = 0;        ///< advertisements enqueued per run
+  double mean_withdrawals = 0; ///< withdrawal messages enqueued per run
+  double mean_dropped = 0;     ///< messages lost on dead arcs per run
 };
 
 Tally run_many(const std::function<Scenario(Rng&)>& make, int runs,
@@ -44,8 +47,15 @@ Tally run_many(const std::function<Scenario(Rng&)>& make, int runs,
                     : 0;
     t.max_events_seen = std::max(t.max_events_seen, res.events);
     t.mean_messages += static_cast<double>(res.events);
+    t.mean_sent += static_cast<double>(res.stats.messages_sent);
+    t.mean_withdrawals += static_cast<double>(res.stats.withdrawals_sent);
+    t.mean_dropped += static_cast<double>(res.stats.dropped_dead_arc);
   }
-  t.mean_messages /= t.runs > 0 ? t.runs : 1;
+  const double div = t.runs > 0 ? t.runs : 1;
+  t.mean_messages /= div;
+  t.mean_sent /= div;
+  t.mean_withdrawals /= div;
+  t.mean_dropped /= div;
   return t;
 }
 
@@ -53,20 +63,24 @@ std::vector<std::string> row(const std::string& name, const Tally& t) {
   return {name, std::to_string(t.runs),
           std::to_string(t.converged) + "/" + std::to_string(t.runs),
           std::to_string(t.stable) + "/" + std::to_string(t.converged),
-          std::to_string(static_cast<long>(t.mean_messages))};
+          std::to_string(static_cast<long>(t.mean_messages)),
+          std::to_string(static_cast<long>(t.mean_sent)),
+          std::to_string(static_cast<long>(t.mean_withdrawals)),
+          std::to_string(static_cast<long>(t.mean_dropped))};
 }
 
 }  // namespace
 }  // namespace mrt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrt;
+  bench::JsonReport report("convergence", argc, argv);
   constexpr int kRuns = 30;
   constexpr long kCap = 30'000;
 
   bench::banner("EXP-CONV: path-vector protocol dynamics");
   Table t({"scenario", "runs", "converged", "stable when converged",
-           "mean msgs"});
+           "mean msgs", "mean sent", "mean withdrawals", "mean dropped"});
 
   t.add_row(row("hop count, random nets (I: converges)",
                 run_many(

@@ -3,6 +3,7 @@
 // than brute-force checking it, and the gap widens with carrier size.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "mrt/core/checker.hpp"
 #include "mrt/core/combinators.hpp"
 #include "mrt/core/inference.hpp"
@@ -70,4 +71,13 @@ BENCHMARK(BM_ScopedConstruction);
 }  // namespace
 }  // namespace mrt
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): see perf_routing.cpp — strips --json before
+// google-benchmark sees it and dumps the obs registry on exit.
+int main(int argc, char** argv) {
+  mrt::bench::JsonReport report("perf_inference", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

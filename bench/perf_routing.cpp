@@ -2,6 +2,8 @@
 // algebra composition depth (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "mrt/algebra/static_algebra.hpp"
 #include "mrt/algebra/static_dijkstra.hpp"
 #include "mrt/core/bases.hpp"
@@ -211,4 +213,14 @@ BENCHMARK(BM_LexCompare)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace mrt
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): mrt::bench::JsonReport first strips the
+// --json flag (google-benchmark rejects flags it does not know) and, on exit,
+// dumps wall time plus the obs counters the instrumented solvers accumulated.
+int main(int argc, char** argv) {
+  mrt::bench::JsonReport report("perf_routing", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

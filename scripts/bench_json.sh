@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run the perf benchmarks with --json and collect the records into one
+# machine-readable file at the repo root: BENCH_obs.json.
+#
+# Usage: scripts/bench_json.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+OUT="BENCH_obs.json"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "bench_json.sh: no $BUILD/bench — build first (cmake -B $BUILD && cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+records=()
+for b in perf_routing perf_inference; do
+  bin="$BUILD/bench/$b"
+  if [ -x "$bin" ]; then
+    echo "== $b =="
+    "$bin" --json "$tmpdir/$b.json"
+    records+=("$tmpdir/$b.json")
+  else
+    echo "bench_json.sh: skipping $b (not built)" >&2
+  fi
+done
+
+if [ "${#records[@]}" -eq 0 ]; then
+  echo "bench_json.sh: no benchmarks ran" >&2
+  exit 1
+fi
+
+# Merge the per-bench records into a single JSON array.
+{
+  printf '['
+  first=1
+  for r in "${records[@]}"; do
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    cat "$r"
+  done
+  printf ']\n'
+} > "$OUT"
+echo "wrote $OUT (${#records[@]} records)"

@@ -2,9 +2,15 @@
 # Build, test, and regenerate every experiment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build -j "$(nproc)"
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build  # already configured: keep whatever generator the cache has
+elif command -v ninja > /dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build  # no ninja: fall back to the platform default generator
+fi
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done

@@ -5,10 +5,32 @@
 #include <optional>
 #include <utility>
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
 namespace {
+
+// Flushes the oracle's work counters to the registry on scope exit, covering
+// every return path of forall(). Counting into locals keeps the per-tuple
+// cost to one increment.
+struct OracleCounters {
+  std::uint64_t tuples = 0;
+  std::uint64_t samples = 0;
+  bool exhaustive = false;
+  bool refuted = false;
+  ~OracleCounters() {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry();
+    reg.counter("checker.oracle_checks").add(1);
+    reg.counter("checker.tuples_examined").add(tuples);
+    reg.counter("checker.samples_drawn").add(samples);
+    reg.counter(exhaustive ? "checker.exhaustive_checks"
+                           : "checker.sampled_checks")
+        .add(1);
+    if (refuted) reg.counter("checker.refutations").add(1);
+  }
+};
 
 // One quantifier position: either a finite list (exhaustible) or a sampler.
 class Draw {
@@ -44,6 +66,7 @@ using Body = std::function<Violation(const ValueVec&)>;
 // iteration when the tuple space is finite and small, sampling otherwise.
 CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
                    const Body& body) {
+  OracleCounters obs_counts;
   bool all_finite = true;
   std::size_t tuples = 1;
   for (const Draw& d : positions) {
@@ -63,12 +86,15 @@ CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
 
   ValueVec tuple(positions.size());
   if (all_finite) {
+    obs_counts.exhaustive = true;
     std::vector<std::size_t> idx(positions.size(), 0);
     for (;;) {
+      ++obs_counts.tuples;
       for (std::size_t i = 0; i < positions.size(); ++i) {
         tuple[i] = positions[i].elems()[idx[i]];
       }
       if (Violation v = body(tuple)) {
+        obs_counts.refuted = true;
         return {Tri::False, true, *v};
       }
       std::size_t i = 0;
@@ -85,10 +111,13 @@ CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
 
   Rng rng(lim.seed);
   for (int k = 0; k < lim.samples; ++k) {
+    ++obs_counts.tuples;
+    obs_counts.samples += positions.size();
     for (std::size_t i = 0; i < positions.size(); ++i) {
       tuple[i] = positions[i].draw(rng);
     }
     if (Violation v = body(tuple)) {
+      obs_counts.refuted = true;
       return {Tri::False, false, *v};
     }
   }

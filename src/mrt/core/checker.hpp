@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "mrt/core/quadrants.hpp"
+#include "mrt/obs/metrics.hpp"
 
 namespace mrt {
 
@@ -60,10 +61,18 @@ class Checker {
   }
 
   /// Fills only the Unknown slots of an existing (inferred) report.
+  /// Slots already decided by the inference rules are "cache hits" of the
+  /// rule layer (counted as inference.rule_hits); the Unknown slots fall
+  /// back to the oracle (inference.oracle_fallbacks).
   template <typename A>
   void refine(const A& a, PropertyReport& report) const {
+    const bool count = obs::enabled();
     for (Prop p : props_for(A::kind)) {
-      if (report.value(p) != Tri::Unknown) continue;
+      if (report.value(p) != Tri::Unknown) {
+        if (count) obs::registry().counter("inference.rule_hits").add(1);
+        continue;
+      }
+      if (count) obs::registry().counter("inference.oracle_fallbacks").add(1);
       CheckResult r = prop(a, p);
       report.refine(p, r.verdict,
                     (r.exhaustive ? "checked: " : "sampled: ") + r.detail);

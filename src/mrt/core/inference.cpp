@@ -1,5 +1,6 @@
 #include "mrt/core/inference.hpp"
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -9,8 +10,18 @@ Tri suff(Tri x) { return x == Tri::True ? Tri::True : Tri::Unknown; }
 
 Tri and3(Tri a, Tri b, Tri c) { return tri_and(tri_and(a, b), c); }
 
-// Rule application with provenance.
+// Rule application with provenance. The registry references are cached in
+// function-local statics — registry addresses are stable across reset() —
+// so the enabled path costs two increments, not two map lookups.
 void rule(PropertyReport& r, Prop p, Tri v, const char* why) {
+  if (obs::enabled()) {
+    static obs::Counter& firings =
+        obs::registry().counter("inference.rule_firings");
+    static obs::Counter& undecided =
+        obs::registry().counter("inference.rule_undecided");
+    firings.add(1);
+    if (v == Tri::Unknown) undecided.add(1);
+  }
   r.set(p, v, std::string("rule: ") + why);
 }
 

@@ -1,0 +1,130 @@
+#include "mrt/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "mrt/support/require.hpp"
+
+namespace mrt::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    MRT_REQUIRE(stack_.back().kind == '[');  // bare values only inside arrays
+    if (stack_.back().has_entry) out_ << ',';
+    stack_.back().has_entry = true;
+  }
+}
+
+void JsonWriter::open(char c) {
+  pre_value();
+  out_ << c;
+  stack_.push_back({c, false});
+}
+
+void JsonWriter::close(char expected_open, char c) {
+  MRT_REQUIRE(!stack_.empty() && stack_.back().kind == expected_open);
+  MRT_REQUIRE(!key_pending_);
+  stack_.pop_back();
+  out_ << c;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('{', '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close('[', ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  MRT_REQUIRE(!stack_.empty() && stack_.back().kind == '{' && !key_pending_);
+  if (stack_.back().has_entry) out_ << ',';
+  stack_.back().has_entry = true;
+  out_ << '"' << json_escape(k) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace mrt::obs

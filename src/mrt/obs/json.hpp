@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer used by the metrics registry, the trace
+// exporter, and the bench harnesses. Handles separators and string escaping;
+// the caller is responsible for structural well-formedness (every begin_*
+// matched by an end_*), which MRT_REQUIRE enforces at close time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrt::obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or a begin_*.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// True once every opened scope has been closed.
+  bool complete() const { return stack_.empty(); }
+
+ private:
+  // Comma management: a scope needs a separator before its second and later
+  // entries; a pending key suppresses the separator before its value.
+  void pre_value();
+  void open(char c);
+  void close(char expected_open, char c);
+
+  std::ostream& out_;
+  struct Scope {
+    char kind;       // '{' or '['
+    bool has_entry = false;
+  };
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace mrt::obs

@@ -1,0 +1,179 @@
+#include "mrt/obs/metrics.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <ostream>
+
+#include "mrt/obs/json.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt::obs {
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("MRT_OBS_ENABLED");
+  if (!v) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{env_enabled()};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+int Histogram::bucket_index(std::uint64_t v) noexcept {
+  return std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i - 1] -> i
+}
+
+std::uint64_t Histogram::bucket_lower(int i) noexcept {
+  MRT_REQUIRE(i >= 0 && i < kBuckets);
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(int i) noexcept {
+  MRT_REQUIRE(i >= 0 && i < kBuckets);
+  if (i == 0) return 0;
+  if (i == kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  if (v > max()) max_.store(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(int i) const noexcept {
+  MRT_REQUIRE(i >= 0 && i < kBuckets);
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("mean").value(h->mean());
+    w.key("max").value(h->max());
+    w.key("buckets").begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      w.begin_object();
+      w.key("lo").value(Histogram::bucket_lower(i));
+      w.key("hi").value(Histogram::bucket_upper(i));
+      w.key("n").value(n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  MRT_REQUIRE(w.complete());
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "kind,name,value\n";
+  for (const auto& [name, c] : counters_) {
+    out << "counter," << name << ',' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge," << name << ',' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram_count," << name << ',' << h->count() << '\n';
+    out << "histogram_sum," << name << ',' << h->sum() << '\n';
+    out << "histogram_max," << name << ',' << h->max() << '\n';
+  }
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static destructors
+  return *r;
+}
+
+}  // namespace mrt::obs

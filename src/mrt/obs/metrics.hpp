@@ -1,0 +1,170 @@
+// Low-overhead metrics for the solvers, the simulator, and the inference
+// engine: named Counters, Gauges, and log-2 Histograms owned by a global but
+// resettable Registry.
+//
+// Design constraints (ISSUE 1):
+//  - instrumentation must cost near-nothing when observability is off: every
+//    hot-path site guards on the inlined `obs::enabled()` flag (a relaxed
+//    atomic load), and hot loops accumulate into locals that are flushed to
+//    the registry once per call;
+//  - metric objects have stable addresses for the lifetime of the process —
+//    `Registry::reset()` zeroes values but never invalidates references, so
+//    call sites may cache `Counter&` in function-local statics;
+//  - export is deterministic: snapshots and JSON/CSV dumps are sorted by
+//    metric name.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mrt::obs {
+
+/// Global instrumentation switch. Initialized once from the MRT_OBS_ENABLED
+/// environment variable ("1"/"true"/"on"/"yes" enable; unset or anything
+/// else disables); flippable at runtime with set_enabled().
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value, with a high-water helper for depth-style metrics.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  /// Keeps the maximum of the current value and `v`.
+  void max_of(double v) noexcept {
+    if (v > value()) set(v);
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over non-negative integers with log-2 buckets: bucket 0 holds
+/// the value 0 and bucket i >= 1 holds [2^(i-1), 2^i - 1] (i.e. values whose
+/// bit width is i). 65 buckets cover the full 64-bit range.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  static int bucket_index(std::uint64_t v) noexcept;
+  /// Inclusive bounds of bucket `i`.
+  static std::uint64_t bucket_lower(int i) noexcept;
+  static std::uint64_t bucket_upper(int i) noexcept;
+
+  void record(std::uint64_t v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(int i) const noexcept;
+  double mean() const noexcept {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// RAII wall-clock timer: records the elapsed nanoseconds into a Histogram
+/// on destruction. When observability is disabled at construction the timer
+/// never reads the clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(enabled() ? &h : nullptr),
+        t0_(h_ ? std::chrono::steady_clock::now()
+               : std::chrono::steady_clock::time_point{}) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (h_) h_->record(static_cast<std::uint64_t>(elapsed_ns()));
+  }
+
+  std::int64_t elapsed_ns() const noexcept {
+    if (!h_) return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// The metric store. Lookup registers on first use; reset() zeroes every
+/// metric but keeps the objects alive (stable references).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every registered metric. References stay valid.
+  void reset();
+
+  /// Registered counter value, or 0 if the name is unknown (does not
+  /// register).
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  /// Sorted (name, value) views for export and assertions.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// Flat dump of every metric. Histograms export count/sum/mean/max plus
+  /// the non-empty buckets.
+  void write_json(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all instrumentation publishes into.
+Registry& registry();
+
+}  // namespace mrt::obs

@@ -1,0 +1,185 @@
+#include "mrt/obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "mrt/obs/json.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt::obs {
+namespace {
+
+std::atomic<TraceSession*> g_current{nullptr};
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSession::~TraceSession() { uninstall(); }
+
+void TraceSession::install() {
+  TraceSession* expected = nullptr;
+  const bool ok =
+      g_current.compare_exchange_strong(expected, this,
+                                        std::memory_order_acq_rel);
+  MRT_REQUIRE(ok || expected == this);
+}
+
+void TraceSession::uninstall() {
+  TraceSession* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+TraceSession* TraceSession::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+double TraceSession::wall_now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSession::push(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void TraceSession::complete(std::string name, std::string cat, double ts_us,
+                            double dur_us, int pid, int tid,
+                            std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceSession::instant(std::string name, std::string cat, double ts_us,
+                           int pid, int tid, std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'i';
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceSession::counter(std::string name, double ts_us, int pid,
+                           double value) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = "counter";
+  e.phase = 'C';
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.args.push_back({"value", value});
+  push(std::move(e));
+}
+
+void TraceSession::name_thread(int pid, int tid, std::string name) {
+  TraceEvent e;
+  e.name = "thread_name";
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args.push_back({"name", std::move(name)});
+  push(std::move(e));
+}
+
+void TraceSession::wall_instant(std::string name, std::string cat, int tid,
+                                std::vector<TraceArg> args) {
+  instant(std::move(name), std::move(cat), wall_now_us(), kWallPid, tid,
+          std::move(args));
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSession::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  auto emit_process = [&w](int pid, const char* name) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  };
+  emit_process(kWallPid, "wall-clock");
+  emit_process(kSimPid, "sim-time");
+  for (const TraceEvent& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    if (!e.cat.empty()) w.key("cat").value(e.cat);
+    w.key("ph").value(std::string(1, e.phase));
+    w.key("ts").value(e.ts_us);
+    if (e.phase == 'X') w.key("dur").value(e.dur_us);
+    if (e.phase == 'i') w.key("s").value("t");  // thread-scoped instant
+    w.key("pid").value(e.pid);
+    w.key("tid").value(e.tid);
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const TraceArg& a : e.args) {
+        w.key(a.key);
+        if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+          w.value(*i);
+        } else if (const auto* d = std::get_if<double>(&a.value)) {
+          w.value(*d);
+        } else {
+          w.value(std::get<std::string>(a.value));
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  MRT_REQUIRE(w.complete());
+}
+
+bool TraceSession::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(out);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, int tid) noexcept
+    : session_(TraceSession::current()), name_(name), cat_(cat), tid_(tid) {
+  if (session_) start_us_ = session_->wall_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!session_) return;
+  const double end_us = session_->wall_now_us();
+  session_->complete(name_, cat_, start_us_, end_us - start_us_,
+                     TraceSession::kWallPid, tid_);
+}
+
+}  // namespace mrt::obs

@@ -1,0 +1,112 @@
+// Typed span/instant/counter event recording with Chrome trace-event JSON
+// export (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+// A trace mixes two clocks, kept apart as two trace "processes":
+//  - pid 1 ("wall-clock"): real durations measured on steady_clock relative
+//    to the session epoch — solver and reselect/advertise compute spans;
+//  - pid 2 ("sim-time"): the simulator's virtual clock — message flights,
+//    link events, selection changes, queue-depth counter tracks.
+// Within a process, tid is a node id, an arc id, or 0 — whatever gives the
+// most useful per-row grouping.
+//
+// Recording is active only while a session is installed: instrumentation
+// sites guard on `TraceSession::current() != nullptr`, so a disabled build
+// pays one pointer load per site.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mrt::obs {
+
+struct TraceArg {
+  std::string key;
+  std::variant<std::int64_t, double, std::string> value;
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'i';   ///< 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+  double ts_us = 0;   ///< microseconds on the owning process' clock
+  double dur_us = 0;  ///< only for 'X'
+  int pid = 1;
+  int tid = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceSession {
+ public:
+  static constexpr int kWallPid = 1;
+  static constexpr int kSimPid = 2;
+
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Makes this session the recording target of all instrumentation.
+  /// At most one session can be installed; uninstall() (or destruction)
+  /// releases it.
+  void install();
+  void uninstall();
+  static TraceSession* current() noexcept;
+
+  /// Microseconds of wall time since the session was created.
+  double wall_now_us() const;
+
+  // -- explicit-timestamp API (the simulator's virtual clock, or replayed
+  //    wall timestamps) ------------------------------------------------------
+  void complete(std::string name, std::string cat, double ts_us, double dur_us,
+                int pid, int tid, std::vector<TraceArg> args = {});
+  void instant(std::string name, std::string cat, double ts_us, int pid,
+               int tid, std::vector<TraceArg> args = {});
+  /// One sample of a counter track ('C' events graph over time).
+  void counter(std::string name, double ts_us, int pid, double value);
+  /// Names a tid row in the viewer.
+  void name_thread(int pid, int tid, std::string name);
+
+  // -- wall-clock helpers ----------------------------------------------------
+  void wall_instant(std::string name, std::string cat, int tid = 0,
+                    std::vector<TraceArg> args = {});
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — chrome://tracing and
+  /// Perfetto both load this directly.
+  void write_chrome_json(std::ostream& out) const;
+  /// Returns false if the file could not be opened.
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  void push(TraceEvent e);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-clock span on the currently installed session; a no-op (no
+/// clock read) when no session is installed at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat, int tid = 0) noexcept;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  const char* cat_;
+  int tid_;
+  double start_us_ = 0;
+};
+
+}  // namespace mrt::obs

@@ -1,5 +1,6 @@
 #include "mrt/routing/bellman.hpp"
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -12,12 +13,13 @@ struct Candidate {
 };
 
 Candidate best_candidate(const OrderTransform& alg, const LabeledGraph& net,
-                         int u, const Routing& r) {
+                         int u, const Routing& r, std::uint64_t& relaxations) {
   Candidate best;
   for (int id : net.graph().out_arcs(u)) {
     const int v = net.graph().arc(id).dst;
     const auto& wv = r.weight[static_cast<std::size_t>(v)];
     if (!wv) continue;
+    ++relaxations;
     Value cand = alg.fns->apply(net.label(id), *wv);
     if (!best.weight ||
         lt_of(alg.ord->cmp(cand, *best.weight))) {
@@ -34,6 +36,7 @@ bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
                   int dest, const Value& origin, Routing& r,
                   const BellmanOptions& opts) {
   const int n = net.num_nodes();
+  std::uint64_t relaxations = 0;
   Routing next = r;
   bool changed = false;
   for (int u = 0; u < n; ++u) {
@@ -43,7 +46,7 @@ bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
       next.next_arc[static_cast<std::size_t>(u)] = -1;
       continue;
     }
-    Candidate cand = best_candidate(alg, net, u, r);
+    Candidate cand = best_candidate(alg, net, u, r, relaxations);
     auto& cur = next.weight[static_cast<std::size_t>(u)];
     auto& cur_arc = next.next_arc[static_cast<std::size_t>(u)];
     if (!cand.weight) {
@@ -76,6 +79,11 @@ bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
     }
   }
   r = std::move(next);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("bellman.steps").add(1);
+    reg.counter("bellman.relaxations").add(relaxations);
+  }
   return changed;
 }
 
@@ -89,12 +97,23 @@ BellmanResult bellman_sync(const OrderTransform& alg, const LabeledGraph& net,
   out.routing.next_arc.assign(static_cast<std::size_t>(n), -1);
   out.routing.weight[static_cast<std::size_t>(dest)] = origin;
 
-  for (out.iterations = 0; out.iterations < opts.max_iterations;
-       ++out.iterations) {
-    if (!bellman_step(alg, net, dest, origin, out.routing, opts)) {
-      out.converged = true;
-      break;
+  {
+    obs::ScopedSpan span("bellman_sync", "routing");
+    for (out.iterations = 0; out.iterations < opts.max_iterations;
+         ++out.iterations) {
+      if (!bellman_step(alg, net, dest, origin, out.routing, opts)) {
+        out.converged = true;
+        break;
+      }
     }
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("bellman.runs").add(1);
+    reg.counter("bellman.iterations")
+        .add(static_cast<std::uint64_t>(out.iterations));
+    reg.histogram("bellman.iterations_to_fixpoint")
+        .record(static_cast<std::uint64_t>(out.iterations));
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "mrt/routing/closure.hpp"
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -47,11 +48,14 @@ ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a) {
   const std::size_t n = a.size();
   for (const auto& row : a) MRT_REQUIRE(row.size() == n);
 
+  obs::ScopedSpan span("kleene_closure", "routing");
+  std::uint64_t product_steps = 0;
   // Elimination over intermediate nodes; for ⊕-idempotent, nondecreasing
   // algebras cycles never improve a walk, so a[k][k]* collapses away.
   for (std::size_t k = 0; k < n; ++k) {
     for (std::size_t i = 0; i < n; ++i) {
       if (!a[i][k]) continue;
+      product_steps += n;
       for (std::size_t j = 0; j < n; ++j) {
         a[i][j] = opt_plus(alg, a[i][j],
                            opt_times(alg, a[i][k], a[k][j]));
@@ -63,6 +67,11 @@ ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a) {
     for (std::size_t i = 0; i < n; ++i) {
       a[i][i] = opt_plus(alg, a[i][i], Entry(*one));
     }
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("closure.kleene_runs").add(1);
+    reg.counter("closure.product_steps").add(product_steps);
   }
   return ClosureResult{std::move(a), true, 0};
 }
@@ -76,6 +85,8 @@ ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
   out.star = identity_matrix(alg, n);
   out.converged = false;
 
+  obs::ScopedSpan span("iterative_closure", "routing");
+  std::uint64_t product_steps = 0;
   for (out.iterations = 0; out.iterations < opts.max_power;
        ++out.iterations) {
     // next = I ⊕ A ⊗ star
@@ -83,6 +94,7 @@ ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t k = 0; k < n; ++k) {
         if (!a[i][k]) continue;
+        product_steps += n;
         for (std::size_t j = 0; j < n; ++j) {
           next[i][j] = opt_plus(alg, next[i][j],
                                 opt_times(alg, a[i][k], out.star[k][j]));
@@ -94,6 +106,15 @@ ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
       break;
     }
     out.star = std::move(next);
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("closure.iterative_runs").add(1);
+    reg.counter("closure.product_steps").add(product_steps);
+    reg.counter("closure.iterations")
+        .add(static_cast<std::uint64_t>(out.iterations));
+    reg.histogram("closure.iterations_to_fixpoint")
+        .record(static_cast<std::uint64_t>(out.iterations));
   }
   return out;
 }

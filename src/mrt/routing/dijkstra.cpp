@@ -1,5 +1,6 @@
 #include "mrt/routing/dijkstra.hpp"
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -8,12 +9,17 @@ Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
                  const Value& origin) {
   const int n = net.num_nodes();
   MRT_REQUIRE(dest >= 0 && dest < n);
+  obs::ScopedSpan span("dijkstra", "routing");
+  std::uint64_t scan_steps = 0;    // extract-min work (the heap-op analogue)
+  std::uint64_t relaxations = 0;   // label applications along in-arcs
+  std::uint64_t improvements = 0;  // relaxations that improved a route
+  std::uint64_t settled = 0;
   Routing r;
   r.weight.assign(static_cast<std::size_t>(n), std::nullopt);
   r.next_arc.assign(static_cast<std::size_t>(n), -1);
   r.weight[static_cast<std::size_t>(dest)] = origin;
 
-  std::vector<bool> settled(static_cast<std::size_t>(n), false);
+  std::vector<bool> settled_set(static_cast<std::size_t>(n), false);
   const PreorderSet& ord = *alg.ord;
 
   // O(V² + VE) selection loop: robust for arbitrary total preorders and the
@@ -22,7 +28,8 @@ Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
   for (;;) {
     int best = -1;
     for (int v = 0; v < n; ++v) {
-      if (settled[static_cast<std::size_t>(v)] ||
+      ++scan_steps;
+      if (settled_set[static_cast<std::size_t>(v)] ||
           !r.weight[static_cast<std::size_t>(v)]) {
         continue;
       }
@@ -33,21 +40,33 @@ Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
       }
     }
     if (best < 0) break;
-    settled[static_cast<std::size_t>(best)] = true;
+    settled_set[static_cast<std::size_t>(best)] = true;
+    ++settled;
     const Value& wb = *r.weight[static_cast<std::size_t>(best)];
 
     // Relax arcs *into* best's routing state: an arc (u, best) lets u route
     // via best with weight f_label(w_best).
     for (int id : net.graph().in_arcs(best)) {
       const int u = net.graph().arc(id).src;
-      if (settled[static_cast<std::size_t>(u)]) continue;
+      if (settled_set[static_cast<std::size_t>(u)]) continue;
+      ++relaxations;
       Value cand = alg.fns->apply(net.label(id), wb);
       auto& wu = r.weight[static_cast<std::size_t>(u)];
       if (!wu || lt_of(ord.cmp(cand, *wu))) {
+        ++improvements;
         wu = std::move(cand);
         r.next_arc[static_cast<std::size_t>(u)] = id;
       }
     }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("dijkstra.calls").add(1);
+    reg.counter("dijkstra.scan_steps").add(scan_steps);
+    reg.counter("dijkstra.relaxations").add(relaxations);
+    reg.counter("dijkstra.improvements").add(improvements);
+    reg.counter("dijkstra.settled").add(settled);
   }
   return r;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -32,6 +33,9 @@ KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
   out.weights.assign(static_cast<std::size_t>(n), {});
   out.weights[static_cast<std::size_t>(dest)] = {origin};
 
+  obs::ScopedSpan span("kbest_bellman", "routing");
+  std::uint64_t relaxations = 0;
+  std::uint64_t reductions = 0;
   for (out.iterations = 0; out.iterations < opts.max_iterations;
        ++out.iterations) {
     bool changed = false;
@@ -42,9 +46,11 @@ KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
       for (int id : net.graph().out_arcs(u)) {
         const int v = net.graph().arc(id).dst;
         for (const Value& w : out.weights[static_cast<std::size_t>(v)]) {
+          ++relaxations;
           pool.push_back(alg.fns->apply(net.label(id), w));
         }
       }
+      ++reductions;
       ValueVec reduced = k_best(*alg.ord, pool, k);
       if (!(reduced == out.weights[static_cast<std::size_t>(u)])) {
         changed = true;
@@ -56,6 +62,17 @@ KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
       out.converged = true;
       break;
     }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("kbest.runs").add(1);
+    reg.counter("kbest.relaxations").add(relaxations);
+    reg.counter("kbest.reductions").add(reductions);
+    reg.counter("kbest.iterations")
+        .add(static_cast<std::uint64_t>(out.iterations));
+    reg.histogram("kbest.iterations_to_fixpoint")
+        .record(static_cast<std::uint64_t>(out.iterations));
   }
   return out;
 }

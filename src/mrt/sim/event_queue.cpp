@@ -16,6 +16,7 @@ std::uint64_t EventQueue::push(double time, Event::Kind kind, int arc,
   e.weight = std::move(weight);
   e.path = std::move(path);
   heap_.push(std::move(e));
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
   return next_seq_ - 1;
 }
 
@@ -23,6 +24,7 @@ Event EventQueue::pop() {
   MRT_REQUIRE(!heap_.empty());
   Event e = heap_.top();
   heap_.pop();
+  ++pops_;
   now_ = e.time;
   return e;
 }

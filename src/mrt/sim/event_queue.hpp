@@ -39,6 +39,11 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
+  /// Deepest the queue has ever been — the backlog high-water mark.
+  std::size_t high_water() const { return high_water_; }
+  /// Lifetime heap-operation counts (sift-up + sift-down entry points).
+  std::uint64_t pushes() const { return next_seq_; }
+  std::uint64_t pops() const { return pops_; }
 
   /// Pops the earliest event. Precondition: not empty.
   Event pop();
@@ -54,7 +59,9 @@ class EventQueue {
   };
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t pops_ = 0;
   double now_ = 0.0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace mrt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mrt/obs/obs.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -58,6 +59,9 @@ std::optional<Value> PathVectorSim::candidate_via(int arc) const {
 // Sends `node`'s current selection to every in-neighbour, respecting per-arc
 // FIFO (a later message never overtakes an earlier one).
 void PathVectorSim::advertise(int node, double now) {
+  obs::ScopedSpan span("advertise", "sim", node);
+  obs::TraceSession* trace = obs::TraceSession::current();
+  const bool withdrawal = !selected_[static_cast<std::size_t>(node)];
   for (int id : net_.graph().in_arcs(node)) {
     if (!arc_up_[static_cast<std::size_t>(id)]) continue;
     const double delay =
@@ -71,11 +75,21 @@ void PathVectorSim::advertise(int node, double now) {
     queue_.push(when, Event::Kind::Deliver, id,
                 selected_[static_cast<std::size_t>(node)],
                 selected_path_[static_cast<std::size_t>(node)]);
+    ++stats_.messages_sent;
+    if (withdrawal) ++stats_.withdrawals_sent;
+    if (trace) {
+      // Message flight on the sim-time process: one row per arc.
+      trace->complete(withdrawal ? "withdraw" : "advert", "sim.msg",
+                      now * 1e6, (when - now) * 1e6, obs::TraceSession::kSimPid,
+                      id, {{"from", static_cast<std::int64_t>(node)}});
+    }
   }
 }
 
 void PathVectorSim::reselect(int node, double now) {
   if (node == dest_) return;  // the destination's route is pinned
+  obs::ScopedSpan span("reselect", "sim", node);
+  ++stats_.reselects;
 
   // Best candidate, deterministic: scan out-arcs in id order, strict
   // improvement replaces.
@@ -116,35 +130,62 @@ void PathVectorSim::reselect(int node, double now) {
       best_path != selected_path_[static_cast<std::size_t>(node)];
   if (weight_changed || path_changed || best_arc != sel_arc) {
     ++flaps_[static_cast<std::size_t>(node)];
+    ++stats_.selection_changes;
     sel = best;
     sel_arc = best_arc;
     selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    if (obs::TraceSession* trace = obs::TraceSession::current()) {
+      trace->instant("select", "sim.select", now * 1e6,
+                     obs::TraceSession::kSimPid, node,
+                     {{"weight", sel ? sel->to_string() : "-"}});
+    }
     if (weight_changed || path_changed) advertise(node, now);
   }
 }
 
 SimResult PathVectorSim::run() {
+  obs::TraceSession* trace = obs::TraceSession::current();
   advertise(dest_, 0.0);
 
   while (!queue_.empty() && delivered_ < opts_.max_events) {
     Event e = queue_.pop();
     switch (e.kind) {
       case Event::Kind::Deliver: {
-        if (!arc_up_[static_cast<std::size_t>(e.arc)]) break;  // lost
+        if (!arc_up_[static_cast<std::size_t>(e.arc)]) {  // lost
+          ++stats_.dropped_dead_arc;
+          break;
+        }
         ++delivered_;
+        ++stats_.deliveries;
+        if (!e.weight) ++stats_.withdrawals_delivered;
         rib_in_[static_cast<std::size_t>(e.arc)] = e.weight;
         rib_in_path_[static_cast<std::size_t>(e.arc)] = std::move(e.path);
+        if (trace && delivered_ % 64 == 0) {
+          trace->counter("queue depth", queue_.now() * 1e6,
+                         obs::TraceSession::kSimPid,
+                         static_cast<double>(queue_.size()));
+        }
         reselect(net_.graph().arc(e.arc).src, queue_.now());
         break;
       }
       case Event::Kind::LinkDown: {
+        ++stats_.link_down_events;
         arc_up_[static_cast<std::size_t>(e.arc)] = false;
         rib_in_[static_cast<std::size_t>(e.arc)] = std::nullopt;
+        if (trace) {
+          trace->instant("link down", "sim.link", queue_.now() * 1e6,
+                         obs::TraceSession::kSimPid, e.arc);
+        }
         reselect(net_.graph().arc(e.arc).src, queue_.now());
         break;
       }
       case Event::Kind::LinkUp: {
+        ++stats_.link_up_events;
         arc_up_[static_cast<std::size_t>(e.arc)] = true;
+        if (trace) {
+          trace->instant("link up", "sim.link", queue_.now() * 1e6,
+                         obs::TraceSession::kSimPid, e.arc);
+        }
         // The arc's head re-advertises so the tail can learn the route.
         const int head = net_.graph().arc(e.arc).dst;
         if (selected_[static_cast<std::size_t>(head)]) {
@@ -155,6 +196,8 @@ SimResult PathVectorSim::run() {
     }
   }
 
+  stats_.queue_high_water = queue_.high_water();
+
   SimResult out;
   out.converged = queue_.empty();
   out.events = delivered_;
@@ -163,6 +206,39 @@ SimResult PathVectorSim::run() {
   out.routing.next_arc = selected_arc_;
   out.flaps = flaps_;
   out.paths = selected_path_;
+  out.stats = stats_;
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.converged").add(out.converged ? 1 : 0);
+    reg.counter("sim.messages_sent")
+        .add(static_cast<std::uint64_t>(stats_.messages_sent));
+    reg.counter("sim.withdrawals_sent")
+        .add(static_cast<std::uint64_t>(stats_.withdrawals_sent));
+    reg.counter("sim.deliveries")
+        .add(static_cast<std::uint64_t>(stats_.deliveries));
+    reg.counter("sim.withdrawals_delivered")
+        .add(static_cast<std::uint64_t>(stats_.withdrawals_delivered));
+    reg.counter("sim.dropped_dead_arc")
+        .add(static_cast<std::uint64_t>(stats_.dropped_dead_arc));
+    reg.counter("sim.reselects")
+        .add(static_cast<std::uint64_t>(stats_.reselects));
+    reg.counter("sim.selection_changes")
+        .add(static_cast<std::uint64_t>(stats_.selection_changes));
+    reg.counter("sim.link_down_events")
+        .add(static_cast<std::uint64_t>(stats_.link_down_events));
+    reg.counter("sim.link_up_events")
+        .add(static_cast<std::uint64_t>(stats_.link_up_events));
+    reg.counter("sim.heap_pushes").add(queue_.pushes());
+    reg.counter("sim.heap_pops").add(queue_.pops());
+    reg.gauge("sim.queue_high_water")
+        .max_of(static_cast<double>(stats_.queue_high_water));
+    reg.histogram("sim.events_per_run")
+        .record(static_cast<std::uint64_t>(delivered_));
+    obs::Histogram& flap_hist = reg.histogram("sim.flaps_per_node");
+    for (int f : flaps_) flap_hist.record(static_cast<std::uint64_t>(f));
+  }
   return out;
 }
 

@@ -36,6 +36,22 @@ struct SimEventLog {
   std::string what;
 };
 
+/// Per-run protocol dynamics, always collected (plain member increments —
+/// cheap and deterministic). Published into the obs registry under "sim.*"
+/// when observability is enabled.
+struct SimStats {
+  long messages_sent = 0;        ///< advertisements enqueued (routes + withdrawals)
+  long withdrawals_sent = 0;     ///< nullopt advertisements enqueued
+  long deliveries = 0;           ///< messages delivered (== SimResult::events)
+  long withdrawals_delivered = 0;
+  long dropped_dead_arc = 0;     ///< messages lost: arc was down at delivery time
+  long reselects = 0;            ///< best-route recomputations
+  long selection_changes = 0;    ///< total flaps across all nodes
+  long link_down_events = 0;
+  long link_up_events = 0;
+  std::size_t queue_high_water = 0;  ///< deepest event-queue backlog
+};
+
 struct SimResult {
   bool converged = false;  ///< queue drained below the event cap
   long events = 0;         ///< messages delivered
@@ -44,6 +60,7 @@ struct SimResult {
   std::vector<int> flaps;  ///< selection changes per node
   /// Node paths of the selected routes (only with loop_detection).
   std::vector<std::vector<int>> paths;
+  SimStats stats;
 };
 
 class PathVectorSim {
@@ -81,6 +98,7 @@ class PathVectorSim {
   std::vector<std::vector<int>> selected_path_;// per node
   std::vector<int> flaps_;                     // per node
   long delivered_ = 0;
+  SimStats stats_;
 };
 
 }  // namespace mrt

@@ -1,0 +1,364 @@
+// The observability layer: registry reset semantics, log-2 histogram bucket
+// boundaries, JSON writer escaping, and trace export well-formedness
+// (verified by parsing the emitted Chrome trace JSON back).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+
+#include "mrt/obs/obs.hpp"
+
+namespace mrt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON reader — just enough structure to verify
+// that the exporters emit well-formed JSON and to walk into the bits the
+// assertions need. Throws std::runtime_error on malformed input.
+// ---------------------------------------------------------------------------
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void fail(const std::string& msg) const {
+    throw std::runtime_error(msg + " at offset " + std::to_string(i));
+  }
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    ws();
+    if (i >= s.size()) fail("unexpected end");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i;
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i >= s.size()) fail("unterminated string");
+      char c = s[i++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (i >= s.size()) fail("unterminated escape");
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 > s.size()) fail("short \\u escape");
+            for (int k = 0; k < 4; ++k) {
+              if (!std::isxdigit(static_cast<unsigned char>(s[i + k]))) {
+                fail("bad \\u escape");
+              }
+            }
+            i += 4;
+            out += '?';  // code point identity is irrelevant to the tests
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void parse_number() {
+    ws();
+    std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    if (i == start) fail("expected number");
+  }
+
+  void parse_value() {
+    char c = peek();
+    if (c == '{') {
+      parse_object();
+    } else if (c == '[') {
+      parse_array();
+    } else if (c == '"') {
+      parse_string();
+    } else if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+    } else if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+    } else if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+    } else {
+      parse_number();
+    }
+  }
+
+  void parse_object() {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      parse_string();
+      expect(':');
+      parse_value();
+    } while (consume(','));
+    expect('}');
+  }
+
+  void parse_array() {
+    expect('[');
+    if (consume(']')) return;
+    do {
+      parse_value();
+    } while (consume(','));
+    expect(']');
+  }
+};
+
+// Parses the whole document; returns false on any structural error.
+bool json_well_formed(const std::string& s) {
+  try {
+    JsonCursor c{s};
+    c.parse_value();
+    c.ws();
+    return c.i == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+TEST(ObsJson, ParserSelfCheck) {
+  EXPECT_TRUE(json_well_formed(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})"));
+  EXPECT_FALSE(json_well_formed(R"({"a":1,)"));
+  EXPECT_FALSE(json_well_formed(R"({"a" 1})"));
+  EXPECT_FALSE(json_well_formed("[1 2]"));
+  EXPECT_FALSE(json_well_formed("{} extra"));
+}
+
+TEST(ObsJson, WriterEscapesAndNests) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("quote\"and\\slash").value("line\nbreak\ttab");
+  w.key("nested").begin_array();
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.value(-1.5);
+  w.value(true);
+  w.begin_object().key("k").value("v").end_object();
+  w.end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  EXPECT_TRUE(json_well_formed(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterAndGaugeBasics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.max_of(2.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.max_of(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  // Bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_index(7), 3);
+  EXPECT_EQ(obs::Histogram::bucket_index(8), 4);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 64);
+
+  for (int i = 1; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_upper(i)), i);
+    // Buckets tile the range with no gap.
+    EXPECT_EQ(obs::Histogram::bucket_lower(i),
+              obs::Histogram::bucket_upper(i - 1) + 1);
+  }
+
+  obs::Histogram h;
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 1023u, 1024u}) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(3), 2u);  // 4, 7
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 8
+  EXPECT_EQ(h.bucket_count(10), 1u); // 1023 in [512, 1023]
+  EXPECT_EQ(h.bucket_count(11), 1u); // 1024 in [1024, 2047]
+}
+
+TEST(ObsMetrics, RegistryResetKeepsReferencesValid) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.counter");
+  obs::Gauge& g = reg.gauge("test.gauge");
+  obs::Histogram& h = reg.histogram("test.hist");
+  c.add(5);
+  g.set(2.5);
+  h.record(9);
+
+  // Lookup by the same name returns the same object.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  EXPECT_EQ(reg.counter_value("test.counter"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("test.gauge"), 2.5);
+
+  reg.reset();
+  // Values are zeroed but registration (and addresses) survive.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  ASSERT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.counters()[0].first, "test.counter");
+
+  // The old reference keeps feeding the same registered metric.
+  c.add(3);
+  EXPECT_EQ(reg.counter_value("test.counter"), 3u);
+
+  // Unknown names read as zero without registering.
+  EXPECT_EQ(reg.counter_value("never.registered"), 0u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(ObsMetrics, RegistryExportsParseBack) {
+  obs::Registry reg;
+  reg.counter("a.b").add(7);
+  reg.gauge("g \"quoted\"").set(1.25);
+  reg.histogram("h").record(0);
+  reg.histogram("h").record(100);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_TRUE(json_well_formed(json.str())) << json.str();
+  EXPECT_NE(json.str().find("\"a.b\":7"), std::string::npos);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("counter,a.b,7"), std::string::npos);
+  EXPECT_NE(csv.str().find("histogram_count,h,2"), std::string::npos);
+}
+
+TEST(ObsMetrics, EnabledFlagToggles) {
+  const bool before = obs::enabled();
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(before);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsWhenEnabled) {
+  const bool before = obs::enabled();
+  obs::Histogram h;
+  obs::set_enabled(false);
+  { obs::ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 0u);  // disabled: not even a clock read
+  obs::set_enabled(true);
+  { obs::ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+  obs::set_enabled(before);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, ChromeExportRoundTrips) {
+  obs::TraceSession session;
+  session.name_thread(obs::TraceSession::kSimPid, 3, "node 3");
+  session.complete("advert \"x\"", "sim.msg", 10.0, 5.0,
+                   obs::TraceSession::kSimPid, 1,
+                   {{"from", std::int64_t{2}}, {"w", 1.5}, {"s", "a\nb"}});
+  session.instant("link down", "sim.link", 12.5, obs::TraceSession::kSimPid,
+                  0);
+  session.counter("queue depth", 13.0, obs::TraceSession::kSimPid, 4.0);
+  EXPECT_EQ(session.size(), 4u);
+
+  std::ostringstream out;
+  session.write_chrome_json(out);
+  const std::string trace = out.str();
+  EXPECT_TRUE(json_well_formed(trace)) << trace;
+  // The required trace-event fields are present.
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+}
+
+TEST(ObsTrace, InstallationIsExclusiveAndScoped) {
+  EXPECT_EQ(obs::TraceSession::current(), nullptr);
+  {
+    obs::TraceSession session;
+    EXPECT_EQ(obs::TraceSession::current(), nullptr);  // not yet installed
+    session.install();
+    EXPECT_EQ(obs::TraceSession::current(), &session);
+    session.install();  // re-installing the same session is a no-op
+    EXPECT_EQ(obs::TraceSession::current(), &session);
+  }
+  // Destruction uninstalls.
+  EXPECT_EQ(obs::TraceSession::current(), nullptr);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsOnlyUnderSession) {
+  {
+    obs::ScopedSpan span("orphan", "test");
+  }  // no session: nothing to record, nothing to crash
+  obs::TraceSession session;
+  session.install();
+  {
+    obs::ScopedSpan span("work", "test", 5);
+  }
+  session.uninstall();
+  auto events = session.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].tid, 5);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+}  // namespace
+}  // namespace mrt

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "helpers.hpp"
+#include "mrt/obs/obs.hpp"
 #include "mrt/routing/optimality.hpp"
 #include "mrt/sim/event_queue.hpp"
 #include "mrt/sim/scenario.hpp"
@@ -184,6 +185,110 @@ TEST(PathVector, WithdrawalsPropagate) {
   const SimResult res = sim.run();
   ASSERT_TRUE(res.converged);
   for (int v = 1; v <= 3; ++v) EXPECT_FALSE(res.routing.has_route(v));
+}
+
+TEST(SimStats, CountersMatchResultAndObsRegistry) {
+  // With observability on, a converged run's registry counters must agree
+  // exactly with the SimStats carried on the SimResult, and the deliveries
+  // stat must equal SimResult::events.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::registry().reset();
+
+  Rng rng(0x0B5);
+  Scenario sc = random_scenario(ot_shortest_path(5), I(0), rng, 10, 7);
+  SimOptions opts;
+  opts.seed = 0x0B5;
+  opts.drop_top_routes = true;
+  PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+  const SimResult res = sim.run();
+  obs::set_enabled(was_enabled);
+  ASSERT_TRUE(res.converged);
+
+  const SimStats& st = res.stats;
+  EXPECT_EQ(st.deliveries, res.events);
+  EXPECT_GT(st.messages_sent, 0);
+  EXPECT_GT(st.reselects, 0);
+  // Every delivered or dropped message was first sent.
+  EXPECT_LE(st.deliveries + st.dropped_dead_arc, st.messages_sent);
+  // Flap totals agree with the per-node view.
+  long flap_total = 0;
+  for (int f : res.flaps) flap_total += f;
+  EXPECT_EQ(st.selection_changes, flap_total);
+
+  const obs::Registry& reg = obs::registry();
+  EXPECT_EQ(reg.counter_value("sim.runs"), 1u);
+  EXPECT_EQ(reg.counter_value("sim.converged"), 1u);
+  EXPECT_EQ(reg.counter_value("sim.messages_sent"),
+            static_cast<std::uint64_t>(st.messages_sent));
+  EXPECT_EQ(reg.counter_value("sim.withdrawals_sent"),
+            static_cast<std::uint64_t>(st.withdrawals_sent));
+  EXPECT_EQ(reg.counter_value("sim.deliveries"),
+            static_cast<std::uint64_t>(st.deliveries));
+  EXPECT_EQ(reg.counter_value("sim.dropped_dead_arc"),
+            static_cast<std::uint64_t>(st.dropped_dead_arc));
+  EXPECT_EQ(reg.counter_value("sim.reselects"),
+            static_cast<std::uint64_t>(st.reselects));
+  EXPECT_EQ(reg.counter_value("sim.selection_changes"),
+            static_cast<std::uint64_t>(st.selection_changes));
+  EXPECT_GE(reg.gauge_value("sim.queue_high_water"),
+            static_cast<double>(st.queue_high_water));
+}
+
+TEST(SimStats, DeterministicAcrossIdenticalSeeds) {
+  // Two runs with the same seed must agree on every stat — instrumentation
+  // must not perturb the schedule.
+  auto run_once = [](bool with_obs) {
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(with_obs);
+    Rng rng(0xD27);
+    Scenario sc = random_scenario(ot_hop_count(), I(0), rng, 12, 8);
+    SimOptions opts;
+    opts.seed = 0xD27;
+    opts.drop_top_routes = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    obs::set_enabled(was_enabled);
+    return res;
+  };
+  const SimResult a = run_once(true);
+  const SimResult b = run_once(true);
+  const SimResult c = run_once(false);  // obs off: same dynamics
+  for (const SimResult* r : {&b, &c}) {
+    EXPECT_EQ(a.converged, r->converged);
+    EXPECT_EQ(a.events, r->events);
+    EXPECT_EQ(a.stats.messages_sent, r->stats.messages_sent);
+    EXPECT_EQ(a.stats.withdrawals_sent, r->stats.withdrawals_sent);
+    EXPECT_EQ(a.stats.deliveries, r->stats.deliveries);
+    EXPECT_EQ(a.stats.withdrawals_delivered, r->stats.withdrawals_delivered);
+    EXPECT_EQ(a.stats.dropped_dead_arc, r->stats.dropped_dead_arc);
+    EXPECT_EQ(a.stats.reselects, r->stats.reselects);
+    EXPECT_EQ(a.stats.selection_changes, r->stats.selection_changes);
+    EXPECT_EQ(a.stats.queue_high_water, r->stats.queue_high_water);
+  }
+}
+
+TEST(SimStats, LinkEventsAndWithdrawalsCounted) {
+  // Chain 2-1-0; failing then restoring (1,0) produces one down and one up
+  // event plus at least one withdrawal.
+  const OrderTransform sp = ot_shortest_path(4);
+  Digraph g(3);
+  ValueVec labels;
+  const int a10 = g.add_arc(1, 0);
+  labels.push_back(I(1));
+  g.add_arc(2, 1);
+  labels.push_back(I(1));
+  LabeledGraph net(std::move(g), std::move(labels));
+  PathVectorSim sim(sp, net, 0, I(0));
+  sim.schedule_link_down(100.0, a10);
+  sim.schedule_link_up(200.0, a10);
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.stats.link_down_events, 1);
+  EXPECT_EQ(res.stats.link_up_events, 1);
+  EXPECT_GT(res.stats.withdrawals_sent, 0);
+  EXPECT_GT(res.stats.withdrawals_delivered, 0);
+  EXPECT_GE(res.stats.queue_high_water, 1u);
 }
 
 TEST(Scenario, GadgetAlgebraShape) {
