@@ -18,6 +18,7 @@
 #include "mrt/core/random_algebra.hpp"
 #include "mrt/core/report.hpp"
 #include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
 #include "mrt/support/table.hpp"
 
 namespace mrt::bench {
@@ -94,9 +95,16 @@ class JsonReport {
     w.key("gauges").begin_object();
     for (const auto& [k, v] : obs::registry().gauges()) w.key(k).value(v);
     w.end_object();
+    // Host parallelism context: BENCH trajectories are only comparable
+    // across machines with this attached.
+    w.key("threads").begin_object();
+    w.key("hardware").value(par::hardware_threads());
+    w.key("effective").value(par::thread_limit());
+    w.end_object();
     w.end_object();
     out << '\n';
-    std::cout << "bench: wrote JSON record to " << path_ << "\n";
+    // stderr, so census tables on stdout diff cleanly across runs.
+    std::cerr << "bench: wrote JSON record to " << path_ << "\n";
   }
 
  private:
@@ -133,6 +141,15 @@ struct Census {
            rule_false_oracle_true + undecided;
   }
 
+  /// Accumulates another tally (the parallel_sweep chunk merge).
+  void merge(const Census& o) {
+    both_true += o.both_true;
+    both_false += o.both_false;
+    rule_true_oracle_false += o.rule_true_oracle_false;
+    rule_false_oracle_true += o.rule_false_oracle_true;
+    undecided += o.undecided;
+  }
+
   std::vector<std::string> row(const std::string& label) const {
     return {label,
             std::to_string(total()),
@@ -147,6 +164,30 @@ struct Census {
 inline Table census_table() {
   return Table({"rule", "samples", "agree:yes", "agree:no", "UNSOUND(yes/no)",
                 "miss(no/yes)", "undecided"});
+}
+
+/// Iterations per parallel_sweep chunk: one census sample is itself heavy
+/// (dozens of properties, thousands of tuples each), so small chunks keep
+/// the pool balanced.
+inline constexpr std::size_t kSweepGrain = 8;
+
+/// Deterministic parallel census sweep: runs `body(rng, acc)` for each of
+/// `n` iterations, each on an independent Rng seeded from (base_seed, i) via
+/// par::mix_seed, accumulating into per-chunk `Acc`s merged in index order.
+/// The table printed from the result is bit-identical for every MRT_THREADS
+/// value, including 1 — the determinism contract of docs/PARALLELISM.md.
+/// `Acc` needs a default constructor and `void merge(const Acc&)`.
+template <typename Acc, typename Body>
+Acc parallel_sweep(std::uint64_t base_seed, int n, Body&& body) {
+  return par::parallel_reduce<Acc>(
+      static_cast<std::size_t>(n), kSweepGrain, Acc{},
+      [&](std::size_t b, std::size_t e, Acc& acc) {
+        for (std::size_t i = b; i < e; ++i) {
+          Rng rng(par::mix_seed(base_seed, i));
+          body(rng, acc);
+        }
+      },
+      [](Acc& into, Acc& from) { into.merge(from); });
 }
 
 }  // namespace mrt::bench

@@ -5,6 +5,9 @@
 // topped first factor the literal Fig. 3 rules over-claim (UNSOUND > 0 in
 // the "literal" rows — that is the measured finding), while the refined
 // ⊤-aware rules and the ⃗×_ω reading stay exact.
+//
+// Sweeps run on the mrt::par pool with per-sample seed derivation, so every
+// table is bit-identical for every MRT_THREADS value.
 #include "bench_util.hpp"
 #include "mrt/core/bases.hpp"
 
@@ -21,88 +24,96 @@ struct OtCensus {
   Census literal_topfree_nd, literal_topfree_inc;
   Census omega_nd, omega_inc;
   long topped_first = 0;
+
+  void merge(const OtCensus& o) {
+    refined_nd.merge(o.refined_nd);
+    refined_inc.merge(o.refined_inc);
+    literal_nd.merge(o.literal_nd);
+    literal_inc.merge(o.literal_inc);
+    literal_topfree_nd.merge(o.literal_topfree_nd);
+    literal_topfree_inc.merge(o.literal_topfree_inc);
+    omega_nd.merge(o.omega_nd);
+    omega_inc.merge(o.omega_inc);
+    topped_first += o.topped_first;
+  }
 };
 
 OtCensus sweep_ot() {
-  Checker chk;
-  OtCensus out;
-  Rng rng(0xF16'3'07);
-  for (int i = 0; i < kSamples; ++i) {
-    OrderTransform s = random_order_transform(rng);
-    OrderTransform t = random_order_transform(rng);
-    s.props = chk.report(s);
-    t.props = chk.report(t);
-    const OrderTransform p = lex(s, t);
-    const Tri o_nd = chk.prop(p, Prop::ND_L).verdict;
-    const Tri o_inc = chk.prop(p, Prop::Inc_L).verdict;
+  return bench::parallel_sweep<OtCensus>(
+      0xF16'3'07, kSamples, [](Rng& rng, OtCensus& out) {
+        Checker chk;
+        OrderTransform s = random_order_transform(rng);
+        OrderTransform t = random_order_transform(rng);
+        s.props = chk.report(s);
+        t.props = chk.report(t);
+        const OrderTransform p = lex(s, t);
+        const Tri o_nd = chk.prop(p, Prop::ND_L).verdict;
+        const Tri o_inc = chk.prop(p, Prop::Inc_L).verdict;
 
-    out.refined_nd.tally(p.props.value(Prop::ND_L), o_nd);
-    out.refined_inc.tally(p.props.value(Prop::Inc_L), o_inc);
-    out.literal_nd.tally(paper_rule_nd_lex(s.props, t.props), o_nd);
-    out.literal_inc.tally(paper_rule_inc_lex(s.props, t.props), o_inc);
+        out.refined_nd.tally(p.props.value(Prop::ND_L), o_nd);
+        out.refined_inc.tally(p.props.value(Prop::Inc_L), o_inc);
+        out.literal_nd.tally(paper_rule_nd_lex(s.props, t.props), o_nd);
+        out.literal_inc.tally(paper_rule_inc_lex(s.props, t.props), o_inc);
 
-    const bool topfree = s.props.value(Prop::HasTop) == Tri::False;
-    if (!topfree) ++out.topped_first;
-    if (topfree) {
-      out.literal_topfree_nd.tally(paper_rule_nd_lex(s.props, t.props), o_nd);
-      if (t.props.value(Prop::HasTop) == Tri::False) {
-        out.literal_topfree_inc.tally(paper_rule_inc_lex(s.props, t.props),
-                                      o_inc);
-      }
-    }
+        const bool topfree = s.props.value(Prop::HasTop) == Tri::False;
+        if (!topfree) ++out.topped_first;
+        if (topfree) {
+          out.literal_topfree_nd.tally(paper_rule_nd_lex(s.props, t.props),
+                                       o_nd);
+          if (t.props.value(Prop::HasTop) == Tri::False) {
+            out.literal_topfree_inc.tally(
+                paper_rule_inc_lex(s.props, t.props), o_inc);
+          }
+        }
 
-    // The ⃗×_ω reading: collapse S's top; Fig. 3 rules with the Sobrinho
-    // conventions (T(S) holds, T ⊤-free for the I rule).
-    if (s.ord->has_top() && s.props.value(Prop::TFix_L) == Tri::True) {
-      const OrderTransform w = lex_omega(s, t);
-      out.omega_nd.tally(paper_rule_nd_lex(s.props, t.props),
-                         chk.prop(w, Prop::ND_L).verdict);
-      if (t.props.value(Prop::HasTop) == Tri::False) {
-        out.omega_inc.tally(paper_rule_inc_lex(s.props, t.props),
-                            chk.prop(w, Prop::Inc_L).verdict);
-      }
-    }
-  }
-  return out;
+        // The ⃗×_ω reading: collapse S's top; Fig. 3 rules with the Sobrinho
+        // conventions (T(S) holds, T ⊤-free for the I rule).
+        if (s.ord->has_top() && s.props.value(Prop::TFix_L) == Tri::True) {
+          const OrderTransform w = lex_omega(s, t);
+          out.omega_nd.tally(paper_rule_nd_lex(s.props, t.props),
+                             chk.prop(w, Prop::ND_L).verdict);
+          if (t.props.value(Prop::HasTop) == Tri::False) {
+            out.omega_inc.tally(paper_rule_inc_lex(s.props, t.props),
+                                chk.prop(w, Prop::Inc_L).verdict);
+          }
+        }
+      });
 }
 
 Census sweep_st(Prop which) {
-  Checker chk;
-  Census c;
-  Rng rng(0xF16'3'57);
-  for (int i = 0; i < kSamples; ++i) {
-    SemigroupTransform s = random_semigroup_transform(rng);
-    SemigroupTransform t = random_semigroup_transform(rng);
-    if (!t.add->identity()) continue;
-    s.props = chk.report(s);
-    t.props = chk.report(t);
-    const SemigroupTransform p = lex(s, t);
-    c.tally(p.props.value(which), chk.prop(p, which).verdict);
-  }
-  return c;
+  return bench::parallel_sweep<Census>(
+      0xF16'3'57, kSamples, [which](Rng& rng, Census& c) {
+        Checker chk;
+        SemigroupTransform s = random_semigroup_transform(rng);
+        SemigroupTransform t = random_semigroup_transform(rng);
+        if (!t.add->identity()) return;
+        s.props = chk.report(s);
+        t.props = chk.report(t);
+        const SemigroupTransform p = lex(s, t);
+        c.tally(p.props.value(which), chk.prop(p, which).verdict);
+      });
 }
 
 Census sweep_bs(Prop which) {
-  Checker chk;
-  Census c;
-  Rng rng(0xF16'3'B5);
-  for (int i = 0; i < kSamples; ++i) {
-    Bisemigroup s = random_bisemigroup(rng);
-    Bisemigroup t = random_bisemigroup(rng);
-    if (!t.add->identity()) continue;
-    s.props = chk.report(s);
-    t.props = chk.report(t);
-    const Bisemigroup p = lex(s, t);
-    c.tally(p.props.value(which), chk.prop(p, which).verdict);
-  }
-  return c;
+  return bench::parallel_sweep<Census>(
+      0xF16'3'B5, kSamples, [which](Rng& rng, Census& c) {
+        Checker chk;
+        Bisemigroup s = random_bisemigroup(rng);
+        Bisemigroup t = random_bisemigroup(rng);
+        if (!t.add->identity()) return;
+        s.props = chk.report(s);
+        t.props = chk.report(t);
+        const Bisemigroup p = lex(s, t);
+        c.tally(p.props.value(which), chk.prop(p, which).verdict);
+      });
 }
 
 }  // namespace
 }  // namespace mrt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrt;
+  bench::JsonReport report("fig3_local_exact", argc, argv);
   const auto ot = sweep_ot();
 
   bench::banner("EXP-F3: Thm 5 local-optima rules (order transforms)");
@@ -126,5 +137,7 @@ int main() {
   t2.add_row(sweep_bs(Prop::ND_L).row("ND bisemigroups"));
   t2.add_row(sweep_bs(Prop::Inc_L).row("I  bisemigroups"));
   std::cout << t2.render();
+  report.metric("census_total",
+                static_cast<double>(ot.refined_nd.total()));
   return 0;
 }

@@ -35,6 +35,16 @@ SemigroupPtr make_factor(Rng& rng, FactorKind k) {
   return nullptr;
 }
 
+// Per-arrangement tally, merged across parallel_sweep chunks.
+struct DefAcc {
+  long defined = 0;
+  long laws = 0;
+  void merge(const DefAcc& o) {
+    defined += o.defined;
+    laws += o.laws;
+  }
+};
+
 // Exhaustively applies ⊕; reports whether any fourth-case hole was hit.
 bool fully_defined(const Semigroup& s) {
   auto enumd = s.enumerate();
@@ -56,8 +66,6 @@ bool fully_defined(const Semigroup& s) {
 
 int main() {
   using namespace mrt;
-  Checker chk;
-  Rng rng(0x7012);
 
   bench::banner("EXP-T2: Theorem 2 — n-ary definedness frontier");
   Table t({"arrangement", "trials", "always defined", "comm+idem when defined"});
@@ -84,27 +92,31 @@ int main() {
                                       FactorKind::Free}, false},
   };
 
-  for (const auto& arr : arrangements) {
-    int defined = 0, laws = 0;
-    const int trials = 40;
-    for (int i = 0; i < trials; ++i) {
-      SemigroupPtr p = make_factor(rng, arr.ks[0]);
-      for (std::size_t k = 1; k < arr.ks.size(); ++k) {
-        p = lex_semigroup(p, make_factor(rng, arr.ks[k]));
-      }
-      if (fully_defined(*p)) {
-        ++defined;
-        const bool ok =
-            chk.semigroup_prop(*p, Prop::Comm).verdict == Tri::True &&
-            chk.semigroup_prop(*p, Prop::Idem).verdict == Tri::True &&
-            chk.semigroup_prop(*p, Prop::Assoc).verdict == Tri::True;
-        laws += ok ? 1 : 0;
-      }
-    }
+  const int trials = 40;
+  for (std::size_t ai = 0; ai < arrangements.size(); ++ai) {
+    const Arrangement& arr = arrangements[ai];
+    // Trials parallelize per-sample; each arrangement derives its own base
+    // seed so the table is independent of both thread count and row order.
+    const DefAcc acc = bench::parallel_sweep<DefAcc>(
+        par::mix_seed(0x7012, ai), trials, [&arr](Rng& rng, DefAcc& a) {
+          Checker chk;
+          SemigroupPtr p = make_factor(rng, arr.ks[0]);
+          for (std::size_t k = 1; k < arr.ks.size(); ++k) {
+            p = lex_semigroup(p, make_factor(rng, arr.ks[k]));
+          }
+          if (fully_defined(*p)) {
+            ++a.defined;
+            const bool ok =
+                chk.semigroup_prop(*p, Prop::Comm).verdict == Tri::True &&
+                chk.semigroup_prop(*p, Prop::Idem).verdict == Tri::True &&
+                chk.semigroup_prop(*p, Prop::Assoc).verdict == Tri::True;
+            a.laws += ok ? 1 : 0;
+          }
+        });
     t.add_row({arr.name, std::to_string(trials),
-               std::to_string(defined) + "/" + std::to_string(trials) +
+               std::to_string(acc.defined) + "/" + std::to_string(trials) +
                    (arr.expect_defined ? " (thm2: all)" : " (thm2: not all)"),
-               std::to_string(laws) + "/" + std::to_string(defined)});
+               std::to_string(acc.laws) + "/" + std::to_string(acc.defined)});
   }
   std::cout << t.render();
   std::cout << "Theorem 2 reproduced: arrangements with a selective prefix,\n"

@@ -41,52 +41,63 @@ class WrongLex : public Semigroup {
   SemigroupPtr s_, t_;
 };
 
+// Tally across trials, merged in index order by parallel_sweep.
+struct T3Acc {
+  long pairs_checked = 0;
+  long mismatches = 0;
+  long wrong_mismatch_runs = 0;
+  void merge(const T3Acc& o) {
+    pairs_checked += o.pairs_checked;
+    mismatches += o.mismatches;
+    wrong_mismatch_runs += o.wrong_mismatch_runs;
+  }
+};
+
 }  // namespace
 }  // namespace mrt
 
 int main() {
   using namespace mrt;
-  Rng rng(0x7013);
 
-  long pairs_checked = 0, mismatches = 0, wrong_mismatch_runs = 0;
   const int trials = 200;
-  for (int i = 0; i < trials; ++i) {
-    SemigroupPtr s = rng.chance(0.5) ? random_chain_semilattice(rng, 3)
-                                     : random_semilattice(rng, 2, true);
-    SemigroupPtr t = random_semilattice(rng, 2, true);
-    auto product = lex_semigroup(s, t);
-    auto wrong = std::make_shared<WrongLex>(s, t);
-    const ValueVec elems = *product->enumerate();
+  const T3Acc acc = bench::parallel_sweep<T3Acc>(
+      0x7013, trials, [](Rng& rng, T3Acc& out) {
+        SemigroupPtr s = rng.chance(0.5) ? random_chain_semilattice(rng, 3)
+                                         : random_semilattice(rng, 2, true);
+        SemigroupPtr t = random_semilattice(rng, 2, true);
+        auto product = lex_semigroup(s, t);
+        auto wrong = std::make_shared<WrongLex>(s, t);
+        const ValueVec elems = *product->enumerate();
 
-    bool wrong_differs = false;
-    for (const bool left : {true, false}) {
-      auto no_of_product = natural_order(product, left);
-      auto product_of_no =
-          lex_preorder(natural_order(s, left), natural_order(t, left));
-      auto no_of_wrong = natural_order(
-          std::static_pointer_cast<const Semigroup>(wrong), left);
-      for (const Value& a : elems) {
-        for (const Value& b : elems) {
-          ++pairs_checked;
-          if (no_of_product->leq(a, b) != product_of_no->leq(a, b)) {
-            ++mismatches;
-          }
-          if (no_of_wrong->leq(a, b) != product_of_no->leq(a, b)) {
-            wrong_differs = true;
+        bool wrong_differs = false;
+        for (const bool left : {true, false}) {
+          auto no_of_product = natural_order(product, left);
+          auto product_of_no =
+              lex_preorder(natural_order(s, left), natural_order(t, left));
+          auto no_of_wrong = natural_order(
+              std::static_pointer_cast<const Semigroup>(wrong), left);
+          for (const Value& a : elems) {
+            for (const Value& b : elems) {
+              ++out.pairs_checked;
+              if (no_of_product->leq(a, b) != product_of_no->leq(a, b)) {
+                ++out.mismatches;
+              }
+              if (no_of_wrong->leq(a, b) != product_of_no->leq(a, b)) {
+                wrong_differs = true;
+              }
+            }
           }
         }
-      }
-    }
-    wrong_mismatch_runs += wrong_differs ? 1 : 0;
-  }
+        out.wrong_mismatch_runs += wrong_differs ? 1 : 0;
+      });
 
   bench::banner("EXP-T3: Theorem 3 — natural orders commute with lex");
   Table t({"construction", "pairs checked", "mismatches vs NO(S) lex NO(T)"});
-  t.add_row({"paper's fourth case = alpha_T", std::to_string(pairs_checked),
-             std::to_string(mismatches)});
+  t.add_row({"paper's fourth case = alpha_T", std::to_string(acc.pairs_checked),
+             std::to_string(acc.mismatches)});
   t.add_row({"wrong fourth case = t1+t2 (runs that differ)",
              std::to_string(trials),
-             std::to_string(wrong_mismatch_runs) + "/" +
+             std::to_string(acc.wrong_mismatch_runs) + "/" +
                  std::to_string(trials)});
   std::cout << t.render();
   std::cout << "Zero mismatches for the paper's definition; the 'fourth\n"

@@ -53,12 +53,21 @@ Tri sampled_inc(const OrderTransform& p) {
   return chk.prop(p, Prop::Inc_L).verdict;
 }
 
+// Per-shape tally, merged across parallel_sweep chunks.
+struct IncAcc {
+  long rule_yes = 0;
+  long oracle_refuted = 0;
+  void merge(const IncAcc& o) {
+    rule_yes += o.rule_yes;
+    oracle_refuted += o.oracle_refuted;
+  }
+};
+
 }  // namespace
 }  // namespace mrt
 
 int main() {
   using namespace mrt;
-  Rng rng(0xC2'2025);
 
   bench::banner("EXP-C2: Corollary 2 — n-ary increasing products");
   Table t({"stack (4 slots)", "trials", "rule says I", "oracle refutes",
@@ -80,19 +89,22 @@ int main() {
        {Slot::Any, Slot::Inc, Slot::Any, Slot::Any}, false},
   };
 
-  for (const Shape& sh : shapes) {
-    const int trials = 30;
-    int rule_yes = 0, oracle_refuted = 0;
-    for (int i = 0; i < trials; ++i) {
-      OrderTransform p = make_slot(rng, sh.slots[0]);
-      for (std::size_t k = 1; k < sh.slots.size(); ++k) {
-        p = lex(p, make_slot(rng, sh.slots[k]));
-      }
-      rule_yes += p.props.value(Prop::Inc_L) == Tri::True ? 1 : 0;
-      oracle_refuted += sampled_inc(p) == Tri::False ? 1 : 0;
-    }
-    t.add_row({sh.name, std::to_string(trials), std::to_string(rule_yes),
-               std::to_string(oracle_refuted),
+  const int trials = 30;
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const Shape& sh = shapes[si];
+    // Trials parallelize per-sample; each shape derives its own base seed so
+    // the table is independent of both thread count and row order.
+    const IncAcc acc = bench::parallel_sweep<IncAcc>(
+        par::mix_seed(0xC2'2025, si), trials, [&sh](Rng& rng, IncAcc& a) {
+          OrderTransform p = make_slot(rng, sh.slots[0]);
+          for (std::size_t k = 1; k < sh.slots.size(); ++k) {
+            p = lex(p, make_slot(rng, sh.slots[k]));
+          }
+          a.rule_yes += p.props.value(Prop::Inc_L) == Tri::True ? 1 : 0;
+          a.oracle_refuted += sampled_inc(p) == Tri::False ? 1 : 0;
+        });
+    t.add_row({sh.name, std::to_string(trials), std::to_string(acc.rule_yes),
+               std::to_string(acc.oracle_refuted),
                sh.corollary_shape ? "yes" : "no"});
   }
   std::cout << t.render();

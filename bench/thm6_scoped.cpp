@@ -16,54 +16,67 @@ using bench::Census;
 
 constexpr int kSamples = 1500;
 
+// All four censuses plus the eligibility count, merged across chunks.
+struct T6Acc {
+  Census m_all, m_engine, nd_topfree, inc_topfree;
+  long eligible = 0;
+  void merge(const T6Acc& o) {
+    m_all.merge(o.m_all);
+    m_engine.merge(o.m_engine);
+    nd_topfree.merge(o.nd_topfree);
+    inc_topfree.merge(o.inc_topfree);
+    eligible += o.eligible;
+  }
+};
+
 }  // namespace
 }  // namespace mrt
 
 int main() {
   using namespace mrt;
   Checker chk;
-  Rng rng(0x7A06'BE);
 
-  Census m_all, m_engine, nd_topfree, inc_topfree;
-  long eligible = 0;
-  for (int i = 0; i < kSamples; ++i) {
-    OrderTransform s = random_order_transform(rng);
-    OrderTransform t = random_order_transform(rng);
-    const OrderShape ss = probe_shape(*s.ord);
-    const OrderShape ts = probe_shape(*t.ord);
-    if (ss.multi_element != Tri::True || ts.multi_class != Tri::True) {
-      continue;  // Theorem 6's hypotheses
-    }
-    ++eligible;
-    s.props = chk.report(s);
-    t.props = chk.report(t);
-    const OrderTransform sc = scoped(s, t);
+  const T6Acc acc = bench::parallel_sweep<T6Acc>(
+      0x7A06'BE, kSamples, [](Rng& rng, T6Acc& out) {
+        Checker chk;
+        OrderTransform s = random_order_transform(rng);
+        OrderTransform t = random_order_transform(rng);
+        const OrderShape ss = probe_shape(*s.ord);
+        const OrderShape ts = probe_shape(*t.ord);
+        if (ss.multi_element != Tri::True || ts.multi_class != Tri::True) {
+          return;  // Theorem 6's hypotheses
+        }
+        ++out.eligible;
+        s.props = chk.report(s);
+        t.props = chk.report(t);
+        const OrderTransform sc = scoped(s, t);
 
-    const Tri o_m = chk.prop(sc, Prop::M_L).verdict;
-    m_all.tally(tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)),
-                o_m);
-    m_engine.tally(sc.props.value(Prop::M_L), o_m);
+        const Tri o_m = chk.prop(sc, Prop::M_L).verdict;
+        out.m_all.tally(
+            tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)), o_m);
+        out.m_engine.tally(sc.props.value(Prop::M_L), o_m);
 
-    if (s.props.value(Prop::HasTop) == Tri::False) {
-      nd_topfree.tally(
-          tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::ND_L)),
-          chk.prop(sc, Prop::ND_L).verdict);
-      if (t.props.value(Prop::HasTop) == Tri::False) {
-        inc_topfree.tally(
-            tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::Inc_L)),
-            chk.prop(sc, Prop::Inc_L).verdict);
-      }
-    }
-  }
+        if (s.props.value(Prop::HasTop) == Tri::False) {
+          out.nd_topfree.tally(
+              tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::ND_L)),
+              chk.prop(sc, Prop::ND_L).verdict);
+          if (t.props.value(Prop::HasTop) == Tri::False) {
+            out.inc_topfree.tally(
+                tri_and(s.props.value(Prop::Inc_L),
+                        t.props.value(Prop::Inc_L)),
+                chk.prop(sc, Prop::Inc_L).verdict);
+          }
+        }
+      });
 
   bench::banner("EXP-T6: Theorem 6 — scoped product characterizations");
-  std::cout << "eligible samples (|S| >= 2, T with >= 2 classes): " << eligible
-            << "\n";
+  std::cout << "eligible samples (|S| >= 2, T with >= 2 classes): "
+            << acc.eligible << "\n";
   Table t = bench::census_table();
-  t.add_row(m_all.row("M(S.T) <=> M(S)&M(T)"));
-  t.add_row(m_engine.row("engine-derived M (via left/right/union rules)"));
-  t.add_row(nd_topfree.row("ND <=> I(S)&ND(T) (top-free S)"));
-  t.add_row(inc_topfree.row("I <=> I(S)&I(T) (top-free S,T)"));
+  t.add_row(acc.m_all.row("M(S.T) <=> M(S)&M(T)"));
+  t.add_row(acc.m_engine.row("engine-derived M (via left/right/union rules)"));
+  t.add_row(acc.nd_topfree.row("ND <=> I(S)&ND(T) (top-free S)"));
+  t.add_row(acc.inc_topfree.row("I <=> I(S)&I(T) (top-free S,T)"));
   std::cout << t.render();
 
   bench::banner("EXP-T6: the bandwidth/delay punchline");

@@ -11,72 +11,91 @@ namespace mrt {
 namespace {
 using bench::Census;
 constexpr int kSamples = 1500;
+
+// All seven censuses plus the eligibility count, merged across chunks.
+struct T7Acc {
+  Census m_exact, m_engine, nd_topfree, inc_topfree, m_without_side;
+  Census nd_corrected, inc_corrected;
+  long eligible = 0;
+  void merge(const T7Acc& o) {
+    m_exact.merge(o.m_exact);
+    m_engine.merge(o.m_engine);
+    nd_topfree.merge(o.nd_topfree);
+    inc_topfree.merge(o.inc_topfree);
+    m_without_side.merge(o.m_without_side);
+    nd_corrected.merge(o.nd_corrected);
+    inc_corrected.merge(o.inc_corrected);
+    eligible += o.eligible;
+  }
+};
 }  // namespace
 }  // namespace mrt
 
 int main() {
   using namespace mrt;
-  Checker chk;
-  Rng rng(0xDE17A'BE);
 
-  Census m_exact, m_engine, nd_topfree, inc_topfree, m_without_side;
-  Census nd_corrected, inc_corrected;
-  long eligible = 0;
-  for (int i = 0; i < kSamples; ++i) {
-    OrderTransform s = random_order_transform(rng);
-    OrderTransform t = random_order_transform(rng);
-    const OrderShape ss = probe_shape(*s.ord);
-    const OrderShape ts = probe_shape(*t.ord);
-    if (ss.multi_element != Tri::True || ts.multi_class != Tri::True) continue;
-    ++eligible;
-    s.props = chk.report(s);
-    t.props = chk.report(t);
-    const OrderTransform dl = delta(s, t);
-    const Tri o_m = chk.prop(dl, Prop::M_L).verdict;
+  const T7Acc acc = bench::parallel_sweep<T7Acc>(
+      0xDE17A'BE, kSamples, [](Rng& rng, T7Acc& out) {
+        Checker chk;
+        OrderTransform s = random_order_transform(rng);
+        OrderTransform t = random_order_transform(rng);
+        const OrderShape ss = probe_shape(*s.ord);
+        const OrderShape ts = probe_shape(*t.ord);
+        if (ss.multi_element != Tri::True || ts.multi_class != Tri::True) {
+          return;
+        }
+        ++out.eligible;
+        s.props = chk.report(s);
+        t.props = chk.report(t);
+        const OrderTransform dl = delta(s, t);
+        const Tri o_m = chk.prop(dl, Prop::M_L).verdict;
 
-    m_exact.tally(
-        tri_and(tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)),
+        out.m_exact.tally(
+            tri_and(
+                tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)),
                 tri_or(s.props.value(Prop::N_L), t.props.value(Prop::C_L))),
-        o_m);
-    m_engine.tally(dl.props.value(Prop::M_L), o_m);
-    // Without the side condition the rule would be unsound — measure it.
-    m_without_side.tally(
-        tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)), o_m);
+            o_m);
+        out.m_engine.tally(dl.props.value(Prop::M_L), o_m);
+        // Without the side condition the rule would be unsound — measure it.
+        out.m_without_side.tally(
+            tri_and(s.props.value(Prop::M_L), t.props.value(Prop::M_L)), o_m);
 
-    if (s.props.value(Prop::HasTop) == Tri::False) {
-      const Tri o_nd = chk.prop(dl, Prop::ND_L).verdict;
-      nd_topfree.tally(
-          tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::ND_L)),
-          o_nd);
-      // Corrected line (measured finding): unlike the scoped product, Δ's
-      // first arm is lex(S, T), so the ND(S)&ND(T) disjunct survives:
-      //    ND(S Δ T) ⟺ ND(S) ∧ ND(T).
-      nd_corrected.tally(
-          tri_and(s.props.value(Prop::ND_L), t.props.value(Prop::ND_L)),
-          o_nd);
-      if (t.props.value(Prop::HasTop) == Tri::False) {
-        const Tri o_inc = chk.prop(dl, Prop::Inc_L).verdict;
-        inc_topfree.tally(
-            tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::Inc_L)),
-            o_inc);
-        // Corrected: I(S Δ T) ⟺ ND(S) ∧ I(T).
-        inc_corrected.tally(
-            tri_and(s.props.value(Prop::ND_L), t.props.value(Prop::Inc_L)),
-            o_inc);
-      }
-    }
-  }
+        if (s.props.value(Prop::HasTop) == Tri::False) {
+          const Tri o_nd = chk.prop(dl, Prop::ND_L).verdict;
+          out.nd_topfree.tally(
+              tri_and(s.props.value(Prop::Inc_L), t.props.value(Prop::ND_L)),
+              o_nd);
+          // Corrected line (measured finding): unlike the scoped product, Δ's
+          // first arm is lex(S, T), so the ND(S)&ND(T) disjunct survives:
+          //    ND(S Δ T) ⟺ ND(S) ∧ ND(T).
+          out.nd_corrected.tally(
+              tri_and(s.props.value(Prop::ND_L), t.props.value(Prop::ND_L)),
+              o_nd);
+          if (t.props.value(Prop::HasTop) == Tri::False) {
+            const Tri o_inc = chk.prop(dl, Prop::Inc_L).verdict;
+            out.inc_topfree.tally(
+                tri_and(s.props.value(Prop::Inc_L),
+                        t.props.value(Prop::Inc_L)),
+                o_inc);
+            // Corrected: I(S Δ T) ⟺ ND(S) ∧ I(T).
+            out.inc_corrected.tally(
+                tri_and(s.props.value(Prop::ND_L),
+                        t.props.value(Prop::Inc_L)),
+                o_inc);
+          }
+        }
+      });
 
   bench::banner("EXP-T7: Theorem 7 — Delta (OSPF-area-like) operator");
-  std::cout << "eligible samples: " << eligible << "\n";
+  std::cout << "eligible samples: " << acc.eligible << "\n";
   Table t = bench::census_table();
-  t.add_row(m_exact.row("M <=> M&M&(N(S)|C(T))"));
-  t.add_row(m_engine.row("engine-derived M"));
-  t.add_row(m_without_side.row("M&M only (side condition dropped!)"));
-  t.add_row(nd_topfree.row("ND as published: I(S)&ND(T) (top-free S)"));
-  t.add_row(nd_corrected.row("ND corrected: ND(S)&ND(T)"));
-  t.add_row(inc_topfree.row("I as published: I(S)&I(T) (top-free S,T)"));
-  t.add_row(inc_corrected.row("I corrected: ND(S)&I(T)"));
+  t.add_row(acc.m_exact.row("M <=> M&M&(N(S)|C(T))"));
+  t.add_row(acc.m_engine.row("engine-derived M"));
+  t.add_row(acc.m_without_side.row("M&M only (side condition dropped!)"));
+  t.add_row(acc.nd_topfree.row("ND as published: I(S)&ND(T) (top-free S)"));
+  t.add_row(acc.nd_corrected.row("ND corrected: ND(S)&ND(T)"));
+  t.add_row(acc.inc_topfree.row("I as published: I(S)&I(T) (top-free S,T)"));
+  t.add_row(acc.inc_corrected.row("I corrected: ND(S)&I(T)"));
   std::cout << t.render();
   std::cout << "The third row's UNSOUND column shows how often Delta without\n"
                "the N(S)|C(T) side condition over-claims — the measured gap\n"

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Run the perf benchmarks with --json and collect the records into one
-# machine-readable file at the repo root: BENCH_obs.json.
+# machine-readable file at the repo root: BENCH_obs.json. Then run the
+# census benches at MRT_THREADS=1 and MRT_THREADS=$(nproc), fail loudly if
+# their stdout tables differ (the mrt::par determinism contract), and merge
+# the timed records into BENCH_par.json.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -45,3 +48,38 @@ fi
   printf ']\n'
 } > "$OUT"
 echo "wrote $OUT (${#records[@]} records)"
+
+# --- Parallel determinism check + BENCH_par.json -------------------------
+PAR_OUT="BENCH_par.json"
+NPROC="$(nproc)"
+par_records=()
+for b in fig2_global_exact fig3_local_exact; do
+  bin="$BUILD/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "bench_json.sh: skipping $b (not built)" >&2
+    continue
+  fi
+  echo "== $b (MRT_THREADS=1 vs $NPROC) =="
+  MRT_THREADS=1 "$bin" --json "$tmpdir/$b.t1.json" > "$tmpdir/$b.t1.out"
+  MRT_THREADS="$NPROC" "$bin" --json "$tmpdir/$b.tn.json" > "$tmpdir/$b.tn.out"
+  if ! diff -u "$tmpdir/$b.t1.out" "$tmpdir/$b.tn.out"; then
+    echo "bench_json.sh: DETERMINISM VIOLATION — $b output depends on MRT_THREADS" >&2
+    exit 1
+  fi
+  echo "   tables bit-identical at 1 and $NPROC threads"
+  par_records+=("$tmpdir/$b.t1.json" "$tmpdir/$b.tn.json")
+done
+
+if [ "${#par_records[@]}" -gt 0 ]; then
+  {
+    printf '['
+    first=1
+    for r in "${par_records[@]}"; do
+      [ "$first" -eq 1 ] || printf ','
+      first=0
+      cat "$r"
+    done
+    printf ']\n'
+  } > "$PAR_OUT"
+  echo "wrote $PAR_OUT (${#par_records[@]} records)"
+fi

@@ -1,7 +1,22 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment.
+#
+# Usage: scripts/run_all.sh [tsan]
+#   tsan — build with -DMRT_SANITIZE=thread into build-tsan and run the
+#          concurrency-sensitive suites (mrt::par + simulator) under
+#          ThreadSanitizer with MRT_THREADS=4, then exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "tsan" ]; then
+  cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc)" --target mrt_tests
+  MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+    -R 'Par|Sim|PathVector|EventQueue'
+  echo "tsan preset passed"
+  exit 0
+fi
+
 if [ -f build/CMakeCache.txt ]; then
   cmake -B build  # already configured: keep whatever generator the cache has
 elif command -v ninja > /dev/null 2>&1; then

@@ -1,11 +1,15 @@
 #include "mrt/core/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <limits>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -62,12 +66,75 @@ class Draw {
 using Violation = std::optional<std::string>;
 using Body = std::function<Violation(const ValueVec&)>;
 
-// Universally quantified check over the given positions: exhaustive odometer
-// iteration when the tuple space is finite and small, sampling otherwise.
+// Tuple spaces at least this large are split across the worker pool; below
+// it the sequential odometer wins on overhead (and both paths produce the
+// same verdict, counterexample, and counters by construction).
+constexpr std::size_t kParMinTuples = 4096;
+// Indices per work chunk: large enough to amortize chunk dispatch, small
+// enough that early exit on refutation wastes little work.
+constexpr std::size_t kParGrain = 1024;
+
+// Parallel exhaustive sweep of a finite tuple space. Linear index L decodes
+// to the same tuple the sequential odometer visits at step L (position 0 is
+// the fastest-varying digit), and workers cooperatively stop scanning past
+// the lowest violation found so far. Because chunks are claimed in ascending
+// order and every index below the current best still gets scanned by the
+// chunk that owns it, the *canonical* (lowest-index) counterexample is
+// always the one reported — output is independent of the thread count.
+CheckResult forall_exhaustive_par(const std::vector<Draw>& positions,
+                                  std::size_t total,
+                                  OracleCounters& obs_counts,
+                                  const Body& body) {
+  const std::size_t np = positions.size();
+  std::atomic<std::size_t> best{total};
+  std::atomic<std::uint64_t> examined{0};
+  std::mutex mu;
+  std::string best_msg;
+  std::size_t best_msg_idx = total;
+  par::parallel_for(total, kParGrain, [&](std::size_t b, std::size_t e) {
+    ValueVec tuple(np);
+    std::uint64_t local_tuples = 0;  // flushed once per chunk
+    for (std::size_t L = b;
+         L < e && L < best.load(std::memory_order_relaxed); ++L) {
+      ++local_tuples;
+      std::size_t rem = L;
+      for (std::size_t i = 0; i < np; ++i) {
+        const ValueVec& xs = positions[i].elems();
+        tuple[i] = xs[rem % xs.size()];
+        rem /= xs.size();
+      }
+      if (Violation v = body(tuple)) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (L < best_msg_idx) {
+          best_msg_idx = L;
+          best_msg = *v;
+        }
+        std::size_t cur = best.load(std::memory_order_relaxed);
+        while (L < cur && !best.compare_exchange_weak(
+                              cur, L, std::memory_order_relaxed)) {
+        }
+        break;  // ascending scan: the first hit is this chunk's minimum
+      }
+    }
+    examined.fetch_add(local_tuples, std::memory_order_relaxed);
+  });
+  obs_counts.tuples += examined.load(std::memory_order_relaxed);
+  if (best.load(std::memory_order_relaxed) < total) {
+    obs_counts.refuted = true;
+    return {Tri::False, true, best_msg};
+  }
+  return {Tri::True, true,
+          "exhaustive over " + std::to_string(total) + " tuples"};
+}
+
+// Universally quantified check over the given positions: exhaustive
+// iteration (parallel for large spaces) when the tuple space is finite and
+// within limits, sampling otherwise.
 CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
                    const Body& body) {
   OracleCounters obs_counts;
   bool all_finite = true;
+  bool abandoned = false;  // finite space, but beyond lim.max_tuples
   std::size_t tuples = 1;
   for (const Draw& d : positions) {
     if (!d.is_finite()) {
@@ -77,16 +144,24 @@ CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
     if (d.elems().empty()) {
       return {Tri::True, true, "vacuous: empty domain"};
     }
-    tuples *= d.elems().size();
-    if (tuples > lim.max_tuples) {
-      all_finite = false;
-      break;
+    const std::size_t sz = d.elems().size();
+    if (tuples > std::numeric_limits<std::size_t>::max() / sz) {
+      tuples = std::numeric_limits<std::size_t>::max();  // saturate
+    } else {
+      tuples *= sz;
     }
+  }
+  if (all_finite && tuples > lim.max_tuples) {
+    all_finite = false;
+    abandoned = true;
   }
 
   ValueVec tuple(positions.size());
   if (all_finite) {
     obs_counts.exhaustive = true;
+    if (tuples >= kParMinTuples && par::thread_limit() > 1) {
+      return forall_exhaustive_par(positions, tuples, obs_counts, body);
+    }
     std::vector<std::size_t> idx(positions.size(), 0);
     for (;;) {
       ++obs_counts.tuples;
@@ -120,6 +195,13 @@ CheckResult forall(const std::vector<Draw>& positions, const CheckLimits& lim,
       obs_counts.refuted = true;
       return {Tri::False, false, *v};
     }
+  }
+  if (abandoned) {
+    return {Tri::Unknown, false,
+            "no counterexample in " + std::to_string(lim.samples) +
+                " samples (covered " + std::to_string(lim.samples) + " of " +
+                std::to_string(tuples) + " tuples; exhaustive cap " +
+                std::to_string(lim.max_tuples) + ")"};
   }
   return {Tri::Unknown, false,
           "no counterexample in " + std::to_string(lim.samples) + " samples"};

@@ -97,16 +97,13 @@ const Value& Value::untagged() const {
   return (*kids_)[0];
 }
 
-int Value::compare(const Value& other) const {
-  if (kind_ != other.kind_) {
-    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
-  }
+int Value::compare_slow(const Value& other) const {
   switch (kind_) {
     case Kind::Unit:
     case Kind::Inf:
     case Kind::Omega:
       return 0;
-    case Kind::Int:
+    case Kind::Int:  // handled inline; kept for switch completeness
       if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
       return 0;
     case Kind::Real:

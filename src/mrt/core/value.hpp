@@ -60,8 +60,20 @@ class Value {
   const Value& untagged() const;
 
   // -- Structural equality / canonical order / hash --------------------------
-  /// Three-way structural comparison: negative, zero, positive.
-  int compare(const Value& other) const;
+  /// Three-way structural comparison: negative, zero, positive. The two
+  /// cases that dominate the routing and checker hot loops — mismatched
+  /// kinds and Int/Int — resolve inline without a function call; everything
+  /// else falls through to the out-of-line walk.
+  int compare(const Value& other) const {
+    if (kind_ != other.kind_) {
+      return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+    }
+    if (kind_ == Kind::Int) {
+      if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+      return 0;
+    }
+    return compare_slow(other);
+  }
   bool operator==(const Value& other) const { return compare(other) == 0; }
   bool operator!=(const Value& other) const { return compare(other) != 0; }
   bool operator<(const Value& other) const { return compare(other) < 0; }
@@ -70,6 +82,9 @@ class Value {
   std::string to_string() const;
 
  private:
+  /// Same-kind, non-Int comparison (the cold remainder of compare()).
+  int compare_slow(const Value& other) const;
+
   Kind kind_;
   int tag_ = 0;
   std::int64_t int_ = 0;

@@ -1,0 +1,231 @@
+#include "mrt/par/par.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace mrt::par {
+namespace {
+
+// Pool workers run with this set so that nested primitives degrade to inline
+// execution instead of blocking on their own pool.
+thread_local bool t_in_worker = false;
+
+// 0 = not yet initialized (resolved from MRT_THREADS / hardware on first use).
+std::atomic<int> g_limit{0};
+
+int read_env_threads() {
+  const char* env = std::getenv("MRT_THREADS");
+  if (!env) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 0;
+  return v > 1024 ? 1024 : static_cast<int>(v);
+}
+
+// One parallel_for/reduce invocation: a bag of chunks claimed in ascending
+// order by however many threads show up. Shared ownership because a worker
+// may still hold a reference for a moment after the submitter saw completion.
+struct Batch {
+  std::size_t total = 0;
+  std::function<void(std::size_t)> chunk;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;           // chunks claimed and finished/skipped
+  std::size_t error_chunk = SIZE_MAX;  // lowest chunk that threw
+  std::exception_ptr error;
+
+  // Claims and runs chunks until none remain. After an error, remaining
+  // chunks are claimed but skipped so the batch drains quickly.
+  void work() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) return;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          chunk(c);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu);
+          if (c < error_chunk) {
+            error_chunk = c;
+            error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (++completed == total) done_cv.notify_all();
+    }
+  }
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= total;
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool p;
+    return p;
+  }
+
+  void run(const std::shared_ptr<Batch>& b) {
+    const int want =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(thread_limit()), b->total)) -
+        1;
+    ensure_workers(want);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(b);
+    }
+    cv_.notify_all();
+    b->work();  // the submitting thread participates
+    {
+      std::unique_lock<std::mutex> lk(b->mu);
+      b->done_cv.wait(lk, [&] { return b->completed == b->total; });
+    }
+    remove(b);
+    if (b->error) std::rethrow_exception(b->error);
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void ensure_workers(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (static_cast<int>(workers_.size()) < n) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void remove(const std::shared_ptr<Batch>& b) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == b) {
+        queue_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void worker_main() {
+    t_in_worker = true;
+    for (;;) {
+      std::shared_ptr<Batch> b;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        while (!queue_.empty() && queue_.front()->exhausted()) {
+          queue_.pop_front();
+        }
+        if (queue_.empty()) continue;
+        b = queue_.front();
+      }
+      b->work();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int thread_limit() {
+  int v = g_limit.load(std::memory_order_acquire);
+  if (v == 0) {
+    const int env = read_env_threads();
+    v = env > 0 ? env : hardware_threads();
+    int expected = 0;
+    if (!g_limit.compare_exchange_strong(expected, v,
+                                         std::memory_order_acq_rel)) {
+      v = expected;
+    }
+  }
+  return v;
+}
+
+void set_thread_limit(int n) {
+  g_limit.store(n < 1 ? 1 : n, std::memory_order_release);
+}
+
+namespace detail {
+
+void run_chunks(std::size_t num_chunks,
+                const std::function<void(std::size_t)>& chunk) {
+  if (num_chunks == 0) return;
+  if (t_in_worker || num_chunks == 1 || thread_limit() <= 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) chunk(c);
+    return;
+  }
+  auto b = std::make_shared<Batch>();
+  b->total = num_chunks;
+  b->chunk = chunk;
+  Pool::instance().run(b);
+}
+
+}  // namespace detail
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = (n + g - 1) / g;
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    body(c * g, std::min(n, (c + 1) * g));
+  });
+}
+
+std::size_t parallel_find_first(std::size_t n, std::size_t grain,
+                                const std::function<bool(std::size_t)>& pred) {
+  if (n == 0) return 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = (n + g - 1) / g;
+  std::atomic<std::size_t> best{n};
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    const std::size_t end = std::min(n, (c + 1) * g);
+    // Chunks are claimed in ascending order, so any index below the current
+    // best is still scanned by the chunk that owns it: the minimum match is
+    // always found, no matter how the scans interleave.
+    for (std::size_t i = begin;
+         i < end && i < best.load(std::memory_order_relaxed); ++i) {
+      if (pred(i)) {
+        std::size_t cur = best.load(std::memory_order_relaxed);
+        while (i < cur && !best.compare_exchange_weak(
+                              cur, i, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  return best.load(std::memory_order_relaxed);
+}
+
+}  // namespace mrt::par

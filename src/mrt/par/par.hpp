@@ -1,0 +1,94 @@
+// Deterministic parallel execution: a lazily-started std::thread pool behind
+// `parallel_for` / `parallel_reduce` / `parallel_find_first` primitives.
+//
+// Design contract (docs/PARALLELISM.md):
+//  - *Determinism.* Every primitive produces results that are independent of
+//    the worker count: `parallel_for` bodies own disjoint index ranges,
+//    `parallel_reduce` merges per-chunk accumulators in ascending chunk
+//    order, and `parallel_find_first` always reports the lowest matching
+//    index. Callers supply thread-safe (typically pure) bodies; randomized
+//    workloads derive per-iteration seeds with `mix_seed` instead of
+//    sharing one generator.
+//  - *Configuration.* The worker limit defaults to the hardware concurrency
+//    and is overridden by the MRT_THREADS environment variable (a positive
+//    integer); `set_thread_limit` adjusts it at runtime (used by the
+//    equivalence tests to compare thread counts in-process). A limit of 1
+//    runs every primitive inline with zero threading overhead.
+//  - *Nesting.* A primitive invoked from inside a worker runs inline on
+//    that worker — nested parallelism never deadlocks the pool.
+//  - *Exceptions.* If a body throws, the lowest-indexed exception among the
+//    chunks that ran is rethrown on the calling thread; remaining chunks
+//    are abandoned cooperatively. The pool stays usable afterwards.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mrt::par {
+
+/// Hardware threads visible to the process (>= 1).
+int hardware_threads();
+
+/// Effective worker limit: MRT_THREADS if set to a positive integer, else
+/// hardware_threads(). Always >= 1.
+int thread_limit();
+
+/// Overrides the worker limit at runtime (clamped to >= 1). Primarily for
+/// tests and benches that compare thread counts within one process.
+void set_thread_limit(int n);
+
+/// SplitMix64-style mix of a base seed with an iteration index: the
+/// per-iteration seed derivation that keeps randomized sweeps deterministic
+/// and order-independent under parallel execution.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t i) noexcept {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+/// Runs chunk(c) for every c in [0, num_chunks). Chunks are claimed in
+/// ascending order; the caller participates. Inline (sequential) when the
+/// limit is 1, the chunk count is 1, or the caller is already a pool worker.
+void run_chunks(std::size_t num_chunks,
+                const std::function<void(std::size_t)>& chunk);
+}  // namespace detail
+
+/// Splits [0, n) into chunks of `grain` indices and runs body(begin, end)
+/// over them concurrently. Bodies own disjoint ranges; writes to per-index
+/// slots need no synchronization.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Lowest index in [0, n) for which pred returns true, or n if none.
+/// Workers cooperatively stop scanning past the best match found so far, so
+/// the result — always the *global* minimum — costs close to the sequential
+/// prefix scan. pred must be thread-safe.
+std::size_t parallel_find_first(std::size_t n, std::size_t grain,
+                                const std::function<bool(std::size_t)>& pred);
+
+/// Chunked reduction with a deterministic merge: body(begin, end, acc)
+/// accumulates each chunk into a default-constructed Acc, and merge(into,
+/// from) folds the per-chunk accumulators in ascending chunk order. Chunk
+/// boundaries depend only on (n, grain), so the merge sequence — and hence
+/// the result, even for non-commutative merges — is identical for every
+/// thread count.
+template <typename Acc, typename Body, typename Merge>
+Acc parallel_reduce(std::size_t n, std::size_t grain, Acc init, Body&& body,
+                    Merge&& merge) {
+  if (n == 0) return init;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = (n + g - 1) / g;
+  std::vector<Acc> accs(chunks);
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    body(c * g, std::min(n, (c + 1) * g), accs[c]);
+  });
+  for (Acc& a : accs) merge(init, a);
+  return init;
+}
+
+}  // namespace mrt::par

@@ -1,12 +1,20 @@
 #include "mrt/routing/closure.hpp"
 
+#include <atomic>
+
 #include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
 namespace {
 
 using Entry = std::optional<Value>;
+
+// Rows per parallel chunk in the matrix passes. Row relaxations within one
+// elimination / multiplication step are independent, so they split across
+// the pool without changing any entry.
+constexpr std::size_t kRowGrain = 8;
 
 // "No walk" behaves as the ⊕-identity and the ⊗-annihilator.
 Entry opt_plus(const Bisemigroup& alg, const Entry& x, const Entry& y) {
@@ -49,18 +57,40 @@ ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a) {
   for (const auto& row : a) MRT_REQUIRE(row.size() == n);
 
   obs::ScopedSpan span("kleene_closure", "routing");
-  std::uint64_t product_steps = 0;
+  std::atomic<std::uint64_t> product_steps{0};
   // Elimination over intermediate nodes; for ⊕-idempotent, nondecreasing
   // algebras cycles never improve a walk, so a[k][k]* collapses away.
   for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!a[i][k]) continue;
-      product_steps += n;
+    // Rows other than k only read row k and write their own row, so they
+    // relax in parallel. Row k both reads and rewrites itself; running it
+    // alone between the two halves reproduces the sequential update order
+    // exactly (rows below k see the pre-update row k, rows above k the
+    // post-update one).
+    const auto eliminate_rows = [&](std::size_t lo, std::size_t hi) {
+      par::parallel_for(hi - lo, kRowGrain,
+                        [&](std::size_t b, std::size_t e) {
+        std::uint64_t local_steps = 0;  // flushed once per chunk
+        for (std::size_t i = lo + b; i < lo + e; ++i) {
+          if (!a[i][k]) continue;
+          local_steps += n;
+          for (std::size_t j = 0; j < n; ++j) {
+            a[i][j] = opt_plus(alg, a[i][j],
+                               opt_times(alg, a[i][k], a[k][j]));
+          }
+        }
+        product_steps.fetch_add(local_steps, std::memory_order_relaxed);
+      });
+    };
+    eliminate_rows(0, k);
+    if (a[k][k]) {
+      std::uint64_t steps = n;
       for (std::size_t j = 0; j < n; ++j) {
-        a[i][j] = opt_plus(alg, a[i][j],
-                           opt_times(alg, a[i][k], a[k][j]));
+        a[k][j] = opt_plus(alg, a[k][j],
+                           opt_times(alg, a[k][k], a[k][j]));
       }
+      product_steps.fetch_add(steps, std::memory_order_relaxed);
     }
+    eliminate_rows(k + 1, n);
   }
   // Adjoin the empty walk.
   if (auto one = alg.mul->identity()) {
@@ -71,7 +101,8 @@ ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a) {
   if (obs::enabled()) {
     obs::Registry& reg = obs::registry();
     reg.counter("closure.kleene_runs").add(1);
-    reg.counter("closure.product_steps").add(product_steps);
+    reg.counter("closure.product_steps")
+        .add(product_steps.load(std::memory_order_relaxed));
   }
   return ClosureResult{std::move(a), true, 0};
 }
@@ -86,21 +117,26 @@ ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
   out.converged = false;
 
   obs::ScopedSpan span("iterative_closure", "routing");
-  std::uint64_t product_steps = 0;
+  std::atomic<std::uint64_t> product_steps{0};
   for (out.iterations = 0; out.iterations < opts.max_power;
        ++out.iterations) {
-    // next = I ⊕ A ⊗ star
+    // next = I ⊕ A ⊗ star. Each output row depends only on `a` and the
+    // previous `star`, so rows multiply in parallel.
     WeightMatrix next = identity_matrix(alg, n);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t k = 0; k < n; ++k) {
-        if (!a[i][k]) continue;
-        product_steps += n;
-        for (std::size_t j = 0; j < n; ++j) {
-          next[i][j] = opt_plus(alg, next[i][j],
-                                opt_times(alg, a[i][k], out.star[k][j]));
+    par::parallel_for(n, kRowGrain, [&](std::size_t rb, std::size_t re) {
+      std::uint64_t local_steps = 0;  // flushed once per chunk
+      for (std::size_t i = rb; i < re; ++i) {
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!a[i][k]) continue;
+          local_steps += n;
+          for (std::size_t j = 0; j < n; ++j) {
+            next[i][j] = opt_plus(alg, next[i][j],
+                                  opt_times(alg, a[i][k], out.star[k][j]));
+          }
         }
       }
-    }
+      product_steps.fetch_add(local_steps, std::memory_order_relaxed);
+    });
     if (next == out.star) {
       out.converged = true;
       break;
@@ -110,7 +146,8 @@ ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
   if (obs::enabled()) {
     obs::Registry& reg = obs::registry();
     reg.counter("closure.iterative_runs").add(1);
-    reg.counter("closure.product_steps").add(product_steps);
+    reg.counter("closure.product_steps")
+        .add(product_steps.load(std::memory_order_relaxed));
     reg.counter("closure.iterations")
         .add(static_cast<std::uint64_t>(out.iterations));
     reg.histogram("closure.iterations_to_fixpoint")

@@ -1,0 +1,262 @@
+// The mrt::par execution layer: primitive correctness (coverage, exception
+// propagation, lowest-match semantics, ordered reduction) and the
+// determinism contract — checker verdicts, counterexamples, census tallies
+// and routing fixed points must be identical for every thread limit.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "mrt/core/random_algebra.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/routing/bellman.hpp"
+#include "mrt/routing/closure.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+/// Pins the worker limit for one test and restores the ambient value after,
+/// so MRT_THREADS-driven runs (e.g. the tsan preset) are not disturbed.
+class ThreadLimitGuard {
+ public:
+  explicit ThreadLimitGuard(int n) : saved_(par::thread_limit()) {
+    par::set_thread_limit(n);
+  }
+  ~ThreadLimitGuard() { par::set_thread_limit(saved_); }
+  ThreadLimitGuard(const ThreadLimitGuard&) = delete;
+  ThreadLimitGuard& operator=(const ThreadLimitGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+TEST(Par, ThreadLimitOverridable) {
+  ThreadLimitGuard g(3);
+  EXPECT_EQ(par::thread_limit(), 3);
+  par::set_thread_limit(0);  // clamped
+  EXPECT_EQ(par::thread_limit(), 1);
+  EXPECT_GE(par::hardware_threads(), 1);
+}
+
+TEST(Par, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadLimitGuard g(4);
+  const std::size_t n = 10007;  // prime: uneven tail chunk
+  std::vector<int> hits(n, 0);
+  par::parallel_for(n, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];  // ranges are disjoint
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(Par, ParallelForEmptyAndSingleton) {
+  ThreadLimitGuard g(4);
+  int calls = 0;
+  par::parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  par::parallel_for(1, 8, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Par, ExceptionFromLowestChunkPropagatesAndPoolSurvives) {
+  ThreadLimitGuard g(4);
+  // Every chunk throws its begin index; chunk 0 is always claimed first, so
+  // the lowest-indexed exception — "0" — is the one rethrown.
+  try {
+    par::parallel_for(1000, 10, [](std::size_t b, std::size_t) {
+      throw std::runtime_error(std::to_string(b));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+  // The pool is still usable after a failed batch.
+  std::vector<int> hits(100, 0);
+  par::parallel_for(hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Par, FindFirstReturnsGlobalMinimumAtEveryLimit) {
+  const auto pred = [](std::size_t i) { return i % 1000 == 737; };
+  for (int limit : {1, 4}) {
+    ThreadLimitGuard g(limit);
+    EXPECT_EQ(par::parallel_find_first(10000, 64, pred), 737u)
+        << "limit " << limit;
+    EXPECT_EQ(par::parallel_find_first(700, 64, pred), 700u)  // no match
+        << "limit " << limit;
+    EXPECT_EQ(par::parallel_find_first(0, 64, pred), 0u);
+  }
+}
+
+TEST(Par, ReduceMergesInChunkOrder) {
+  // String concatenation is non-commutative: the result is only stable if
+  // per-chunk accumulators merge in ascending chunk order, as documented.
+  std::string expected;
+  for (int i = 0; i < 257; ++i) expected += std::to_string(i) + ",";
+  for (int limit : {1, 4}) {
+    ThreadLimitGuard g(limit);
+    const std::string got = par::parallel_reduce<std::string>(
+        257, 10, std::string(),
+        [](std::size_t b, std::size_t e, std::string& acc) {
+          for (std::size_t i = b; i < e; ++i) {
+            acc += std::to_string(i) + ",";
+          }
+        },
+        [](std::string& into, std::string& from) { into += from; });
+    EXPECT_EQ(got, expected) << "limit " << limit;
+  }
+}
+
+TEST(Par, MixSeedSeparatesStreams) {
+  // Per-iteration derivation: nearby indices and nearby seeds must land far
+  // apart, and the map must be reproducible (it is constexpr).
+  static_assert(par::mix_seed(1, 2) == par::mix_seed(1, 2));
+  EXPECT_NE(par::mix_seed(42, 0), par::mix_seed(42, 1));
+  EXPECT_NE(par::mix_seed(42, 0), par::mix_seed(43, 0));
+  Rng a(par::mix_seed(7, 0)), b(par::mix_seed(7, 1));
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Par, CensusStyleReduceIsThreadCountInvariant) {
+  // The bench::parallel_sweep shape: per-iteration Rng from (seed, i),
+  // per-chunk accumulation, ordered merge. Totals must match the limit-1 run.
+  const auto sweep = [] {
+    return par::parallel_reduce<std::vector<std::uint64_t>>(
+        500, 8, {},
+        [](std::size_t b, std::size_t e, std::vector<std::uint64_t>& acc) {
+          for (std::size_t i = b; i < e; ++i) {
+            Rng rng(par::mix_seed(0xBEEF, i));
+            acc.push_back(rng.range(0, 1'000'000));
+          }
+        },
+        [](std::vector<std::uint64_t>& into, std::vector<std::uint64_t>& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        });
+  };
+  ThreadLimitGuard g(1);
+  const auto seq = sweep();
+  par::set_thread_limit(4);
+  EXPECT_EQ(sweep(), seq);
+}
+
+// --- Checker equivalence: the tentpole determinism contract. -------------
+
+// 17 elements → 17³ = 4913 associativity tuples, above the checker's
+// parallel threshold, so the limit-4 run exercises the parallel scan.
+constexpr int kBigCarrier = 17;
+
+TEST(ParChecker, ExhaustiveRefutationMatchesSequential) {
+  // A random magma is almost surely non-associative: both runs must refute
+  // with the *same* counterexample (the lowest-enumeration-index one).
+  Checker chk;
+  Rng rng(0x9A93A);
+  const SemigroupPtr m = random_magma(rng, kBigCarrier);
+  ThreadLimitGuard g(1);
+  const CheckResult seq = chk.semigroup_prop(*m, Prop::Assoc);
+  par::set_thread_limit(4);
+  const CheckResult parr = chk.semigroup_prop(*m, Prop::Assoc);
+  EXPECT_EQ(seq.verdict, parr.verdict);
+  EXPECT_EQ(seq.exhaustive, parr.exhaustive);
+  EXPECT_EQ(seq.detail, parr.detail);
+  ASSERT_EQ(seq.verdict, Tri::False);  // seed chosen to refute
+  EXPECT_NE(seq.detail.find("a="), std::string::npos);
+}
+
+TEST(ParChecker, ExhaustiveConfirmationMatchesSequential) {
+  // A chain semilattice is associative: both runs must scan all 4913 tuples
+  // and report the same exhaustive confirmation.
+  Checker chk;
+  Rng rng(0x5E9A77);
+  const SemigroupPtr m = random_chain_semilattice(rng, kBigCarrier);
+  ThreadLimitGuard g(1);
+  const CheckResult seq = chk.semigroup_prop(*m, Prop::Assoc);
+  par::set_thread_limit(4);
+  const CheckResult parr = chk.semigroup_prop(*m, Prop::Assoc);
+  EXPECT_EQ(seq.verdict, Tri::True);
+  EXPECT_EQ(parr.verdict, Tri::True);
+  EXPECT_TRUE(seq.exhaustive);
+  EXPECT_TRUE(parr.exhaustive);
+  EXPECT_EQ(seq.detail, parr.detail);
+  EXPECT_NE(seq.detail.find("exhaustive over 4913 tuples"), std::string::npos)
+      << seq.detail;
+}
+
+TEST(ParChecker, AbandonedEnumerationReportsCoverage) {
+  // Satellite (f): when max_tuples forces sampling on a finite carrier, the
+  // result must say how much of the space was actually covered.
+  CheckLimits lim;
+  lim.samples = 500;
+  lim.max_tuples = 1000;  // < 4913
+  Checker chk(lim);
+  Rng rng(0x5E9A77);
+  const SemigroupPtr m = random_chain_semilattice(rng, kBigCarrier);
+  const CheckResult r = chk.semigroup_prop(*m, Prop::Assoc);
+  EXPECT_EQ(r.verdict, Tri::Unknown);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_NE(r.detail.find("covered 500 of 4913 tuples"), std::string::npos)
+      << r.detail;
+  EXPECT_NE(r.detail.find("exhaustive cap 1000"), std::string::npos)
+      << r.detail;
+}
+
+// --- Routing solver equivalence. -----------------------------------------
+
+TEST(ParRouting, BellmanFixedPointIsThreadCountInvariant) {
+  const OrderTransform alg = ot_shortest_path(6);
+  Rng rng(0xBE11);
+  Digraph g = random_connected(rng, 200, 400);
+  const LabeledGraph net = label_randomly(alg, std::move(g), rng);
+
+  ThreadLimitGuard guard(1);
+  const BellmanResult seq = bellman_sync(alg, net, 0, I(0));
+  par::set_thread_limit(4);
+  const BellmanResult parr = bellman_sync(alg, net, 0, I(0));
+
+  EXPECT_EQ(seq.iterations, parr.iterations);
+  EXPECT_EQ(seq.converged, parr.converged);
+  ASSERT_EQ(seq.routing.weight.size(), parr.routing.weight.size());
+  for (std::size_t v = 0; v < seq.routing.weight.size(); ++v) {
+    EXPECT_EQ(seq.routing.weight[v], parr.routing.weight[v]) << "node " << v;
+    EXPECT_EQ(seq.routing.next_arc[v], parr.routing.next_arc[v])
+        << "node " << v;
+  }
+}
+
+TEST(ParRouting, ClosuresAreThreadCountInvariant) {
+  const Bisemigroup sp = bs_shortest_path();
+  Rng rng(0xC105E);
+  Digraph g = random_connected(rng, 64, 128);
+  ValueVec w;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    w.push_back(I(rng.range(1, 9)));
+  }
+  const WeightMatrix a = arc_matrix(sp, g, w);
+
+  ThreadLimitGuard guard(1);
+  const ClosureResult kseq = kleene_closure(sp, a);
+  const ClosureResult iseq = iterative_closure(sp, a, {});
+  par::set_thread_limit(4);
+  const ClosureResult kpar = kleene_closure(sp, a);
+  const ClosureResult ipar = iterative_closure(sp, a, {});
+
+  EXPECT_EQ(kseq.star, kpar.star);
+  EXPECT_EQ(iseq.star, ipar.star);
+  EXPECT_EQ(iseq.iterations, ipar.iterations);
+  EXPECT_TRUE(ipar.converged);
+  EXPECT_EQ(kseq.star, iseq.star);  // the two schemes agree here too
+}
+
+}  // namespace
+}  // namespace mrt
