@@ -14,8 +14,18 @@
 
 int main(int argc, char** argv) {
   using namespace mrt;
-  const std::string path =
-      argc > 1 ? argv[1] : std::string("trace_convergence.json");
+  // Default next to the executable, not the caller's cwd — running from the
+  // repo root must not litter the checkout.
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    path = (slash == std::string::npos ? std::string()
+                                       : path.substr(0, slash + 1)) +
+           "trace_convergence.json";
+  }
 
   obs::set_enabled(true);
   obs::TraceSession session;

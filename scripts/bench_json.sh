@@ -83,3 +83,29 @@ if [ "${#par_records[@]}" -gt 0 ]; then
   } > "$PAR_OUT"
   echo "wrote $PAR_OUT (${#par_records[@]} records)"
 fi
+
+# --- Chaos campaign determinism check + BENCH_chaos.json -----------------
+# The verdict table (stdout) must be byte-identical at any MRT_THREADS —
+# the mrt::chaos campaign fans runs out through mrt::par under the same
+# determinism contract as the census benches above.
+CHAOS_OUT="BENCH_chaos.json"
+bin="$BUILD/bench/chaos_campaign"
+if [ -x "$bin" ]; then
+  echo "== chaos_campaign (MRT_THREADS=1 vs $NPROC) =="
+  MRT_THREADS=1 "$bin" --json "$tmpdir/chaos.t1.json" > "$tmpdir/chaos.t1.out"
+  MRT_THREADS="$NPROC" "$bin" --json "$tmpdir/chaos.tn.json" \
+    > "$tmpdir/chaos.tn.out"
+  if ! diff -u "$tmpdir/chaos.t1.out" "$tmpdir/chaos.tn.out"; then
+    echo "bench_json.sh: DETERMINISM VIOLATION — chaos verdict table depends on MRT_THREADS" >&2
+    exit 1
+  fi
+  echo "   verdict tables bit-identical at 1 and $NPROC threads"
+  printf '[' > "$CHAOS_OUT"
+  cat "$tmpdir/chaos.t1.json" >> "$CHAOS_OUT"
+  printf ',' >> "$CHAOS_OUT"
+  cat "$tmpdir/chaos.tn.json" >> "$CHAOS_OUT"
+  printf ']\n' >> "$CHAOS_OUT"
+  echo "wrote $CHAOS_OUT (2 records)"
+else
+  echo "bench_json.sh: skipping chaos_campaign (not built)" >&2
+fi

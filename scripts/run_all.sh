@@ -1,19 +1,52 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment.
 #
-# Usage: scripts/run_all.sh [tsan]
+# Usage: scripts/run_all.sh [tsan|asan] [--labels <regex>]
 #   tsan — build with -DMRT_SANITIZE=thread into build-tsan and run the
 #          concurrency-sensitive suites (mrt::par + simulator) under
 #          ThreadSanitizer with MRT_THREADS=4, then exit.
+#   asan — build with -DMRT_SANITIZE=address,undefined into build-asan and
+#          run the chaos campaigns plus the simulator suites under
+#          AddressSanitizer + UBSan, then exit.
+#   --labels <regex> — only run ctest tests whose label matches (unit,
+#          property, chaos); see tests/CMakeLists.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" = "tsan" ]; then
+LABELS=""
+ARGS=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --labels)
+      LABELS="${2:?run_all.sh: --labels needs a regex}"
+      shift 2
+      ;;
+    *)
+      ARGS+=("$1")
+      shift
+      ;;
+  esac
+done
+
+if [ "${ARGS[0]:-}" = "tsan" ]; then
   cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$(nproc)" --target mrt_tests
   MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
     -R 'Par|Sim|PathVector|EventQueue'
   echo "tsan preset passed"
+  exit 0
+fi
+
+if [ "${ARGS[0]:-}" = "asan" ]; then
+  cmake -B build-asan -DMRT_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc)" --target mrt_tests mrt_chaos_tests
+  # The chaos tier exercises the fault injectors and oracles end to end;
+  # the simulator suites cover the event queue and protocol core.
+  ctest --test-dir build-asan --output-on-failure -L chaos
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'Sim|PathVector|EventQueue'
+  echo "asan preset passed"
   exit 0
 fi
 
@@ -25,6 +58,10 @@ else
   cmake -B build  # no ninja: fall back to the platform default generator
 fi
 cmake --build build -j "$(nproc)"
+if [ -n "$LABELS" ]; then
+  ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$LABELS"
+  exit 0
+fi
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

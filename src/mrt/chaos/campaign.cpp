@@ -1,0 +1,287 @@
+#include "mrt/chaos/campaign.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "mrt/core/checker.hpp"
+#include "mrt/obs/json.hpp"
+#include "mrt/obs/metrics.hpp"
+#include "mrt/par/par.hpp"
+
+namespace mrt::chaos {
+namespace {
+
+/// Decides the global-agreement oracle for a scenario. Auto requires an
+/// exhaustive proof of both M and ND — a sampled verdict is not a theorem.
+bool resolve_global(const CampaignScenario& sc) {
+  switch (sc.global) {
+    case GlobalCheck::On:
+      return true;
+    case GlobalCheck::Off:
+      return false;
+    case GlobalCheck::Auto:
+      break;
+  }
+  const Checker chk;
+  const CheckResult m = chk.prop(sc.alg, Prop::M_L);
+  if (m.verdict != Tri::True || !m.exhaustive) return false;
+  const CheckResult nd = chk.prop(sc.alg, Prop::ND_L);
+  return nd.verdict == Tri::True && nd.exhaustive;
+}
+
+bool conservation_holds(const SimStats& s) {
+  return s.messages_sent == s.deliveries + s.dropped_dead_arc +
+                                s.dropped_injected_loss + s.in_flight_at_end;
+}
+
+long total_faults(const FaultPlan& p) {
+  return static_cast<long>(p.faults.size());
+}
+
+/// Per-chunk accumulator for the parallel sweep. Merged in ascending chunk
+/// order, so every aggregate — including the double sum — is independent of
+/// the thread count.
+struct Acc {
+  long converged = 0;
+  long diverged = 0;
+  long oracle_failures = 0;
+  long accounting_failures = 0;
+  long faults_injected = 0;
+  long messages_sent = 0;
+  long deliveries = 0;
+  double total_finish_time = 0.0;
+  std::vector<std::pair<long, std::uint64_t>> failing;  ///< (run idx, seed)
+};
+
+}  // namespace
+
+RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
+                   const FaultPlan& plan, bool check_global) {
+  SimOptions opts = sc.sim;
+  opts.seed = seed;
+  PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+  plan.apply(sim);
+  const SimResult res = sim.run();
+
+  RunVerdict v;
+  v.converged = res.converged;
+  v.finish_time = res.finish_time;
+  v.stats = res.stats;
+  v.accounting_ok = conservation_holds(res.stats);
+
+  if (!res.converged) {
+    v.pass = !sc.expect_convergence && v.accounting_ok;
+    v.detail = v.accounting_ok ? "diverged (event cap)"
+                               : "accounting: conservation violated";
+    return v;
+  }
+  if (!v.accounting_ok) {
+    v.pass = false;
+    v.detail = "accounting: conservation violated";
+    return v;
+  }
+  OracleOptions oo;
+  oo.drop_top_routes = sc.sim.drop_top_routes;
+  oo.check_global = check_global;
+  const OracleReport rep =
+      check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
+  v.pass = rep.all_pass();
+  v.detail = rep.first_failure();
+  return v;
+}
+
+FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
+                      FaultPlan plan, bool check_global) {
+  bool progress = true;
+  while (progress && !plan.faults.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+      FaultPlan cand = plan;
+      cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!run_one(sc, seed, cand, check_global).pass) {
+        plan = std::move(cand);
+        progress = true;
+        break;  // restart the scan: indices shifted
+      }
+    }
+  }
+  return plan;
+}
+
+bool CampaignReport::all_pass() const {
+  for (const ScenarioOutcome& s : scenarios) {
+    if (!s.pass()) return false;
+  }
+  return true;
+}
+
+std::string CampaignReport::verdict_table() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-28s %6s %6s %6s %7s %6s %8s  %s\n",
+                "scenario", "runs", "conv", "div", "oracle", "acct", "faults",
+                "verdict");
+  out += line;
+  for (const ScenarioOutcome& s : scenarios) {
+    std::snprintf(line, sizeof line,
+                  "%-28s %6ld %6ld %6ld %7ld %6ld %8ld  %s\n", s.name.c_str(),
+                  s.runs, s.converged, s.diverged, s.oracle_failures,
+                  s.accounting_failures, s.faults_injected,
+                  s.pass() ? "PASS" : "FAIL");
+    out += line;
+  }
+  return out;
+}
+
+void CampaignReport::write_json(std::ostream& out) const {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("seed").value(static_cast<std::uint64_t>(seed));
+  w.key("runs_per_scenario").value(static_cast<std::int64_t>(runs_per_scenario));
+  w.key("all_pass").value(all_pass());
+  w.key("scenarios").begin_array();
+  for (const ScenarioOutcome& s : scenarios) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("pass").value(s.pass());
+    w.key("global_checked").value(s.global_checked);
+    w.key("expect_convergence").value(s.expect_convergence);
+    w.key("runs").value(static_cast<std::int64_t>(s.runs));
+    w.key("converged").value(static_cast<std::int64_t>(s.converged));
+    w.key("diverged").value(static_cast<std::int64_t>(s.diverged));
+    w.key("oracle_failures").value(static_cast<std::int64_t>(s.oracle_failures));
+    w.key("accounting_failures")
+        .value(static_cast<std::int64_t>(s.accounting_failures));
+    w.key("faults_injected").value(static_cast<std::int64_t>(s.faults_injected));
+    w.key("messages_sent").value(static_cast<std::int64_t>(s.messages_sent));
+    w.key("deliveries").value(static_cast<std::int64_t>(s.deliveries));
+    w.key("mean_convergence_time")
+        .value(s.converged > 0
+                   ? s.total_finish_time / static_cast<double>(s.converged)
+                   : 0.0);
+    w.key("failures").begin_array();
+    for (const FailureCase& f : s.failures) {
+      w.begin_object();
+      w.key("seed").value(static_cast<std::uint64_t>(f.seed));
+      w.key("diverged").value(f.diverged);
+      w.key("detail").value(f.detail);
+      w.key("plan").value(f.plan);
+      w.key("plan_size").value(static_cast<std::uint64_t>(f.plan_size));
+      w.key("shrunk").value(f.shrunk);
+      w.key("shrunk_size").value(static_cast<std::uint64_t>(f.shrunk_size));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
+                            const CampaignConfig& cfg) {
+  CampaignReport report;
+  report.seed = cfg.seed;
+  report.runs_per_scenario = cfg.runs_per_scenario;
+
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const CampaignScenario& sc = scenarios[si];
+    const bool check_global = resolve_global(sc);
+    // Per-scenario seed stream, independent of scenario order in the list.
+    const std::uint64_t sc_seed = par::mix_seed(cfg.seed, 0xC0DE0000ULL + si);
+    const std::size_t runs = static_cast<std::size_t>(cfg.runs_per_scenario);
+
+    const Acc acc = par::parallel_reduce<Acc>(
+        runs, cfg.grain, Acc{},
+        [&](std::size_t begin, std::size_t end, Acc& a) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t seed = par::mix_seed(sc_seed, i);
+            const FaultPlan plan =
+                random_fault_plan(seed, sc.net, sc.dest, sc.faults);
+            const RunVerdict v = run_one(sc, seed, plan, check_global);
+            a.converged += v.converged ? 1 : 0;
+            a.diverged += v.converged ? 0 : 1;
+            if (v.converged) a.total_finish_time += v.finish_time;
+            if (!v.accounting_ok) ++a.accounting_failures;
+            if (v.converged && v.accounting_ok && !v.pass) ++a.oracle_failures;
+            a.faults_injected += total_faults(plan);
+            a.messages_sent += v.stats.messages_sent;
+            a.deliveries += v.stats.deliveries;
+            if (!v.pass) {
+              a.failing.emplace_back(static_cast<long>(i), seed);
+            }
+          }
+        },
+        [&](Acc& into, Acc& from) {
+          into.converged += from.converged;
+          into.diverged += from.diverged;
+          into.oracle_failures += from.oracle_failures;
+          into.accounting_failures += from.accounting_failures;
+          into.faults_injected += from.faults_injected;
+          into.messages_sent += from.messages_sent;
+          into.deliveries += from.deliveries;
+          into.total_finish_time += from.total_finish_time;
+          // Keep only the earliest examples; counts above already cover all.
+          for (const auto& f : from.failing) {
+            if (into.failing.size() <
+                static_cast<std::size_t>(cfg.max_failure_examples)) {
+              into.failing.push_back(f);
+            }
+          }
+        });
+
+    ScenarioOutcome out;
+    out.name = sc.name;
+    out.global_checked = check_global;
+    out.expect_convergence = sc.expect_convergence;
+    out.min_divergent = sc.min_divergent;
+    out.runs = cfg.runs_per_scenario;
+    out.converged = acc.converged;
+    out.diverged = acc.diverged;
+    out.oracle_failures = acc.oracle_failures;
+    out.accounting_failures = acc.accounting_failures;
+    out.faults_injected = acc.faults_injected;
+    out.messages_sent = acc.messages_sent;
+    out.deliveries = acc.deliveries;
+    out.total_finish_time = acc.total_finish_time;
+
+    // Reproduce + shrink the kept failures, sequentially and in run order.
+    for (const auto& [idx, seed] : acc.failing) {
+      (void)idx;
+      FaultPlan plan = random_fault_plan(seed, sc.net, sc.dest, sc.faults);
+      const RunVerdict v = run_one(sc, seed, plan, check_global);
+      FailureCase fc;
+      fc.seed = seed;
+      fc.diverged = !v.converged;
+      fc.detail = v.detail;
+      fc.plan = plan.describe();
+      fc.plan_size = plan.faults.size();
+      if (cfg.shrink_failures) {
+        const FaultPlan small =
+            shrink_plan(sc, seed, std::move(plan), check_global);
+        fc.shrunk = small.describe();
+        fc.shrunk_size = small.faults.size();
+      }
+      out.failures.push_back(std::move(fc));
+    }
+
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::registry();
+      reg.counter("chaos.runs").add(static_cast<std::uint64_t>(out.runs));
+      reg.counter("chaos.diverged")
+          .add(static_cast<std::uint64_t>(out.diverged));
+      reg.counter("chaos.oracle_failures")
+          .add(static_cast<std::uint64_t>(out.oracle_failures));
+      reg.counter("chaos.accounting_failures")
+          .add(static_cast<std::uint64_t>(out.accounting_failures));
+      reg.counter("chaos.faults_injected")
+          .add(static_cast<std::uint64_t>(out.faults_injected));
+    }
+    report.scenarios.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace mrt::chaos

@@ -1,0 +1,123 @@
+// Fault-injection campaigns: thousands of seeded (scenario × fault-plan)
+// simulator runs fanned out through mrt::par, each scored by the
+// differential oracles, folded into a deterministic verdict table.
+//
+// Determinism contract: every run's fault plan and schedule derive from
+// par::mix_seed(campaign seed, run index), runs accumulate through
+// parallel_reduce (ascending chunk-order merge), and failure shrinking is
+// sequential over the merged failure list — so the verdict table and the
+// JSON report are byte-identical for every MRT_THREADS value.
+#pragma once
+
+#include <iosfwd>
+
+#include "mrt/chaos/fault_plan.hpp"
+#include "mrt/chaos/oracles.hpp"
+
+namespace mrt::chaos {
+
+/// Whether a scenario runs the global-agreement oracle. Auto asks the
+/// finite-model checker: the oracle is enabled iff M and ND are proved
+/// exhaustively (local optima = global optima needs both).
+enum class GlobalCheck : unsigned char { Auto, On, Off };
+
+struct CampaignScenario {
+  std::string name;
+  OrderTransform alg;
+  LabeledGraph net{Digraph(1), {}};  ///< placeholder; assign a real topology
+  int dest = 0;
+  Value origin;
+  /// Per-run options; `seed` is overridden with the run's derived seed.
+  SimOptions sim;
+  FaultPlanConfig faults;
+  /// When true, a run that hits the event cap fails the campaign. Set false
+  /// for divergence-capable algebras (BAD GADGET), whose converged runs are
+  /// still oracle-checked.
+  bool expect_convergence = true;
+  /// Minimum number of divergent runs the scenario must produce (use with
+  /// expect_convergence = false to assert BAD GADGET actually misbehaves).
+  long min_divergent = 0;
+  GlobalCheck global = GlobalCheck::Auto;
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  long runs_per_scenario = 1000;
+  std::size_t grain = 8;  ///< runs per parallel chunk
+  /// Failing seeds are shrunk to locally-minimal fault plans (1-greedy
+  /// delta debugging); at most this many examples are kept per scenario.
+  bool shrink_failures = true;
+  int max_failure_examples = 4;
+};
+
+/// Verdict of a single simulated run.
+struct RunVerdict {
+  bool converged = false;
+  bool pass = false;
+  bool accounting_ok = true;  ///< message-conservation identity held
+  std::string detail;         ///< first failure ("" when passing)
+  double finish_time = 0.0;
+  SimStats stats;
+};
+
+/// A failing run, kept as a reproducible example.
+struct FailureCase {
+  std::uint64_t seed = 0;
+  bool diverged = false;
+  std::string detail;
+  std::string plan;  ///< the generated fault plan, FaultPlan::describe()
+  std::size_t plan_size = 0;
+  std::string shrunk;  ///< locally-minimal failing plan ("" if not shrunk)
+  std::size_t shrunk_size = 0;
+};
+
+struct ScenarioOutcome {
+  std::string name;
+  bool global_checked = false;
+  bool expect_convergence = true;
+  long min_divergent = 0;
+
+  long runs = 0;
+  long converged = 0;
+  long diverged = 0;
+  long oracle_failures = 0;      ///< converged runs refuted by an oracle
+  long accounting_failures = 0;  ///< conservation-identity violations
+  long faults_injected = 0;
+  long messages_sent = 0;
+  long deliveries = 0;
+  double total_finish_time = 0.0;  ///< summed over converged runs
+  std::vector<FailureCase> failures;
+
+  bool pass() const {
+    return oracle_failures == 0 && accounting_failures == 0 &&
+           (!expect_convergence || diverged == 0) && diverged >= min_divergent;
+  }
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  long runs_per_scenario = 0;
+  std::vector<ScenarioOutcome> scenarios;
+
+  bool all_pass() const;
+  /// Fixed-format text table; byte-identical across thread counts.
+  std::string verdict_table() const;
+  /// Full machine-readable report (same determinism guarantee).
+  void write_json(std::ostream& out) const;
+};
+
+/// Runs one seeded fault plan against a scenario and scores it. Exposed for
+/// the shrinker and the unit tests; run_campaign derives (seed, plan) pairs
+/// and fans this out.
+RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
+                   const FaultPlan& plan, bool check_global);
+
+/// Greedy 1-minimal shrink: repeatedly drops any single fault whose removal
+/// keeps the run failing, until no single removal does.
+FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
+                      FaultPlan plan, bool check_global);
+
+CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
+                            const CampaignConfig& cfg = {});
+
+}  // namespace mrt::chaos

@@ -1,0 +1,154 @@
+#include "mrt/chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mrt/support/strings.hpp"
+
+namespace mrt::chaos {
+namespace {
+
+std::string fmt_time(double t) {
+  // Times come from unit() draws; fixed precision keeps describe() stable.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t);
+  return buf;
+}
+
+}  // namespace
+
+std::string Fault::describe() const {
+  switch (kind) {
+    case Kind::LinkFlap:
+      return "flap(arc " + std::to_string(arc) + " @" + fmt_time(at) + " for " +
+             fmt_time(duration) + ")";
+    case Kind::Loss:
+      return "loss(arc " + std::to_string(arc) + " @" + fmt_time(at) + " for " +
+             fmt_time(duration) + " p=" + fmt_time(p) + ")";
+    case Kind::Jitter:
+      return "jitter(arc " + std::to_string(arc) + " @" + fmt_time(at) +
+             " for " + fmt_time(duration) + " +" + fmt_time(extra_delay) +
+             "+U[0," + fmt_time(jitter) + "))";
+    case Kind::Duplicate:
+      return "dup(arc " + std::to_string(arc) + " @" + fmt_time(at) + " for " +
+             fmt_time(duration) + " p=" + fmt_time(p) + ")";
+    case Kind::Crash:
+      return "crash(node " + std::to_string(node) + " @" + fmt_time(at) +
+             " for " + fmt_time(duration) + ")";
+  }
+  return "?";
+}
+
+void FaultPlan::apply(PathVectorSim& sim) const {
+  for (const Fault& f : faults) {
+    switch (f.kind) {
+      case Fault::Kind::LinkFlap:
+        sim.schedule_link_down(f.at, f.arc);
+        sim.schedule_link_up(f.at + f.duration, f.arc);
+        break;
+      case Fault::Kind::Loss: {
+        ArcFault af;
+        af.arc = f.arc;
+        af.from = f.at;
+        af.until = f.at + f.duration;
+        af.loss_p = f.p;
+        sim.add_arc_fault(af);
+        // The recovery retransmission: without it, a loss window that eats
+        // the head's final advertisement would freeze a stale RIB forever
+        // and convergence itself would become schedule luck.
+        sim.schedule_resync(af.until, f.arc);
+        break;
+      }
+      case Fault::Kind::Jitter: {
+        ArcFault af;
+        af.arc = f.arc;
+        af.from = f.at;
+        af.until = f.at + f.duration;
+        af.extra_delay = f.extra_delay;
+        af.jitter = f.jitter;
+        sim.add_arc_fault(af);
+        break;
+      }
+      case Fault::Kind::Duplicate: {
+        ArcFault af;
+        af.arc = f.arc;
+        af.from = f.at;
+        af.until = f.at + f.duration;
+        af.dup_p = f.p;
+        sim.add_arc_fault(af);
+        break;
+      }
+      case Fault::Kind::Crash:
+        sim.schedule_node_down(f.at, f.node);
+        if (f.duration > 0.0) sim.schedule_node_up(f.at + f.duration, f.node);
+        break;
+    }
+  }
+}
+
+long FaultPlan::count(Fault::Kind k) const {
+  long n = 0;
+  for (const Fault& f : faults) n += f.kind == k ? 1 : 0;
+  return n;
+}
+
+std::string FaultPlan::describe() const {
+  if (faults.empty()) return "(no faults)";
+  std::vector<std::string> parts;
+  parts.reserve(faults.size());
+  for (const Fault& f : faults) parts.push_back(f.describe());
+  return join(parts, ", ");
+}
+
+FaultPlan random_fault_plan(std::uint64_t seed, const LabeledGraph& net,
+                            int dest, const FaultPlanConfig& cfg) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  const int m = net.graph().num_arcs();
+  const int n = net.num_nodes();
+  if (m == 0) return plan;
+  const int count = static_cast<int>(
+      rng.range(cfg.min_faults, std::max(cfg.min_faults, cfg.max_faults)));
+  for (int i = 0; i < count; ++i) {
+    Fault f;
+    // Crashes are rarer than arc-level faults: one kind out of six.
+    const int kind_draw =
+        static_cast<int>(rng.below(cfg.allow_crashes && n > 1 ? 6 : 5));
+    f.at = cfg.t0 + rng.unit() * cfg.horizon;
+    f.duration = (0.05 + 0.95 * rng.unit()) * cfg.max_duration;
+    switch (kind_draw) {
+      case 0:
+      case 1:
+        f.kind = Fault::Kind::LinkFlap;
+        break;
+      case 2:
+        f.kind = Fault::Kind::Loss;
+        f.p = 0.1 + rng.unit() * (cfg.max_p - 0.1);
+        break;
+      case 3:
+        f.kind = Fault::Kind::Jitter;
+        f.extra_delay = rng.unit() * cfg.max_stretch;
+        f.jitter = rng.unit() * cfg.max_stretch;
+        break;
+      case 4:
+        f.kind = Fault::Kind::Duplicate;
+        f.p = 0.1 + rng.unit() * (cfg.max_p - 0.1);
+        break;
+      default:
+        f.kind = Fault::Kind::Crash;
+        break;
+    }
+    if (f.kind == Fault::Kind::Crash) {
+      int node = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (node == dest && !cfg.crash_dest) node = (node + 1) % n;
+      f.node = node;
+    } else {
+      f.arc = static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    }
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+}  // namespace mrt::chaos

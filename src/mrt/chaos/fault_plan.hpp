@@ -1,0 +1,75 @@
+// Seeded fault-injection plans for the asynchronous path-vector simulator.
+//
+// A FaultPlan is a finite list of timed faults — link flaps, per-arc message
+// loss / delay-jitter / duplication windows, node crash+restart — generated
+// deterministically from a seed and lowered onto a PathVectorSim before
+// run(). Loss windows are paired with a Resync event at window end (the
+// retransmission that real transports provide), so a converged post-fault
+// state is required to be coherent: the chaos oracles treat any stale RIB
+// surviving quiescence as a protocol bug, not a fault artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrt/sim/path_vector.hpp"
+
+namespace mrt::chaos {
+
+/// One timed fault, already bound to a concrete arc or node.
+struct Fault {
+  enum class Kind : unsigned char {
+    LinkFlap,   ///< arc down at `at`, back up at `at + duration`
+    Loss,       ///< deliveries on arc lost w.p. `p` during the window
+    Jitter,     ///< sends on arc stretched by extra_delay + U[0, jitter)
+    Duplicate,  ///< sends on arc duplicated w.p. `p` during the window
+    Crash,      ///< node down at `at`, restarted at `at + duration`
+  };
+  Kind kind = Kind::LinkFlap;
+  int arc = -1;   ///< target arc (all kinds except Crash)
+  int node = -1;  ///< target node (Crash)
+  double at = 0.0;
+  double duration = 0.0;
+  double p = 0.0;           ///< Loss / Duplicate probability
+  double extra_delay = 0.0; ///< Jitter: deterministic stretch
+  double jitter = 0.0;      ///< Jitter: random stretch bound
+
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< generation provenance
+  std::vector<Fault> faults;
+
+  /// Lowers every fault onto the simulator (schedule_* / add_arc_fault).
+  /// Must be called before sim.run().
+  void apply(PathVectorSim& sim) const;
+
+  long count(Fault::Kind k) const;
+  std::string describe() const;
+};
+
+/// Shape of the random plans a campaign draws.
+struct FaultPlanConfig {
+  int min_faults = 0;
+  int max_faults = 6;
+  /// Fault onsets are drawn uniformly in [t0, t0 + horizon).
+  double t0 = 5.0;
+  double horizon = 60.0;
+  /// Durations are drawn uniformly in (0, max_duration].
+  double max_duration = 20.0;
+  /// Loss / duplication probabilities are drawn in [0.1, max_p].
+  double max_p = 0.9;
+  /// Jitter stretches are drawn in (0, max_stretch].
+  double max_stretch = 5.0;
+  bool allow_crashes = true;
+  /// Whether the destination itself may crash (withdraw-the-world runs).
+  bool crash_dest = false;
+};
+
+/// A deterministic random plan for `net`/`dest` from `seed`. Equal inputs
+/// give byte-identical plans on every platform and thread count.
+FaultPlan random_fault_plan(std::uint64_t seed, const LabeledGraph& net,
+                            int dest, const FaultPlanConfig& cfg = {});
+
+}  // namespace mrt::chaos

@@ -22,6 +22,30 @@ std::string Expr::show() const {
   return "?";
 }
 
+std::string show(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Let:
+      return "let " + s.name + " = " + s.expr->show();
+    case Stmt::Kind::Show:
+      return "show " + s.expr->show();
+    case Stmt::Kind::Check:
+      return "check " + s.expr->show();
+    case Stmt::Kind::Solve:
+      return "solve " + s.expr->show() + " on " + s.topology->show() + " to " +
+             std::to_string(s.dest) + " from " + s.origin->show();
+  }
+  return "?";
+}
+
+std::string show(const Program& p) {
+  std::string out;
+  for (const Stmt& s : p) {
+    out += show(s);
+    out += '\n';
+  }
+  return out;
+}
+
 ExprPtr make_name(std::string name, int line, int column) {
   auto e = std::make_shared<Expr>();
   e->kind = Expr::Kind::Name;

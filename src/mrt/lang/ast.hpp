@@ -48,6 +48,12 @@ struct Stmt {
 
 using Program = std::vector<Stmt>;
 
+/// Re-renders a statement / whole program as parseable source. The printers
+/// and the parser form a round-trip: parse(show(p)) is structurally equal
+/// to p (the property the metalang round-trip tests pin down).
+std::string show(const Stmt& s);
+std::string show(const Program& p);
+
 ExprPtr make_name(std::string name, int line, int column);
 ExprPtr make_int(std::int64_t v, int line, int column);
 ExprPtr make_real(double v, int line, int column);

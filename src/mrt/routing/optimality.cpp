@@ -76,12 +76,26 @@ bool is_globally_optimal(const OrderTransform& alg, const LabeledGraph& net,
 bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
                         int dest, const Value& origin, const Routing& r,
                         bool drop_top_routes) {
+  return is_locally_optimal(alg, net, dest, origin, r, SurvivingTopology{},
+                            drop_top_routes);
+}
+
+bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                        int dest, const Value& origin, const Routing& r,
+                        const SurvivingTopology& topo, bool drop_top_routes) {
   const int n = net.num_nodes();
   for (int u = 0; u < n; ++u) {
+    if (!topo.node_ok(u)) {
+      // A crashed node's state was wiped; any surviving route is a bug.
+      if (r.has_route(u)) return false;
+      continue;
+    }
     ValueVec candidates;
     if (u == dest) candidates.push_back(origin);
     for (int id : net.graph().out_arcs(u)) {
+      if (!topo.arc_ok(id)) continue;
       const int v = net.graph().arc(id).dst;
+      if (!topo.node_ok(v)) continue;
       const auto& wv = r.weight[static_cast<std::size_t>(v)];
       if (!wv) continue;
       Value cand = alg.fns->apply(net.label(id), *wv);
@@ -112,6 +126,113 @@ bool forwarding_consistent(const LabeledGraph& net, const Routing& r,
     if (!forwarding_path(net, r, u, dest)) return false;
   }
   return true;
+}
+
+namespace {
+
+void explain(std::string* why, std::string msg) {
+  if (why && why->empty()) *why = std::move(msg);
+}
+
+}  // namespace
+
+bool routes_are_coherent_extensions(const OrderTransform& alg,
+                                    const LabeledGraph& net, int dest,
+                                    const Value& origin, const Routing& r,
+                                    const SurvivingTopology& topo,
+                                    std::string* why) {
+  const int n = net.num_nodes();
+  bool ok = true;
+  for (int u = 0; u < n; ++u) {
+    const auto& wu = r.weight[static_cast<std::size_t>(u)];
+    if (u == dest) {
+      if (!topo.node_ok(u)) {
+        if (wu) {
+          explain(why, "crashed destination still originates a route");
+          ok = false;
+        }
+        continue;
+      }
+      if (!wu || !(*wu == origin)) {
+        explain(why, "destination does not carry its originated weight");
+        ok = false;
+      }
+      continue;
+    }
+    if (!wu) continue;  // no route claimed: nothing to justify
+    if (!topo.node_ok(u)) {
+      explain(why, "crashed node " + std::to_string(u) + " kept a route");
+      ok = false;
+      continue;
+    }
+    const int arc = r.next_arc[static_cast<std::size_t>(u)];
+    if (arc < 0) {
+      explain(why, "node " + std::to_string(u) + " has a route but no arc");
+      ok = false;
+      continue;
+    }
+    const Arc& a = net.graph().arc(arc);
+    if (a.src != u) {
+      explain(why, "node " + std::to_string(u) + " selects a foreign arc");
+      ok = false;
+      continue;
+    }
+    if (!topo.arc_ok(arc) || !topo.node_ok(a.dst)) {
+      explain(why, "node " + std::to_string(u) + " routes over a dead arc");
+      ok = false;
+      continue;
+    }
+    const auto& wv = r.weight[static_cast<std::size_t>(a.dst)];
+    if (!wv) {
+      explain(why, "node " + std::to_string(u) +
+                       " extends a neighbour that has no route (stale RIB)");
+      ok = false;
+      continue;
+    }
+    if (!(alg.fns->apply(net.label(arc), *wv) == *wu)) {
+      explain(why, "node " + std::to_string(u) +
+                       " carries a weight that is not the extension of its "
+                       "next hop's current route (stale RIB)");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool unreachable_nodes_have_no_route(const LabeledGraph& net, int dest,
+                                     const Routing& r,
+                                     const SurvivingTopology& topo,
+                                     std::string* why) {
+  const int n = net.num_nodes();
+  // Reverse reachability: u can reach dest iff some alive arc-path u → dest
+  // exists through up nodes. BFS from dest along reversed alive arcs.
+  std::vector<bool> reaches(static_cast<std::size_t>(n), false);
+  if (topo.node_ok(dest)) {
+    std::vector<int> frontier{dest};
+    reaches[static_cast<std::size_t>(dest)] = true;
+    while (!frontier.empty()) {
+      const int v = frontier.back();
+      frontier.pop_back();
+      for (int id : net.graph().in_arcs(v)) {
+        if (!topo.arc_ok(id)) continue;
+        const int u = net.graph().arc(id).src;
+        if (!topo.node_ok(u) || reaches[static_cast<std::size_t>(u)]) continue;
+        reaches[static_cast<std::size_t>(u)] = true;
+        frontier.push_back(u);
+      }
+    }
+  }
+  bool ok = true;
+  for (int u = 0; u < n; ++u) {
+    if (reaches[static_cast<std::size_t>(u)]) continue;
+    if (r.has_route(u)) {
+      explain(why, "node " + std::to_string(u) +
+                       " keeps a route despite having no surviving path to "
+                       "the destination");
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace mrt

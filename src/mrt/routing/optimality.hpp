@@ -43,4 +43,52 @@ bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
 bool forwarding_consistent(const LabeledGraph& net, const Routing& r,
                            int dest);
 
+// ---------------------------------------------------------------------------
+// Fault-aware oracles (mrt::chaos entry points)
+// ---------------------------------------------------------------------------
+
+/// The surviving topology after a fault campaign: which arcs are usable and
+/// which nodes are up. Empty masks mean "everything alive" so the fault-free
+/// validators are the special case of these.
+struct SurvivingTopology {
+  std::vector<bool> arc_alive;  ///< per arc id; empty = all alive
+  std::vector<bool> node_up;    ///< per node; empty = all up
+
+  bool arc_ok(int id) const {
+    return arc_alive.empty() || arc_alive[static_cast<std::size_t>(id)];
+  }
+  bool node_ok(int v) const {
+    return node_up.empty() || node_up[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Local optimality (stability) restricted to the surviving topology:
+/// candidates are drawn only over alive arcs between up nodes, and crashed
+/// nodes must carry no route at all. This is the post-fault quiescence
+/// oracle of the chaos campaigns.
+bool is_locally_optimal(const OrderTransform& alg, const LabeledGraph& net,
+                        int dest, const Value& origin, const Routing& r,
+                        const SurvivingTopology& topo,
+                        bool drop_top_routes = false);
+
+/// "No stale-RIB ghosts": every selected route must be the exact extension
+/// of the next hop's *current* route over an alive arc — weight[u] ==
+/// f_label(weight[head(next_arc[u])]) — and the (up) destination must carry
+/// exactly its originated weight. A converged simulator state violating this
+/// kept routing state that its neighbour no longer advertises.
+bool routes_are_coherent_extensions(const OrderTransform& alg,
+                                    const LabeledGraph& net, int dest,
+                                    const Value& origin, const Routing& r,
+                                    const SurvivingTopology& topo = {},
+                                    std::string* why = nullptr);
+
+/// Withdrawal completeness: every node with no surviving arc-path to an up
+/// destination must have no route (a crashed destination withdraws
+/// everything). The converse is deliberately not required — policy algebras
+/// (⊤-filtering, valley-free export) legitimately deny reachable nodes.
+bool unreachable_nodes_have_no_route(const LabeledGraph& net, int dest,
+                                     const Routing& r,
+                                     const SurvivingTopology& topo = {},
+                                     std::string* why = nullptr);
+
 }  // namespace mrt

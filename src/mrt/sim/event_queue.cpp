@@ -15,6 +15,7 @@ std::uint64_t EventQueue::push(double time, Event::Kind kind, int arc,
   e.arc = arc;
   e.weight = std::move(weight);
   e.path = std::move(path);
+  if (kind == Event::Kind::Deliver) ++pending_delivers_;
   heap_.push(std::move(e));
   if (heap_.size() > high_water_) high_water_ = heap_.size();
   return next_seq_ - 1;
@@ -26,6 +27,7 @@ Event EventQueue::pop() {
   heap_.pop();
   ++pops_;
   now_ = e.time;
+  if (e.kind == Event::Kind::Deliver) --pending_delivers_;
   return e;
 }
 

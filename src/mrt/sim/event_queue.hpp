@@ -18,11 +18,14 @@ struct Event {
     Deliver,   ///< a route advertisement arrives along `arc`
     LinkDown,  ///< `arc` fails
     LinkUp,    ///< `arc` comes (back) up
+    NodeDown,  ///< node `arc` crashes: incident arcs die, its RIB is wiped
+    NodeUp,    ///< node `arc` restarts and (if destination) re-originates
+    Resync,    ///< `arc`'s head re-advertises (post-loss-window recovery)
   };
   double time = 0.0;
   std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
   Kind kind = Kind::Deliver;
-  int arc = -1;
+  int arc = -1;  ///< arc id, or the node id for NodeDown/NodeUp
   /// The advertised weight (nullopt = withdrawal). Only for Deliver.
   std::optional<Value> weight;
   /// The advertised node path (most recent hop first); carried only when the
@@ -44,6 +47,10 @@ class EventQueue {
   /// Lifetime heap-operation counts (sift-up + sift-down entry points).
   std::uint64_t pushes() const { return next_seq_; }
   std::uint64_t pops() const { return pops_; }
+  /// Deliver events currently enqueued — messages in flight. Maintained
+  /// independently of the sim's own accounting so conservation invariants
+  /// (sent == delivered + dropped + in-flight) can be cross-checked.
+  std::size_t pending_delivers() const { return pending_delivers_; }
 
   /// Pops the earliest event. Precondition: not empty.
   Event pop();
@@ -62,6 +69,7 @@ class EventQueue {
   std::uint64_t pops_ = 0;
   double now_ = 0.0;
   std::size_t high_water_ = 0;
+  std::size_t pending_delivers_ = 0;
 };
 
 }  // namespace mrt

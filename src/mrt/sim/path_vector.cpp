@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -15,13 +16,16 @@ PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
       dest_(dest),
       origin_(std::move(origin)),
       opts_(opts),
-      rng_(opts.seed) {
+      rng_(opts.seed),
+      fault_rng_(par::mix_seed(opts.seed, 0x0FA171ULL)) {
   const int n = net_.num_nodes();
   const int m = net_.graph().num_arcs();
   MRT_REQUIRE(dest_ >= 0 && dest_ < n);
   rib_in_.assign(static_cast<std::size_t>(m), std::nullopt);
   rib_in_path_.assign(static_cast<std::size_t>(m), {});
   arc_up_.assign(static_cast<std::size_t>(m), true);
+  node_up_.assign(static_cast<std::size_t>(n), true);
+  arc_faults_.assign(static_cast<std::size_t>(m), {});
   arc_last_delivery_.assign(static_cast<std::size_t>(m), 0.0);
   selected_.assign(static_cast<std::size_t>(n), std::nullopt);
   selected_arc_.assign(static_cast<std::size_t>(n), -1);
@@ -39,8 +43,41 @@ void PathVectorSim::schedule_link_up(double t, int arc) {
   queue_.push(t, Event::Kind::LinkUp, arc);
 }
 
+void PathVectorSim::schedule_node_down(double t, int node) {
+  MRT_REQUIRE(node >= 0 && node < net_.num_nodes());
+  queue_.push(t, Event::Kind::NodeDown, node);
+}
+
+void PathVectorSim::schedule_node_up(double t, int node) {
+  MRT_REQUIRE(node >= 0 && node < net_.num_nodes());
+  queue_.push(t, Event::Kind::NodeUp, node);
+}
+
+void PathVectorSim::schedule_resync(double t, int arc) {
+  queue_.push(t, Event::Kind::Resync, arc);
+}
+
+void PathVectorSim::add_arc_fault(const ArcFault& f) {
+  MRT_REQUIRE(f.arc >= 0 && f.arc < net_.graph().num_arcs());
+  arc_faults_[static_cast<std::size_t>(f.arc)].push_back(f);
+}
+
+bool PathVectorSim::arc_alive(int arc) const {
+  if (!arc_up_[static_cast<std::size_t>(arc)]) return false;
+  const Arc& a = net_.graph().arc(arc);
+  return node_up_[static_cast<std::size_t>(a.src)] &&
+         node_up_[static_cast<std::size_t>(a.dst)];
+}
+
+const ArcFault* PathVectorSim::active_fault(int arc, double now) const {
+  for (const ArcFault& f : arc_faults_[static_cast<std::size_t>(arc)]) {
+    if (f.from <= now && now < f.until) return &f;
+  }
+  return nullptr;
+}
+
 std::optional<Value> PathVectorSim::candidate_via(int arc) const {
-  if (!arc_up_[static_cast<std::size_t>(arc)]) return std::nullopt;
+  if (!arc_alive(arc)) return std::nullopt;
   const auto& adv = rib_in_[static_cast<std::size_t>(arc)];
   if (!adv) return std::nullopt;
   if (opts_.loop_detection) {
@@ -63,31 +100,55 @@ void PathVectorSim::advertise(int node, double now) {
   obs::TraceSession* trace = obs::TraceSession::current();
   const bool withdrawal = !selected_[static_cast<std::size_t>(node)];
   for (int id : net_.graph().in_arcs(node)) {
-    if (!arc_up_[static_cast<std::size_t>(id)]) continue;
-    const double delay =
+    if (!arc_alive(id)) continue;
+    // Base latency comes from rng_ unconditionally, so the schedule of a
+    // seed is identical whether or not faults are installed; fault windows
+    // only ever add on top, drawing from fault_rng_.
+    double delay =
         opts_.min_delay + rng_.unit() * (opts_.max_delay - opts_.min_delay);
-    // FIFO per arc: each message departs after the previous one *arrived*,
-    // but always with fresh random latency — collapsing onto the previous
-    // arrival time would lock oscillating nodes into artificial lockstep.
-    auto& last = arc_last_delivery_[static_cast<std::size_t>(id)];
-    const double when = std::max(last, now) + delay;
-    last = when;
-    queue_.push(when, Event::Kind::Deliver, id,
-                selected_[static_cast<std::size_t>(node)],
-                selected_path_[static_cast<std::size_t>(node)]);
-    ++stats_.messages_sent;
-    if (withdrawal) ++stats_.withdrawals_sent;
-    if (trace) {
-      // Message flight on the sim-time process: one row per arc.
-      trace->complete(withdrawal ? "withdraw" : "advert", "sim.msg",
-                      now * 1e6, (when - now) * 1e6, obs::TraceSession::kSimPid,
-                      id, {{"from", static_cast<std::int64_t>(node)}});
+    int copies = 1;
+    if (const ArcFault* f = active_fault(id, now)) {
+      if (f->extra_delay > 0.0 || f->jitter > 0.0) {
+        delay += f->extra_delay;
+        if (f->jitter > 0.0) delay += fault_rng_.unit() * f->jitter;
+        ++stats_.jittered_messages;
+      }
+      if (f->dup_p > 0.0 && fault_rng_.chance(f->dup_p)) {
+        copies = 2;
+        ++stats_.duplicated_messages;
+      }
+    }
+    for (int c = 0; c < copies; ++c) {
+      if (c > 0) {
+        // The duplicate rides behind the original with its own latency.
+        delay = opts_.min_delay +
+                fault_rng_.unit() * (opts_.max_delay - opts_.min_delay);
+      }
+      // FIFO per arc: each message departs after the previous one *arrived*,
+      // but always with fresh random latency — collapsing onto the previous
+      // arrival time would lock oscillating nodes into artificial lockstep.
+      auto& last = arc_last_delivery_[static_cast<std::size_t>(id)];
+      const double when = std::max(last, now) + delay;
+      last = when;
+      queue_.push(when, Event::Kind::Deliver, id,
+                  selected_[static_cast<std::size_t>(node)],
+                  selected_path_[static_cast<std::size_t>(node)]);
+      ++stats_.messages_sent;
+      if (withdrawal) ++stats_.withdrawals_sent;
+      if (trace) {
+        // Message flight on the sim-time process: one row per arc.
+        trace->complete(withdrawal ? "withdraw" : "advert", "sim.msg",
+                        now * 1e6, (when - now) * 1e6,
+                        obs::TraceSession::kSimPid, id,
+                        {{"from", static_cast<std::int64_t>(node)}});
+      }
     }
   }
 }
 
 void PathVectorSim::reselect(int node, double now) {
   if (node == dest_) return;  // the destination's route is pinned
+  if (!node_up_[static_cast<std::size_t>(node)]) return;  // crashed
   obs::ScopedSpan span("reselect", "sim", node);
   ++stats_.reselects;
 
@@ -143,6 +204,61 @@ void PathVectorSim::reselect(int node, double now) {
   }
 }
 
+void PathVectorSim::crash_node(int node, double now) {
+  if (!node_up_[static_cast<std::size_t>(node)]) return;  // already down
+  node_up_[static_cast<std::size_t>(node)] = false;
+  ++stats_.node_crash_events;
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    trace->instant("crash", "sim.chaos", now * 1e6,
+                   obs::TraceSession::kSimPid, node);
+  }
+  // The node loses all protocol state: its RIB-in (out-arcs carry what its
+  // neighbours advertised to it) and its selection.
+  for (int id : net_.graph().out_arcs(node)) {
+    rib_in_[static_cast<std::size_t>(id)] = std::nullopt;
+    rib_in_path_[static_cast<std::size_t>(id)].clear();
+  }
+  selected_[static_cast<std::size_t>(node)] = std::nullopt;
+  selected_arc_[static_cast<std::size_t>(node)] = -1;
+  selected_path_[static_cast<std::size_t>(node)].clear();
+  // Every neighbour's session to the crashed node dies with it: the arcs
+  // (x → node) carried node's advertisements to x, so x forgets them and
+  // reselects — exactly the LinkDown treatment, for all sessions at once.
+  for (int id : net_.graph().in_arcs(node)) {
+    rib_in_[static_cast<std::size_t>(id)] = std::nullopt;
+    rib_in_path_[static_cast<std::size_t>(id)].clear();
+  }
+  for (int id : net_.graph().in_arcs(node)) {
+    reselect(net_.graph().arc(id).src, now);
+  }
+}
+
+void PathVectorSim::restart_node(int node, double now) {
+  if (node_up_[static_cast<std::size_t>(node)]) return;  // not down
+  node_up_[static_cast<std::size_t>(node)] = true;
+  ++stats_.node_restart_events;
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    trace->instant("restart", "sim.chaos", now * 1e6,
+                   obs::TraceSession::kSimPid, node);
+  }
+  if (node == dest_) {
+    // The destination re-originates its route on restart.
+    selected_[static_cast<std::size_t>(node)] = origin_;
+    selected_path_[static_cast<std::size_t>(node)] = {node};
+    advertise(node, now);
+    return;
+  }
+  // Each revived learning session (node → y) needs y to re-advertise so the
+  // restarted node can rebuild its RIB — the LinkUp treatment per session.
+  for (int id : net_.graph().out_arcs(node)) {
+    if (!arc_alive(id)) continue;
+    const int head = net_.graph().arc(id).dst;
+    if (selected_[static_cast<std::size_t>(head)]) {
+      advertise(head, now);
+    }
+  }
+}
+
 SimResult PathVectorSim::run() {
   obs::TraceSession* trace = obs::TraceSession::current();
   advertise(dest_, 0.0);
@@ -151,8 +267,17 @@ SimResult PathVectorSim::run() {
     Event e = queue_.pop();
     switch (e.kind) {
       case Event::Kind::Deliver: {
-        if (!arc_up_[static_cast<std::size_t>(e.arc)]) {  // lost
+        if (!arc_alive(e.arc)) {  // lost
           ++stats_.dropped_dead_arc;
+          break;
+        }
+        if (const ArcFault* f = active_fault(e.arc, queue_.now());
+            f && f->loss_p > 0.0 && fault_rng_.chance(f->loss_p)) {
+          ++stats_.dropped_injected_loss;
+          if (trace) {
+            trace->instant("loss", "sim.chaos", queue_.now() * 1e6,
+                           obs::TraceSession::kSimPid, e.arc);
+          }
           break;
         }
         ++delivered_;
@@ -186,17 +311,42 @@ SimResult PathVectorSim::run() {
           trace->instant("link up", "sim.link", queue_.now() * 1e6,
                          obs::TraceSession::kSimPid, e.arc);
         }
-        // The arc's head re-advertises so the tail can learn the route.
+        // The arc's head re-advertises so the tail can learn the route —
+        // unless an endpoint is still crashed, in which case the restart
+        // will trigger the re-advertisement.
+        if (!arc_alive(e.arc)) break;
         const int head = net_.graph().arc(e.arc).dst;
         if (selected_[static_cast<std::size_t>(head)]) {
           advertise(head, queue_.now());
         }
         break;
       }
+      case Event::Kind::NodeDown: {
+        crash_node(e.arc, queue_.now());
+        break;
+      }
+      case Event::Kind::NodeUp: {
+        restart_node(e.arc, queue_.now());
+        break;
+      }
+      case Event::Kind::Resync: {
+        ++stats_.resync_events;
+        if (trace) {
+          trace->instant("resync", "sim.chaos", queue_.now() * 1e6,
+                         obs::TraceSession::kSimPid, e.arc);
+        }
+        if (!arc_alive(e.arc)) break;
+        // Unconditional re-advertisement (withdrawals included): the loss
+        // window may have eaten the head's final message, route or
+        // withdrawal alike, and this is what repairs the stale RIB.
+        advertise(net_.graph().arc(e.arc).dst, queue_.now());
+        break;
+      }
     }
   }
 
   stats_.queue_high_water = queue_.high_water();
+  stats_.in_flight_at_end = static_cast<long>(queue_.pending_delivers());
 
   SimResult out;
   out.converged = queue_.empty();
@@ -206,6 +356,12 @@ SimResult PathVectorSim::run() {
   out.routing.next_arc = selected_arc_;
   out.flaps = flaps_;
   out.paths = selected_path_;
+  const int m = net_.graph().num_arcs();
+  out.arc_alive.resize(static_cast<std::size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    out.arc_alive[static_cast<std::size_t>(a)] = arc_alive(a);
+  }
+  out.node_up = node_up_;
   out.stats = stats_;
 
   if (obs::enabled()) {
@@ -230,6 +386,18 @@ SimResult PathVectorSim::run() {
         .add(static_cast<std::uint64_t>(stats_.link_down_events));
     reg.counter("sim.link_up_events")
         .add(static_cast<std::uint64_t>(stats_.link_up_events));
+    reg.counter("sim.dropped_injected_loss")
+        .add(static_cast<std::uint64_t>(stats_.dropped_injected_loss));
+    reg.counter("sim.duplicated_messages")
+        .add(static_cast<std::uint64_t>(stats_.duplicated_messages));
+    reg.counter("sim.jittered_messages")
+        .add(static_cast<std::uint64_t>(stats_.jittered_messages));
+    reg.counter("sim.node_crash_events")
+        .add(static_cast<std::uint64_t>(stats_.node_crash_events));
+    reg.counter("sim.node_restart_events")
+        .add(static_cast<std::uint64_t>(stats_.node_restart_events));
+    reg.counter("sim.resync_events")
+        .add(static_cast<std::uint64_t>(stats_.resync_events));
     reg.counter("sim.heap_pushes").add(queue_.pushes());
     reg.counter("sim.heap_pops").add(queue_.pops());
     reg.gauge("sim.queue_high_water")

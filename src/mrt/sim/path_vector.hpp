@@ -36,6 +36,25 @@ struct SimEventLog {
   std::string what;
 };
 
+/// A windowed per-arc fault behaviour, injected before run(). All random
+/// draws it causes come from a dedicated fault Rng, so the base message
+/// schedule of a seed is byte-identical with and without faults installed.
+struct ArcFault {
+  int arc = -1;
+  /// Active window [from, until): loss applies to deliveries inside it,
+  /// jitter and duplication to sends inside it.
+  double from = 0.0;
+  double until = 0.0;
+  /// Probability that a message delivered during the window is lost.
+  double loss_p = 0.0;
+  /// Extra latency added to each send: extra_delay + U[0, jitter).
+  double extra_delay = 0.0;
+  double jitter = 0.0;
+  /// Probability that a send during the window is duplicated (one extra
+  /// copy, queued FIFO behind the original with its own latency draw).
+  double dup_p = 0.0;
+};
+
 /// Per-run protocol dynamics, always collected (plain member increments —
 /// cheap and deterministic). Published into the obs registry under "sim.*"
 /// when observability is enabled.
@@ -49,6 +68,16 @@ struct SimStats {
   long selection_changes = 0;    ///< total flaps across all nodes
   long link_down_events = 0;
   long link_up_events = 0;
+  // Fault-injection accounting (mrt::chaos). Every injected fault leaves a
+  // trace here so campaigns can assert conservation instead of trusting the
+  // injector.
+  long dropped_injected_loss = 0;  ///< deliveries eaten by an ArcFault window
+  long duplicated_messages = 0;    ///< extra copies enqueued by dup faults
+  long jittered_messages = 0;      ///< sends stretched by a jitter window
+  long node_crash_events = 0;
+  long node_restart_events = 0;
+  long resync_events = 0;          ///< post-loss-window re-advertisements
+  long in_flight_at_end = 0;       ///< Deliver events still queued at exit
   std::size_t queue_high_water = 0;  ///< deepest event-queue backlog
 };
 
@@ -60,6 +89,10 @@ struct SimResult {
   std::vector<int> flaps;  ///< selection changes per node
   /// Node paths of the selected routes (only with loop_detection).
   std::vector<std::vector<int>> paths;
+  /// The surviving topology at exit: arc i usable, node v not crashed.
+  /// The chaos oracles validate `routing` against exactly this subgraph.
+  std::vector<bool> arc_alive;
+  std::vector<bool> node_up;
   SimStats stats;
 };
 
@@ -73,6 +106,21 @@ class PathVectorSim {
   void schedule_link_down(double t, int arc);
   void schedule_link_up(double t, int arc);
 
+  /// Injects a node crash at `t`: every incident arc goes down, the node's
+  /// RIB-in and selection are wiped, and neighbours reselect as their
+  /// sessions die. A later restart brings the incident arcs back (where the
+  /// peer is also up) and re-originates if the node is the destination.
+  void schedule_node_down(double t, int node);
+  void schedule_node_up(double t, int node);
+
+  /// Schedules a resync on `arc` at `t`: the arc's head re-advertises its
+  /// current selection, modelling the retransmission that recovers state
+  /// after a message-loss window. FaultPlan::apply emits one per loss fault.
+  void schedule_resync(double t, int arc);
+
+  /// Installs a windowed per-arc fault behaviour (loss / jitter / dup).
+  void add_arc_fault(const ArcFault& f);
+
   /// Runs to quiescence or to the event cap.
   SimResult run();
 
@@ -80,6 +128,10 @@ class PathVectorSim {
   void advertise(int node, double now);
   void reselect(int node, double now);
   std::optional<Value> candidate_via(int arc) const;
+  bool arc_alive(int arc) const;
+  const ArcFault* active_fault(int arc, double now) const;
+  void crash_node(int node, double now);
+  void restart_node(int node, double now);
 
   const OrderTransform& alg_;
   LabeledGraph net_;
@@ -88,10 +140,16 @@ class PathVectorSim {
   SimOptions opts_;
   Rng rng_;
 
+  /// Draws for injected faults only (seeded from opts.seed), so installing
+  /// faults never perturbs the base schedule stream in rng_.
+  Rng fault_rng_;
+
   EventQueue queue_;
   std::vector<std::optional<Value>> rib_in_;   // per arc id
   std::vector<std::vector<int>> rib_in_path_;  // per arc id
-  std::vector<bool> arc_up_;                   // per arc id
+  std::vector<bool> arc_up_;                   // per arc id (admin state)
+  std::vector<bool> node_up_;                  // per node (crash state)
+  std::vector<std::vector<ArcFault>> arc_faults_;  // per arc id
   std::vector<double> arc_last_delivery_;      // per arc id (FIFO)
   std::vector<std::optional<Value>> selected_; // per node
   std::vector<int> selected_arc_;              // per node

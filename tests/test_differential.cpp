@@ -1,0 +1,201 @@
+// Differential testing of the solver stack: seeded random distributive
+// algebras × random graphs, where generalized Dijkstra, synchronous
+// Bellman–Ford, and the Kleene/Carré closure must agree exactly — and the
+// asynchronous simulator must land on the same weights whenever the algebra
+// is increasing (unique local optimum = global optimum).
+//
+// The random family: chain carriers {0..n} with ⊕ = min and ⊗ drawn from
+// { saturating +c (c ≥ 1, increasing), max(·, c) (widest-path-like, ND but
+// not increasing) }. min distributes over both, so all three solvers compute
+// the same object; only the increasing subfamily is sim-compared.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/routing/bellman.hpp"
+#include "mrt/routing/closure.hpp"
+#include "mrt/routing/dijkstra.hpp"
+#include "mrt/sim/path_vector.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+
+struct ChainInstance {
+  Bisemigroup bs;     ///< (chain, min, ⊗) for the closure solver
+  OrderTransform ot;  ///< (chain, ≤, F) for dijkstra / bellman / sim
+  LabeledGraph net;   ///< labels valid for both views
+  int n = 0;          ///< carrier top (⊤ = n)
+  bool increasing = false;
+  std::string desc;
+};
+
+/// ⊗ = saturating plus: labels c ∈ [1, n]; the §VI increasing chain.
+ChainInstance sat_plus_instance(Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.below(5));
+  const int hi = 1 + static_cast<int>(
+                         rng.below(static_cast<std::uint64_t>(n - 1)));
+  Digraph g = random_connected(rng, 5 + static_cast<int>(rng.below(5)),
+                               3 + static_cast<int>(rng.below(5)));
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    labels.push_back(I(rng.range(1, hi)));
+  }
+  return ChainInstance{
+      Bisemigroup{"chain(min,sat+)", sg_chain_min(n), sg_chain_plus(n), {}},
+      OrderTransform{"chain(<=,sat+)", ord_chain(n), fam_chain_add(n, 1, hi),
+                     {}},
+      LabeledGraph(std::move(g), std::move(labels)),
+      n,
+      /*increasing=*/true,
+      "sat_plus n=" + std::to_string(n)};
+}
+
+/// ⊗ = max(·, c): labels c ∈ [0, n]; min distributes over max on a chain.
+ChainInstance chain_max_instance(Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.below(5));
+  Digraph g = random_connected(rng, 5 + static_cast<int>(rng.below(5)),
+                               3 + static_cast<int>(rng.below(5)));
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    labels.push_back(I(rng.range(0, n)));
+  }
+  std::vector<std::vector<int>> fns;
+  for (int c = 0; c <= n; ++c) {
+    std::vector<int> f;
+    for (int x = 0; x <= n; ++x) f.push_back(std::max(x, c));
+    fns.push_back(std::move(f));
+  }
+  return ChainInstance{
+      Bisemigroup{"chain(min,max)", sg_chain_min(n), sg_chain_max(n), {}},
+      OrderTransform{"chain(<=,max)", ord_chain(n),
+                     fam_table("{max(.,c)}", n + 1, std::move(fns)), {}},
+      LabeledGraph(std::move(g), std::move(labels)),
+      n,
+      /*increasing=*/false,  // max(x, c) = x whenever c ≤ x
+      "chain_max n=" + std::to_string(n)};
+}
+
+/// dijkstra == bellman_sync == the dest column of the Kleene closure.
+void expect_solvers_agree(const ChainInstance& inst) {
+  const ClosureResult closure =
+      kleene_closure(inst.bs, arc_matrix(inst.bs, inst.net.graph(),
+                                         [&] {
+                                           ValueVec w;
+                                           for (int id = 0;
+                                                id < inst.net.graph().num_arcs();
+                                                ++id) {
+                                             w.push_back(inst.net.label(id));
+                                           }
+                                           return w;
+                                         }()));
+  for (int dest = 0; dest < inst.net.num_nodes(); ++dest) {
+    const Routing dj = dijkstra(inst.ot, inst.net, dest, I(0));
+    const BellmanResult bf = bellman_sync(inst.ot, inst.net, dest, I(0));
+    ASSERT_TRUE(bf.converged) << inst.desc;
+    for (int v = 0; v < inst.net.num_nodes(); ++v) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      const auto& star =
+          closure.star[vi][static_cast<std::size_t>(dest)];
+      ASSERT_TRUE(dj.weight[vi].has_value()) << inst.desc;
+      ASSERT_TRUE(bf.routing.weight[vi].has_value()) << inst.desc;
+      ASSERT_TRUE(star.has_value()) << inst.desc;
+      EXPECT_EQ(*dj.weight[vi], *bf.routing.weight[vi])
+          << inst.desc << " node " << v << " dest " << dest;
+      EXPECT_EQ(*dj.weight[vi], *star)
+          << inst.desc << " node " << v << " dest " << dest;
+    }
+  }
+}
+
+TEST(Differential, RandomSaturatingPlusChainsAgreeAcrossSolvers) {
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    Rng rng(par::mix_seed(0xD1FF, trial));
+    expect_solvers_agree(sat_plus_instance(rng));
+  }
+}
+
+TEST(Differential, RandomChainMaxAlgebrasAgreeAcrossSolvers) {
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    Rng rng(par::mix_seed(0xD1FE, trial));
+    expect_solvers_agree(chain_max_instance(rng));
+  }
+}
+
+TEST(Differential, ConvergedSimMatchesSolversOnIncreasingChains) {
+  // ⊤-saturated optima count as "no usable route": the simulator drops them
+  // (drop_top_routes), the solvers report weight n.
+  for (std::uint64_t trial = 0; trial < 15; ++trial) {
+    Rng rng(par::mix_seed(0x51D1FF, trial));
+    const ChainInstance inst = sat_plus_instance(rng);
+    ASSERT_TRUE(inst.increasing);
+    const int dest = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(inst.net.num_nodes())));
+    const Routing truth = dijkstra(inst.ot, inst.net, dest, I(0));
+    SimOptions opts;
+    opts.seed = par::mix_seed(0x51D200, trial);
+    opts.drop_top_routes = true;
+    PathVectorSim sim(inst.ot, inst.net, dest, I(0), opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << inst.desc;
+    for (int v = 0; v < inst.net.num_nodes(); ++v) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      ASSERT_TRUE(truth.weight[vi].has_value());
+      if (*truth.weight[vi] == I(inst.n)) {
+        EXPECT_FALSE(res.routing.has_route(v))
+            << inst.desc << " node " << v << ": top-weighted route selected";
+      } else {
+        ASSERT_TRUE(res.routing.has_route(v)) << inst.desc << " node " << v;
+        EXPECT_EQ(*res.routing.weight[vi], *truth.weight[vi])
+            << inst.desc << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(Differential, FixedShortestAndWidestInstancesStayExact) {
+  // Anchors with independently known answers, immune to generator drift.
+  {
+    // Shortest path on the classic diamond.
+    const OrderTransform sp = ot_shortest_path(9);
+    const Bisemigroup bs = bs_shortest_path();
+    Digraph g(3);
+    ValueVec w;
+    g.add_arc(1, 0);
+    w.push_back(I(3));
+    g.add_arc(2, 1);
+    w.push_back(I(4));
+    g.add_arc(2, 0);
+    w.push_back(I(9));
+    LabeledGraph net(g, w);
+    const Routing dj = dijkstra(sp, net, 0, I(0));
+    EXPECT_EQ(*dj.weight[1], I(3));
+    EXPECT_EQ(*dj.weight[2], I(7));  // via 1 beats direct 9
+    const BellmanResult bf = bellman_sync(sp, net, 0, I(0));
+    EXPECT_EQ(*bf.routing.weight[2], I(7));
+    const ClosureResult cl = kleene_closure(bs, arc_matrix(bs, g, w));
+    EXPECT_EQ(*cl.star[2][0], I(7));
+  }
+  {
+    // Widest path: bottleneck of the best branch.
+    const OrderTransform bw = ot_widest_path(9);
+    Digraph g(3);
+    ValueVec w;
+    g.add_arc(1, 0);
+    w.push_back(I(2));
+    g.add_arc(2, 1);
+    w.push_back(I(8));
+    g.add_arc(2, 0);
+    w.push_back(I(1));
+    LabeledGraph net(g, w);
+    const Routing dj = dijkstra(bw, net, 0, Value::inf());
+    EXPECT_EQ(*dj.weight[2], I(2));  // min(8, 2) beats 1
+    const BellmanResult bf = bellman_sync(bw, net, 0, Value::inf());
+    EXPECT_EQ(*bf.routing.weight[2], I(2));
+  }
+}
+
+}  // namespace
+}  // namespace mrt

@@ -291,6 +291,73 @@ TEST(SimStats, LinkEventsAndWithdrawalsCounted) {
   EXPECT_GE(res.stats.queue_high_water, 1u);
 }
 
+// Every message is eventually accounted for exactly once: delivered, dropped
+// on a dead arc, eaten by an injected loss window, or still queued when the
+// run exits. Duplicated copies count as sends of their own, so the identity
+// needs no correction term.
+long conservation_gap(const SimStats& st) {
+  return st.messages_sent - (st.deliveries + st.dropped_dead_arc +
+                             st.dropped_injected_loss + st.in_flight_at_end);
+}
+
+TEST(SimStats, ConservationHoldsOnConvergedRuns) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario sc = good_gadget_hops();
+    SimOptions opts;
+    opts.seed = seed;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    // Quiescence means the queue drained: nothing may remain in flight.
+    EXPECT_EQ(res.stats.in_flight_at_end, 0) << "seed " << seed;
+    EXPECT_EQ(conservation_gap(res.stats), 0) << "seed " << seed;
+  }
+}
+
+TEST(SimStats, ConservationHoldsWhenTheEventCapCutsARunShort) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario sc = bad_gadget();
+    SimOptions opts;
+    opts.seed = seed;
+    opts.max_events = 4000;
+    opts.drop_top_routes = true;
+    PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+    const SimResult res = sim.run();
+    ASSERT_FALSE(res.converged) << "seed " << seed;
+    // An oscillating run stopped mid-flight must report its backlog...
+    EXPECT_GT(res.stats.in_flight_at_end, 0) << "seed " << seed;
+    // ...and the backlog closes the books exactly.
+    EXPECT_EQ(conservation_gap(res.stats), 0) << "seed " << seed;
+  }
+}
+
+TEST(SimStats, ConservationHoldsAcrossLinkFailures) {
+  // Cut the chain's first arc while initial advertisements are still in
+  // flight: messages already queued on the arc die there and must show up as
+  // dropped_dead_arc, never as a leak in the identity.
+  bool saw_dead_arc_drop = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const OrderTransform sp = ot_shortest_path(9);
+    Digraph g(3);
+    ValueVec labels;
+    const int a10 = g.add_arc(1, 0);
+    labels.push_back(I(1));
+    g.add_arc(2, 1);
+    labels.push_back(I(1));
+    LabeledGraph net(std::move(g), std::move(labels));
+    SimOptions opts;
+    opts.seed = seed;
+    PathVectorSim sim(sp, net, 0, I(0), opts);
+    sim.schedule_link_down(0.5, a10);
+    sim.schedule_link_up(50.0, a10);
+    const SimResult res = sim.run();
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    EXPECT_EQ(conservation_gap(res.stats), 0) << "seed " << seed;
+    saw_dead_arc_drop = saw_dead_arc_drop || res.stats.dropped_dead_arc > 0;
+  }
+  EXPECT_TRUE(saw_dead_arc_drop);
+}
+
 TEST(Scenario, GadgetAlgebraShape) {
   Checker chk;
   Scenario sc = bad_gadget();
