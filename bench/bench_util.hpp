@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "mrt/core/bases.hpp"
 #include "mrt/core/checker.hpp"
 #include "mrt/core/combinators.hpp"
 #include "mrt/core/inference.hpp"
@@ -25,6 +26,28 @@ namespace mrt::bench {
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Algebra stacks of increasing lexicographic depth: shortest-path at the
+/// front, alternating widest/shortest below. The shared deep-lex workload of
+/// EXP-PERF and EXP-COMPILE, so their numbers stay directly comparable.
+inline OrderTransform stacked(int depth) {
+  OrderTransform alg = ot_shortest_path(6);
+  for (int i = 1; i < depth; ++i) {
+    alg = lex(alg, i % 2 == 0 ? ot_shortest_path(6) : ot_widest_path(6));
+  }
+  return alg;
+}
+
+/// The origin weight matching stacked(depth): 0 in every shortest component,
+/// ∞ (unlimited capacity) in every widest component.
+inline Value stacked_origin(int depth) {
+  Value v = Value::integer(0);
+  for (int i = 1; i < depth; ++i) {
+    v = Value::pair(std::move(v),
+                    i % 2 == 0 ? Value::integer(0) : Value::inf());
+  }
+  return v;
 }
 
 /// Extracts `--json <path>` or `--json=<path>` from argv (removing the

@@ -6,6 +6,7 @@
 
 #include "mrt/algebra/static_algebra.hpp"
 #include "mrt/algebra/static_dijkstra.hpp"
+#include "mrt/compile/engine.hpp"
 #include "mrt/core/bases.hpp"
 #include "mrt/core/combinators.hpp"
 #include "mrt/graph/generators.hpp"
@@ -19,23 +20,8 @@
 namespace mrt {
 namespace {
 
-// Algebra stacks of increasing lexicographic depth.
-OrderTransform stacked(int depth) {
-  OrderTransform alg = ot_shortest_path(6);
-  for (int i = 1; i < depth; ++i) {
-    alg = lex(alg, i % 2 == 0 ? ot_shortest_path(6) : ot_widest_path(6));
-  }
-  return alg;
-}
-
-Value stacked_origin(int depth) {
-  Value v = Value::integer(0);
-  for (int i = 1; i < depth; ++i) {
-    v = Value::pair(std::move(v),
-                    i % 2 == 0 ? Value::integer(0) : Value::inf());
-  }
-  return v;
-}
+using bench::stacked;
+using bench::stacked_origin;
 
 void BM_Dijkstra(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -54,6 +40,27 @@ BENCHMARK(BM_Dijkstra)
     ->ArgsProduct({{16, 64, 256}, {1, 2, 4}})
     ->Unit(benchmark::kMicrosecond);
 
+// Boxed-vs-compiled pair for BM_Dijkstra: same graphs, same algebra stack,
+// flat kernels via the WeightEngine seam.
+void BM_DijkstraCompiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const OrderTransform alg = stacked(depth);
+  Rng rng(42);
+  LabeledGraph net = label_randomly(alg, random_connected(rng, n, 2 * n), rng);
+  const Value origin = stacked_origin(depth);
+  const compile::WeightEngine eng(alg);
+  const compile::CompiledNet cn = compile::CompiledNet::make(eng, net);
+  for (auto _ : state) {
+    Routing r = dijkstra(alg, net, 0, origin, cn.ok() ? &cn : nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DijkstraCompiled)
+    ->ArgsProduct({{16, 64, 256}, {1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_BellmanSync(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const OrderTransform alg = stacked(2);
@@ -67,6 +74,24 @@ void BM_BellmanSync(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_BellmanSync)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_BellmanSyncCompiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OrderTransform alg = stacked(2);
+  Rng rng(42);
+  LabeledGraph net = label_randomly(alg, random_connected(rng, n, 2 * n), rng);
+  const Value origin = stacked_origin(2);
+  const compile::WeightEngine eng(alg);
+  const compile::CompiledNet cn = compile::CompiledNet::make(eng, net);
+  for (auto _ : state) {
+    BellmanResult r = bellman_sync(alg, net, 0, origin, {},
+                                   cn.ok() ? &cn : nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BellmanSyncCompiled)->Arg(16)->Arg(64)->Arg(256)->Unit(
     benchmark::kMicrosecond);
 
 void BM_MinSetBellman(benchmark::State& state) {
@@ -104,6 +129,25 @@ void BM_PathVectorSim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_PathVectorSim)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_PathVectorSimCompiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OrderTransform alg = ot_shortest_path(5);
+  Rng rng(42);
+  LabeledGraph net = label_randomly(alg, random_connected(rng, n, 2 * n), rng);
+  const compile::WeightEngine eng(alg);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimOptions opts;
+    opts.seed = seed++;
+    PathVectorSim sim(alg, net, 0, Value::integer(0), opts, &eng);
+    SimResult r = sim.run();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PathVectorSimCompiled)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
 
 // The static-vs-dynamic ablation: the same (delay, bandwidth) lex algebra,
 // compile-time composed vs runtime-composed, on identical topologies.

@@ -109,3 +109,71 @@ if [ -x "$bin" ]; then
 else
   echo "bench_json.sh: skipping chaos_campaign (not built)" >&2
 fi
+
+# --- Compiled-kernel gates + BENCH_compile.json --------------------------
+# Three gates on mrt::compile:
+#   1. speedup: perf_compile must show ≥2× on deep-lex (depth ≥ 3)
+#      dijkstra/bellman and zero fallbacks for the paper algebras;
+#   2. equivalence: the chaos verdict table must be byte-identical with
+#      MRT_COMPILE=0 (boxed) and default (compiled), and the compiled
+#      campaign must be ≥1.5× faster by wall clock;
+#   3. determinism: the compiled campaign table must be byte-identical at
+#      MRT_THREADS=1 and $(nproc).
+COMPILE_OUT="BENCH_compile.json"
+pc="$BUILD/bench/perf_compile"
+cc="$BUILD/bench/chaos_campaign"
+if [ -x "$pc" ] && [ -x "$cc" ]; then
+  echo "== perf_compile =="
+  "$pc" --json "$tmpdir/compile.json"
+
+  echo "== chaos_campaign (MRT_COMPILE=0 vs compiled) =="
+  MRT_COMPILE=0 "$cc" --json "$tmpdir/chaos.boxed.json" \
+    > "$tmpdir/chaos.boxed.out"
+  "$cc" --json "$tmpdir/chaos.compiled.json" > "$tmpdir/chaos.compiled.out"
+  if ! diff -u "$tmpdir/chaos.boxed.out" "$tmpdir/chaos.compiled.out"; then
+    echo "bench_json.sh: EQUIVALENCE VIOLATION — chaos verdicts differ between boxed and compiled" >&2
+    exit 1
+  fi
+  echo "   verdict tables bit-identical boxed vs compiled"
+
+  echo "== chaos_campaign compiled (MRT_THREADS=1 vs $NPROC) =="
+  MRT_THREADS=1 "$cc" --json "$tmpdir/chaos.c.t1.json" \
+    > "$tmpdir/chaos.c.t1.out"
+  MRT_THREADS="$NPROC" "$cc" --json "$tmpdir/chaos.c.tn.json" \
+    > "$tmpdir/chaos.c.tn.out"
+  if ! diff -u "$tmpdir/chaos.c.t1.out" "$tmpdir/chaos.c.tn.out"; then
+    echo "bench_json.sh: DETERMINISM VIOLATION — compiled chaos verdicts depend on MRT_THREADS" >&2
+    exit 1
+  fi
+  echo "   compiled verdict tables bit-identical at 1 and $NPROC threads"
+
+  python3 - "$tmpdir/compile.json" "$tmpdir/chaos.boxed.json" \
+    "$tmpdir/chaos.compiled.json" <<'PY'
+import json, sys
+compile_rec = json.load(open(sys.argv[1]))
+boxed = json.load(open(sys.argv[2]))
+flat = json.load(open(sys.argv[3]))
+m = compile_rec["metrics"]
+bad = []
+for k in ("speedup.dijkstra.depth3", "speedup.dijkstra.depth4",
+          "speedup.bellman.depth3", "speedup.bellman.depth4"):
+    if m.get(k, 0.0) < 2.0:
+        bad.append(f"{k} = {m.get(k, 0.0):.2f} < 2.0")
+if m.get("fallbacks", 1.0) != 0.0:
+    bad.append(f"compile.fallbacks = {m.get('fallbacks')} != 0")
+ratio = boxed["wall_s"] / flat["wall_s"]
+if ratio < 1.5:
+    bad.append(f"chaos wall clock boxed/compiled = {ratio:.2f} < 1.5")
+if bad:
+    print("bench_json.sh: COMPILE GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   gates passed: deep-lex >=2x, fallbacks 0, "
+      f"chaos {ratio:.2f}x compiled")
+json.dump([compile_rec, boxed, flat], open("BENCH_compile.json", "w"))
+print()
+PY
+  echo "wrote $COMPILE_OUT (3 records)"
+else
+  echo "bench_json.sh: skipping compile gates (perf_compile/chaos_campaign not built)" >&2
+fi

@@ -9,7 +9,7 @@
 #          run the chaos campaigns plus the simulator suites under
 #          AddressSanitizer + UBSan, then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
-#          property, chaos); see tests/CMakeLists.txt.
+#          property, chaos, perf); see tests/CMakeLists.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,9 +30,9 @@ done
 
 if [ "${ARGS[0]:-}" = "tsan" ]; then
   cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target mrt_tests
+  cmake --build build-tsan -j "$(nproc)" --target mrt_tests mrt_perf_tests
   MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'Par|Sim|PathVector|EventQueue'
+    -R 'Par|Sim|PathVector|EventQueue|Compile'
   echo "tsan preset passed"
   exit 0
 fi

@@ -58,10 +58,11 @@ struct Acc {
 }  // namespace
 
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
-                   const FaultPlan& plan, bool check_global) {
+                   const FaultPlan& plan, bool check_global,
+                   const compile::WeightEngine* engine) {
   SimOptions opts = sc.sim;
   opts.seed = seed;
-  PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts);
+  PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts, engine);
   plan.apply(sim);
   const SimResult res = sim.run();
 
@@ -85,6 +86,7 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   OracleOptions oo;
   oo.drop_top_routes = sc.sim.drop_top_routes;
   oo.check_global = check_global;
+  oo.engine = engine;
   const OracleReport rep =
       check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
   v.pass = rep.all_pass();
@@ -93,14 +95,15 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
 }
 
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
-                      FaultPlan plan, bool check_global) {
+                      FaultPlan plan, bool check_global,
+                      const compile::WeightEngine* engine) {
   bool progress = true;
   while (progress && !plan.faults.empty()) {
     progress = false;
     for (std::size_t i = 0; i < plan.faults.size(); ++i) {
       FaultPlan cand = plan;
       cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
-      if (!run_one(sc, seed, cand, check_global).pass) {
+      if (!run_one(sc, seed, cand, check_global, engine).pass) {
         plan = std::move(cand);
         progress = true;
         break;  // restart the scan: indices shifted
@@ -189,6 +192,10 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     const CampaignScenario& sc = scenarios[si];
     const bool check_global = resolve_global(sc);
+    // One compilation per scenario; every run (and the shrinker) shares the
+    // kernels. Falls back to boxed transparently when the algebra doesn't
+    // compile or MRT_COMPILE=0.
+    const compile::WeightEngine engine(sc.alg);
     // Per-scenario seed stream, independent of scenario order in the list.
     const std::uint64_t sc_seed = par::mix_seed(cfg.seed, 0xC0DE0000ULL + si);
     const std::size_t runs = static_cast<std::size_t>(cfg.runs_per_scenario);
@@ -200,7 +207,7 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
             const std::uint64_t seed = par::mix_seed(sc_seed, i);
             const FaultPlan plan =
                 random_fault_plan(seed, sc.net, sc.dest, sc.faults);
-            const RunVerdict v = run_one(sc, seed, plan, check_global);
+            const RunVerdict v = run_one(sc, seed, plan, check_global, &engine);
             a.converged += v.converged ? 1 : 0;
             a.diverged += v.converged ? 0 : 1;
             if (v.converged) a.total_finish_time += v.finish_time;
@@ -251,7 +258,7 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
     for (const auto& [idx, seed] : acc.failing) {
       (void)idx;
       FaultPlan plan = random_fault_plan(seed, sc.net, sc.dest, sc.faults);
-      const RunVerdict v = run_one(sc, seed, plan, check_global);
+      const RunVerdict v = run_one(sc, seed, plan, check_global, &engine);
       FailureCase fc;
       fc.seed = seed;
       fc.diverged = !v.converged;
@@ -260,7 +267,7 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
       fc.plan_size = plan.faults.size();
       if (cfg.shrink_failures) {
         const FaultPlan small =
-            shrink_plan(sc, seed, std::move(plan), check_global);
+            shrink_plan(sc, seed, std::move(plan), check_global, &engine);
         fc.shrunk = small.describe();
         fc.shrunk_size = small.faults.size();
       }

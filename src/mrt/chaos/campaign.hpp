@@ -108,14 +108,18 @@ struct CampaignReport {
 
 /// Runs one seeded fault plan against a scenario and scores it. Exposed for
 /// the shrinker and the unit tests; run_campaign derives (seed, plan) pairs
-/// and fans this out.
+/// and fans this out. `engine` (optional) routes the simulator and the
+/// global oracle through the compiled flat kernels — the verdict is the
+/// same either way.
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
-                   const FaultPlan& plan, bool check_global);
+                   const FaultPlan& plan, bool check_global,
+                   const compile::WeightEngine* engine = nullptr);
 
 /// Greedy 1-minimal shrink: repeatedly drops any single fault whose removal
 /// keeps the run failing, until no single removal does.
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
-                      FaultPlan plan, bool check_global);
+                      FaultPlan plan, bool check_global,
+                      const compile::WeightEngine* engine = nullptr);
 
 CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
                             const CampaignConfig& cfg = {});

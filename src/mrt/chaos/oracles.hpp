@@ -51,6 +51,11 @@ struct OracleOptions {
   /// Run the global-agreement oracle (caller asserts the algebra is M + ND;
   /// run_campaign derives this from the checker once per scenario).
   bool check_global = false;
+  /// Optional compiled weight engine for the scenario's algebra: the global
+  /// oracle then solves the surviving subgraph on the flat path. The verdict
+  /// is identical either way (compiled solvers are differentially checked
+  /// against boxed); only the wall clock changes.
+  const compile::WeightEngine* engine = nullptr;
 };
 
 /// The surviving subgraph's arc/node masks, as the sim reported them.

@@ -1,0 +1,46 @@
+// Flat weight primitives shared by the compiled kernels and their consumers.
+//
+// A compiled algebra stores a carrier element as a fixed-length vector of
+// 64-bit words ("FlatWeight"). Scalar components occupy one word each at a
+// fixed slot; ∞ is the reserved sentinel kInf; an adjoined ω (add_top /
+// lex_omega) is a guard word (1 = ω) whose inner slots are zero-filled
+// canonically, so word-vector equality coincides with boxed Value equality.
+// See docs/COMPILE.md for the full layout spec.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mrt {
+namespace compile {
+
+/// ∞ sentinel in ℕ-carrying slots. Encoded weights stay far below this in
+/// practice (path weights are sums of small label constants).
+inline constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+/// Inline flat-weight capacity of a simulator message. Algebras wider than
+/// this run the sim on the boxed path (deep-lex stacks of depth ≤ 8 fit).
+inline constexpr int kMsgWords = 8;
+
+/// A fixed-capacity flat weight for simulator messages and route tables:
+/// `present == false` is a withdrawal (no route), mirroring the boxed
+/// std::optional<Value>.
+struct FlatMsg {
+  bool present = false;
+  std::uint8_t n = 0;  // words in use
+  std::array<std::uint64_t, kMsgWords> w{};
+
+  friend bool operator==(const FlatMsg& a, const FlatMsg& b) {
+    if (a.present != b.present) return false;
+    if (!a.present) return true;
+    if (a.n != b.n) return false;
+    for (int i = 0; i < a.n; ++i) {
+      if (a.w[static_cast<std::size_t>(i)] != b.w[static_cast<std::size_t>(i)])
+        return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace compile
+}  // namespace mrt

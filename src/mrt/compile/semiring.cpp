@@ -1,0 +1,433 @@
+#include "mrt/compile/semiring.hpp"
+
+#include <cstring>
+
+namespace mrt {
+namespace compile {
+
+namespace {
+
+std::uint64_t double_bits(double d) {
+  if (d == 0.0) d = 0.0;  // canonicalize -0.0
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double bits_double(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+int CompiledBisemigroup::build_snode(const SemigroupDesc& d) {
+  using K = SemigroupDesc::K;
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  SNode nd;
+  nd.lo = static_cast<std::uint16_t>(words_);
+  switch (d.k) {
+    case K::Opaque:
+      fallback_ = Fallback::OpaqueOrder;
+      return -1;
+    case K::MinNat:
+    case K::MaxNat:
+    case K::PlusNat:
+    case K::TimesNat:
+      nd.cat = Cat::ExtNat;
+      nd.with_inf = d.with_inf;
+      nd.slot = static_cast<std::uint16_t>(words_++);
+      break;
+    case K::MaxReal:
+    case K::TimesReal:
+      nd.cat = Cat::Real;
+      nd.slot = static_cast<std::uint16_t>(words_++);
+      break;
+    case K::ChainMin:
+    case K::ChainMax:
+    case K::ChainPlus:
+      nd.cat = Cat::SmallInt;
+      nd.size = static_cast<std::uint64_t>(d.n) + 1;  // chain is {0..n}
+      nd.slot = static_cast<std::uint16_t>(words_++);
+      break;
+    case K::PlusMod:
+    case K::LeftProj:
+    case K::RightProj:
+    case K::Table:
+      if (d.n < 1) {
+        fallback_ = Fallback::ShapeMismatch;
+        return -1;
+      }
+      nd.cat = Cat::SmallInt;
+      nd.size = static_cast<std::uint64_t>(d.n);
+      nd.slot = static_cast<std::uint16_t>(words_++);
+      break;
+    case K::UnionBits:
+    case K::InterBits:
+      nd.cat = Cat::SmallInt;
+      nd.size = std::uint64_t{1} << d.n;
+      nd.slot = static_cast<std::uint16_t>(words_++);
+      break;
+    case K::Lex:
+    case K::Direct: {
+      if (d.kids.size() != 2) {
+        fallback_ = Fallback::ShapeMismatch;
+        return -1;
+      }
+      nd.cat = Cat::Pair;
+      nodes_[static_cast<std::size_t>(idx)] = nd;
+      const int k0 = build_snode(d.kids[0]);
+      if (k0 < 0) return -1;
+      const int k1 = build_snode(d.kids[1]);
+      if (k1 < 0) return -1;
+      nd.kid[0] = k0;
+      nd.kid[1] = k1;
+      break;
+    }
+  }
+  if (words_ > 0xFFFF) {
+    fallback_ = Fallback::TooWide;
+    return -1;
+  }
+  nd.hi = static_cast<std::uint16_t>(words_);
+  nodes_[static_cast<std::size_t>(idx)] = nd;
+  return idx;
+}
+
+bool CompiledBisemigroup::identity_words(const SemigroupDesc& d, int ni,
+                                         std::uint64_t* out) const {
+  using K = SemigroupDesc::K;
+  const SNode& nd = nodes_[static_cast<std::size_t>(ni)];
+  switch (d.k) {
+    case K::MinNat:
+      if (!d.with_inf) return false;  // plain ℕ has no min-identity
+      out[nd.slot] = kInf;
+      return true;
+    case K::MaxNat:
+    case K::PlusNat:
+      out[nd.slot] = 0;
+      return true;
+    case K::TimesNat:
+      out[nd.slot] = 1;
+      return true;
+    case K::MaxReal:
+      out[nd.slot] = double_bits(0.0);
+      return true;
+    case K::TimesReal:
+      out[nd.slot] = double_bits(1.0);
+      return true;
+    case K::ChainMin:
+      out[nd.slot] = nd.size - 1;
+      return true;
+    case K::ChainMax:
+    case K::ChainPlus:
+    case K::PlusMod:
+    case K::UnionBits:
+      out[nd.slot] = 0;
+      return true;
+    case K::InterBits:
+      out[nd.slot] = nd.size - 1;
+      return true;
+    case K::Table: {
+      for (std::size_t e = 0; e < d.table.size(); ++e) {
+        bool ok = true;
+        for (std::size_t x = 0; x < d.table.size(); ++x) {
+          if (d.table[e][x] != static_cast<int>(x) ||
+              d.table[x][e] != static_cast<int>(x)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          out[nd.slot] = static_cast<std::uint64_t>(e);
+          return true;
+        }
+      }
+      return false;
+    }
+    case K::Lex:
+    case K::Direct:
+      // Both products take the pair of component identities.
+      return identity_words(d.kids[0], nd.kid[0], out) &&
+             identity_words(d.kids[1], nd.kid[1], out);
+    case K::LeftProj:
+    case K::RightProj:
+    case K::Opaque:
+      return false;
+  }
+  return false;
+}
+
+bool CompiledBisemigroup::emit_bin(const SemigroupDesc& d, int ni,
+                                   std::vector<BinOp>& out) {
+  using K = SemigroupDesc::K;
+  const SNode nd = nodes_[static_cast<std::size_t>(ni)];
+  auto scalar = [&](BinOp::K k, std::uint64_t imm = 0, std::uint32_t a = 0,
+                    std::uint32_t b = 0) {
+    BinOp op;
+    op.k = k;
+    op.slot = nd.slot;
+    op.a = a;
+    op.b = b;
+    op.imm = imm;
+    out.push_back(op);
+    return true;
+  };
+  auto mismatch = [&]() {
+    fallback_ = Fallback::ShapeMismatch;
+    return false;
+  };
+  switch (d.k) {
+    case K::Opaque:
+      fallback_ = Fallback::OpaqueOrder;
+      return false;
+    case K::MinNat:
+    case K::MaxNat:
+    case K::PlusNat:
+    case K::TimesNat:
+      if (nd.cat != Cat::ExtNat || nd.with_inf != d.with_inf)
+        return mismatch();
+      switch (d.k) {
+        case K::MinNat: return scalar(BinOp::K::MinU);
+        case K::MaxNat: return scalar(BinOp::K::MaxU);
+        case K::PlusNat: return scalar(BinOp::K::PlusSat);
+        default: return scalar(BinOp::K::TimesSat);
+      }
+    case K::MaxReal:
+      if (nd.cat != Cat::Real) return mismatch();
+      return scalar(BinOp::K::MaxRealBits);
+    case K::TimesReal:
+      if (nd.cat != Cat::Real) return mismatch();
+      return scalar(BinOp::K::TimesReal);
+    case K::ChainMin:
+    case K::ChainMax:
+    case K::ChainPlus:
+      if (nd.cat != Cat::SmallInt ||
+          nd.size != static_cast<std::uint64_t>(d.n) + 1)
+        return mismatch();
+      if (d.k == K::ChainMin) return scalar(BinOp::K::MinU);
+      if (d.k == K::ChainMax) return scalar(BinOp::K::MaxU);
+      return scalar(BinOp::K::ChainAdd, static_cast<std::uint64_t>(d.n));
+    case K::PlusMod:
+      if (nd.cat != Cat::SmallInt ||
+          nd.size != static_cast<std::uint64_t>(d.n))
+        return mismatch();
+      return scalar(BinOp::K::PlusMod, static_cast<std::uint64_t>(d.n));
+    case K::LeftProj:
+    case K::RightProj:
+      if (nd.cat != Cat::SmallInt ||
+          nd.size != static_cast<std::uint64_t>(d.n))
+        return mismatch();
+      return scalar(d.k == K::LeftProj ? BinOp::K::CopyA : BinOp::K::CopyB);
+    case K::UnionBits:
+    case K::InterBits:
+      if (nd.cat != Cat::SmallInt || nd.size != (std::uint64_t{1} << d.n))
+        return mismatch();
+      return scalar(d.k == K::UnionBits ? BinOp::K::OrBits
+                                        : BinOp::K::AndBits);
+    case K::Table: {
+      if (nd.cat != Cat::SmallInt ||
+          nd.size != static_cast<std::uint64_t>(d.n) ||
+          d.table.size() != static_cast<std::size_t>(d.n))
+        return mismatch();
+      const auto base = static_cast<std::uint32_t>(aux_.size());
+      for (const auto& row : d.table) {
+        if (row.size() != static_cast<std::size_t>(d.n)) return mismatch();
+        for (int v : row) {
+          if (v < 0 || v >= d.n) return mismatch();
+          aux_.push_back(static_cast<std::uint64_t>(v));
+        }
+      }
+      return scalar(BinOp::K::Table, 0, base,
+                    static_cast<std::uint32_t>(d.n));
+    }
+    case K::Direct:
+      if (nd.cat != Cat::Pair || d.kids.size() != 2) return mismatch();
+      return emit_bin(d.kids[0], nd.kid[0], out) &&
+             emit_bin(d.kids[1], nd.kid[1], out);
+    case K::Lex: {
+      if (nd.cat != Cat::Pair || d.kids.size() != 2) return mismatch();
+      const SNode& s = nodes_[static_cast<std::size_t>(nd.kid[0])];
+      const SNode& t = nodes_[static_cast<std::size_t>(nd.kid[1])];
+      // α_T backs the fourth case of Theorem 2 (s₁⊕s₂ equals neither
+      // operand's S part); without it the product is partial — stay boxed.
+      std::vector<std::uint64_t> alpha(static_cast<std::size_t>(words_), 0);
+      if (!identity_words(d.kids[1], nd.kid[1], alpha.data())) {
+        fallback_ = Fallback::LexNoIdentity;
+        return false;
+      }
+      const auto alpha_off = static_cast<std::uint32_t>(aux_.size());
+      for (int w = t.lo; w < t.hi; ++w)
+        aux_.push_back(alpha[static_cast<std::size_t>(w)]);
+      if (!emit_bin(d.kids[0], nd.kid[0], out)) return false;
+      const std::size_t sel = out.size();
+      out.push_back({});  // patched below once the T program length is known
+      if (!emit_bin(d.kids[1], nd.kid[1], out)) return false;
+      BinOp op;
+      op.k = BinOp::K::LexSelect;
+      op.a = (static_cast<std::uint32_t>(s.lo) << 16) | s.hi;
+      op.b = (static_cast<std::uint32_t>(t.lo) << 16) | t.hi;
+      op.imm = (static_cast<std::uint64_t>(out.size() - sel - 1) << 32) |
+               alpha_off;
+      out[sel] = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledBisemigroup::run(const std::vector<BinOp>& ops,
+                              const std::uint64_t* a, const std::uint64_t* b,
+                              std::uint64_t* out) const {
+  for (std::size_t ip = 0; ip < ops.size(); ++ip) {
+    const BinOp& op = ops[ip];
+    const std::uint64_t x = a[op.slot];
+    const std::uint64_t y = b[op.slot];
+    switch (op.k) {
+      case BinOp::K::MinU:
+        out[op.slot] = x < y ? x : y;
+        break;
+      case BinOp::K::MaxU:
+        out[op.slot] = x > y ? x : y;
+        break;
+      case BinOp::K::PlusSat:
+        out[op.slot] = (x == kInf || y == kInf) ? kInf : x + y;
+        break;
+      case BinOp::K::TimesSat:
+        out[op.slot] = (x == kInf || y == kInf) ? kInf : x * y;
+        break;
+      case BinOp::K::MaxRealBits:
+        out[op.slot] = x > y ? x : y;  // non-negative doubles order as bits
+        break;
+      case BinOp::K::TimesReal:
+        out[op.slot] = double_bits(bits_double(x) * bits_double(y));
+        break;
+      case BinOp::K::ChainAdd: {
+        const std::uint64_t s = x + y;
+        out[op.slot] = s > op.imm ? op.imm : s;
+        break;
+      }
+      case BinOp::K::PlusMod:
+        out[op.slot] = (x + y) % op.imm;
+        break;
+      case BinOp::K::CopyA:
+        out[op.slot] = x;
+        break;
+      case BinOp::K::CopyB:
+        out[op.slot] = y;
+        break;
+      case BinOp::K::OrBits:
+        out[op.slot] = x | y;
+        break;
+      case BinOp::K::AndBits:
+        out[op.slot] = x & y;
+        break;
+      case BinOp::K::Table:
+        out[op.slot] = aux_[op.a + x * op.b + y];
+        break;
+      case BinOp::K::LexSelect: {
+        // The S program already wrote out's S range; decide the T part by
+        // Theorem 2's case split. Canonical encodings make wordwise
+        // equality coincide with Value equality.
+        const std::uint32_t s_lo = op.a >> 16, s_hi = op.a & 0xFFFF;
+        const std::uint32_t t_lo = op.b >> 16, t_hi = op.b & 0xFFFF;
+        bool is_a = true, is_b = true;
+        for (std::uint32_t s = s_lo; s < s_hi; ++s) {
+          is_a = is_a && out[s] == a[s];
+          is_b = is_b && out[s] == b[s];
+        }
+        if (is_a && is_b) break;  // fall through: T ops compute t₁ ⊗ t₂
+        if (is_a) {
+          for (std::uint32_t w = t_lo; w < t_hi; ++w) out[w] = a[w];
+        } else if (is_b) {
+          for (std::uint32_t w = t_lo; w < t_hi; ++w) out[w] = b[w];
+        } else {
+          const auto alpha = static_cast<std::uint32_t>(op.imm);
+          for (std::uint32_t w = t_lo; w < t_hi; ++w)
+            out[w] = aux_[alpha + (w - t_lo)];
+        }
+        ip += op.imm >> 32;  // skip the T program
+        break;
+      }
+    }
+  }
+}
+
+bool CompiledBisemigroup::encode_node(const Value& v, int ni,
+                                      std::uint64_t* out) const {
+  const SNode& nd = nodes_[static_cast<std::size_t>(ni)];
+  switch (nd.cat) {
+    case Cat::ExtNat:
+      if (v.is_inf()) {
+        if (!nd.with_inf) return false;
+        out[nd.slot] = kInf;
+        return true;
+      }
+      if (!v.is_int() || v.as_int() < 0) return false;
+      out[nd.slot] = static_cast<std::uint64_t>(v.as_int());
+      return true;
+    case Cat::Real: {
+      if (v.kind() != Value::Kind::Real) return false;
+      const double d = v.as_real();
+      if (!(d >= 0.0 && d <= 1.0)) return false;
+      out[nd.slot] = double_bits(d);
+      return true;
+    }
+    case Cat::SmallInt:
+      if (!v.is_int() || v.as_int() < 0 ||
+          static_cast<std::uint64_t>(v.as_int()) >= nd.size)
+        return false;
+      out[nd.slot] = static_cast<std::uint64_t>(v.as_int());
+      return true;
+    case Cat::Pair:
+      if (!v.is_tuple() || v.as_tuple().size() != 2) return false;
+      return encode_node(v.first(), nd.kid[0], out) &&
+             encode_node(v.second(), nd.kid[1], out);
+  }
+  return false;
+}
+
+Value CompiledBisemigroup::decode_node(const std::uint64_t* w, int ni) const {
+  const SNode& nd = nodes_[static_cast<std::size_t>(ni)];
+  switch (nd.cat) {
+    case Cat::ExtNat:
+      if (w[nd.slot] == kInf) return Value::inf();
+      return Value::integer(static_cast<std::int64_t>(w[nd.slot]));
+    case Cat::Real:
+      return Value::real(bits_double(w[nd.slot]));
+    case Cat::SmallInt:
+      return Value::integer(static_cast<std::int64_t>(w[nd.slot]));
+    case Cat::Pair:
+      return Value::pair(decode_node(w, nd.kid[0]), decode_node(w, nd.kid[1]));
+  }
+  return Value::unit();
+}
+
+bool CompiledBisemigroup::encode(const Value& v, std::uint64_t* out) const {
+  return encode_node(v, root_, out);
+}
+
+Value CompiledBisemigroup::decode(const std::uint64_t* w) const {
+  return decode_node(w, root_);
+}
+
+CompiledBisemigroup CompiledBisemigroup::compile(const Bisemigroup& alg) {
+  CompiledBisemigroup c;
+  c.fallback_ = Fallback::None;
+  const SemigroupDesc ad = alg.add->describe();
+  const SemigroupDesc md = alg.mul->describe();
+  c.root_ = c.build_snode(ad);
+  if (c.root_ < 0) return c;
+  if (!c.emit_bin(ad, c.root_, c.add_ops_) ||
+      !c.emit_bin(md, c.root_, c.mul_ops_)) {
+    if (c.fallback_ == Fallback::None) c.fallback_ = Fallback::ShapeMismatch;
+    c.add_ops_.clear();
+    c.mul_ops_.clear();
+  }
+  return c;
+}
+
+}  // namespace compile
+}  // namespace mrt

@@ -1,0 +1,105 @@
+// Compiled bisemigroups: the algebraic-quadrant counterpart of
+// CompiledAlgebra. A Bisemigroup (S, ⊕, ⊗) lowers to the same fixed word
+// layout plus two fused binary kernels, add(a,b,out) and mul(a,b,out),
+// executed as flat op-programs. The closure solvers route their inner
+// matrix loops through these kernels.
+//
+// Lexicographic products compile to a LexSelect op implementing Theorem 2's
+// case split (s = a.s, s = b.s, both, or neither — the last requiring the
+// T factor's identity α_T, else Fallback::LexNoIdentity). lex_omega
+// semigroups stay boxed (Opaque).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/compile/compile.hpp"
+#include "mrt/core/quadrants.hpp"
+
+namespace mrt {
+namespace compile {
+
+/// One binary-kernel opcode: out = a ∘ b, slotwise, except LexSelect which
+/// implements the lex case split over word ranges.
+struct BinOp {
+  enum class K : std::uint8_t {
+    MinU,       // min of uint64 words (kInf is naturally greatest)
+    MaxU,       // max of uint64 words
+    PlusSat,    // ℕ∪{∞} addition, ∞ absorbs
+    TimesSat,   // ℕ∪{∞} multiplication, ∞ absorbs (even 0·∞ = ∞)
+    MaxRealBits,  // max of [0,1] doubles via their bit patterns
+    TimesReal,  // product of [0,1] doubles
+    ChainAdd,   // min(imm, a + b) on a chain {0..imm}
+    PlusMod,    // (a + b) mod imm
+    CopyA,      // left projection
+    CopyB,      // right projection
+    OrBits,     // bitmask union
+    AndBits,    // bitmask intersection
+    Table,      // aux[a_off + x*n + y] (a = aux offset, b = n)
+    LexSelect,  // lex case split; see semiring.cpp
+  };
+  K k;
+  std::uint16_t slot = 0;
+  std::uint32_t a = 0;   // Table: aux offset; LexSelect: packed S range
+  std::uint32_t b = 0;   // Table: carrier size; LexSelect: packed T range
+  std::uint64_t imm = 0;  // ChainAdd/PlusMod: modulus; LexSelect: skip|α_T
+};
+
+class CompiledBisemigroup {
+ public:
+  CompiledBisemigroup() = default;
+
+  static CompiledBisemigroup compile(const Bisemigroup& alg);
+
+  bool ok() const { return fallback_ == Fallback::None; }
+  Fallback fallback() const { return fallback_; }
+  int words() const { return words_; }
+
+  /// out = a ⊕ b. `out` must not alias `a` or `b` (LexSelect reads both
+  /// operands after writing earlier slots of out).
+  void add(const std::uint64_t* a, const std::uint64_t* b,
+           std::uint64_t* out) const {
+    run(add_ops_, a, b, out);
+  }
+  /// out = a ⊗ b; same aliasing rule.
+  void mul(const std::uint64_t* a, const std::uint64_t* b,
+           std::uint64_t* out) const {
+    run(mul_ops_, a, b, out);
+  }
+
+  bool encode(const Value& v, std::uint64_t* out) const;
+  Value decode(const std::uint64_t* w) const;
+
+ private:
+  // Carrier categories a scalar word can hold; add and mul must agree on
+  // the category (and size) of every slot for the layout to be shared.
+  enum class Cat : std::uint8_t { ExtNat, Real, SmallInt, Pair };
+
+  struct SNode {
+    Cat cat = Cat::Pair;
+    std::uint16_t slot = 0;
+    std::uint16_t lo = 0, hi = 0;
+    bool with_inf = false;
+    std::uint64_t size = 0;  // SmallInt: carrier size
+    int kid[2] = {-1, -1};
+  };
+
+  int build_snode(const SemigroupDesc& d);
+  bool emit_bin(const SemigroupDesc& d, int node, std::vector<BinOp>& out);
+  bool identity_words(const SemigroupDesc& d, int node,
+                      std::uint64_t* out) const;
+  bool encode_node(const Value& v, int node, std::uint64_t* out) const;
+  Value decode_node(const std::uint64_t* w, int node) const;
+  void run(const std::vector<BinOp>& ops, const std::uint64_t* a,
+           const std::uint64_t* b, std::uint64_t* out) const;
+
+  Fallback fallback_ = Fallback::OpaqueOrder;
+  int words_ = 0;
+  int root_ = -1;
+  std::vector<SNode> nodes_;
+  std::vector<BinOp> add_ops_, mul_ops_;
+  std::vector<std::uint64_t> aux_;  // op tables + encoded α_T vectors
+};
+
+}  // namespace compile
+}  // namespace mrt

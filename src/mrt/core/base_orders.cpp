@@ -41,6 +41,12 @@ class ExtNatOrder : public PreorderSet {
     }
     return out;
   }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = ascending_ ? OrderDesc::K::NatAsc : OrderDesc::K::NatDesc;
+    d.with_inf = with_inf_;
+    return d;
+  }
 
  private:
   bool ascending_;
@@ -67,6 +73,11 @@ class UnitRealGeqOrder : public PreorderSet {
     }
     return out;
   }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::UnitRealDesc;
+    return d;
+  }
 };
 
 class ChainOrder : public PreorderSet {
@@ -89,6 +100,12 @@ class ChainOrder : public PreorderSet {
     for (int i = 0; i <= n_; ++i) out.push_back(Value::integer(i));
     return out;
   }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = ascending_ ? OrderDesc::K::ChainAsc : OrderDesc::K::ChainDesc;
+    d.n = n_;
+    return d;
+  }
 
  private:
   int n_;
@@ -110,6 +127,12 @@ class DiscreteOrder : public PreorderSet {
     for (int i = 0; i < n_; ++i) out.push_back(Value::integer(i));
     return out;
   }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::Discrete;
+    d.n = n_;
+    return d;
+  }
 
  private:
   int n_;
@@ -129,6 +152,12 @@ class TrivialOrder : public PreorderSet {
     ValueVec out;
     for (int i = 0; i < n_; ++i) out.push_back(Value::integer(i));
     return out;
+  }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::Trivial;
+    d.n = n_;
+    return d;
   }
 
  private:
@@ -156,6 +185,12 @@ class SubsetOrder : public PreorderSet {
       out.push_back(Value::integer(m));
     }
     return out;
+  }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::SubsetBits;
+    d.n = k_;
+    return d;
   }
 
  private:
@@ -196,6 +231,13 @@ class TableOrder : public PreorderSet {
       out.push_back(Value::integer(static_cast<std::int64_t>(i)));
     }
     return out;
+  }
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::Table;
+    d.n = static_cast<int>(leq_.size());
+    d.leq = leq_;
+    return d;
   }
 
  private:

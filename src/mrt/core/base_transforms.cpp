@@ -14,6 +14,11 @@ class IdFamily : public FunctionFamily {
   std::optional<ValueVec> labels() const override {
     return ValueVec{Value::unit()};
   }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Id;
+    return d;
+  }
 };
 
 class ConstFamily : public FunctionFamily {
@@ -27,6 +32,11 @@ class ConstFamily : public FunctionFamily {
     return label;  // κ_b indexed by b itself
   }
   std::optional<ValueVec> labels() const override { return values_; }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Const;
+    return d;
+  }
 
  private:
   std::string name_;
@@ -48,6 +58,11 @@ class AddConstFamily : public FunctionFamily {
     ValueVec out;
     for (std::int64_t c = lo_; c <= hi_; ++c) out.push_back(Value::integer(c));
     return out;
+  }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::AddConst;
+    return d;
   }
 
  private:
@@ -72,6 +87,11 @@ class MinConstFamily : public FunctionFamily {
     out.push_back(Value::inf());  // an infinite-capacity link: identity
     return out;
   }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::MinConst;
+    return d;
+  }
 
  private:
   std::int64_t lo_, hi_;
@@ -92,6 +112,11 @@ class MulConstRealFamily : public FunctionFamily {
     ValueVec out;
     for (double f : factors_) out.push_back(Value::real(f));
     return out;
+  }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::MulConstReal;
+    return d;
   }
 
  private:
@@ -115,6 +140,12 @@ class ChainAddFamily : public FunctionFamily {
     ValueVec out;
     for (int c = lo_; c <= hi_; ++c) out.push_back(Value::integer(c));
     return out;
+  }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::ChainAdd;
+    d.n = n_;
+    return d;
   }
 
  private:
@@ -146,6 +177,13 @@ class TableFamily : public FunctionFamily {
       out.push_back(Value::integer(static_cast<std::int64_t>(i)));
     }
     return out;
+  }
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Table;
+    d.n = n_;
+    d.fns = fns_;
+    return d;
   }
 
  private:

@@ -66,6 +66,13 @@ class LexOmegaPreorder : public PreorderSet {
     return out;
   }
 
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::LexOmega;
+    d.kids = {s_->describe(), t_->describe()};
+    return d;
+  }
+
  private:
   PreorderPtr s_, t_;
   PreorderPtr lex_;
@@ -90,6 +97,13 @@ class LexOmegaFamily : public FunctionFamily {
   std::optional<ValueVec> labels() const override { return pair_->labels(); }
   ValueVec sample_labels(Rng& rng, int n) const override {
     return pair_->sample_labels(rng, n);
+  }
+
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::LexOmega;
+    d.kids = {pair_->describe()};
+    return d;
   }
 
  private:
@@ -154,6 +168,13 @@ class AddTopPreorder : public PreorderSet {
     return out;
   }
 
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::AddTop;
+    d.kids = {s_->describe()};
+    return d;
+  }
+
  private:
   PreorderPtr s_;
 };
@@ -171,6 +192,13 @@ class AddTopFamily : public FunctionFamily {
   std::optional<ValueVec> labels() const override { return f_->labels(); }
   ValueVec sample_labels(Rng& rng, int n) const override {
     return f_->sample_labels(rng, n);
+  }
+
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::AddTop;
+    d.kids = {f_->describe()};
+    return d;
   }
 
  private:

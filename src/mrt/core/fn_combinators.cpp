@@ -46,6 +46,13 @@ class PairFamily : public FunctionFamily {
     return out;
   }
 
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Pair;
+    d.kids = {f_->describe(), g_->describe()};
+    return d;
+  }
+
  private:
   FnFamilyPtr f_, g_;
 };
@@ -94,6 +101,13 @@ class UnionFamily : public FunctionFamily {
     return out;
   }
 
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Union;
+    d.kids = {f_->describe(), g_->describe()};
+    return d;
+  }
+
  private:
   FnFamilyPtr f_, g_;
 };
@@ -120,6 +134,12 @@ class ConstOfOrderFamily : public FunctionFamily {
 
   ValueVec sample_labels(Rng& rng, int n) const override {
     return ord_->sample(rng, n);
+  }
+
+  FamilyDesc describe() const override {
+    FamilyDesc d;
+    d.k = FamilyDesc::K::Const;
+    return d;
   }
 
  private:

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "mrt/core/describe.hpp"
 #include "mrt/core/value.hpp"
 #include "mrt/support/rng.hpp"
 
@@ -29,6 +30,10 @@ class FunctionFamily {
 
   /// `n` labels for randomized checking; default draws from `labels()`.
   virtual ValueVec sample_labels(Rng& rng, int n) const;
+
+  /// Structural shape for mrt::compile; Opaque (the default) means "not
+  /// compilable" and routes consumers to the boxed interpreter.
+  virtual FamilyDesc describe() const { return {}; }
 };
 
 using FnFamilyPtr = std::shared_ptr<const FunctionFamily>;

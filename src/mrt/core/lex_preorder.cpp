@@ -66,6 +66,13 @@ class LexPreorder : public PreorderSet {
     return out;
   }
 
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::Lex;
+    d.kids = {s_->describe(), t_->describe()};
+    return d;
+  }
+
  private:
   PreorderPtr s_, t_;
 };
@@ -112,6 +119,13 @@ class DirectPreorder : public PreorderSet {
                                 ys[static_cast<std::size_t>(i)]));
     }
     return out;
+  }
+
+  OrderDesc describe() const override {
+    OrderDesc d;
+    d.k = OrderDesc::K::Direct;
+    d.kids = {s_->describe(), t_->describe()};
+    return d;
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "mrt/core/describe.hpp"
 #include "mrt/core/order.hpp"
 #include "mrt/core/value.hpp"
 #include "mrt/support/rng.hpp"
@@ -40,6 +41,10 @@ class PreorderSet {
 
   virtual std::optional<ValueVec> enumerate() const { return std::nullopt; }
   virtual ValueVec sample(Rng& rng, int n) const;
+
+  /// Structural shape for mrt::compile; Opaque (the default) means "not
+  /// compilable" and routes consumers to the boxed interpreter.
+  virtual OrderDesc describe() const { return {}; }
 };
 
 using PreorderPtr = std::shared_ptr<const PreorderSet>;

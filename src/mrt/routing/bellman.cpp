@@ -1,6 +1,7 @@
 #include "mrt/routing/bellman.hpp"
 
 #include <atomic>
+#include <cstdint>
 
 #include "mrt/obs/obs.hpp"
 #include "mrt/par/par.hpp"
@@ -38,11 +39,9 @@ Candidate best_candidate(const OrderTransform& alg, const LabeledGraph& net,
   return best;
 }
 
-}  // namespace
-
-bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
-                  int dest, const Value& origin, Routing& r,
-                  const BellmanOptions& opts) {
+bool bellman_step_boxed(const OrderTransform& alg, const LabeledGraph& net,
+                        int dest, const Value& origin, Routing& r,
+                        const BellmanOptions& opts) {
   const int n = net.num_nodes();
   std::atomic<std::uint64_t> relax_total{0};
   std::atomic<bool> changed_any{false};
@@ -107,21 +106,212 @@ bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
   return changed_any.load(std::memory_order_relaxed);
 }
 
+// Iteration state of the flat path: one fixed-stride word block per node.
+struct FlatRouting {
+  std::size_t stride = 0;
+  std::vector<std::uint64_t> w;
+  std::vector<std::uint8_t> present;
+  std::vector<int> arc;
+
+  void init(int n, std::size_t s) {
+    stride = s;
+    w.assign(static_cast<std::size_t>(n) * s, 0);
+    present.assign(static_cast<std::size_t>(n), 0);
+    arc.assign(static_cast<std::size_t>(n), -1);
+  }
+  std::uint64_t* at(int v) {
+    return w.data() + static_cast<std::size_t>(v) * stride;
+  }
+  const std::uint64_t* at(int v) const {
+    return w.data() + static_cast<std::size_t>(v) * stride;
+  }
+};
+
+bool words_eq(const std::uint64_t* a, const std::uint64_t* b,
+              std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (a[k] != b[k]) return false;
+  }
+  return true;
+}
+
+// The boxed step, word for word, on flat weights. Word equality stands in
+// for Value equality (the encoding is canonical and injective), so the
+// change/convergence detection is identical.
+bool bellman_step_flat(const LabeledGraph& net, int dest,
+                       const std::uint64_t* origin_w, FlatRouting& r,
+                       const BellmanOptions& opts,
+                       const compile::CompiledNet& cn) {
+  const int n = net.num_nodes();
+  const compile::CompiledAlgebra& ca = cn.algebra();
+  const std::size_t stride = r.stride;
+  std::atomic<std::uint64_t> relax_total{0};
+  std::atomic<bool> changed_any{false};
+  FlatRouting next = r;
+  par::parallel_for(
+      static_cast<std::size_t>(n), kNodeGrain,
+      [&](std::size_t ub, std::size_t ue) {
+        std::uint64_t relaxations = 0;
+        bool changed = false;
+        std::vector<std::uint64_t> best(stride), cand(stride);
+        for (std::size_t uu = ub; uu < ue; ++uu) {
+          const int u = static_cast<int>(uu);
+          if (u == dest) {
+            for (std::size_t k = 0; k < stride; ++k) next.at(u)[k] = origin_w[k];
+            next.present[uu] = 1;
+            next.arc[uu] = -1;
+            continue;
+          }
+          bool have = false;
+          int best_arc = -1;
+          for (int id : net.graph().out_arcs(u)) {
+            const int v = net.graph().arc(id).dst;
+            if (!r.present[static_cast<std::size_t>(v)]) continue;
+            ++relaxations;
+            for (std::size_t k = 0; k < stride; ++k) cand[k] = r.at(v)[k];
+            ca.apply(cn.label(id), cand.data());
+            if (!have || lt_of(ca.compare(cand.data(), best.data()))) {
+              best.swap(cand);
+              best_arc = id;
+              have = true;
+            }
+          }
+          if (!have) {
+            if (next.present[uu]) changed = true;
+            next.present[uu] = 0;
+            next.arc[uu] = -1;
+            continue;
+          }
+          if (next.present[uu] && opts.sticky) {
+            const int arc = next.arc[uu];
+            if (arc >= 0) {
+              const int v = net.graph().arc(arc).dst;
+              if (r.present[static_cast<std::size_t>(v)]) {
+                for (std::size_t k = 0; k < stride; ++k) cand[k] = r.at(v)[k];
+                ca.apply(cn.label(arc), cand.data());
+                if (!lt_of(ca.compare(best.data(), cand.data()))) {
+                  if (!words_eq(cand.data(), next.at(u), stride))
+                    changed = true;
+                  for (std::size_t k = 0; k < stride; ++k)
+                    next.at(u)[k] = cand[k];
+                  continue;
+                }
+              }
+            }
+          }
+          const bool same =
+              next.present[uu] && words_eq(best.data(), next.at(u), stride);
+          if (!same || next.arc[uu] != best_arc) {
+            changed = changed || !same;
+            for (std::size_t k = 0; k < stride; ++k) next.at(u)[k] = best[k];
+            next.present[uu] = 1;
+            next.arc[uu] = best_arc;
+          }
+        }
+        relax_total.fetch_add(relaxations, std::memory_order_relaxed);
+        if (changed) changed_any.store(true, std::memory_order_relaxed);
+      });
+  r = std::move(next);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("bellman.steps").add(1);
+    reg.counter("bellman.relaxations")
+        .add(relax_total.load(std::memory_order_relaxed));
+  }
+  return changed_any.load(std::memory_order_relaxed);
+}
+
+// Entry/exit conversion between the public Routing and the flat state;
+// returns false (leaving `fr` unspecified) if any present weight fails to
+// encode, in which case the caller must stay boxed.
+bool routing_to_flat(const Routing& r, const compile::CompiledAlgebra& ca,
+                     FlatRouting& fr) {
+  const int n = static_cast<int>(r.weight.size());
+  fr.init(n, static_cast<std::size_t>(ca.words()));
+  for (int v = 0; v < n; ++v) {
+    const auto& wv = r.weight[static_cast<std::size_t>(v)];
+    if (!wv) continue;
+    if (!ca.encode(*wv, fr.at(v))) return false;
+    fr.present[static_cast<std::size_t>(v)] = 1;
+  }
+  fr.arc = r.next_arc;
+  return true;
+}
+
+Routing flat_to_routing(const FlatRouting& fr,
+                        const compile::CompiledAlgebra& ca) {
+  const int n = static_cast<int>(fr.present.size());
+  Routing r;
+  r.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+  r.next_arc = fr.arc;
+  for (int v = 0; v < n; ++v) {
+    if (fr.present[static_cast<std::size_t>(v)])
+      r.weight[static_cast<std::size_t>(v)] = ca.decode(fr.at(v));
+  }
+  return r;
+}
+
+}  // namespace
+
+bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
+                  int dest, const Value& origin, Routing& r,
+                  const BellmanOptions& opts,
+                  const compile::CompiledNet* cn) {
+  if (cn != nullptr && cn->ok()) {
+    const compile::CompiledAlgebra& ca = cn->algebra();
+    std::vector<std::uint64_t> origin_w(static_cast<std::size_t>(ca.words()),
+                                        0);
+    FlatRouting fr;
+    if (ca.encode(origin, origin_w.data()) && routing_to_flat(r, ca, fr)) {
+      const bool changed =
+          bellman_step_flat(net, dest, origin_w.data(), fr, opts, *cn);
+      r = flat_to_routing(fr, ca);
+      return changed;
+    }
+  }
+  return bellman_step_boxed(alg, net, dest, origin, r, opts);
+}
+
 BellmanResult bellman_sync(const OrderTransform& alg, const LabeledGraph& net,
                            int dest, const Value& origin,
-                           const BellmanOptions& opts) {
+                           const BellmanOptions& opts,
+                           const compile::CompiledNet* cn) {
   const int n = net.num_nodes();
   MRT_REQUIRE(dest >= 0 && dest < n);
   BellmanResult out;
-  out.routing.weight.assign(static_cast<std::size_t>(n), std::nullopt);
-  out.routing.next_arc.assign(static_cast<std::size_t>(n), -1);
-  out.routing.weight[static_cast<std::size_t>(dest)] = origin;
 
-  {
+  std::vector<std::uint64_t> origin_w;
+  bool flat = false;
+  if (cn != nullptr && cn->ok()) {
+    origin_w.assign(static_cast<std::size_t>(cn->words()), 0);
+    flat = cn->algebra().encode(origin, origin_w.data());
+  }
+
+  if (flat) {
+    const compile::CompiledAlgebra& ca = cn->algebra();
+    FlatRouting fr;
+    fr.init(n, static_cast<std::size_t>(ca.words()));
+    for (std::size_t k = 0; k < fr.stride; ++k) fr.at(dest)[k] = origin_w[k];
+    fr.present[static_cast<std::size_t>(dest)] = 1;
+    {
+      obs::ScopedSpan span("bellman_sync", "routing");
+      for (out.iterations = 0; out.iterations < opts.max_iterations;
+           ++out.iterations) {
+        if (!bellman_step_flat(net, dest, origin_w.data(), fr, opts, *cn)) {
+          out.converged = true;
+          break;
+        }
+      }
+    }
+    out.routing = flat_to_routing(fr, ca);
+  } else {
+    out.routing.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+    out.routing.next_arc.assign(static_cast<std::size_t>(n), -1);
+    out.routing.weight[static_cast<std::size_t>(dest)] = origin;
     obs::ScopedSpan span("bellman_sync", "routing");
     for (out.iterations = 0; out.iterations < opts.max_iterations;
          ++out.iterations) {
-      if (!bellman_step(alg, net, dest, origin, out.routing, opts)) {
+      if (!bellman_step_boxed(alg, net, dest, origin, out.routing, opts)) {
         out.converged = true;
         break;
       }

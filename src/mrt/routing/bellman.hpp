@@ -8,6 +8,7 @@
 // event-driven protocol lives in mrt/sim.
 #pragma once
 
+#include "mrt/compile/engine.hpp"
 #include "mrt/routing/labeled_graph.hpp"
 
 namespace mrt {
@@ -25,14 +26,20 @@ struct BellmanOptions {
   bool sticky = true;
 };
 
+/// When `cn` is non-null and fully compiled, the iteration state lives as
+/// flat weight words for the whole run (decoded only into the returned
+/// routing); results are identical to the boxed path.
 BellmanResult bellman_sync(const OrderTransform& alg, const LabeledGraph& net,
                            int dest, const Value& origin,
-                           const BellmanOptions& opts = {});
+                           const BellmanOptions& opts = {},
+                           const compile::CompiledNet* cn = nullptr);
 
 /// One synchronous update step (exposed for tests): returns true if any
-/// node's route changed.
+/// node's route changed. The compiled variant round-trips `r` through the
+/// flat encoding, so prefer bellman_sync for timing.
 bool bellman_step(const OrderTransform& alg, const LabeledGraph& net,
                   int dest, const Value& origin, Routing& r,
-                  const BellmanOptions& opts);
+                  const BellmanOptions& opts,
+                  const compile::CompiledNet* cn = nullptr);
 
 }  // namespace mrt

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "mrt/compile/semiring.hpp"
 #include "mrt/core/quadrants.hpp"
 #include "mrt/graph/digraph.hpp"
 
@@ -42,11 +43,17 @@ struct ClosureResult {
 
 /// Floyd–Warshall–Kleene elimination: exact for ⊕-idempotent, nondecreasing
 /// algebras (simple-path-summarizing semirings).
-ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a);
+///
+/// When `cb` is non-null and compiled, the elimination runs on flat weight
+/// words with the fused ⊕/⊗ kernels — same update order, identical entries.
+ClosureResult kleene_closure(const Bisemigroup& alg, WeightMatrix a,
+                             const compile::CompiledBisemigroup* cb = nullptr);
 
 /// Power iteration: B ← I ⊕ A ⊗ B until fixpoint or the bound; also valid
 /// for non-idempotent algebras on DAGs (e.g. path counting).
 ClosureResult iterative_closure(const Bisemigroup& alg, const WeightMatrix& a,
-                                const ClosureOptions& opts = {});
+                                const ClosureOptions& opts = {},
+                                const compile::CompiledBisemigroup* cb =
+                                    nullptr);
 
 }  // namespace mrt

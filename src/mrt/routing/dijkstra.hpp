@@ -9,6 +9,7 @@
 // example).
 #pragma once
 
+#include "mrt/compile/engine.hpp"
 #include "mrt/routing/labeled_graph.hpp"
 
 namespace mrt {
@@ -17,7 +18,12 @@ namespace mrt {
 /// node *to* `dest`, where `dest` originates `origin`.
 /// Ties (equivalent candidates) break toward the smaller node id, making
 /// the result deterministic.
+///
+/// When `cn` is non-null and fully compiled, the selection/relaxation loops
+/// run on flat weight words (see docs/COMPILE.md); results are identical to
+/// the boxed path — decoding happens only at the returned Routing boundary.
 Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
-                 const Value& origin);
+                 const Value& origin,
+                 const compile::CompiledNet* cn = nullptr);
 
 }  // namespace mrt

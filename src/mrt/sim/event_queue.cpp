@@ -21,6 +21,23 @@ std::uint64_t EventQueue::push(double time, Event::Kind kind, int arc,
   return next_seq_ - 1;
 }
 
+std::uint64_t EventQueue::push(double time, Event::Kind kind, int arc,
+                               const compile::FlatMsg& fweight,
+                               std::vector<int> path) {
+  MRT_REQUIRE(time >= now_);
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.arc = arc;
+  e.fweight = fweight;
+  e.path = std::move(path);
+  if (kind == Event::Kind::Deliver) ++pending_delivers_;
+  heap_.push(std::move(e));
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
+  return next_seq_ - 1;
+}
+
 Event EventQueue::pop() {
   MRT_REQUIRE(!heap_.empty());
   Event e = heap_.top();

@@ -9,6 +9,7 @@
 #include <queue>
 #include <vector>
 
+#include "mrt/compile/flat.hpp"
 #include "mrt/core/value.hpp"
 
 namespace mrt {
@@ -26,8 +27,12 @@ struct Event {
   std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
   Kind kind = Kind::Deliver;
   int arc = -1;  ///< arc id, or the node id for NodeDown/NodeUp
-  /// The advertised weight (nullopt = withdrawal). Only for Deliver.
+  /// The advertised weight (nullopt = withdrawal). Only for Deliver on the
+  /// boxed path.
   std::optional<Value> weight;
+  /// The advertised weight in compiled-sim mode: fixed words inline, no
+  /// allocation (`present == false` = withdrawal). Only for Deliver.
+  compile::FlatMsg fweight;
   /// The advertised node path (most recent hop first); carried only when the
   /// simulator runs with path-vector loop detection.
   std::vector<int> path;
@@ -38,6 +43,12 @@ class EventQueue {
   /// Schedules at absolute `time`; returns the assigned sequence number.
   std::uint64_t push(double time, Event::Kind kind, int arc,
                      std::optional<Value> weight = std::nullopt,
+                     std::vector<int> path = {});
+
+  /// Flat-payload variant for the compiled simulator: same ordering and
+  /// sequence numbering, weight carried as inline words.
+  std::uint64_t push(double time, Event::Kind kind, int arc,
+                     const compile::FlatMsg& fweight,
                      std::vector<int> path = {});
 
   bool empty() const { return heap_.empty(); }

@@ -10,7 +10,8 @@
 namespace mrt {
 
 PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
-                             int dest, Value origin, SimOptions opts)
+                             int dest, Value origin, SimOptions opts,
+                             const compile::WeightEngine* engine)
     : alg_(alg),
       net_(std::move(net)),
       dest_(dest),
@@ -33,6 +34,23 @@ PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
   flaps_.assign(static_cast<std::size_t>(n), 0);
   selected_[static_cast<std::size_t>(dest_)] = origin_;
   selected_path_[static_cast<std::size_t>(dest_)] = {dest_};
+
+  // Compiled mode: requires the algebra compiled, every arc label compiled,
+  // the origin representable, and the layout narrow enough for the inline
+  // message payload. Any miss leaves the run boxed — same results, slower.
+  if (engine != nullptr && engine->compiled()) {
+    cnet_ = compile::CompiledNet::make(*engine, net_);
+    if (cnet_.ok() && cnet_.words() <= compile::kMsgWords) {
+      origin_flat_.n = static_cast<std::uint8_t>(cnet_.words());
+      if (cnet_.algebra().encode(origin_, origin_flat_.w.data())) {
+        origin_flat_.present = true;
+        flat_ = true;
+        rib_in_flat_.assign(static_cast<std::size_t>(m), {});
+        selected_flat_.assign(static_cast<std::size_t>(n), {});
+        selected_flat_[static_cast<std::size_t>(dest_)] = origin_flat_;
+      }
+    }
+  }
 }
 
 void PathVectorSim::schedule_link_down(double t, int arc) {
@@ -93,12 +111,33 @@ std::optional<Value> PathVectorSim::candidate_via(int arc) const {
   return cand;
 }
 
+void PathVectorSim::candidate_via_flat(int arc, compile::FlatMsg* out) const {
+  out->present = false;
+  if (!arc_alive(arc)) return;
+  const compile::FlatMsg& adv = rib_in_flat_[static_cast<std::size_t>(arc)];
+  if (!adv.present) return;
+  if (opts_.loop_detection) {
+    const int self = net_.graph().arc(arc).src;
+    const auto& path = rib_in_path_[static_cast<std::size_t>(arc)];
+    if (std::find(path.begin(), path.end(), self) != path.end()) return;
+  }
+  *out = adv;
+  cnet_.algebra().apply(cnet_.label(arc), out->w.data());
+  if (opts_.drop_top_routes && cnet_.algebra().is_top(out->w.data())) {
+    out->present = false;
+    return;
+  }
+  out->present = true;
+}
+
 // Sends `node`'s current selection to every in-neighbour, respecting per-arc
 // FIFO (a later message never overtakes an earlier one).
 void PathVectorSim::advertise(int node, double now) {
   obs::ScopedSpan span("advertise", "sim", node);
   obs::TraceSession* trace = obs::TraceSession::current();
-  const bool withdrawal = !selected_[static_cast<std::size_t>(node)];
+  const bool withdrawal =
+      flat_ ? !selected_flat_[static_cast<std::size_t>(node)].present
+            : !selected_[static_cast<std::size_t>(node)];
   for (int id : net_.graph().in_arcs(node)) {
     if (!arc_alive(id)) continue;
     // Base latency comes from rng_ unconditionally, so the schedule of a
@@ -130,9 +169,15 @@ void PathVectorSim::advertise(int node, double now) {
       auto& last = arc_last_delivery_[static_cast<std::size_t>(id)];
       const double when = std::max(last, now) + delay;
       last = when;
-      queue_.push(when, Event::Kind::Deliver, id,
-                  selected_[static_cast<std::size_t>(node)],
-                  selected_path_[static_cast<std::size_t>(node)]);
+      if (flat_) {
+        queue_.push(when, Event::Kind::Deliver, id,
+                    selected_flat_[static_cast<std::size_t>(node)],
+                    selected_path_[static_cast<std::size_t>(node)]);
+      } else {
+        queue_.push(when, Event::Kind::Deliver, id,
+                    selected_[static_cast<std::size_t>(node)],
+                    selected_path_[static_cast<std::size_t>(node)]);
+      }
       ++stats_.messages_sent;
       if (withdrawal) ++stats_.withdrawals_sent;
       if (trace) {
@@ -151,7 +196,14 @@ void PathVectorSim::reselect(int node, double now) {
   if (!node_up_[static_cast<std::size_t>(node)]) return;  // crashed
   obs::ScopedSpan span("reselect", "sim", node);
   ++stats_.reselects;
+  if (flat_) {
+    reselect_flat(node, now);
+  } else {
+    reselect_boxed(node, now);
+  }
+}
 
+void PathVectorSim::reselect_boxed(int node, double now) {
   // Best candidate, deterministic: scan out-arcs in id order, strict
   // improvement replaces.
   std::optional<Value> best;
@@ -204,6 +256,67 @@ void PathVectorSim::reselect(int node, double now) {
   }
 }
 
+// The boxed reselection step on flat words: same scan order, same
+// strict-improvement and stickiness rules, word equality standing in for
+// Value equality. Both modes flap and advertise at identical points.
+void PathVectorSim::reselect_flat(int node, double now) {
+  const compile::CompiledAlgebra& ca = cnet_.algebra();
+  compile::FlatMsg best;
+  best.n = static_cast<std::uint8_t>(cnet_.words());
+  int best_arc = -1;
+  compile::FlatMsg cand;
+  cand.n = best.n;
+  for (int id : net_.graph().out_arcs(node)) {
+    candidate_via_flat(id, &cand);
+    if (!cand.present) continue;
+    if (!best.present ||
+        lt_of(ca.compare(cand.w.data(), best.w.data()))) {
+      best = cand;
+      best_arc = id;
+    }
+  }
+
+  const int cur_arc = selected_arc_[static_cast<std::size_t>(node)];
+  if (cur_arc >= 0 && best.present) {
+    compile::FlatMsg via_cur;
+    via_cur.n = best.n;
+    candidate_via_flat(cur_arc, &via_cur);
+    if (via_cur.present &&
+        !lt_of(ca.compare(best.w.data(), via_cur.w.data()))) {
+      best = via_cur;
+      best_arc = cur_arc;
+    }
+  }
+
+  compile::FlatMsg& sel = selected_flat_[static_cast<std::size_t>(node)];
+  auto& sel_arc = selected_arc_[static_cast<std::size_t>(node)];
+  std::vector<int> best_path;
+  if (opts_.loop_detection && best_arc >= 0) {
+    best_path.push_back(node);
+    const auto& via = rib_in_path_[static_cast<std::size_t>(best_arc)];
+    best_path.insert(best_path.end(), via.begin(), via.end());
+  }
+  const bool weight_changed = !(best == sel);
+  const bool path_changed =
+      opts_.loop_detection &&
+      best_path != selected_path_[static_cast<std::size_t>(node)];
+  if (weight_changed || path_changed || best_arc != sel_arc) {
+    ++flaps_[static_cast<std::size_t>(node)];
+    ++stats_.selection_changes;
+    sel = best;
+    sel_arc = best_arc;
+    selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    if (obs::TraceSession* trace = obs::TraceSession::current()) {
+      trace->instant("select", "sim.select", now * 1e6,
+                     obs::TraceSession::kSimPid, node,
+                     {{"weight",
+                       sel.present ? ca.decode(sel.w.data()).to_string()
+                                   : "-"}});
+    }
+    if (weight_changed || path_changed) advertise(node, now);
+  }
+}
+
 void PathVectorSim::crash_node(int node, double now) {
   if (!node_up_[static_cast<std::size_t>(node)]) return;  // already down
   node_up_[static_cast<std::size_t>(node)] = false;
@@ -217,16 +330,19 @@ void PathVectorSim::crash_node(int node, double now) {
   for (int id : net_.graph().out_arcs(node)) {
     rib_in_[static_cast<std::size_t>(id)] = std::nullopt;
     rib_in_path_[static_cast<std::size_t>(id)].clear();
+    if (flat_) rib_in_flat_[static_cast<std::size_t>(id)].present = false;
   }
   selected_[static_cast<std::size_t>(node)] = std::nullopt;
   selected_arc_[static_cast<std::size_t>(node)] = -1;
   selected_path_[static_cast<std::size_t>(node)].clear();
+  if (flat_) selected_flat_[static_cast<std::size_t>(node)].present = false;
   // Every neighbour's session to the crashed node dies with it: the arcs
   // (x → node) carried node's advertisements to x, so x forgets them and
   // reselects — exactly the LinkDown treatment, for all sessions at once.
   for (int id : net_.graph().in_arcs(node)) {
     rib_in_[static_cast<std::size_t>(id)] = std::nullopt;
     rib_in_path_[static_cast<std::size_t>(id)].clear();
+    if (flat_) rib_in_flat_[static_cast<std::size_t>(id)].present = false;
   }
   for (int id : net_.graph().in_arcs(node)) {
     reselect(net_.graph().arc(id).src, now);
@@ -245,6 +361,7 @@ void PathVectorSim::restart_node(int node, double now) {
     // The destination re-originates its route on restart.
     selected_[static_cast<std::size_t>(node)] = origin_;
     selected_path_[static_cast<std::size_t>(node)] = {node};
+    if (flat_) selected_flat_[static_cast<std::size_t>(node)] = origin_flat_;
     advertise(node, now);
     return;
   }
@@ -253,7 +370,10 @@ void PathVectorSim::restart_node(int node, double now) {
   for (int id : net_.graph().out_arcs(node)) {
     if (!arc_alive(id)) continue;
     const int head = net_.graph().arc(id).dst;
-    if (selected_[static_cast<std::size_t>(head)]) {
+    const bool head_has =
+        flat_ ? selected_flat_[static_cast<std::size_t>(head)].present
+              : selected_[static_cast<std::size_t>(head)].has_value();
+    if (head_has) {
       advertise(head, now);
     }
   }
@@ -282,8 +402,13 @@ SimResult PathVectorSim::run() {
         }
         ++delivered_;
         ++stats_.deliveries;
-        if (!e.weight) ++stats_.withdrawals_delivered;
-        rib_in_[static_cast<std::size_t>(e.arc)] = e.weight;
+        if (flat_) {
+          if (!e.fweight.present) ++stats_.withdrawals_delivered;
+          rib_in_flat_[static_cast<std::size_t>(e.arc)] = e.fweight;
+        } else {
+          if (!e.weight) ++stats_.withdrawals_delivered;
+          rib_in_[static_cast<std::size_t>(e.arc)] = e.weight;
+        }
         rib_in_path_[static_cast<std::size_t>(e.arc)] = std::move(e.path);
         if (trace && delivered_ % 64 == 0) {
           trace->counter("queue depth", queue_.now() * 1e6,
@@ -297,6 +422,7 @@ SimResult PathVectorSim::run() {
         ++stats_.link_down_events;
         arc_up_[static_cast<std::size_t>(e.arc)] = false;
         rib_in_[static_cast<std::size_t>(e.arc)] = std::nullopt;
+        if (flat_) rib_in_flat_[static_cast<std::size_t>(e.arc)].present = false;
         if (trace) {
           trace->instant("link down", "sim.link", queue_.now() * 1e6,
                          obs::TraceSession::kSimPid, e.arc);
@@ -316,7 +442,10 @@ SimResult PathVectorSim::run() {
         // will trigger the re-advertisement.
         if (!arc_alive(e.arc)) break;
         const int head = net_.graph().arc(e.arc).dst;
-        if (selected_[static_cast<std::size_t>(head)]) {
+        const bool head_has =
+            flat_ ? selected_flat_[static_cast<std::size_t>(head)].present
+                  : selected_[static_cast<std::size_t>(head)].has_value();
+        if (head_has) {
           advertise(head, queue_.now());
         }
         break;
@@ -348,6 +477,17 @@ SimResult PathVectorSim::run() {
   stats_.queue_high_water = queue_.high_water();
   stats_.in_flight_at_end = static_cast<long>(queue_.pending_delivers());
 
+  // Decode boundary: in compiled mode, Values materialize only here.
+  if (flat_) {
+    const compile::CompiledAlgebra& ca = cnet_.algebra();
+    for (std::size_t v = 0; v < selected_flat_.size(); ++v) {
+      selected_[v] = selected_flat_[v].present
+                         ? std::optional<Value>(ca.decode(
+                               selected_flat_[v].w.data()))
+                         : std::nullopt;
+    }
+  }
+
   SimResult out;
   out.converged = queue_.empty();
   out.events = delivered_;
@@ -367,6 +507,7 @@ SimResult PathVectorSim::run() {
   if (obs::enabled()) {
     obs::Registry& reg = obs::registry();
     reg.counter("sim.runs").add(1);
+    reg.counter("sim.compiled_runs").add(flat_ ? 1 : 0);
     reg.counter("sim.converged").add(out.converged ? 1 : 0);
     reg.counter("sim.messages_sent")
         .add(static_cast<std::uint64_t>(stats_.messages_sent));

@@ -9,6 +9,7 @@
 // (convergence census, BAD-GADGET divergence, failure reconvergence).
 #pragma once
 
+#include "mrt/compile/engine.hpp"
 #include "mrt/routing/labeled_graph.hpp"
 #include "mrt/sim/event_queue.hpp"
 #include "mrt/support/rng.hpp"
@@ -98,8 +99,18 @@ struct SimResult {
 
 class PathVectorSim {
  public:
+  /// When `engine` is non-null and its algebra compiled (and the flat layout
+  /// fits a FlatMsg), the RIB-in, selections, and message payloads live as
+  /// flat weight words for the whole run — decoded only into the returned
+  /// SimResult and for tracing. All random draws happen at the same points
+  /// in both modes, so a seed's schedule (and result) is identical compiled
+  /// or boxed.
   PathVectorSim(const OrderTransform& alg, LabeledGraph net, int dest,
-                Value origin, SimOptions opts = {});
+                Value origin, SimOptions opts = {},
+                const compile::WeightEngine* engine = nullptr);
+
+  /// True if this run executes on the compiled flat path.
+  bool compiled() const { return flat_; }
 
   /// Injects a link failure / recovery at absolute time `t` (must be called
   /// before run()).
@@ -127,7 +138,12 @@ class PathVectorSim {
  private:
   void advertise(int node, double now);
   void reselect(int node, double now);
+  void reselect_boxed(int node, double now);
+  void reselect_flat(int node, double now);
   std::optional<Value> candidate_via(int arc) const;
+  /// Flat analogue of candidate_via: fills `out` (present=false if no
+  /// usable candidate).
+  void candidate_via_flat(int arc, compile::FlatMsg* out) const;
   bool arc_alive(int arc) const;
   const ArcFault* active_fault(int arc, double now) const;
   void crash_node(int node, double now);
@@ -143,6 +159,14 @@ class PathVectorSim {
   /// Draws for injected faults only (seeded from opts.seed), so installing
   /// faults never perturbs the base schedule stream in rng_.
   Rng fault_rng_;
+
+  // Compiled mode: per-arc label programs plus flat mirrors of the RIB-in
+  // and selection state (the boxed vectors stay untouched until decode).
+  compile::CompiledNet cnet_;
+  bool flat_ = false;
+  compile::FlatMsg origin_flat_;
+  std::vector<compile::FlatMsg> rib_in_flat_;   // per arc id
+  std::vector<compile::FlatMsg> selected_flat_; // per node
 
   EventQueue queue_;
   std::vector<std::optional<Value>> rib_in_;   // per arc id
