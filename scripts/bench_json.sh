@@ -3,7 +3,12 @@
 # machine-readable file at the repo root: BENCH_obs.json. Then run the
 # census benches at MRT_THREADS=1 and MRT_THREADS=$(nproc), fail loudly if
 # their stdout tables differ (the mrt::par determinism contract), and merge
-# the timed records into BENCH_par.json.
+# the timed records into BENCH_par.json. Further sections gate the chaos
+# campaign (BENCH_chaos.json), the compiled kernels (BENCH_compile.json),
+# and the incremental solvers (BENCH_dyn.json) the same way.
+#
+# Every gate is mandatory: a missing bench binary fails the script rather
+# than skipping the gate.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -20,21 +25,21 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 records=()
+# A missing binary is a broken build, not a reason to skip a gate.
+require_bin() {
+  if [ ! -x "$1" ]; then
+    echo "bench_json.sh: FATAL — $1 not built (cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+}
+
 for b in perf_routing perf_inference; do
   bin="$BUILD/bench/$b"
-  if [ -x "$bin" ]; then
-    echo "== $b =="
-    "$bin" --json "$tmpdir/$b.json"
-    records+=("$tmpdir/$b.json")
-  else
-    echo "bench_json.sh: skipping $b (not built)" >&2
-  fi
+  require_bin "$bin"
+  echo "== $b =="
+  "$bin" --json "$tmpdir/$b.json"
+  records+=("$tmpdir/$b.json")
 done
-
-if [ "${#records[@]}" -eq 0 ]; then
-  echo "bench_json.sh: no benchmarks ran" >&2
-  exit 1
-fi
 
 # Merge the per-bench records into a single JSON array.
 {
@@ -55,10 +60,7 @@ NPROC="$(nproc)"
 par_records=()
 for b in fig2_global_exact fig3_local_exact; do
   bin="$BUILD/bench/$b"
-  if [ ! -x "$bin" ]; then
-    echo "bench_json.sh: skipping $b (not built)" >&2
-    continue
-  fi
+  require_bin "$bin"
   echo "== $b (MRT_THREADS=1 vs $NPROC) =="
   MRT_THREADS=1 "$bin" --json "$tmpdir/$b.t1.json" > "$tmpdir/$b.t1.out"
   MRT_THREADS="$NPROC" "$bin" --json "$tmpdir/$b.tn.json" > "$tmpdir/$b.tn.out"
@@ -90,7 +92,8 @@ fi
 # determinism contract as the census benches above.
 CHAOS_OUT="BENCH_chaos.json"
 bin="$BUILD/bench/chaos_campaign"
-if [ -x "$bin" ]; then
+require_bin "$bin"
+{
   echo "== chaos_campaign (MRT_THREADS=1 vs $NPROC) =="
   MRT_THREADS=1 "$bin" --json "$tmpdir/chaos.t1.json" > "$tmpdir/chaos.t1.out"
   MRT_THREADS="$NPROC" "$bin" --json "$tmpdir/chaos.tn.json" \
@@ -106,9 +109,7 @@ if [ -x "$bin" ]; then
   cat "$tmpdir/chaos.tn.json" >> "$CHAOS_OUT"
   printf ']\n' >> "$CHAOS_OUT"
   echo "wrote $CHAOS_OUT (2 records)"
-else
-  echo "bench_json.sh: skipping chaos_campaign (not built)" >&2
-fi
+}
 
 # --- Compiled-kernel gates + BENCH_compile.json --------------------------
 # Three gates on mrt::compile:
@@ -122,7 +123,9 @@ fi
 COMPILE_OUT="BENCH_compile.json"
 pc="$BUILD/bench/perf_compile"
 cc="$BUILD/bench/chaos_campaign"
-if [ -x "$pc" ] && [ -x "$cc" ]; then
+require_bin "$pc"
+require_bin "$cc"
+{
   echo "== perf_compile =="
   "$pc" --json "$tmpdir/compile.json"
 
@@ -174,6 +177,85 @@ json.dump([compile_rec, boxed, flat], open("BENCH_compile.json", "w"))
 print()
 PY
   echo "wrote $COMPILE_OUT (3 records)"
-else
-  echo "bench_json.sh: skipping compile gates (perf_compile/chaos_campaign not built)" >&2
-fi
+}
+
+# --- Incremental-solver gates + BENCH_dyn.json ---------------------------
+# Four gates on mrt::dyn:
+#   1. speedup: perf_dyn must show warm flap absorption ≥2× over cold
+#      re-solves on stacked-lex networks (≥3× for dijkstra at depth 3),
+#      with the affected set staying a small fraction of the network;
+#   2. equivalence: perf_dyn byte-compares every warm routing against its
+#      cold twin internally (exit 1 on divergence), and the chaos verdict
+#      table must be byte-identical with MRT_DYN=0 and default (dyn on);
+#   3. wall clock: the flap-heavy campaign must not be slower with dyn on
+#      (end-to-end ≥1.0×) and the global-truth checks themselves ≥1.1×;
+#   4. determinism: the dyn-on chaos verdict table must be byte-identical
+#      at MRT_THREADS=1 and $(nproc).
+DYN_OUT="BENCH_dyn.json"
+pd="$BUILD/bench/perf_dyn"
+require_bin "$pd"
+{
+  echo "== perf_dyn =="
+  "$pd" --json "$tmpdir/dyn.json"
+
+  echo "== chaos_campaign (MRT_DYN=0 vs dyn) =="
+  MRT_DYN=0 "$cc" --json "$tmpdir/chaos.nodyn.json" \
+    > "$tmpdir/chaos.nodyn.out"
+  "$cc" --json "$tmpdir/chaos.dyn.json" > "$tmpdir/chaos.dyn.out"
+  if ! diff -u "$tmpdir/chaos.nodyn.out" "$tmpdir/chaos.dyn.out"; then
+    echo "bench_json.sh: EQUIVALENCE VIOLATION — chaos verdicts differ between MRT_DYN=0 and dyn" >&2
+    exit 1
+  fi
+  echo "   verdict tables bit-identical with and without dyn"
+
+  echo "== chaos_campaign dyn (MRT_THREADS=1 vs $NPROC) =="
+  MRT_THREADS=1 "$cc" --json "$tmpdir/chaos.d.t1.json" \
+    > "$tmpdir/chaos.d.t1.out"
+  MRT_THREADS="$NPROC" "$cc" --json "$tmpdir/chaos.d.tn.json" \
+    > "$tmpdir/chaos.d.tn.out"
+  if ! diff -u "$tmpdir/chaos.d.t1.out" "$tmpdir/chaos.d.tn.out"; then
+    echo "bench_json.sh: DETERMINISM VIOLATION — dyn chaos verdicts depend on MRT_THREADS" >&2
+    exit 1
+  fi
+  echo "   dyn verdict tables bit-identical at 1 and $NPROC threads"
+
+  python3 - "$tmpdir/dyn.json" "$tmpdir/chaos.nodyn.json" \
+    "$tmpdir/chaos.dyn.json" <<'PY'
+import json, sys
+dyn_rec = json.load(open(sys.argv[1]))
+nodyn = json.load(open(sys.argv[2]))
+with_dyn = json.load(open(sys.argv[3]))
+m = dyn_rec["metrics"]
+bad = []
+for k, floor in (("speedup.update.dijkstra.depth1", 2.0),
+                 ("speedup.update.bellman.depth1", 2.0),
+                 ("speedup.update.dijkstra.depth3", 3.0),
+                 ("speedup.update.bellman.depth3", 2.5)):
+    if m.get(k, 0.0) < floor:
+        bad.append(f"{k} = {m.get(k, 0.0):.2f} < {floor}")
+for k in ("affected_pct.dijkstra.depth1", "affected_pct.bellman.depth1",
+          "affected_pct.dijkstra.depth3", "affected_pct.bellman.depth3"):
+    if m.get(k, 100.0) > 25.0:
+        bad.append(f"{k} = {m.get(k, 100.0):.1f}% > 25% of the network")
+if m.get("speedup.chaos_flaps", 0.0) < 1.0:
+    bad.append(f"flap-heavy campaign slower with dyn on: "
+               f"{m.get('speedup.chaos_flaps', 0.0):.2f} < 1.0")
+if m.get("speedup.chaos_truth_check", 0.0) < 1.1:
+    bad.append(f"global-truth checks = "
+               f"{m.get('speedup.chaos_truth_check', 0.0):.2f}x < 1.1x")
+if m.get("identical", 0.0) != 1.0:
+    bad.append("warm/cold byte-identity check failed inside perf_dyn")
+if m.get("chaos_verdicts_identical", 0.0) != 1.0:
+    bad.append("dyn-toggle verdict tables differ inside perf_dyn")
+if bad:
+    print("bench_json.sh: DYN GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   gates passed: warm flaps >=2-3x, affected <=25%, "
+      f"campaign {m['speedup.chaos_flaps']:.2f}x, "
+      f"truth checks {m['speedup.chaos_truth_check']:.2f}x")
+json.dump([dyn_rec, nodyn, with_dyn], open("BENCH_dyn.json", "w"))
+print()
+PY
+  echo "wrote $DYN_OUT (3 records)"
+}

@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment.
 #
-# Usage: scripts/run_all.sh [tsan|asan] [--labels <regex>]
+# Usage: scripts/run_all.sh [tsan|asan] [--preset <name>] [--labels <regex>]
 #   tsan — build with -DMRT_SANITIZE=thread into build-tsan and run the
 #          concurrency-sensitive suites (mrt::par + simulator) under
 #          ThreadSanitizer with MRT_THREADS=4, then exit.
 #   asan — build with -DMRT_SANITIZE=address,undefined into build-asan and
 #          run the chaos campaigns plus the simulator suites under
 #          AddressSanitizer + UBSan, then exit.
+#   --preset dyn — tsan build focused on the incremental solvers: runs the
+#          mrt::dyn seam suites plus the differential property suite under
+#          ThreadSanitizer with MRT_THREADS=4, then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
 #          property, chaos, perf); see tests/CMakeLists.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABELS=""
+PRESET=""
 ARGS=()
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --labels)
       LABELS="${2:?run_all.sh: --labels needs a regex}"
+      shift 2
+      ;;
+    --preset)
+      PRESET="${2:?run_all.sh: --preset needs a name}"
       shift 2
       ;;
     *)
@@ -27,6 +35,27 @@ while [ "$#" -gt 0 ]; do
       ;;
   esac
 done
+
+if [ -n "$PRESET" ]; then
+  case "$PRESET" in
+    dyn)
+      # Incremental-solver focus: the dyn seam mutates routing state in place
+      # across updates, and the chaos oracles clone solvers across worker
+      # threads, so the whole surface runs under ThreadSanitizer.
+      cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      cmake --build build-tsan -j "$(nproc)" \
+        --target mrt_tests mrt_property_tests
+      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+        -R 'TopologyDelta|DynNet|SolverSeam|SimDeltaBridge|CompiledNetRelabel|DynDifferential'
+      echo "dyn preset passed"
+      exit 0
+      ;;
+    *)
+      echo "run_all.sh: unknown preset '$PRESET' (known: dyn)" >&2
+      exit 2
+      ;;
+  esac
+fi
 
 if [ "${ARGS[0]:-}" = "tsan" ]; then
   cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -1,6 +1,7 @@
 #include "mrt/chaos/campaign.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -59,7 +60,8 @@ struct Acc {
 
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
                    const FaultPlan& plan, bool check_global,
-                   const compile::WeightEngine* engine) {
+                   const compile::WeightEngine* engine,
+                   const Solver* baseline) {
   SimOptions opts = sc.sim;
   opts.seed = seed;
   PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts, engine);
@@ -87,6 +89,7 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   oo.drop_top_routes = sc.sim.drop_top_routes;
   oo.check_global = check_global;
   oo.engine = engine;
+  oo.baseline = baseline;
   const OracleReport rep =
       check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
   v.pass = rep.all_pass();
@@ -96,14 +99,15 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
 
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
                       FaultPlan plan, bool check_global,
-                      const compile::WeightEngine* engine) {
+                      const compile::WeightEngine* engine,
+                      const Solver* baseline) {
   bool progress = true;
   while (progress && !plan.faults.empty()) {
     progress = false;
     for (std::size_t i = 0; i < plan.faults.size(); ++i) {
       FaultPlan cand = plan;
       cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
-      if (!run_one(sc, seed, cand, check_global, engine).pass) {
+      if (!run_one(sc, seed, cand, check_global, engine, baseline).pass) {
         plan = std::move(cand);
         progress = true;
         break;  // restart the scan: indices shifted
@@ -196,6 +200,15 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
     // kernels. Falls back to boxed transparently when the algebra doesn't
     // compile or MRT_COMPILE=0.
     const compile::WeightEngine engine(sc.alg);
+    // One unfaulted baseline per scenario: each run clones it and replays
+    // its fault outcome through Solver::update(), so the per-run ground
+    // truth costs the fault's blast radius, not a full solve. clone() is
+    // const and every worker owns its copy — safe under parallel_reduce.
+    std::unique_ptr<Solver> baseline;
+    if (check_global) {
+      baseline = dyn::make_solver(dyn::EngineKind::Dijkstra, sc.alg, &engine);
+      baseline->solve(sc.net, sc.dest, sc.origin);
+    }
     // Per-scenario seed stream, independent of scenario order in the list.
     const std::uint64_t sc_seed = par::mix_seed(cfg.seed, 0xC0DE0000ULL + si);
     const std::size_t runs = static_cast<std::size_t>(cfg.runs_per_scenario);
@@ -207,7 +220,8 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
             const std::uint64_t seed = par::mix_seed(sc_seed, i);
             const FaultPlan plan =
                 random_fault_plan(seed, sc.net, sc.dest, sc.faults);
-            const RunVerdict v = run_one(sc, seed, plan, check_global, &engine);
+            const RunVerdict v = run_one(sc, seed, plan, check_global, &engine,
+                                         baseline.get());
             a.converged += v.converged ? 1 : 0;
             a.diverged += v.converged ? 0 : 1;
             if (v.converged) a.total_finish_time += v.finish_time;
@@ -258,7 +272,8 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
     for (const auto& [idx, seed] : acc.failing) {
       (void)idx;
       FaultPlan plan = random_fault_plan(seed, sc.net, sc.dest, sc.faults);
-      const RunVerdict v = run_one(sc, seed, plan, check_global, &engine);
+      const RunVerdict v =
+          run_one(sc, seed, plan, check_global, &engine, baseline.get());
       FailureCase fc;
       fc.seed = seed;
       fc.diverged = !v.converged;
@@ -266,8 +281,9 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
       fc.plan = plan.describe();
       fc.plan_size = plan.faults.size();
       if (cfg.shrink_failures) {
-        const FaultPlan small =
-            shrink_plan(sc, seed, std::move(plan), check_global, &engine);
+        const FaultPlan small = shrink_plan(sc, seed, std::move(plan),
+                                            check_global, &engine,
+                                            baseline.get());
         fc.shrunk = small.describe();
         fc.shrunk_size = small.faults.size();
       }

@@ -110,16 +110,21 @@ struct CampaignReport {
 /// the shrinker and the unit tests; run_campaign derives (seed, plan) pairs
 /// and fans this out. `engine` (optional) routes the simulator and the
 /// global oracle through the compiled flat kernels — the verdict is the
-/// same either way.
+/// same either way. `baseline` (optional) is a solved Solver on the
+/// unfaulted network; the global oracle then replays each run's fault
+/// outcome through Solver::update() instead of solving cold (identical
+/// verdicts, incremental work — see docs/DYN.md).
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
                    const FaultPlan& plan, bool check_global,
-                   const compile::WeightEngine* engine = nullptr);
+                   const compile::WeightEngine* engine = nullptr,
+                   const Solver* baseline = nullptr);
 
 /// Greedy 1-minimal shrink: repeatedly drops any single fault whose removal
 /// keeps the run failing, until no single removal does.
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
                       FaultPlan plan, bool check_global,
-                      const compile::WeightEngine* engine = nullptr);
+                      const compile::WeightEngine* engine = nullptr,
+                      const Solver* baseline = nullptr);
 
 CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
                             const CampaignConfig& cfg = {});

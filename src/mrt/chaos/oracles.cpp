@@ -98,15 +98,23 @@ OracleReport check_oracles(const OrderTransform& alg, const LabeledGraph& net,
 
   if (opts.check_global && topo.node_ok(dest)) {
     out.global.checked = true;
-    const LabeledGraph sub = alive_subgraph(net, topo);
-    // The subgraph has its own arc numbering, so it needs its own compiled
-    // label set; the algebra's kernels are shared through the engine.
     Routing truth;
-    if (opts.engine != nullptr && opts.engine->compiled()) {
-      const compile::CompiledNet cn = compile::CompiledNet::make(*opts.engine, sub);
-      truth = dijkstra(alg, sub, dest, origin, cn.ok() ? &cn : nullptr);
+    if (opts.baseline != nullptr && dyn::enabled()) {
+      // Warm path: replay the run's fault outcome as a delta against the
+      // unfaulted baseline; only the blast radius gets recomputed.
+      std::unique_ptr<Solver> solver = opts.baseline->clone();
+      truth = solver->update(res.delta);
     } else {
-      truth = dijkstra(alg, sub, dest, origin);
+      const LabeledGraph sub = alive_subgraph(net, topo);
+      // The subgraph has its own arc numbering, so it needs its own compiled
+      // label set; the algebra's kernels are shared through the engine.
+      if (opts.engine != nullptr && opts.engine->compiled()) {
+        const compile::CompiledNet cn =
+            compile::CompiledNet::make(*opts.engine, sub);
+        truth = dijkstra(alg, sub, dest, origin, cn.ok() ? &cn : nullptr);
+      } else {
+        truth = dijkstra(alg, sub, dest, origin);
+      }
     }
     for (int v = 0; v < net.num_nodes() && out.global.pass; ++v) {
       const std::size_t vi = static_cast<std::size_t>(v);

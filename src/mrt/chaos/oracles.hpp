@@ -20,6 +20,7 @@
 // expectation.
 #pragma once
 
+#include "mrt/dyn/solver.hpp"
 #include "mrt/routing/optimality.hpp"
 #include "mrt/sim/path_vector.hpp"
 
@@ -56,6 +57,13 @@ struct OracleOptions {
   /// is identical either way (compiled solvers are differentially checked
   /// against boxed); only the wall clock changes.
   const compile::WeightEngine* engine = nullptr;
+  /// Optional solved baseline on the *unfaulted* network. When present (and
+  /// dyn::enabled()), the global oracle derives its ground truth by cloning
+  /// the baseline and replaying the run's surviving-topology delta through
+  /// Solver::update() — incremental work proportional to the fault's blast
+  /// radius instead of a fresh solve per run. Verdicts are identical to the
+  /// cold path (that equivalence is what the dyn differential suite pins).
+  const Solver* baseline = nullptr;
 };
 
 /// The surviving subgraph's arc/node masks, as the sim reported them.

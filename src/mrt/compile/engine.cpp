@@ -58,5 +58,15 @@ CompiledNet CompiledNet::make(const WeightEngine& eng,
   return cn;
 }
 
+bool CompiledNet::relabel(int arc_id, const Value& label) {
+  if (labels_.empty()) return ok_;  // algebra never compiled: stays boxed
+  labels_[static_cast<std::size_t>(arc_id)] = alg_->compile_label(label);
+  bool all_ok = true;
+  for (const CompiledLabel& l : labels_) all_ok = all_ok && l.ok;
+  ok_ = all_ok;
+  if (obs::enabled()) obs::registry().counter("compile.labels_recompiled").add(1);
+  return ok_;
+}
+
 }  // namespace compile
 }  // namespace mrt

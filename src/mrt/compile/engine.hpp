@@ -46,6 +46,12 @@ class CompiledNet {
     return labels_[static_cast<std::size_t>(arc_id)];
   }
 
+  /// Recompiles one arc's label program in place (the delta-aware path of
+  /// mrt::dyn — a relabel re-encodes only the changed arc, not the network).
+  /// Returns the new ok(): a label outside the compilable range sends the
+  /// whole network back to the boxed path, exactly as in make().
+  bool relabel(int arc_id, const Value& label);
+
  private:
   const CompiledAlgebra* alg_ = nullptr;
   std::vector<CompiledLabel> labels_;

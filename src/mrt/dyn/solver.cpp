@@ -1,0 +1,632 @@
+#include "mrt/dyn/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mrt/obs/obs.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+
+namespace dyn {
+namespace {
+
+bool dyn_enabled_from_env() {
+  const char* e = std::getenv("MRT_DYN");
+  return e == nullptr || std::string(e) != "0";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{dyn_enabled_from_env()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace dyn
+
+namespace {
+
+using dyn::DynNet;
+using dyn::TopologyDelta;
+using dyn::UpdateStats;
+
+/// Shared engine state: the bound problem, the current solution, and the
+/// helpers both engines build their warm paths from — candidate scans,
+/// transitive invalidation, and the canonicalization pass that gives cold
+/// and warm runs a common normal form.
+class EngineBase : public Solver {
+ public:
+  EngineBase(OrderTransform alg, const compile::WeightEngine* weng)
+      : alg_(std::move(alg)), weng_(weng) {}
+
+  const Routing& solve(const LabeledGraph& net, int dest,
+                       const Value& origin) override {
+    MRT_REQUIRE(dest >= 0 && dest < net.num_nodes());
+    obs::ScopedSpan span("dyn.solve", "routing");
+    dnet_ = DynNet(net);
+    dest_ = dest;
+    origin_ = origin;
+    bound_ = true;
+    if (weng_ != nullptr) {
+      cnet_ = compile::CompiledNet::make(*weng_, dnet_.net());
+    } else {
+      cnet_ = compile::CompiledNet();
+    }
+    begin_stats(/*cold=*/true, 0);
+    cold_solve();
+    stats_.affected = dnet_.num_nodes();
+    finish_stats();
+    return r_;
+  }
+
+  const Routing& update(const TopologyDelta& delta) override {
+    MRT_REQUIRE(bound_);
+    obs::ScopedSpan span("dyn.update", "routing");
+    const DynNet::Applied ap = dnet_.apply(delta);
+    // Delta-aware re-encoding: only the relabeled arcs' programs recompile.
+    if (weng_ != nullptr) {
+      for (int id : ap.relabeled_arcs) cnet_.relabel(id, dnet_.label(id));
+    }
+    begin_stats(/*cold=*/false, ap.changed_arcs.size());
+    if (!ap.any()) {
+      finish_stats();
+      return r_;
+    }
+    if (!dyn::enabled() || !converged_) {
+      run_cold();
+    } else {
+      warm_update(ap);
+      // The incremental pass hit its safety cap: the masked full solve is
+      // the fallback (it terminates regardless of the algebra's properties
+      // on the Dijkstra engine, and caps identically on Bellman).
+      if (!converged_) run_cold();
+    }
+    finish_stats();
+    return r_;
+  }
+
+  const Routing& routing() const override { return r_; }
+  const dyn::DynNet& net() const override { return dnet_; }
+  bool converged() const override { return converged_; }
+  const UpdateStats& last_update() const override { return stats_; }
+
+ protected:
+  /// Full solve over the current masks; sets r_ and converged_.
+  virtual void cold_solve() = 0;
+  /// Incremental recomputation; sets r_, converged_, stats_.affected.
+  virtual void warm_update(const DynNet::Applied& ap) = 0;
+
+  void run_cold() {
+    stats_.cold = true;
+    cold_solve();
+    stats_.affected = dnet_.num_nodes();
+  }
+
+  bool node_ok(int v) const { return dnet_.node_up(v); }
+
+  void clear_route(int v) {
+    r_.weight[static_cast<std::size_t>(v)] = std::nullopt;
+    r_.next_arc[static_cast<std::size_t>(v)] = -1;
+  }
+
+  struct Candidate {
+    std::optional<Value> weight;
+    int arc = -1;
+  };
+
+  /// Best extension of u's neighbours' current routes over alive out-arcs.
+  /// Ties break toward the smaller arc id (out_arcs is in id order);
+  /// self-loops are skipped — they can tie but never improve under ND, and
+  /// a self-loop witness would be a forwarding loop.
+  Candidate best_candidate(int u) {
+    Candidate best;
+    const Digraph& g = dnet_.graph();
+    for (int id : g.out_arcs(u)) {
+      if (!dnet_.arc_alive(id)) continue;
+      const int v = g.arc(id).dst;
+      if (v == u) continue;
+      const auto& wv = r_.weight[static_cast<std::size_t>(v)];
+      if (!wv) continue;
+      ++stats_.relaxations;
+      Value cand = alg_.fns->apply(dnet_.label(id), *wv);
+      if (!best.weight || lt_of(alg_.ord->cmp(cand, *best.weight))) {
+        best.weight = std::move(cand);
+        best.arc = id;
+      }
+    }
+    return best;
+  }
+
+  /// Rebuilds every witness as a breadth-first forest over *achieving* arcs
+  /// (arcs whose extension of the head's weight lands in the node's weight
+  /// class), rooted at dest. Within a BFS layer nodes attach in ascending id
+  /// and each picks its smallest achieving arc into the previous layers, so
+  /// the forest is a pure function of the weight vector and the alive
+  /// topology — cold and warm solves emit identical bytes whenever they
+  /// reach the same fixed point. Crucially the result is cycle-free by
+  /// construction: a per-node smallest-arc rule could let two equal-weight
+  /// nodes witness each other (saturation plateaus), leaving a forwarding
+  /// cycle that `invalidate` can never trace back to a failure. Nodes whose
+  /// weight is not supported by the forest (such ghost plateaus) are
+  /// cleared rather than preserved (see docs/DYN.md).
+  void rebuild_witnesses() {
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    std::vector<char> attached(static_cast<std::size_t>(n), 0);
+    if (node_ok(dest_) && r_.weight[static_cast<std::size_t>(dest_)]) {
+      r_.weight[static_cast<std::size_t>(dest_)] = origin_;
+      r_.next_arc[static_cast<std::size_t>(dest_)] = -1;
+      attached[static_cast<std::size_t>(dest_)] = 1;
+      std::vector<int> frontier{dest_};
+      std::vector<int> cands;
+      std::vector<int> next;
+      while (!frontier.empty()) {
+        cands.clear();
+        for (int v : frontier) {
+          for (int id : g.in_arcs(v)) {
+            if (!dnet_.arc_alive(id)) continue;
+            const int u = g.arc(id).src;
+            if (!attached[static_cast<std::size_t>(u)] && node_ok(u) &&
+                r_.weight[static_cast<std::size_t>(u)]) {
+              cands.push_back(u);
+            }
+          }
+        }
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        next.clear();
+        for (int u : cands) {
+          for (int id : g.out_arcs(u)) {
+            if (!dnet_.arc_alive(id)) continue;
+            const int h = g.arc(id).dst;
+            if (h == u || !attached[static_cast<std::size_t>(h)]) continue;
+            ++stats_.relaxations;
+            Value cand = alg_.fns->apply(
+                dnet_.label(id), *r_.weight[static_cast<std::size_t>(h)]);
+            if (equiv_of(alg_.ord->cmp(
+                    cand, *r_.weight[static_cast<std::size_t>(u)]))) {
+              // Normalized weight = the value actually achieved along the
+              // witness (identical for antisymmetric algebras).
+              r_.weight[static_cast<std::size_t>(u)] = std::move(cand);
+              r_.next_arc[static_cast<std::size_t>(u)] = id;
+              next.push_back(u);
+              break;
+            }
+          }
+        }
+        // Snapshot semantics: this layer becomes visible only for the next
+        // one, keeping the layering independent of in-round scan order.
+        for (int u : next) attached[static_cast<std::size_t>(u)] = 1;
+        frontier.swap(next);
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!attached[static_cast<std::size_t>(v)]) clear_route(v);
+    }
+  }
+
+  /// Transitively invalidates every node whose forwarding chain passes
+  /// through a changed arc or a crashed node, clearing their routes, and
+  /// returns the sorted invalidated set. Running this *before* any
+  /// recomputation is what rules out count-to-infinity ghosts: no surviving
+  /// weight references a dead or relabeled witness, so every surviving
+  /// weight is still achievable in the new topology.
+  std::vector<int> invalidate(const DynNet::Applied& ap) {
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    std::vector<char> invalid(static_cast<std::size_t>(n), 0);
+    std::vector<int> stack;
+    auto kill = [&](int v) {
+      if (!invalid[static_cast<std::size_t>(v)]) {
+        invalid[static_cast<std::size_t>(v)] = 1;
+        stack.push_back(v);
+      }
+    };
+    for (int v : ap.nodes_down) kill(v);
+    // A changed arc that is someone's witness either died or was relabeled
+    // (an arc that *came up* cannot have been a witness), so the route's
+    // stored value is no longer trustworthy either way.
+    for (int id : ap.changed_arcs) {
+      const int u = g.arc(id).src;
+      if (r_.next_arc[static_cast<std::size_t>(u)] == id) kill(u);
+    }
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int id : g.in_arcs(v)) {
+        const int u = g.arc(id).src;
+        if (r_.next_arc[static_cast<std::size_t>(u)] == id) kill(u);
+      }
+    }
+    std::vector<int> out;
+    for (int v = 0; v < n; ++v) {
+      if (invalid[static_cast<std::size_t>(v)]) {
+        clear_route(v);
+        out.push_back(v);
+      }
+    }
+    return out;
+  }
+
+  /// Warm-start frontier: the invalidated set, the tails of changed arcs
+  /// (their candidate sets changed even if their witness survived), and
+  /// restarted nodes. Crashed nodes are excluded — their routes stay clear.
+  std::vector<int> seed_nodes(const DynNet::Applied& ap,
+                              const std::vector<int>& invalid) {
+    std::vector<int> seeds = invalid;
+    const Digraph& g = dnet_.graph();
+    for (int id : ap.changed_arcs) seeds.push_back(g.arc(id).src);
+    for (int v : ap.nodes_up) seeds.push_back(v);
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    seeds.erase(std::remove_if(seeds.begin(), seeds.end(),
+                               [&](int v) { return !node_ok(v); }),
+                seeds.end());
+    return seeds;
+  }
+
+  void begin_stats(bool cold, std::size_t changed_arcs) {
+    stats_ = UpdateStats{};
+    stats_.cold = cold;
+    stats_.total = dnet_.num_nodes();
+    stats_.changed_arcs = static_cast<int>(changed_arcs);
+  }
+
+  void finish_stats() const {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry();
+    reg.counter("dyn.updates").add(1);
+    if (stats_.cold) reg.counter("dyn.updates_cold").add(1);
+    reg.counter("dyn.affected_nodes")
+        .add(static_cast<std::uint64_t>(stats_.affected));
+    reg.counter("dyn.changed_arcs")
+        .add(static_cast<std::uint64_t>(stats_.changed_arcs));
+    reg.counter("dyn.relaxations").add(stats_.relaxations);
+    reg.histogram("dyn.affected_pct")
+        .record(static_cast<std::uint64_t>(stats_.affected_fraction() * 100));
+  }
+
+  OrderTransform alg_;
+  const compile::WeightEngine* weng_ = nullptr;
+  DynNet dnet_;
+  int dest_ = -1;
+  Value origin_;
+  bool bound_ = false;
+  bool converged_ = false;
+  Routing r_;
+  compile::CompiledNet cnet_;
+  UpdateStats stats_;
+};
+
+/// Generalized Dijkstra as a dynamic engine. Cold solves run the masked
+/// selection loop (flat kernels when the network compiled); updates run a
+/// delta-Dijkstra over the affected set only: unaffected nodes stay frozen
+/// as settled seeds, and a frozen node rejoins the affected set exactly when
+/// a relaxation strictly improves it (Ramalingam–Reps style). A safety cap
+/// on settle operations falls back to the cold path for algebras outside
+/// the ND + M license.
+class DijkstraEngine final : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+  std::unique_ptr<Solver> clone() const override {
+    return std::make_unique<DijkstraEngine>(*this);
+  }
+
+ private:
+  void cold_solve() override {
+    const int n = dnet_.num_nodes();
+    r_.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+    r_.next_arc.assign(static_cast<std::size_t>(n), -1);
+    converged_ = true;
+    if (!node_ok(dest_)) return;
+    if (!cold_flat()) cold_boxed();
+    rebuild_witnesses();
+  }
+
+  void cold_boxed() {
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    const PreorderSet& ord = *alg_.ord;
+    r_.weight[static_cast<std::size_t>(dest_)] = origin_;
+    std::vector<char> settled(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      int best = -1;
+      for (int v = 0; v < n; ++v) {
+        if (settled[static_cast<std::size_t>(v)] ||
+            !r_.weight[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        if (best < 0 ||
+            lt_of(ord.cmp(*r_.weight[static_cast<std::size_t>(v)],
+                          *r_.weight[static_cast<std::size_t>(best)]))) {
+          best = v;
+        }
+      }
+      if (best < 0) break;
+      settled[static_cast<std::size_t>(best)] = 1;
+      const Value& wb = *r_.weight[static_cast<std::size_t>(best)];
+      for (int id : g.in_arcs(best)) {
+        if (!dnet_.arc_alive(id)) continue;
+        const int u = g.arc(id).src;
+        if (u == best || settled[static_cast<std::size_t>(u)]) continue;
+        ++stats_.relaxations;
+        Value cand = alg_.fns->apply(dnet_.label(id), wb);
+        auto& wu = r_.weight[static_cast<std::size_t>(u)];
+        if (!wu || lt_of(ord.cmp(cand, *wu))) {
+          wu = std::move(cand);
+          r_.next_arc[static_cast<std::size_t>(u)] = id;
+        }
+      }
+    }
+  }
+
+  /// Masked selection loop on flat weight words; the boxed canonicalization
+  /// pass afterwards normalizes witnesses exactly as on the boxed path.
+  bool cold_flat() {
+    if (!cnet_.ok()) return false;
+    const compile::CompiledAlgebra& ca = cnet_.algebra();
+    const std::size_t stride = static_cast<std::size_t>(cnet_.words());
+    std::vector<std::uint64_t> origin_w(stride, 0);
+    if (!ca.encode(origin_, origin_w.data())) return false;
+
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    std::vector<std::uint64_t> w(static_cast<std::size_t>(n) * stride, 0);
+    std::vector<std::uint8_t> present(static_cast<std::size_t>(n), 0);
+    std::vector<char> settled(static_cast<std::size_t>(n), 0);
+    auto wp = [&](int v) {
+      return w.data() + static_cast<std::size_t>(v) * stride;
+    };
+    for (std::size_t k = 0; k < stride; ++k) wp(dest_)[k] = origin_w[k];
+    present[static_cast<std::size_t>(dest_)] = 1;
+
+    std::vector<std::uint64_t> cand(stride);
+    for (;;) {
+      int best = -1;
+      for (int v = 0; v < n; ++v) {
+        if (settled[static_cast<std::size_t>(v)] ||
+            !present[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        if (best < 0 || lt_of(ca.compare(wp(v), wp(best)))) best = v;
+      }
+      if (best < 0) break;
+      settled[static_cast<std::size_t>(best)] = 1;
+      for (int id : g.in_arcs(best)) {
+        if (!dnet_.arc_alive(id)) continue;
+        const int u = g.arc(id).src;
+        if (u == best || settled[static_cast<std::size_t>(u)]) continue;
+        ++stats_.relaxations;
+        for (std::size_t k = 0; k < stride; ++k) cand[k] = wp(best)[k];
+        ca.apply(cnet_.label(id), cand.data());
+        if (!present[static_cast<std::size_t>(u)] ||
+            lt_of(ca.compare(cand.data(), wp(u)))) {
+          for (std::size_t k = 0; k < stride; ++k) wp(u)[k] = cand[k];
+          present[static_cast<std::size_t>(u)] = 1;
+          r_.next_arc[static_cast<std::size_t>(u)] = id;
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (present[static_cast<std::size_t>(v)]) {
+        r_.weight[static_cast<std::size_t>(v)] = ca.decode(wp(v));
+      }
+    }
+    return true;
+  }
+
+  void warm_update(const DynNet::Applied& ap) override {
+    const std::vector<int> invalid = invalidate(ap);
+    std::vector<int> affected = seed_nodes(ap, invalid);
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    const PreorderSet& ord = *alg_.ord;
+
+    std::vector<char> in_a(static_cast<std::size_t>(n), 0);
+    std::vector<char> settled(static_cast<std::size_t>(n), 1);
+    for (int u : affected) {
+      in_a[static_cast<std::size_t>(u)] = 1;
+      settled[static_cast<std::size_t>(u)] = 0;
+    }
+    // Initial candidates from the frozen region only; routes via other
+    // affected nodes arrive as those settle.
+    for (int u : affected) {
+      if (u == dest_) {
+        r_.weight[static_cast<std::size_t>(u)] = origin_;
+        r_.next_arc[static_cast<std::size_t>(u)] = -1;
+        continue;
+      }
+      Candidate best;
+      for (int id : g.out_arcs(u)) {
+        if (!dnet_.arc_alive(id)) continue;
+        const int v = g.arc(id).dst;
+        if (v == u || in_a[static_cast<std::size_t>(v)]) continue;
+        const auto& wv = r_.weight[static_cast<std::size_t>(v)];
+        if (!wv) continue;
+        ++stats_.relaxations;
+        Value cand = alg_.fns->apply(dnet_.label(id), *wv);
+        if (!best.weight || lt_of(ord.cmp(cand, *best.weight))) {
+          best.weight = std::move(cand);
+          best.arc = id;
+        }
+      }
+      r_.weight[static_cast<std::size_t>(u)] = std::move(best.weight);
+      r_.next_arc[static_cast<std::size_t>(u)] = best.arc;
+    }
+
+    // Worst case re-settles every node a few times; beyond that something
+    // is outside the license (non-ND improvement cycles) and the masked
+    // full solve is both safer and faster.
+    const std::uint64_t settle_cap = 4ull * static_cast<std::uint64_t>(n) + 16;
+    std::uint64_t settles = 0;
+    for (;;) {
+      int best = -1;
+      for (int v : affected) {
+        if (settled[static_cast<std::size_t>(v)] ||
+            !r_.weight[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        if (best < 0 ||
+            lt_of(ord.cmp(*r_.weight[static_cast<std::size_t>(v)],
+                          *r_.weight[static_cast<std::size_t>(best)]))) {
+          best = v;
+        }
+      }
+      if (best < 0) break;
+      if (++settles > settle_cap) {
+        converged_ = false;
+        return;
+      }
+      settled[static_cast<std::size_t>(best)] = 1;
+      const Value wb = *r_.weight[static_cast<std::size_t>(best)];
+      for (int id : g.in_arcs(best)) {
+        if (!dnet_.arc_alive(id)) continue;
+        const int u = g.arc(id).src;
+        if (u == best || u == dest_) continue;
+        ++stats_.relaxations;
+        Value cand = alg_.fns->apply(dnet_.label(id), wb);
+        auto& wu = r_.weight[static_cast<std::size_t>(u)];
+        if (!wu || lt_of(ord.cmp(cand, *wu))) {
+          wu = std::move(cand);
+          r_.next_arc[static_cast<std::size_t>(u)] = id;
+          // A strict improvement into the frozen region unsettles the node:
+          // it joins the affected set and re-relaxes its own in-arcs.
+          settled[static_cast<std::size_t>(u)] = 0;
+          if (!in_a[static_cast<std::size_t>(u)]) {
+            in_a[static_cast<std::size_t>(u)] = 1;
+            affected.push_back(u);
+          }
+        }
+      }
+    }
+    converged_ = true;
+    rebuild_witnesses();
+    stats_.affected = static_cast<int>(affected.size());
+  }
+};
+
+/// Synchronous Bellman–Ford as a dynamic engine: a worklist of active nodes
+/// recomputes each one's best extension from scratch and activates the
+/// tails of its in-arcs on change. The cold path seeds {dest}; the warm
+/// path seeds the invalidated frontier plus touched arc tails. Caps at the
+/// same round budget as the one-shot bellman_sync.
+class BellmanEngine final : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+  std::unique_ptr<Solver> clone() const override {
+    return std::make_unique<BellmanEngine>(*this);
+  }
+
+ private:
+  static constexpr int kMaxRounds = 1000;  // matches BellmanOptions
+
+  void cold_solve() override {
+    const int n = dnet_.num_nodes();
+    r_.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+    r_.next_arc.assign(static_cast<std::size_t>(n), -1);
+    converged_ = true;
+    if (!node_ok(dest_)) return;
+    converged_ = relax_worklist({dest_}, nullptr);
+    if (converged_) rebuild_witnesses();
+  }
+
+  void warm_update(const DynNet::Applied& ap) override {
+    const std::vector<int> invalid = invalidate(ap);
+    const std::vector<int> seeds = seed_nodes(ap, invalid);
+    std::vector<int> touched;
+    converged_ = relax_worklist(seeds, &touched);
+    if (!converged_) return;
+    rebuild_witnesses();
+    stats_.affected = static_cast<int>(touched.size());
+  }
+
+  /// Gauss–Seidel rounds over the active set, ascending node order within a
+  /// round. Returns false on hitting the round cap (divergent algebra).
+  bool relax_worklist(const std::vector<int>& seeds,
+                      std::vector<int>* touched_out) {
+    const int n = dnet_.num_nodes();
+    const Digraph& g = dnet_.graph();
+    std::vector<char> queued(static_cast<std::size_t>(n), 0);
+    std::vector<char> touched(static_cast<std::size_t>(n), 0);
+    std::vector<int> frontier;
+    for (int u : seeds) {
+      if (node_ok(u) && !queued[static_cast<std::size_t>(u)]) {
+        queued[static_cast<std::size_t>(u)] = 1;
+        frontier.push_back(u);
+      }
+    }
+    int rounds = 0;
+    while (!frontier.empty()) {
+      if (++rounds > kMaxRounds) return false;
+      std::sort(frontier.begin(), frontier.end());
+      for (int u : frontier) queued[static_cast<std::size_t>(u)] = 0;
+      std::vector<int> next;
+      auto activate = [&](int x) {
+        if (node_ok(x) && !queued[static_cast<std::size_t>(x)]) {
+          queued[static_cast<std::size_t>(x)] = 1;
+          next.push_back(x);
+        }
+      };
+      for (int u : frontier) {
+        touched[static_cast<std::size_t>(u)] = 1;
+        bool changed = false;
+        auto& wu = r_.weight[static_cast<std::size_t>(u)];
+        if (u == dest_) {
+          changed = !wu || !(*wu == origin_);
+          if (changed) {
+            wu = origin_;
+            r_.next_arc[static_cast<std::size_t>(u)] = -1;
+          }
+        } else {
+          Candidate c = best_candidate(u);
+          changed = (c.weight.has_value() != wu.has_value()) ||
+                    (c.weight && !(*c.weight == *wu));
+          if (changed) {
+            wu = std::move(c.weight);
+            r_.next_arc[static_cast<std::size_t>(u)] = c.arc;
+          }
+        }
+        if (changed) {
+          for (int id : g.in_arcs(u)) activate(g.arc(id).src);
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (touched_out != nullptr) {
+      for (int v = 0; v < n; ++v) {
+        if (touched[static_cast<std::size_t>(v)]) touched_out->push_back(v);
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+namespace dyn {
+
+std::unique_ptr<Solver> make_solver(EngineKind kind, const OrderTransform& alg,
+                                    const compile::WeightEngine* engine) {
+  switch (kind) {
+    case EngineKind::Bellman:
+      return std::make_unique<BellmanEngine>(alg, engine);
+    case EngineKind::Dijkstra:
+      break;
+  }
+  return std::make_unique<DijkstraEngine>(alg, engine);
+}
+
+}  // namespace dyn
+}  // namespace mrt

@@ -23,6 +23,7 @@ int Digraph::add_arc(int u, int v) {
   arcs_.push_back(Arc{u, v});
   out_[static_cast<std::size_t>(u)].push_back(id);
   in_[static_cast<std::size_t>(v)].push_back(id);
+  endpoint_index_.insert(endpoint_key(u, v));
   return id;
 }
 
@@ -44,10 +45,7 @@ const std::vector<int>& Digraph::in_arcs(int u) const {
 bool Digraph::has_arc(int u, int v) const {
   check_node(u);
   check_node(v);
-  for (int id : out_[static_cast<std::size_t>(u)]) {
-    if (arcs_[static_cast<std::size_t>(id)].dst == v) return true;
-  }
-  return false;
+  return endpoint_index_.count(endpoint_key(u, v)) > 0;
 }
 
 Digraph Digraph::reversed() const {

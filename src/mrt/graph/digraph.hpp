@@ -5,7 +5,9 @@
 // weights) live in parallel arrays owned by the layers above.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace mrt {
@@ -30,6 +32,9 @@ class Digraph {
   const std::vector<int>& out_arcs(int u) const;
   const std::vector<int>& in_arcs(int u) const;
 
+  /// O(1) expected: answered from a hashed endpoint-pair index maintained
+  /// by add_arc, not by scanning the adjacency list (generators probe this
+  /// densely while building random graphs).
   bool has_arc(int u, int v) const;
 
   /// The graph with every arc reversed (arc ids preserved).
@@ -41,9 +46,15 @@ class Digraph {
  private:
   void check_node(int u) const;
 
+  static std::uint64_t endpoint_key(int u, int v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
   std::vector<Arc> arcs_;
   std::vector<std::vector<int>> out_;
   std::vector<std::vector<int>> in_;
+  std::unordered_set<std::uint64_t> endpoint_index_;  // (src, dst) pairs
 };
 
 }  // namespace mrt

@@ -502,6 +502,7 @@ SimResult PathVectorSim::run() {
     out.arc_alive[static_cast<std::size_t>(a)] = arc_alive(a);
   }
   out.node_up = node_up_;
+  out.delta = dyn::TopologyDelta::to_state(arc_up_, node_up_);
   out.stats = stats_;
 
   if (obs::enabled()) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "mrt/compile/engine.hpp"
+#include "mrt/dyn/delta.hpp"
 #include "mrt/routing/labeled_graph.hpp"
 #include "mrt/sim/event_queue.hpp"
 #include "mrt/support/rng.hpp"
@@ -94,6 +95,10 @@ struct SimResult {
   /// The chaos oracles validate `routing` against exactly this subgraph.
   std::vector<bool> arc_alive;
   std::vector<bool> node_up;
+  /// The same surviving topology as a delta from the all-up network:
+  /// applying it to a freshly bound dyn::DynNet reproduces `arc_alive` /
+  /// `node_up` exactly, so fault outcomes feed Solver::update directly.
+  dyn::TopologyDelta delta;
   SimStats stats;
 };
 

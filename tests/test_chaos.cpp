@@ -12,6 +12,7 @@
 #include "mrt/chaos/campaign.hpp"
 #include "mrt/chaos/fault_plan.hpp"
 #include "mrt/chaos/oracles.hpp"
+#include "mrt/dyn/solver.hpp"
 #include "mrt/graph/generators.hpp"
 #include "mrt/par/par.hpp"
 #include "mrt/routing/dijkstra.hpp"
@@ -457,6 +458,29 @@ TEST(Campaign, VerdictTableIsThreadCountInvariant) {
   const std::string tn = render(hw);
   par::set_thread_limit(hw);
   EXPECT_EQ(t1, tn) << "verdict table depends on the thread count";
+}
+
+TEST(Campaign, VerdictTableIsDynToggleInvariant) {
+  // The global-truth oracle takes the incremental path (per-scenario warm
+  // baseline + update(delta)) when dyn is on and the legacy from-scratch
+  // subgraph solve when it is off. Every verdict — and the full JSON report
+  // — must be identical either way.
+  CampaignConfig cfg;
+  cfg.seed = 0xD2B;
+  cfg.runs_per_scenario = 60;
+  const std::vector<CampaignScenario> scs = headline_scenarios(true);
+
+  auto render = [&](bool on) {
+    const bool before = dyn::enabled();
+    dyn::set_enabled(on);
+    const CampaignReport rep = chaos::run_campaign(scs, cfg);
+    dyn::set_enabled(before);
+    std::ostringstream json;
+    rep.write_json(json);
+    return rep.verdict_table() + "\n" + json.str();
+  };
+  EXPECT_EQ(render(false), render(true))
+      << "verdict table depends on the MRT_DYN toggle";
 }
 
 TEST(Campaign, ShrinkKeepsFailureAndNeverGrows) {

@@ -39,6 +39,48 @@ TEST(Digraph, ReversedPreservesArcIds) {
   EXPECT_EQ(r.arc(1).src, 2);
 }
 
+TEST(Digraph, ReversedPreservesIdsWithParallelArcsAndSelfLoops) {
+  // Arc id i of reversed() must be arc id i of the original with src/dst
+  // swapped — layers above key per-arc state (labels, masks) by id.
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);  // parallel
+  g.add_arc(2, 2);  // self-loop
+  g.add_arc(1, 0);  // anti-parallel pair of arcs 0/1
+  g.add_arc(3, 0);
+  const Digraph r = g.reversed();
+  ASSERT_EQ(r.num_arcs(), g.num_arcs());
+  ASSERT_EQ(r.num_nodes(), g.num_nodes());
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    EXPECT_EQ(r.arc(id).src, g.arc(id).dst) << "arc " << id;
+    EXPECT_EQ(r.arc(id).dst, g.arc(id).src) << "arc " << id;
+  }
+  // Adjacency swaps roles but keeps ids: out_arcs in r == in_arcs in g.
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(r.out_arcs(v), g.in_arcs(v)) << "node " << v;
+    EXPECT_EQ(r.in_arcs(v), g.out_arcs(v)) << "node " << v;
+  }
+  // An involution on the arc list: reversing twice restores every arc.
+  const Digraph rr = r.reversed();
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    EXPECT_EQ(rr.arc(id).src, g.arc(id).src);
+    EXPECT_EQ(rr.arc(id).dst, g.arc(id).dst);
+  }
+}
+
+TEST(Digraph, HasArcWithParallelArcsAndSelfLoops) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);
+  g.add_arc(1, 1);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_FALSE(g.has_arc(0, 0));
+  EXPECT_FALSE(g.has_arc(2, 2));
+  EXPECT_THROW(g.has_arc(0, 3), std::logic_error);
+}
+
 TEST(Digraph, Reachability) {
   Digraph g(4);
   g.add_arc(0, 1);
@@ -46,6 +88,30 @@ TEST(Digraph, Reachability) {
   auto seen = g.reachable_from(0);
   EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
   EXPECT_FALSE(seen[3]);
+}
+
+TEST(Digraph, ReachabilityEdgeCases) {
+  // Self-loops and parallel arcs must not trap or double-visit the BFS,
+  // and an isolated node reaches exactly itself.
+  Digraph g(5);
+  g.add_arc(0, 0);  // self-loop at the source
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);  // parallel
+  g.add_arc(1, 1);  // self-loop mid-walk
+  g.add_arc(3, 2);  // only reachable against arc direction from 2
+  const auto from0 = g.reachable_from(0);
+  EXPECT_TRUE(from0[0] && from0[1]);
+  EXPECT_FALSE(from0[2] || from0[3] || from0[4]);
+  const auto from2 = g.reachable_from(2);  // no out-arcs at all
+  EXPECT_TRUE(from2[2]);
+  EXPECT_FALSE(from2[0] || from2[1] || from2[3] || from2[4]);
+  const auto from4 = g.reachable_from(4);  // isolated node
+  EXPECT_TRUE(from4[4]);
+  EXPECT_FALSE(from4[0] || from4[1] || from4[2] || from4[3]);
+  // Degenerate graphs: a single node with only a self-loop.
+  Digraph one(1);
+  one.add_arc(0, 0);
+  EXPECT_TRUE(one.reachable_from(0)[0]);
 }
 
 TEST(Generators, Shapes) {
