@@ -118,6 +118,21 @@ class JsonReport {
     w.key("gauges").begin_object();
     for (const auto& [k, v] : obs::registry().gauges()) w.key(k).value(v);
     w.end_object();
+    // Latency distributions (the journal PR's per-update()/per-run timers):
+    // count/mean/max plus the log-2-bucket quantile estimates, so BENCH
+    // trajectories track tails, not just totals.
+    w.key("histograms").begin_object();
+    for (const auto& [k, h] : obs::registry().histograms()) {
+      w.key(k).begin_object();
+      w.key("count").value(static_cast<std::uint64_t>(h->count()));
+      w.key("mean").value(h->mean());
+      w.key("max").value(static_cast<std::uint64_t>(h->max()));
+      w.key("p50").value(h->quantile(0.50));
+      w.key("p90").value(h->quantile(0.90));
+      w.key("p99").value(h->quantile(0.99));
+      w.end_object();
+    }
+    w.end_object();
     // Host parallelism context: BENCH trajectories are only comparable
     // across machines with this attached.
     w.key("threads").begin_object();

@@ -24,6 +24,12 @@ fi
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+# Snapshot the committed baseline before this run overwrites it: the
+# journal-off overhead gate below compares fresh wall clocks against it.
+if [ -f "$OUT" ]; then
+  cp "$OUT" "$tmpdir/obs.baseline.json"
+fi
+
 records=()
 # A missing binary is a broken build, not a reason to skip a gate.
 require_bin() {
@@ -33,11 +39,13 @@ require_bin() {
   fi
 }
 
+# MRT_JOURNAL=0 pins the journal off: these records are the baseline the
+# flight-recorder overhead gate below holds future runs to.
 for b in perf_routing perf_inference; do
   bin="$BUILD/bench/$b"
   require_bin "$bin"
   echo "== $b =="
-  "$bin" --json "$tmpdir/$b.json"
+  MRT_JOURNAL=0 "$bin" --json "$tmpdir/$b.json"
   records+=("$tmpdir/$b.json")
 done
 
@@ -53,6 +61,58 @@ done
   printf ']\n'
 } > "$OUT"
 echo "wrote $OUT (${#records[@]} records)"
+
+# --- Journal-off overhead gate -------------------------------------------
+# Two checks on the fresh records:
+#   1. quantiles: every record exports a histograms section with p50/p99
+#      (the log-2-bucket latency estimates the journal PR added);
+#   2. overhead: with MRT_JOURNAL=0 the flight recorder must cost nothing —
+#      fresh perf wall clocks stay within noise (<=1.30x) of the committed
+#      baseline snapshot taken above. Skipped (loudly) on a first run with
+#      no baseline to compare against.
+python3 - "$tmpdir/perf_routing.json" "$tmpdir/perf_inference.json" \
+  "$tmpdir/obs.baseline.json" <<'PY'
+import json, os, sys
+fresh = {json.load(open(p))["bench"]: json.load(open(p))
+         for p in sys.argv[1:3]}
+bad = []
+for name, rec in fresh.items():
+    if "histograms" not in rec:
+        bad.append(f"{name}: no histograms section in the JSON record")
+        continue
+    for hname, h in rec["histograms"].items():
+        for q in ("p50", "p90", "p99"):
+            if q not in h:
+                bad.append(f"{name}: histogram {hname} missing {q}")
+# The routing record must actually carry latency quantiles (the *_ns
+# ScopedTimer histograms); inference has no timed regions and may be empty.
+routing_ns = [k for k in fresh["perf_routing"].get("histograms", {})
+              if k.endswith("_ns")]
+if not routing_ns:
+    bad.append("perf_routing: no *_ns latency histograms in the record")
+baseline_path = sys.argv[3]
+if os.path.exists(baseline_path):
+    baseline = {r["bench"]: r for r in json.load(open(baseline_path))}
+    for name, rec in fresh.items():
+        base = baseline.get(name)
+        if base is None:
+            continue  # new bench since the committed baseline
+        ratio = rec["wall_s"] / base["wall_s"]
+        if ratio > 1.30:
+            bad.append(f"{name}: wall_s {rec['wall_s']:.2f}s is {ratio:.2f}x "
+                       f"the committed baseline {base['wall_s']:.2f}s "
+                       f"(> 1.30x noise bound) with MRT_JOURNAL=0")
+        else:
+            print(f"   {name}: {ratio:.2f}x baseline with the journal off "
+                  f"(bound 1.30x)")
+else:
+    print("   no committed BENCH_obs.json baseline: overhead ratio skipped")
+if bad:
+    print("bench_json.sh: JOURNAL GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print("   journal gate passed: quantiles exported, journal-off within noise")
+PY
 
 # --- Parallel determinism check + BENCH_par.json -------------------------
 PAR_OUT="BENCH_par.json"

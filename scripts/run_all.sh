@@ -11,6 +11,10 @@
 #   --preset dyn — tsan build focused on the incremental solvers: runs the
 #          mrt::dyn seam suites plus the differential property suite under
 #          ThreadSanitizer with MRT_THREADS=4, then exit.
+#   --preset obs — tsan build focused on the flight recorder: runs the
+#          journal, provenance, and metrics suites with MRT_JOURNAL=1 under
+#          ThreadSanitizer with MRT_THREADS=4 (per-thread rings drained
+#          mid-run is exactly the race surface), then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
 #          property, chaos, perf); see tests/CMakeLists.txt.
 set -euo pipefail
@@ -50,8 +54,22 @@ if [ -n "$PRESET" ]; then
       echo "dyn preset passed"
       exit 0
       ;;
+    obs)
+      # Flight-recorder focus: producers append to per-thread rings while
+      # the main thread drains, and the concurrent-gauge/journal tests race
+      # on purpose — the whole observability surface runs under
+      # ThreadSanitizer with the journal forced on.
+      cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      cmake --build build-tsan -j "$(nproc)" \
+        --target mrt_tests mrt_property_tests
+      MRT_JOURNAL=1 MRT_THREADS=4 ctest --test-dir build-tsan \
+        --output-on-failure \
+        -R 'Journal|Provenance|ObsMetrics|ObsQuantile|ObsJson|ObsTrace'
+      echo "obs preset passed"
+      exit 0
+      ;;
     *)
-      echo "run_all.sh: unknown preset '$PRESET' (known: dyn)" >&2
+      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs)" >&2
       exit 2
       ;;
   esac

@@ -8,6 +8,7 @@
 
 #include "mrt/core/checker.hpp"
 #include "mrt/obs/json.hpp"
+#include "mrt/obs/journal.hpp"
 #include "mrt/obs/metrics.hpp"
 #include "mrt/par/par.hpp"
 
@@ -74,15 +75,26 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   v.stats = res.stats;
   v.accounting_ok = conservation_holds(res.stats);
 
+  // Flight-recorder verdict, on the sim's own stream: aux 0 = pass,
+  // 1 = diverged, 2 = conservation violated, 3 = oracle refuted.
+  const auto jverdict = [&](int outcome) {
+    obs::jrecord(obs::Subsystem::Chaos, obs::EventKind::FaultOutcome,
+                 sim.journal_stream(), -1,
+                 static_cast<int>(plan.faults.size()), outcome, 0,
+                 static_cast<std::uint64_t>(res.finish_time * 1e6));
+  };
+
   if (!res.converged) {
     v.pass = !sc.expect_convergence && v.accounting_ok;
     v.detail = v.accounting_ok ? "diverged (event cap)"
                                : "accounting: conservation violated";
+    jverdict(v.accounting_ok ? (v.pass ? 0 : 1) : 2);
     return v;
   }
   if (!v.accounting_ok) {
     v.pass = false;
     v.detail = "accounting: conservation violated";
+    jverdict(2);
     return v;
   }
   OracleOptions oo;
@@ -94,6 +106,7 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
       check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
   v.pass = rep.all_pass();
   v.detail = rep.first_failure();
+  jverdict(v.pass ? 0 : 3);
   return v;
 }
 
@@ -178,6 +191,9 @@ void CampaignReport::write_json(std::ostream& out) const {
       w.key("plan_size").value(static_cast<std::uint64_t>(f.plan_size));
       w.key("shrunk").value(f.shrunk);
       w.key("shrunk_size").value(static_cast<std::uint64_t>(f.shrunk_size));
+      w.key("journal_events")
+          .value(static_cast<std::uint64_t>(f.journal_events));
+      w.key("journal").value(f.journal);
       w.end_object();
     }
     w.end_array();
@@ -286,6 +302,21 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
                                             baseline.get());
         fc.shrunk = small.describe();
         fc.shrunk_size = small.faults.size();
+        // Attach the shrunk repro's flight-recorder log: re-run it once with
+        // the journal forced on and render the drained records. This section
+        // is sequential, so the drain-discard below only eats records this
+        // campaign produced since the last drain.
+        const bool was_on = obs::journal_enabled();
+        obs::journal().drain();
+        obs::set_journal_enabled(true);
+        (void)run_one(sc, seed, small, check_global, &engine, baseline.get());
+        obs::set_journal_enabled(was_on);
+        const std::vector<obs::JournalRecord> recs = obs::journal().drain();
+        fc.journal_events = recs.size();
+        for (const obs::JournalRecord& r : recs) {
+          fc.journal += r.describe();
+          fc.journal += '\n';
+        }
       }
       out.failures.push_back(std::move(fc));
     }

@@ -69,6 +69,12 @@ struct FailureCase {
   std::size_t plan_size = 0;
   std::string shrunk;  ///< locally-minimal failing plan ("" if not shrunk)
   std::size_t shrunk_size = 0;
+  /// Flight-recorder log of the shrunk repro: the shrunk plan is re-run once
+  /// with the journal forced on and the drained records rendered here (one
+  /// describe() line each), so a kept failure ships with its own causal
+  /// event history. Empty when shrinking is disabled.
+  std::string journal;
+  std::size_t journal_events = 0;
 };
 
 struct ScenarioOutcome {

@@ -39,6 +39,8 @@ namespace {
 using dyn::DynNet;
 using dyn::TopologyDelta;
 using dyn::UpdateStats;
+using obs::EventKind;
+using obs::Subsystem;
 
 /// Shared engine state: the bound problem, the current solution, and the
 /// helpers both engines build their warm paths from — candidate scans,
@@ -53,10 +55,18 @@ class EngineBase : public Solver {
                        const Value& origin) override {
     MRT_REQUIRE(dest >= 0 && dest < net.num_nodes());
     obs::ScopedSpan span("dyn.solve", "routing");
+    static obs::Histogram& solve_ns = obs::registry().histogram("dyn.solve_ns");
+    obs::ScopedTimer timer(solve_ns);
     dnet_ = DynNet(net);
     dest_ = dest;
     origin_ = origin;
     bound_ = true;
+    // A fresh binding opens a fresh journal stream and resets the diff
+    // baseline, so the cold solve journals every route as a new attach.
+    jstream_ = obs::journal_next_stream();
+    jprev_valid_ = false;
+    obs::jrecord(Subsystem::Dyn, EventKind::SolveBegin, jstream_, dest_, -1,
+                 dnet_.num_nodes());
     if (weng_ != nullptr) {
       cnet_ = compile::CompiledNet::make(*weng_, dnet_.net());
     } else {
@@ -66,13 +76,21 @@ class EngineBase : public Solver {
     cold_solve();
     stats_.affected = dnet_.num_nodes();
     finish_stats();
+    journal_routing_diff();
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream_, -1, -1,
+                 -static_cast<std::int64_t>(stats_.affected),
+                 dnet_.version());
     return r_;
   }
 
   const Routing& update(const TopologyDelta& delta) override {
     MRT_REQUIRE(bound_);
     obs::ScopedSpan span("dyn.update", "routing");
+    static obs::Histogram& update_ns =
+        obs::registry().histogram("dyn.update_ns");
+    obs::ScopedTimer timer(update_ns);
     const DynNet::Applied ap = dnet_.apply(delta);
+    journal_delta(delta, ap);
     // Delta-aware re-encoding: only the relabeled arcs' programs recompile.
     if (weng_ != nullptr) {
       for (int id : ap.relabeled_arcs) cnet_.relabel(id, dnet_.label(id));
@@ -92,11 +110,18 @@ class EngineBase : public Solver {
       if (!converged_) run_cold();
     }
     finish_stats();
+    journal_routing_diff();
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream_, -1, -1,
+                 stats_.cold ? -static_cast<std::int64_t>(stats_.affected)
+                             : static_cast<std::int64_t>(stats_.affected),
+                 dnet_.version());
     return r_;
   }
 
   const Routing& routing() const override { return r_; }
   const dyn::DynNet& net() const override { return dnet_; }
+  int dest() const override { return dest_; }
+  std::uint32_t journal_stream() const override { return jstream_; }
   bool converged() const override { return converged_; }
   const UpdateStats& last_update() const override { return stats_; }
 
@@ -251,6 +276,9 @@ class EngineBase : public Solver {
     std::vector<int> out;
     for (int v = 0; v < n; ++v) {
       if (invalid[static_cast<std::size_t>(v)]) {
+        obs::jrecord(Subsystem::Dyn, EventKind::WitnessInvalidate, jstream_,
+                     v, r_.next_arc[static_cast<std::size_t>(v)], 0,
+                     dnet_.version());
         clear_route(v);
         out.push_back(v);
       }
@@ -273,6 +301,72 @@ class EngineBase : public Solver {
                                [&](int v) { return !node_ok(v); }),
                 seeds.end());
     return seeds;
+  }
+
+  /// Journals the applied delta batch: one record per op, all carrying the
+  /// post-apply topology version, so provenance can map a route change back
+  /// to the exact ops of the batch that caused it.
+  void journal_delta(const TopologyDelta& delta, const DynNet::Applied& ap) {
+    if (!obs::journal_enabled()) return;
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateBegin, jstream_, -1, -1,
+                 static_cast<std::int64_t>(delta.ops.size()), dnet_.version());
+    for (int id : ap.changed_arcs) {
+      const bool relabeled = std::binary_search(ap.relabeled_arcs.begin(),
+                                                ap.relabeled_arcs.end(), id);
+      obs::jrecord(Subsystem::Dyn,
+                   relabeled ? EventKind::DeltaRelabel : EventKind::DeltaArc,
+                   jstream_, dnet_.graph().arc(id).src, id,
+                   dnet_.arc_alive(id) ? 1 : 0, dnet_.version());
+    }
+    for (int v : ap.nodes_down) {
+      obs::jrecord(Subsystem::Dyn, EventKind::DeltaNodeDown, jstream_, v, -1,
+                   0, dnet_.version());
+    }
+    for (int v : ap.nodes_up) {
+      obs::jrecord(Subsystem::Dyn, EventKind::DeltaNodeUp, jstream_, v, -1, 0,
+                   dnet_.version());
+    }
+  }
+
+  /// Journals the routing diff against the previously published solution:
+  /// one WitnessAttach per node whose (weight, witness arc) changed, one
+  /// WitnessClear per node that lost its route. Diffing is the point —
+  /// rebuild_witnesses() re-attaches every routed node on every update, but
+  /// provenance wants "the delta after which this route last changed", so
+  /// unaffected nodes must keep their older attach records. With the journal
+  /// off the baseline goes stale; it is dropped so a later enable re-attaches
+  /// everything instead of emitting a bogus partial diff.
+  void journal_routing_diff() {
+    if (!obs::journal_enabled()) {
+      jprev_valid_ = false;
+      return;
+    }
+    const int n = dnet_.num_nodes();
+    const bool based =
+        jprev_valid_ && jprev_weight_.size() == r_.weight.size();
+    for (int v = 0; v < n; ++v) {
+      const auto& w = r_.weight[static_cast<std::size_t>(v)];
+      const int arc = r_.next_arc[static_cast<std::size_t>(v)];
+      bool changed;
+      if (!based) {
+        changed = w.has_value();
+      } else {
+        const auto& pw = jprev_weight_[static_cast<std::size_t>(v)];
+        changed = (w.has_value() != pw.has_value()) || (w && !(*w == *pw)) ||
+                  arc != jprev_arc_[static_cast<std::size_t>(v)];
+      }
+      if (!changed) continue;
+      if (w) {
+        obs::jrecord(Subsystem::Dyn, EventKind::WitnessAttach, jstream_, v,
+                     arc, 0, dnet_.version());
+      } else {
+        obs::jrecord(Subsystem::Dyn, EventKind::WitnessClear, jstream_, v, -1,
+                     0, dnet_.version());
+      }
+    }
+    jprev_weight_ = r_.weight;
+    jprev_arc_ = r_.next_arc;
+    jprev_valid_ = true;
   }
 
   void begin_stats(bool cold, std::size_t changed_arcs) {
@@ -306,6 +400,12 @@ class EngineBase : public Solver {
   Routing r_;
   compile::CompiledNet cnet_;
   UpdateStats stats_;
+  // Flight-recorder state: this binding's journal stream, and the routing
+  // shadow journal_routing_diff() diffs against.
+  std::uint32_t jstream_ = 0;
+  std::vector<std::optional<Value>> jprev_weight_;
+  std::vector<int> jprev_arc_;
+  bool jprev_valid_ = false;
 };
 
 /// Generalized Dijkstra as a dynamic engine. Cold solves run the masked
@@ -489,6 +589,9 @@ class DijkstraEngine final : public EngineBase {
         return;
       }
       settled[static_cast<std::size_t>(best)] = 1;
+      obs::jrecord(Subsystem::Dyn, EventKind::RelaxSettle, jstream_, best,
+                   r_.next_arc[static_cast<std::size_t>(best)],
+                   static_cast<std::int64_t>(settles), dnet_.version());
       const Value wb = *r_.weight[static_cast<std::size_t>(best)];
       for (int id : g.in_arcs(best)) {
         if (!dnet_.arc_alive(id)) continue;
@@ -570,6 +673,9 @@ class BellmanEngine final : public EngineBase {
     int rounds = 0;
     while (!frontier.empty()) {
       if (++rounds > kMaxRounds) return false;
+      obs::jrecord(Subsystem::Dyn, EventKind::RelaxWave, jstream_, -1, -1,
+                   static_cast<std::int64_t>(frontier.size()),
+                   dnet_.version());
       std::sort(frontier.begin(), frontier.end());
       for (int u : frontier) queued[static_cast<std::size_t>(u)] = 0;
       std::vector<int> next;

@@ -79,6 +79,14 @@ class Solver {
   /// The bound topology state (masks + version).
   virtual const dyn::DynNet& net() const = 0;
 
+  /// The bound destination (valid after solve()).
+  virtual int dest() const = 0;
+
+  /// The journal stream this solver's flight-recorder records carry (a
+  /// fresh id per solve() binding; 0 before the first solve). Provenance
+  /// queries (obs/provenance.hpp) filter the process-global journal by it.
+  virtual std::uint32_t journal_stream() const = 0;
+
   /// False if the last solve/update hit its iteration cap (possible for
   /// non-increasing algebras on the Bellman engine).
   virtual bool converged() const = 0;

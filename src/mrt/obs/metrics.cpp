@@ -1,6 +1,8 @@
 #include "mrt/obs/metrics.hpp"
 
 #include <bit>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -55,6 +57,37 @@ void Histogram::record(std::uint64_t v) noexcept {
 std::uint64_t Histogram::bucket_count(int i) const noexcept {
   MRT_REQUIRE(i >= 0 && i < kBuckets);
   return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t c = count();
+  if (c == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  // Nearest rank: the k-th smallest sample, k in [1, c].
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(c)));
+  if (rank == 0) rank = 1;
+  if (rank > c) rank = c;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = bucket_count(i);
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      const double lo = static_cast<double>(bucket_lower(i));
+      double hi = static_cast<double>(bucket_upper(i));
+      // In the top non-empty bucket no sample exceeds the recorded max.
+      const double mx = static_cast<double>(max());
+      if (mx >= lo && mx < hi) hi = mx;
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(n);
+      return lo + (hi - lo) * frac;
+    }
+    cum += n;
+  }
+  // Concurrent recording moved count past the buckets scanned; the max is
+  // the safest stand-in for a top-rank estimate.
+  return static_cast<double>(max());
 }
 
 void Histogram::reset() noexcept {
@@ -120,6 +153,15 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
   return out;
 }
 
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
 void Registry::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(out);
@@ -137,6 +179,9 @@ void Registry::write_json(std::ostream& out) const {
     w.key("sum").value(h->sum());
     w.key("mean").value(h->mean());
     w.key("max").value(h->max());
+    w.key("p50").value(h->quantile(0.5));
+    w.key("p90").value(h->quantile(0.9));
+    w.key("p99").value(h->quantile(0.99));
     w.key("buckets").begin_array();
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket_count(i);
@@ -169,6 +214,58 @@ void Registry::write_csv(std::ostream& out) const {
     out << "histogram_sum," << name << ',' << h->sum() << '\n';
     out << "histogram_max," << name << ',' << h->max() << '\n';
   }
+}
+
+namespace {
+
+/// Metric name -> OpenMetrics sample name: `mrt_` prefix, [A-Za-z0-9_] only.
+std::string om_name(const std::string& name) {
+  std::string out = "mrt_";
+  out.reserve(name.size() + 4);
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string om_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Registry::write_openmetrics(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = om_name(name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << "_total " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = om_name(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ' << om_double(g->value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = om_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t bn = h->bucket_count(i);
+      if (bn == 0) continue;
+      cum += bn;
+      out << n << "_bucket{le=\"" << Histogram::bucket_upper(i) << "\"} "
+          << cum << '\n';
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h->count() << '\n';
+    out << n << "_sum " << h->sum() << '\n';
+    out << n << "_count " << h->count() << '\n';
+  }
+  out << "# EOF\n";
 }
 
 Registry& registry() {

@@ -53,13 +53,23 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-/// Last-written value, with a high-water helper for depth-style metrics.
+/// A named scalar with two explicit write disciplines — pick one per metric
+/// and stick to it:
+///  - set(): last-write-wins snapshot ("current depth", "current phase");
+///  - max_of(): monotone high-water mark ("deepest backlog seen"). This is
+///    a CAS loop, so concurrent max_of calls from many threads publish the
+///    true maximum — a larger value is never lost to a smaller racer.
+/// Mixing the two on one gauge gives the old ambiguous "last-or-max"
+/// reading and is a bug at the call site.
 class Gauge {
  public:
   void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
-  /// Keeps the maximum of the current value and `v`.
+  /// Raises the value to `v` if larger; no-op otherwise.
   void max_of(double v) noexcept {
-    if (v > value()) set(v);
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+    }
   }
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
   void reset() noexcept { set(0.0); }
@@ -92,6 +102,14 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
   std::uint64_t bucket_count(int i) const noexcept;
+  /// Estimated q-quantile (q clamped to [0,1]; 0 when empty): the
+  /// nearest-rank sample is located in its log-2 bucket and linearly
+  /// interpolated across the bucket bounds by its rank within the bucket.
+  /// The estimate always lies inside the bucket holding the true sample, so
+  /// for values >= 1 it is within 2x of the exact quantile (bucket i spans
+  /// [2^(i-1), 2^i - 1], a 2x range); bucket 0 holds only {0} and is exact.
+  /// The top non-empty bucket is additionally clamped to max().
+  double quantile(double q) const noexcept;
   double mean() const noexcept {
     const std::uint64_t c = count();
     return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
@@ -151,11 +169,20 @@ class Registry {
   /// Sorted (name, value) views for export and assertions.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
+  /// Sorted (name, histogram) view; the pointers are stable for the process
+  /// lifetime (reset() zeroes, never deletes).
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
 
-  /// Flat dump of every metric. Histograms export count/sum/mean/max plus
-  /// the non-empty buckets.
+  /// Flat dump of every metric. Histograms export count/sum/mean/max,
+  /// p50/p90/p99 estimates, plus the non-empty buckets.
   void write_json(std::ostream& out) const;
   void write_csv(std::ostream& out) const;
+  /// OpenMetrics / Prometheus text exposition format: counters get a
+  /// `_total` suffix, gauges export verbatim, histograms export cumulative
+  /// `_bucket{le="..."}` series (non-empty buckets plus `+Inf`) with
+  /// `_sum` and `_count`. Names are prefixed `mrt_` with every character
+  /// outside [A-Za-z0-9_] mapped to '_'; the dump ends with `# EOF`.
+  void write_openmetrics(std::ostream& out) const;
 
  private:
   mutable std::mutex mu_;

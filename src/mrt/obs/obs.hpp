@@ -3,6 +3,7 @@
 // formats.
 #pragma once
 
+#include "mrt/obs/journal.hpp"
 #include "mrt/obs/json.hpp"
 #include "mrt/obs/metrics.hpp"
 #include "mrt/obs/trace.hpp"

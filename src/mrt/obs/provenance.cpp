@@ -1,0 +1,202 @@
+#include "mrt/obs/provenance.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace mrt::obs {
+namespace {
+
+bool is_delta_kind(EventKind k) {
+  switch (k) {
+    case EventKind::DeltaArc:
+    case EventKind::DeltaRelabel:
+    case EventKind::DeltaNodeDown:
+    case EventKind::DeltaNodeUp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ProvenanceIndex::ProvenanceIndex(std::vector<JournalRecord> log)
+    : log_(std::move(log)) {
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const JournalRecord& r = log_[i];
+    if (r.subsystem != Subsystem::Dyn) continue;
+    const Key nk{r.stream, r.node};
+    switch (r.kind) {
+      case EventKind::WitnessAttach:
+        attach_[nk] = i;  // later records overwrite: last attach wins
+        break;
+      case EventKind::WitnessInvalidate:
+        invalidate_[nk] = i;
+        break;
+      case EventKind::WitnessClear:
+        clear_[nk] = i;
+        break;
+      default:
+        if (is_delta_kind(r.kind)) {
+          deltas_[Key{r.stream, static_cast<std::int64_t>(r.version)}]
+              .push_back(i);
+        }
+        break;
+    }
+  }
+}
+
+const JournalRecord* ProvenanceIndex::find(const std::map<Key, std::size_t>& m,
+                                           std::uint32_t stream,
+                                           std::int64_t k) const {
+  const auto it = m.find(Key{stream, k});
+  return it == m.end() ? nullptr : &log_[it->second];
+}
+
+const JournalRecord* ProvenanceIndex::last_attach(std::uint32_t stream,
+                                                  int node) const {
+  return find(attach_, stream, node);
+}
+
+const JournalRecord* ProvenanceIndex::last_invalidate(std::uint32_t stream,
+                                                      int node) const {
+  return find(invalidate_, stream, node);
+}
+
+const JournalRecord* ProvenanceIndex::last_clear(std::uint32_t stream,
+                                                 int node) const {
+  return find(clear_, stream, node);
+}
+
+std::vector<const JournalRecord*> ProvenanceIndex::delta_records(
+    std::uint32_t stream, std::uint64_t version) const {
+  std::vector<const JournalRecord*> out;
+  const auto it =
+      deltas_.find(Key{stream, static_cast<std::int64_t>(version)});
+  if (it == deltas_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&log_[i]);
+  return out;
+}
+
+namespace {
+
+/// Renders the delta batch of `version` for a hop's cause field.
+std::string cause_of(const ProvenanceIndex& idx, std::uint32_t stream,
+                     std::uint64_t version) {
+  if (version == 0) return "initial solve";
+  const auto ops = idx.delta_records(stream, version);
+  if (ops.empty()) {
+    // The batch predates the journal window (ring overflow or late enable).
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "delta v%llu",
+                  static_cast<unsigned long long>(version));
+    return buf;
+  }
+  std::string out;
+  for (const JournalRecord* r : ops) {
+    if (!out.empty()) out += ", ";
+    out += to_string(r->kind);
+    char buf[48];
+    if (r->arc >= 0) {
+      std::snprintf(buf, sizeof buf, "(arc %d)", r->arc);
+    } else {
+      std::snprintf(buf, sizeof buf, "(node %d)", r->node);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExplainReport explain_route(const Solver& solver, int node,
+                            const ProvenanceIndex& idx) {
+  const Routing& r = solver.routing();
+  const dyn::DynNet& dnet = solver.net();
+  const std::uint32_t stream = solver.journal_stream();
+
+  ExplainReport rep;
+  rep.node = node;
+  rep.dest = solver.dest();
+  rep.stream = stream;
+  rep.version = dnet.version();
+  rep.has_route = r.has_route(node);
+  if (!rep.has_route) {
+    if (const JournalRecord* c = idx.last_clear(stream, node)) {
+      rep.no_route_cause =
+          "route cleared: " + cause_of(idx, stream, c->version);
+    } else if (const JournalRecord* inv = idx.last_invalidate(stream, node)) {
+      rep.no_route_cause =
+          "witness invalidated: " + cause_of(idx, stream, inv->version);
+    } else {
+      rep.no_route_cause = "never routed";
+    }
+    return rep;
+  }
+
+  std::vector<char> seen(static_cast<std::size_t>(dnet.num_nodes()), 0);
+  int cur = node;
+  for (;;) {
+    if (seen[static_cast<std::size_t>(cur)]) {
+      rep.loop = true;
+      break;
+    }
+    seen[static_cast<std::size_t>(cur)] = 1;
+    ExplainHop hop;
+    hop.node = cur;
+    hop.arc = r.next_arc[static_cast<std::size_t>(cur)];
+    if (const auto& w = r.weight[static_cast<std::size_t>(cur)]) {
+      hop.weight = w->to_string();
+    }
+    if (hop.arc >= 0) hop.label = dnet.label(hop.arc).to_string();
+    if (const JournalRecord* a = idx.last_attach(stream, cur)) {
+      hop.settled_seq = a->seq;
+      hop.settled_version = a->version;
+      hop.cause = cause_of(idx, stream, a->version);
+    }
+    rep.hops.push_back(std::move(hop));
+    const int arc = rep.hops.back().arc;
+    if (arc < 0) break;  // reached a root of the witness forest
+    cur = dnet.graph().arc(arc).dst;
+  }
+  return rep;
+}
+
+std::string ExplainReport::to_string() const {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "explain node %d -> dest %d (stream %lu, topology v%llu)\n",
+                node, dest, static_cast<unsigned long>(stream),
+                static_cast<unsigned long long>(version));
+  std::string out = head;
+  if (!has_route) {
+    out += "  no route (" + no_route_cause + ")\n";
+    return out;
+  }
+  for (const ExplainHop& h : hops) {
+    char line[256];
+    if (h.arc >= 0) {
+      std::snprintf(line, sizeof line,
+                    "  node %-4d weight %-12s via arc %d [%s]", h.node,
+                    h.weight.c_str(), h.arc, h.label.c_str());
+    } else {
+      std::snprintf(line, sizeof line,
+                    "  node %-4d weight %-12s (destination)", h.node,
+                    h.weight.c_str());
+    }
+    out += line;
+    if (h.settled_seq != 0) {
+      std::snprintf(line, sizeof line, "  settled@v%llu seq %llu: %s",
+                    static_cast<unsigned long long>(h.settled_version),
+                    static_cast<unsigned long long>(h.settled_seq),
+                    h.cause.c_str());
+      out += line;
+    }
+    out += '\n';
+  }
+  if (loop) out += "  LOOP: witness chain revisited a node\n";
+  return out;
+}
+
+}  // namespace mrt::obs

@@ -1,0 +1,94 @@
+// Route provenance: causal "explain" reports reconstructed from the journal.
+//
+// The solver seam journals a WitnessAttach record for every node whose
+// (weight, witness arc) actually changed in a solve()/update() — a diff
+// against the previously published routing, not a dump of the rebuilt
+// forest — so the *last* attach record for a node names exactly the delta
+// batch (by topology version) that caused its current route. explain_route
+// walks the solver's witness chain from a node to the destination and
+// decorates each hop with that causal information: which arc carries the
+// route, which journal event settled it, and which delta ops were in the
+// batch that made it change.
+//
+// Lives in src/mrt/obs/ beside the journal it queries, but is compiled into
+// mrt_dyn (it references the Solver seam; see src/CMakeLists.txt).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mrt/dyn/solver.hpp"
+#include "mrt/obs/journal.hpp"
+
+namespace mrt::obs {
+
+/// A queryable index over one drained (or snapshotted) journal log.
+class ProvenanceIndex {
+ public:
+  ProvenanceIndex() = default;
+  explicit ProvenanceIndex(std::vector<JournalRecord> log);
+
+  const std::vector<JournalRecord>& log() const { return log_; }
+
+  /// The last WitnessAttach for `node` in `stream` (nullptr if none): the
+  /// event that settled the node's *current* route.
+  const JournalRecord* last_attach(std::uint32_t stream, int node) const;
+  /// The last WitnessInvalidate / WitnessClear for `node` in `stream`.
+  const JournalRecord* last_invalidate(std::uint32_t stream, int node) const;
+  const JournalRecord* last_clear(std::uint32_t stream, int node) const;
+  /// Every Delta* record of the batch that bumped `stream`'s topology to
+  /// `version` (empty for version 0 — the cold solve has no delta).
+  std::vector<const JournalRecord*> delta_records(std::uint32_t stream,
+                                                  std::uint64_t version) const;
+
+ private:
+  using Key = std::pair<std::uint32_t, std::int64_t>;
+  const JournalRecord* find(const std::map<Key, std::size_t>& m,
+                            std::uint32_t stream, std::int64_t k) const;
+
+  std::vector<JournalRecord> log_;
+  std::map<Key, std::size_t> attach_;      // (stream, node) -> log index
+  std::map<Key, std::size_t> invalidate_;  // (stream, node) -> log index
+  std::map<Key, std::size_t> clear_;       // (stream, node) -> log index
+  std::map<Key, std::vector<std::size_t>> deltas_;  // (stream, version)
+};
+
+/// One hop of a witness chain, with its causal decoration.
+struct ExplainHop {
+  int node = -1;
+  int arc = -1;        ///< witness arc out of `node` (-1 at the destination)
+  std::string weight;  ///< the node's routed weight, rendered
+  std::string label;   ///< the witness arc's label, rendered ("" at dest)
+  // From the journal (all 0 / empty when the journal never saw the node —
+  // e.g. it was disabled during the solve that settled this route):
+  std::uint64_t settled_seq = 0;      ///< seq of the settling WitnessAttach
+  std::uint64_t settled_version = 0;  ///< topology version it settled at
+  std::string cause;  ///< delta ops of that version, or "initial solve"
+};
+
+/// The causal explanation of one (destination, node) route.
+struct ExplainReport {
+  int node = -1;
+  int dest = -1;
+  std::uint32_t stream = 0;
+  std::uint64_t version = 0;  ///< topology version the report reflects
+  bool has_route = false;
+  bool loop = false;  ///< witness chain revisited a node (solver invariant
+                      ///< violation — never expected; surfaced, not hidden)
+  std::vector<ExplainHop> hops;  ///< node first, destination last
+  std::string no_route_cause;    ///< when !has_route: last clear/invalidate
+
+  /// Human-readable multi-line rendering (the explain_route CLI's output).
+  std::string to_string() const;
+};
+
+/// Explains `node`'s route toward the solver's bound destination, walking
+/// the solver's own witness forest and decorating each hop from `idx`.
+/// The hop arcs are read from Solver::routing() itself, so a report always
+/// matches the live forest; the journal supplies only the causal fields.
+ExplainReport explain_route(const Solver& solver, int node,
+                            const ProvenanceIndex& idx);
+
+}  // namespace mrt::obs

@@ -277,6 +277,9 @@ BellmanResult bellman_sync(const OrderTransform& alg, const LabeledGraph& net,
                            const BellmanOptions& opts,
                            const compile::CompiledNet* cn) {
   const int n = net.num_nodes();
+  static obs::Histogram& solve_ns =
+      obs::registry().histogram("bellman.solve_ns");
+  obs::ScopedTimer timer(solve_ns);
   MRT_REQUIRE(dest >= 0 && dest < n);
   BellmanResult out;
 

@@ -151,6 +151,9 @@ Routing dijkstra(const OrderTransform& alg, const LabeledGraph& net, int dest,
                  const Value& origin, const compile::CompiledNet* cn) {
   const int n = net.num_nodes();
   MRT_REQUIRE(dest >= 0 && dest < n);
+  static obs::Histogram& solve_ns =
+      obs::registry().histogram("dijkstra.solve_ns");
+  obs::ScopedTimer timer(solve_ns);
   if (cn != nullptr && cn->ok()) {
     std::vector<std::uint64_t> origin_w(static_cast<std::size_t>(cn->words()),
                                         0);

@@ -32,6 +32,7 @@ PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
   selected_arc_.assign(static_cast<std::size_t>(n), -1);
   selected_path_.assign(static_cast<std::size_t>(n), {});
   flaps_.assign(static_cast<std::size_t>(n), 0);
+  jstream_ = obs::journal_next_stream();
   selected_[static_cast<std::size_t>(dest_)] = origin_;
   selected_path_[static_cast<std::size_t>(dest_)] = {dest_};
 
@@ -180,6 +181,9 @@ void PathVectorSim::advertise(int node, double now) {
       }
       ++stats_.messages_sent;
       if (withdrawal) ++stats_.withdrawals_sent;
+      obs::jrecord(obs::Subsystem::Sim, obs::EventKind::MsgSend, jstream_,
+                   node, id, withdrawal ? 0 : 1, 0,
+                   static_cast<std::uint64_t>(now * 1e6));
       if (trace) {
         // Message flight on the sim-time process: one row per arc.
         trace->complete(withdrawal ? "withdraw" : "advert", "sim.msg",
@@ -247,6 +251,9 @@ void PathVectorSim::reselect_boxed(int node, double now) {
     sel = best;
     sel_arc = best_arc;
     selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    obs::jrecord(obs::Subsystem::Sim, obs::EventKind::Reselect, jstream_,
+                 node, best_arc, flaps_[static_cast<std::size_t>(node)], 0,
+                 static_cast<std::uint64_t>(now * 1e6));
     if (obs::TraceSession* trace = obs::TraceSession::current()) {
       trace->instant("select", "sim.select", now * 1e6,
                      obs::TraceSession::kSimPid, node,
@@ -306,6 +313,9 @@ void PathVectorSim::reselect_flat(int node, double now) {
     sel = best;
     sel_arc = best_arc;
     selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    obs::jrecord(obs::Subsystem::Sim, obs::EventKind::Reselect, jstream_,
+                 node, best_arc, flaps_[static_cast<std::size_t>(node)], 0,
+                 static_cast<std::uint64_t>(now * 1e6));
     if (obs::TraceSession* trace = obs::TraceSession::current()) {
       trace->instant("select", "sim.select", now * 1e6,
                      obs::TraceSession::kSimPid, node,
@@ -321,6 +331,8 @@ void PathVectorSim::crash_node(int node, double now) {
   if (!node_up_[static_cast<std::size_t>(node)]) return;  // already down
   node_up_[static_cast<std::size_t>(node)] = false;
   ++stats_.node_crash_events;
+  obs::jrecord(obs::Subsystem::Sim, obs::EventKind::NodeCrash, jstream_, node,
+               -1, 0, 0, static_cast<std::uint64_t>(now * 1e6));
   if (obs::TraceSession* trace = obs::TraceSession::current()) {
     trace->instant("crash", "sim.chaos", now * 1e6,
                    obs::TraceSession::kSimPid, node);
@@ -353,6 +365,8 @@ void PathVectorSim::restart_node(int node, double now) {
   if (node_up_[static_cast<std::size_t>(node)]) return;  // not down
   node_up_[static_cast<std::size_t>(node)] = true;
   ++stats_.node_restart_events;
+  obs::jrecord(obs::Subsystem::Sim, obs::EventKind::NodeRestart, jstream_,
+               node, -1, 0, 0, static_cast<std::uint64_t>(now * 1e6));
   if (obs::TraceSession* trace = obs::TraceSession::current()) {
     trace->instant("restart", "sim.chaos", now * 1e6,
                    obs::TraceSession::kSimPid, node);
@@ -380,6 +394,8 @@ void PathVectorSim::restart_node(int node, double now) {
 }
 
 SimResult PathVectorSim::run() {
+  static obs::Histogram& run_ns = obs::registry().histogram("sim.run_ns");
+  obs::ScopedTimer timer(run_ns);
   obs::TraceSession* trace = obs::TraceSession::current();
   advertise(dest_, 0.0);
 
@@ -389,11 +405,17 @@ SimResult PathVectorSim::run() {
       case Event::Kind::Deliver: {
         if (!arc_alive(e.arc)) {  // lost
           ++stats_.dropped_dead_arc;
+          obs::jrecord(obs::Subsystem::Sim, obs::EventKind::MsgLoss, jstream_,
+                       net_.graph().arc(e.arc).src, e.arc, 0, 0,
+                       static_cast<std::uint64_t>(queue_.now() * 1e6));
           break;
         }
         if (const ArcFault* f = active_fault(e.arc, queue_.now());
             f && f->loss_p > 0.0 && fault_rng_.chance(f->loss_p)) {
           ++stats_.dropped_injected_loss;
+          obs::jrecord(obs::Subsystem::Sim, obs::EventKind::MsgLoss, jstream_,
+                       net_.graph().arc(e.arc).src, e.arc, 1, 0,
+                       static_cast<std::uint64_t>(queue_.now() * 1e6));
           if (trace) {
             trace->instant("loss", "sim.chaos", queue_.now() * 1e6,
                            obs::TraceSession::kSimPid, e.arc);
@@ -410,6 +432,11 @@ SimResult PathVectorSim::run() {
           rib_in_[static_cast<std::size_t>(e.arc)] = e.weight;
         }
         rib_in_path_[static_cast<std::size_t>(e.arc)] = std::move(e.path);
+        obs::jrecord(obs::Subsystem::Sim, obs::EventKind::MsgDeliver,
+                     jstream_, net_.graph().arc(e.arc).src, e.arc,
+                     (flat_ ? e.fweight.present : e.weight.has_value()) ? 1
+                                                                        : 0,
+                     0, static_cast<std::uint64_t>(queue_.now() * 1e6));
         if (trace && delivered_ % 64 == 0) {
           trace->counter("queue depth", queue_.now() * 1e6,
                          obs::TraceSession::kSimPid,
@@ -420,6 +447,9 @@ SimResult PathVectorSim::run() {
       }
       case Event::Kind::LinkDown: {
         ++stats_.link_down_events;
+        obs::jrecord(obs::Subsystem::Sim, obs::EventKind::LinkDown, jstream_,
+                     net_.graph().arc(e.arc).src, e.arc, 0, 0,
+                     static_cast<std::uint64_t>(queue_.now() * 1e6));
         arc_up_[static_cast<std::size_t>(e.arc)] = false;
         rib_in_[static_cast<std::size_t>(e.arc)] = std::nullopt;
         if (flat_) rib_in_flat_[static_cast<std::size_t>(e.arc)].present = false;
@@ -432,6 +462,9 @@ SimResult PathVectorSim::run() {
       }
       case Event::Kind::LinkUp: {
         ++stats_.link_up_events;
+        obs::jrecord(obs::Subsystem::Sim, obs::EventKind::LinkUp, jstream_,
+                     net_.graph().arc(e.arc).src, e.arc, 0, 0,
+                     static_cast<std::uint64_t>(queue_.now() * 1e6));
         arc_up_[static_cast<std::size_t>(e.arc)] = true;
         if (trace) {
           trace->instant("link up", "sim.link", queue_.now() * 1e6,
@@ -460,6 +493,9 @@ SimResult PathVectorSim::run() {
       }
       case Event::Kind::Resync: {
         ++stats_.resync_events;
+        obs::jrecord(obs::Subsystem::Sim, obs::EventKind::Resync, jstream_,
+                     -1, e.arc, 0, 0,
+                     static_cast<std::uint64_t>(queue_.now() * 1e6));
         if (trace) {
           trace->instant("resync", "sim.chaos", queue_.now() * 1e6,
                          obs::TraceSession::kSimPid, e.arc);

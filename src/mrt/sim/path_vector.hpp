@@ -117,6 +117,10 @@ class PathVectorSim {
   /// True if this run executes on the compiled flat path.
   bool compiled() const { return flat_; }
 
+  /// The journal stream this sim's flight-recorder records carry (one fresh
+  /// id per PathVectorSim, drawn at construction).
+  std::uint32_t journal_stream() const { return jstream_; }
+
   /// Injects a link failure / recovery at absolute time `t` (must be called
   /// before run()).
   void schedule_link_down(double t, int arc);
@@ -186,6 +190,7 @@ class PathVectorSim {
   std::vector<int> flaps_;                     // per node
   long delivered_ = 0;
   SimStats stats_;
+  std::uint32_t jstream_ = 0;                  // flight-recorder stream id
 };
 
 }  // namespace mrt

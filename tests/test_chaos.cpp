@@ -14,6 +14,7 @@
 #include "mrt/chaos/oracles.hpp"
 #include "mrt/dyn/solver.hpp"
 #include "mrt/graph/generators.hpp"
+#include "mrt/obs/journal.hpp"
 #include "mrt/par/par.hpp"
 #include "mrt/routing/dijkstra.hpp"
 #include "mrt/sim/scenario.hpp"
@@ -514,6 +515,102 @@ TEST(Campaign, ShrinkKeepsFailureAndNeverGrows) {
     // The plan happened to sever the cycle; the empty plan must then fail.
     EXPECT_FALSE(chaos::run_one(c, seed, FaultPlan{}, false).pass);
   }
+}
+
+TEST(Campaign, ShrunkFailureShipsWithJournal) {
+  // Every kept failure re-runs its shrunk plan once with the flight
+  // recorder forced on and ships the rendered log: the repro arrives with
+  // its own causal event history, fault verdict included.
+  Scenario sc = bad_gadget();
+  CampaignScenario c;
+  c.name = "bad_gadget_strict";
+  c.alg = sc.alg;
+  c.net = sc.net;
+  c.dest = sc.dest;
+  c.origin = sc.origin;
+  c.sim.drop_top_routes = true;
+  c.sim.max_events = 4000;
+  c.expect_convergence = true;  // deliberately wrong: force failures
+
+  CampaignConfig cfg;
+  cfg.seed = 0x10C;
+  cfg.runs_per_scenario = 12;
+  ASSERT_TRUE(cfg.shrink_failures);
+
+  const bool was_on = obs::journal_enabled();
+  const CampaignReport rep = chaos::run_campaign({c}, cfg);
+  EXPECT_EQ(obs::journal_enabled(), was_on) << "campaign leaked the toggle";
+
+  ASSERT_EQ(rep.scenarios.size(), 1u);
+  const auto& out = rep.scenarios[0];
+  ASSERT_GT(out.diverged, 0);
+  ASSERT_FALSE(out.failures.empty());
+  for (const auto& f : out.failures) {
+    EXPECT_GT(f.journal_events, 0u) << f.detail;
+    ASSERT_FALSE(f.journal.empty()) << f.detail;
+    // The log is one describe() line per record and ends with the chaos
+    // verdict for a divergent run (aux = 1).
+    EXPECT_NE(f.journal.find("sim.msg_send"), std::string::npos) << f.journal;
+    EXPECT_NE(f.journal.find("chaos.fault_outcome"), std::string::npos)
+        << f.journal;
+  }
+  // The JSON report carries the log verbatim.
+  std::ostringstream js;
+  rep.write_json(js);
+  EXPECT_NE(js.str().find("\"journal_events\""), std::string::npos);
+  EXPECT_NE(js.str().find("chaos.fault_outcome"), std::string::npos);
+}
+
+TEST(Campaign, ShrunkReproJournalReplaysToSameVerdict) {
+  // The point of attaching a journal to a shrunk repro: replaying the same
+  // (seed, plan) renders the *same* flight-recorder log and the same
+  // verdict. Journal reset() restarts stream numbering precisely so two
+  // replays are byte-identical (describe() already excludes wall-clock).
+  Scenario sc = bad_gadget();
+  CampaignScenario c;
+  c.name = "bad_gadget_strict";
+  c.alg = sc.alg;
+  c.net = sc.net;
+  c.dest = sc.dest;
+  c.origin = sc.origin;
+  c.sim.drop_top_routes = true;
+  c.sim.max_events = 4000;
+  c.expect_convergence = true;
+
+  const std::uint64_t seed = 0x51B;
+  FaultPlanConfig fpc;
+  fpc.min_faults = 2;
+  fpc.max_faults = 4;
+  FaultPlan plan = chaos::random_fault_plan(seed, c.net, c.dest, fpc);
+  if (chaos::run_one(c, seed, plan, false).pass) {
+    plan = FaultPlan{};  // plan severed the cycle; the empty plan diverges
+  }
+  const FaultPlan small = chaos::shrink_plan(c, seed, plan, false);
+
+  const bool was_on = obs::journal_enabled();
+  auto replay = [&](std::string* log) {
+    obs::set_journal_enabled(true);
+    obs::journal().reset();
+    const chaos::RunVerdict v = chaos::run_one(c, seed, small, false);
+    for (const obs::JournalRecord& r : obs::journal().drain()) {
+      *log += r.describe();
+      *log += '\n';
+    }
+    return v;
+  };
+  std::string log1, log2;
+  const chaos::RunVerdict v1 = replay(&log1);
+  const chaos::RunVerdict v2 = replay(&log2);
+  obs::journal().reset();
+  obs::set_journal_enabled(was_on);
+
+  EXPECT_FALSE(v1.pass);
+  EXPECT_EQ(v1.pass, v2.pass);
+  EXPECT_EQ(v1.converged, v2.converged);
+  EXPECT_EQ(v1.detail, v2.detail);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2) << "shrunk repro journal is not replayable";
+  EXPECT_NE(log1.find("chaos.fault_outcome"), std::string::npos) << log1;
 }
 
 TEST(Campaign, JsonReportIsWellFormed) {

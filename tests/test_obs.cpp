@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "mrt/obs/obs.hpp"
 
@@ -298,6 +300,167 @@ TEST(ObsMetrics, ScopedTimerRecordsWhenEnabled) {
   { obs::ScopedTimer t(h); }
   EXPECT_EQ(h.count(), 1u);
   obs::set_enabled(before);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles: estimates vs exact distributions. The documented contract
+// (metrics.hpp): the estimate lies inside the log-2 bucket holding the true
+// nearest-rank sample, so for values >= 1 it is within 2x of the exact
+// quantile; bucket 0 ({0}) is exact; the top non-empty bucket clamps to
+// max(), which makes quantile(1.0) exact.
+// ---------------------------------------------------------------------------
+
+// est within [exact/2, exact*2] — the bucket-bound guarantee for values >= 1.
+void expect_within_2x(double est, double exact, const char* what) {
+  EXPECT_GE(est, exact / 2.0) << what << " est " << est << " exact " << exact;
+  EXPECT_LE(est, exact * 2.0) << what << " est " << est << " exact " << exact;
+}
+
+TEST(ObsQuantile, EmptyAndClampedArguments) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: 0, never NaN
+  h.record(10);
+  h.record(20);
+  // q is clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);  // top-bucket max() clamp: exact
+}
+
+TEST(ObsQuantile, ZerosAreExact) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(0);
+  // Bucket 0 holds only {0}: every quantile of an all-zero stream is exact.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, PointMassWithinBucketBound) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(42);
+  // Every exact quantile is 42; 42 lives in bucket [32, 63], clamped above
+  // by max() = 42, so estimates fall in [32, 42] — inside the 2x bound.
+  for (double q : {0.01, 0.5, 0.9, 0.99}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, 32.0) << "q=" << q;
+    EXPECT_LE(est, 42.0) << "q=" << q;
+    expect_within_2x(est, 42.0, "point-mass");
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);  // rank == count: the max, exact
+}
+
+TEST(ObsQuantile, UniformWithinBucketBound) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 1024; ++v) h.record(v);
+  // Exact q-quantile of uniform 1..1024 under nearest-rank is ceil(1024 q).
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = std::ceil(1024.0 * q);
+    expect_within_2x(h.quantile(q), exact, "uniform");
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+}
+
+TEST(ObsQuantile, GeometricNearestRank) {
+  // 512 ones, 256 twos, 128 fours, ... 1 x 512: 1023 samples, heavy head.
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (int n = 512; n >= 1; n /= 2, v *= 2) {
+    for (int i = 0; i < n; ++i) h.record(v);
+  }
+  ASSERT_EQ(h.count(), 1023u);
+  // Rank ceil(0.5 * 1023) = 512: the last of the ones. Bucket [1, 1] is a
+  // single point, so the estimate is exact despite the log-2 coarseness.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // Rank 921 lands on the 8s (cum: 512, 768, 896, 960); rank 1013 on the
+  // 64s (cum: 992, 1008, 1016). Exact values 8 and 64.
+  expect_within_2x(h.quantile(0.9), 8.0, "geometric p90");
+  expect_within_2x(h.quantile(0.99), 64.0, "geometric p99");
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 512.0);
+}
+
+TEST(ObsMetrics, GaugeSetAndMaxOfSemantics) {
+  obs::Gauge g;
+  // set() is last-write-wins: it may lower the value.
+  g.max_of(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  // max_of() is a high-water mark: it never lowers.
+  g.max_of(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.max_of(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetrics, GaugeMaxOfConcurrentKeepsLargest) {
+  // The CAS loop's contract: a larger value is never lost to a smaller
+  // racer. 4 threads publish disjoint ranges; the global max must survive.
+  obs::Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.max_of(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread - 1.0);  // 39999
+}
+
+TEST(ObsMetrics, OpenMetricsExport) {
+  obs::Registry reg;
+  reg.counter("a.b").add(7);
+  reg.gauge("g!x").set(1.25);
+  obs::Histogram& h = reg.histogram("h");
+  h.record(0);
+  h.record(3);
+  h.record(100);
+
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  const std::string om = os.str();
+
+  // Names: mrt_ prefix, non-[A-Za-z0-9_] mapped to '_'; counters _total.
+  EXPECT_NE(om.find("# TYPE mrt_a_b counter\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_a_b_total 7\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("# TYPE mrt_g_x gauge\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_g_x 1.25\n"), std::string::npos) << om;
+
+  // Histogram buckets are *cumulative*, keyed by the inclusive upper bound
+  // of each non-empty log-2 bucket: 0 -> {0}, 3 -> [2,3], 127 -> [64,127].
+  EXPECT_NE(om.find("# TYPE mrt_h histogram\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_h_bucket{le=\"0\"} 1\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_h_bucket{le=\"3\"} 2\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_h_bucket{le=\"127\"} 3\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_h_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << om;
+  EXPECT_NE(om.find("mrt_h_sum 103\n"), std::string::npos) << om;
+  EXPECT_NE(om.find("mrt_h_count 3\n"), std::string::npos) << om;
+  // Empty buckets are elided.
+  EXPECT_EQ(om.find("le=\"1\"}"), std::string::npos) << om;
+
+  // The exposition ends with the OpenMetrics terminator.
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6) << om;
+}
+
+TEST(ObsMetrics, JsonExportsQuantiles) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
 }
 
 // ---------------------------------------------------------------------------

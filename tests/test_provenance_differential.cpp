@@ -1,0 +1,208 @@
+// Differential property suite for route provenance: after every random
+// delta batch on the paper topologies, the journal-reconstructed explain
+// report for every (dest, node) pair must match the solver's own witness
+// forest exactly — same reachability, same hop sequence (diffed against
+// forwarding_path), same witness arcs — and the causal decoration must be
+// *fresh*: a node whose route changed in the batch carries a WitnessAttach
+// naming exactly the post-batch topology version, while untouched nodes keep
+// their older attach records (the whole point of the diff-based journaling
+// in dyn/solver.cpp).
+//
+// The sweep: GOOD GADGET under the hop-count algebra and random Gao–Rexford
+// hierarchies, every node as destination, both engines, 560 verified delta
+// batches (the ISSUE floor is 500). Deltas stay within arc/node flaps so the
+// alive subgraph remains valley-free and the forest stays loop-free.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/obs/provenance.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+using dyn::TopologyDelta;
+
+/// 1–3 random arc/node flaps. No relabels: the paper topologies' labels are
+/// algebra-specific, and pure flaps keep Gao–Rexford instances valley-free
+/// (a subgraph of a valley-free graph is valley-free), so both engines
+/// converge and the witness forest is loop-free by construction.
+TopologyDelta random_flaps(Rng& rng, const LabeledGraph& net) {
+  TopologyDelta d;
+  const int m = net.graph().num_arcs();
+  const int n = net.num_nodes();
+  const int ops = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < ops; ++i) {
+    const int arc = static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    const int node =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    switch (rng.below(6)) {
+      case 0:
+      case 1:
+        d.arc_down(arc);
+        break;
+      case 2:
+      case 3:
+        d.arc_up(arc);
+        break;
+      case 4:
+        d.node_down(node);
+        break;
+      default:
+        d.node_up(node);
+        break;
+    }
+  }
+  return d;
+}
+
+struct Shadow {
+  std::vector<std::optional<Value>> weight;
+  std::vector<int> next_arc;
+};
+
+/// Cross-checks every node's explain report against the live forest and the
+/// freshness of its causal decoration. `prev` is the routing before the
+/// batch; `fresh_version` is the post-batch topology version.
+void verify_explains(const Solver& solver, const Scenario& sc,
+                     const Shadow& prev, std::uint64_t fresh_version,
+                     const std::string& what) {
+  const obs::ProvenanceIndex idx(obs::journal().snapshot());
+  const Routing& r = solver.routing();
+  const std::uint32_t stream = solver.journal_stream();
+  for (int v = 0; v < sc.net.num_nodes(); ++v) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const obs::ExplainReport rep = obs::explain_route(solver, v, idx);
+    ASSERT_EQ(rep.has_route, r.has_route(v)) << what << " node " << v;
+    ASSERT_FALSE(rep.loop) << what << " node " << v;
+    const bool changed =
+        r.weight[vi].has_value() != prev.weight[vi].has_value() ||
+        (r.weight[vi] && !(*r.weight[vi] == *prev.weight[vi])) ||
+        r.next_arc[vi] != prev.next_arc[vi];
+    if (!rep.has_route) {
+      ASSERT_TRUE(rep.hops.empty()) << what << " node " << v;
+      ASSERT_FALSE(rep.no_route_cause.empty()) << what << " node " << v;
+      if (changed) {
+        // The route existed before the batch: the diff must have journaled
+        // its disappearance at exactly this version.
+        const obs::JournalRecord* c = idx.last_clear(stream, v);
+        ASSERT_NE(c, nullptr) << what << " node " << v;
+        ASSERT_EQ(c->version, fresh_version) << what << " node " << v;
+      }
+      continue;
+    }
+    const auto fp = forwarding_path(sc.net, r, v, solver.dest());
+    ASSERT_TRUE(fp.has_value()) << what << " node " << v;
+    ASSERT_EQ(rep.hops.size(), fp->size()) << what << " node " << v;
+    for (std::size_t i = 0; i < rep.hops.size(); ++i) {
+      const obs::ExplainHop& h = rep.hops[i];
+      ASSERT_EQ(h.node, (*fp)[i]) << what << " node " << v << " hop " << i;
+      ASSERT_EQ(h.arc, r.next_arc[static_cast<std::size_t>(h.node)])
+          << what << " node " << v << " hop " << i;
+      const obs::JournalRecord* a = idx.last_attach(stream, h.node);
+      ASSERT_NE(a, nullptr) << what << " node " << v << " hop " << i;
+      ASSERT_EQ(a->arc, h.arc) << what << " node " << v << " hop " << i;
+      ASSERT_EQ(h.settled_seq, a->seq) << what << " node " << v;
+      ASSERT_LE(a->version, fresh_version) << what << " node " << v;
+      ASSERT_FALSE(h.cause.empty()) << what << " node " << v;
+    }
+    if (changed) {
+      // Changed route => its attach record names exactly this batch.
+      const obs::JournalRecord* a = idx.last_attach(stream, v);
+      ASSERT_NE(a, nullptr) << what << " node " << v;
+      ASSERT_EQ(a->version, fresh_version)
+          << what << " node " << v << " (stale provenance)";
+    }
+  }
+}
+
+/// One (topology, dest, engine) binding: solve, then `batches` random flap
+/// batches, verifying the full explain sweep after the solve and after every
+/// converged batch. Returns how many batches were verified.
+int run_binding(const Scenario& sc, dyn::EngineKind kind, Rng& rng,
+                int batches, const std::string& what) {
+  obs::journal().reset();  // fresh window (and stream numbering) per binding
+  auto solver = dyn::make_solver(kind, sc.alg);
+  solver->solve(sc.net, sc.dest, sc.origin);
+
+  const int n = sc.net.num_nodes();
+  Shadow prev{std::vector<std::optional<Value>>(static_cast<std::size_t>(n)),
+              std::vector<int>(static_cast<std::size_t>(n), -1)};
+  verify_explains(*solver, sc, prev, 0, what + " initial solve");
+  if (::testing::Test::HasFatalFailure()) return 0;
+
+  int verified = 0;
+  for (int b = 0; b < batches; ++b) {
+    prev.weight = solver->routing().weight;
+    prev.next_arc = solver->routing().next_arc;
+    const TopologyDelta d = random_flaps(rng, sc.net);
+    solver->update(d);
+    if (!solver->converged()) continue;  // cap hit: no forest to explain
+    verify_explains(*solver, sc, prev, solver->net().version(),
+                    what + " batch " + std::to_string(b) + " " + d.describe());
+    if (::testing::Test::HasFatalFailure()) return verified;
+    ++verified;
+  }
+  EXPECT_EQ(obs::journal().dropped(), 0u) << what;
+  return verified;
+}
+
+TEST(ProvenanceDifferential, ExplainMatchesWitnessForestOnPaperTopologies) {
+  const bool was = obs::journal_enabled();
+  obs::set_journal_enabled(true);
+
+  constexpr int kTrials = 5;
+  constexpr int kBatches = 7;
+  int verified = 0;
+
+  // GOOD GADGET under hop counts: every node as destination.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Scenario sc = good_gadget_hops();
+    for (int dest = 0; dest < sc.net.num_nodes(); ++dest) {
+      sc.dest = dest;
+      Rng rng(par::mix_seed(0x90AD, static_cast<std::uint64_t>(
+                                        trial * 100 + dest)));
+      const dyn::EngineKind kind = ((trial + dest) % 2 == 0)
+                                       ? dyn::EngineKind::Dijkstra
+                                       : dyn::EngineKind::Bellman;
+      verified += run_binding(
+          sc, kind, rng, kBatches,
+          "gadget dest " + std::to_string(dest) + " trial " +
+              std::to_string(trial));
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    }
+  }
+
+  // Random Gao–Rexford hierarchies: fresh topology per trial, every node as
+  // destination.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng topo_rng(par::mix_seed(0x6A02, static_cast<std::uint64_t>(trial)));
+    Scenario sc = gao_rexford_hierarchy(topo_rng, 12, 4);
+    for (int dest = 0; dest < sc.net.num_nodes(); ++dest) {
+      sc.dest = dest;
+      Rng rng(par::mix_seed(0x6A03, static_cast<std::uint64_t>(
+                                        trial * 100 + dest)));
+      const dyn::EngineKind kind = ((trial + dest) % 2 == 0)
+                                       ? dyn::EngineKind::Dijkstra
+                                       : dyn::EngineKind::Bellman;
+      verified += run_binding(
+          sc, kind, rng, kBatches,
+          "gao-rexford dest " + std::to_string(dest) + " trial " +
+              std::to_string(trial));
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    }
+  }
+
+  // The ISSUE floor: at least 500 verified random delta batches.
+  EXPECT_GE(verified, 500);
+
+  obs::journal().reset();
+  obs::set_journal_enabled(was);
+}
+
+}  // namespace
+}  // namespace mrt
