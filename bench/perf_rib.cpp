@@ -1,0 +1,264 @@
+// EXP-RIB — batched all-destination routing tables vs per-destination
+// solvers.
+//
+// Three workloads behind one report:
+//   1. cold table build on a 1024-node Gao–Rexford internet: one batched
+//      RibSolver::solve over a 64-destination subset vs 64 independent
+//      standalone dyn::Solver(Bellman) cold solves. Columns are
+//      byte-compared before anything is timed — a divergence aborts with
+//      exit 1. The ratio is the headline speedup scripts/bench_json.sh
+//      gates into BENCH_rib.json (≥ 3×).
+//   2. warm multi-destination maintenance on a 10k-node Gao–Rexford
+//      internet: arc-flap pairs absorbed warm (MRT_DYN on, one shared
+//      invalidation pass) vs cold (toggle off, full batched re-solve),
+//      with the per-destination affected-set stats the gate requires.
+//   3. invariance sweeps on a smaller internet: the same delta sequence
+//      under MRT_THREADS ∈ {1,4}, MRT_DYN ∈ {on,off}, and MRT_COMPILE
+//      (WeightEngine present/absent) must produce byte-identical columns;
+//      each axis reports a 0/1 metric the gate pins to 1, so the shell
+//      side needs no stdout diffing.
+#include "bench_util.hpp"
+
+#include "mrt/dyn/solver.hpp"
+#include "mrt/rib/rib.hpp"
+#include "mrt/sim/scenario.hpp"
+
+namespace mrt {
+namespace {
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+template <typename F>
+double time_ms(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+bool same_routing(const Routing& a, const Routing& b) {
+  if (a.weight.size() != b.weight.size()) return false;
+  for (std::size_t v = 0; v < a.weight.size(); ++v) {
+    if (a.weight[v].has_value() != b.weight[v].has_value()) return false;
+    if (a.weight[v] && !(*a.weight[v] == *b.weight[v])) return false;
+    if (a.next_arc[v] != b.next_arc[v]) return false;
+  }
+  return true;
+}
+
+/// `k` destinations spread evenly over [0, n): deterministic, no RNG state
+/// shared with the topology generator.
+std::vector<int> spread_dests(int n, int k) {
+  std::vector<int> d;
+  for (int i = 0; i < k; ++i) {
+    d.push_back(static_cast<int>((static_cast<long>(i) * n) / k));
+  }
+  return d;
+}
+
+/// Runs `n_flaps` arc_down/arc_up pairs through `rib` with the dyn toggle
+/// forced to `warm`; arcs cycle deterministically. Returns the mean
+/// affected fraction (in %) across the warm updates that changed arcs.
+double flap_loop(rib::RibSolver& rib, int n_flaps, bool warm,
+                 double* max_pct = nullptr) {
+  const bool before = dyn::enabled();
+  dyn::set_enabled(warm);
+  const int m = rib.net().graph().num_arcs();
+  const int n = rib.net().num_nodes();
+  double sum_pct = 0.0;
+  long counted = 0;
+  for (int i = 0; i < n_flaps; ++i) {
+    const int arc = (i * 7919) % m;
+    for (const bool down : {true, false}) {
+      dyn::TopologyDelta d;
+      if (down) {
+        d.arc_down(arc);
+      } else {
+        d.arc_up(arc);
+      }
+      rib.update(d);
+      const rib::RibStats& st = rib.last_update();
+      if (st.changed_arcs == 0) continue;
+      sum_pct += 100.0 * st.affected_mean_fraction();
+      ++counted;
+      if (max_pct != nullptr && n > 0) {
+        const double mx =
+            100.0 * static_cast<double>(st.affected_max()) / n;
+        if (mx > *max_pct) *max_pct = mx;
+      }
+    }
+  }
+  dyn::set_enabled(before);
+  return counted > 0 ? sum_pct / static_cast<double>(counted) : 0.0;
+}
+
+/// One full run of the invariance workload under explicit toggles: cold
+/// solve + a deterministic flap sequence, materializing every column after
+/// every update. Returns all snapshots for byte comparison.
+std::vector<Routing> invariance_run(const Scenario& sc,
+                                    const std::vector<int>& dests,
+                                    bool with_engine, bool dyn_on,
+                                    int threads) {
+  const bool dyn_before = dyn::enabled();
+  const int threads_before = par::thread_limit();
+  dyn::set_enabled(dyn_on);
+  par::set_thread_limit(threads);
+
+  const compile::WeightEngine eng(sc.alg);
+  rib::RibSolver rib(sc.alg, with_engine ? &eng : nullptr);
+  rib.solve(sc.net, dests, sc.origin);
+  std::vector<Routing> snaps;
+  auto snapshot = [&] {
+    for (int c = 0; c < rib.num_columns(); ++c) snaps.push_back(rib.routing(c));
+  };
+  snapshot();
+  const int m = sc.net.graph().num_arcs();
+  for (int i = 0; i < 6; ++i) {
+    const int arc = (i * 7919) % m;
+    rib.update(dyn::TopologyDelta{}.arc_down(arc));
+    snapshot();
+    rib.update(dyn::TopologyDelta{}.arc_up(arc));
+    snapshot();
+  }
+
+  dyn::set_enabled(dyn_before);
+  par::set_thread_limit(threads_before);
+  return snaps;
+}
+
+bool same_snaps(const std::vector<Routing>& a, const std::vector<Routing>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_routing(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace mrt
+
+int main(int argc, char** argv) {
+  using namespace mrt;
+  bench::JsonReport report("perf_rib", argc, argv);
+  bench::banner("EXP-RIB: batched routing tables vs per-destination solvers");
+
+  Table table({"workload", "baseline_ms", "batched_ms", "speedup",
+               "affected%"});
+  bool ok = true;
+  const int kReps = 5;
+
+  // --- cold: one batched solve vs N independent solves (1024 nodes) ------
+  {
+    Rng rng(0x51B);
+    Scenario sc = gao_rexford_hierarchy(rng, 1024, 512);
+    const int kDests = 64;
+    const std::vector<int> dests = spread_dests(sc.net.num_nodes(), kDests);
+    const compile::WeightEngine eng(sc.alg);
+
+    rib::RibSolver rib(sc.alg, &eng);
+    rib.solve(sc.net, dests, sc.origin);
+    report.metric("rib.flat", rib.batched_flat() ? 1.0 : 0.0);
+
+    // Differential check before timing: every column must agree byte-wise
+    // with a standalone Bellman solver given the same engine.
+    auto single = dyn::make_solver(dyn::EngineKind::Bellman, sc.alg, &eng);
+    for (int c = 0; c < kDests; ++c) {
+      single->solve(sc.net, dests[static_cast<std::size_t>(c)], sc.origin);
+      if (!same_routing(rib.routing(c), single->routing())) {
+        std::cerr << "perf_rib: batched column " << c
+                  << " diverged from a standalone solve (dest "
+                  << dests[static_cast<std::size_t>(c)] << ")\n";
+        ok = false;
+      }
+    }
+
+    const double single_ms = time_ms(kReps, [&] {
+      for (int d : dests) single->solve(sc.net, d, sc.origin);
+    });
+    const double batched_ms =
+        time_ms(kReps, [&] { rib.solve(sc.net, dests, sc.origin); });
+    report.metric("speedup.rib.cold_batched", single_ms / batched_ms);
+    table.add_row({"cold 1024n x 64 dests", fmt(single_ms), fmt(batched_ms),
+                   fmt(single_ms / batched_ms), "-"});
+  }
+
+  // --- warm: multi-destination flap maintenance (10k nodes) --------------
+  {
+    Rng rng(0x51C);
+    Scenario sc = gao_rexford_hierarchy(rng, 10000, 4000);
+    const int kDests = 64;
+    const int kFlaps = 8;
+    const std::vector<int> dests = spread_dests(sc.net.num_nodes(), kDests);
+    const compile::WeightEngine eng(sc.alg);
+
+    rib::RibSolver rib(sc.alg, &eng);
+    const double cold_build_ms =
+        time_ms(1, [&] { rib.solve(sc.net, dests, sc.origin); });
+    report.metric("rib.cold_build_10k_ms", cold_build_ms);
+
+    double max_pct = 0.0;
+    const double affected_pct = flap_loop(rib, kFlaps, true, &max_pct);
+    const double warm_ms =
+        time_ms(1, [&] { flap_loop(rib, kFlaps, true); });
+    const double cold_ms =
+        time_ms(1, [&] { flap_loop(rib, kFlaps, false); });
+    report.metric("speedup.rib.warm_flaps", cold_ms / warm_ms);
+    report.metric("rib.warm.affected_pct", affected_pct);
+    report.metric("rib.warm.affected_max_pct", max_pct);
+    table.add_row({"warm flaps 10000n x 64 dests", fmt(cold_ms), fmt(warm_ms),
+                   fmt(cold_ms / warm_ms), fmt(affected_pct)});
+
+    // Warm-drift check: after the flap storm every arc is back up, so the
+    // warm-maintained table must match a fresh cold build byte for byte.
+    rib::RibSolver fresh(sc.alg, &eng);
+    fresh.solve(sc.net, dests, sc.origin);
+    for (int c = 0; c < kDests; ++c) {
+      if (!same_routing(rib.routing(c), fresh.routing(c))) {
+        std::cerr << "perf_rib: warm-maintained column " << c
+                  << " drifted from a fresh cold build\n";
+        ok = false;
+      }
+    }
+  }
+
+  // --- invariance: threads / dyn toggle / compile toggle ------------------
+  {
+    Rng rng(0x51D);
+    Scenario sc = gao_rexford_hierarchy(rng, 256, 128);
+    const std::vector<int> dests = spread_dests(sc.net.num_nodes(), 32);
+    const std::vector<Routing> base =
+        invariance_run(sc, dests, true, true, 1);
+    const bool thread_inv =
+        same_snaps(base, invariance_run(sc, dests, true, true, 4));
+    const bool toggle_inv =
+        same_snaps(base, invariance_run(sc, dests, true, false, 1));
+    const bool compile_inv =
+        same_snaps(base, invariance_run(sc, dests, false, true, 1));
+    report.metric("rib.thread_invariant", thread_inv ? 1.0 : 0.0);
+    report.metric("rib.toggle_invariant", toggle_inv ? 1.0 : 0.0);
+    report.metric("rib.compile_invariant", compile_inv ? 1.0 : 0.0);
+    if (!thread_inv) std::cerr << "perf_rib: thread-count invariance failed\n";
+    if (!toggle_inv) std::cerr << "perf_rib: MRT_DYN invariance failed\n";
+    if (!compile_inv) std::cerr << "perf_rib: MRT_COMPILE invariance failed\n";
+    ok = ok && thread_inv && toggle_inv && compile_inv;
+  }
+
+  std::cout << table;
+  report.metric("identical", ok ? 1.0 : 0.0);
+  if (!ok) {
+    std::cerr << "perf_rib: differential checks failed\n";
+  }
+  return ok ? 0 : 1;
+}

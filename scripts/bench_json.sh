@@ -5,10 +5,14 @@
 # their stdout tables differ (the mrt::par determinism contract), and merge
 # the timed records into BENCH_par.json. Further sections gate the chaos
 # campaign (BENCH_chaos.json), the compiled kernels (BENCH_compile.json),
-# and the incremental solvers (BENCH_dyn.json) the same way.
+# the incremental solvers (BENCH_dyn.json), and the batched routing tables
+# (BENCH_rib.json) the same way.
 #
 # Every gate is mandatory: a missing bench binary fails the script rather
-# than skipping the gate.
+# than skipping the gate. Before declaring success the script re-opens every
+# BENCH_*.json it emitted and verifies the file parses and carries the keys
+# its gate checked — a bench that silently wrote a truncated or empty record
+# fails here instead of poisoning the committed baseline.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -319,3 +323,119 @@ print()
 PY
   echo "wrote $DYN_OUT (3 records)"
 }
+
+# --- Batched routing-table gates + BENCH_rib.json -------------------------
+# Four gates on mrt::rib:
+#   1. speedup: one batched cold solve over 64 destinations of a ≥1k-node
+#      Gao–Rexford internet must be ≥3× faster than 64 independent
+#      standalone cold solves;
+#   2. warm maintenance: the 10k-node flap workload must report the
+#      per-destination affected-set stats (mean and max %), and the mean
+#      must stay a small fraction of the network;
+#   3. equivalence: perf_rib byte-compares every batched column against a
+#      standalone solver and a fresh cold build internally (exit 1 on
+#      divergence) — `identical` must be 1;
+#   4. invariance: the same delta sequence under MRT_THREADS ∈ {1,4},
+#      MRT_DYN ∈ {on,off}, and with/without a WeightEngine must produce
+#      byte-identical columns (each axis is a 0/1 metric pinned to 1).
+RIB_OUT="BENCH_rib.json"
+pr="$BUILD/bench/perf_rib"
+require_bin "$pr"
+{
+  echo "== perf_rib =="
+  "$pr" --json "$tmpdir/rib.json"
+
+  python3 - "$tmpdir/rib.json" <<'PY'
+import json, sys
+rib_rec = json.load(open(sys.argv[1]))
+m = rib_rec["metrics"]
+bad = []
+if m.get("speedup.rib.cold_batched", 0.0) < 3.0:
+    bad.append(f"speedup.rib.cold_batched = "
+               f"{m.get('speedup.rib.cold_batched', 0.0):.2f} < 3.0")
+for k in ("rib.warm.affected_pct", "rib.warm.affected_max_pct"):
+    if k not in m:
+        bad.append(f"{k} missing from the perf_rib record")
+if m.get("rib.warm.affected_pct", 100.0) > 25.0:
+    bad.append(f"rib.warm.affected_pct = "
+               f"{m.get('rib.warm.affected_pct', 100.0):.1f}% > 25%")
+for k in ("rib.thread_invariant", "rib.toggle_invariant",
+          "rib.compile_invariant", "identical"):
+    if m.get(k, 0.0) != 1.0:
+        bad.append(f"{k} = {m.get(k)} != 1")
+if bad:
+    print("bench_json.sh: RIB GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   gates passed: cold batched "
+      f"{m['speedup.rib.cold_batched']:.2f}x >= 3x, warm affected "
+      f"{m['rib.warm.affected_pct']:.2f}% (max "
+      f"{m['rib.warm.affected_max_pct']:.2f}%), "
+      f"invariance thread/dyn/compile all 1")
+json.dump([rib_rec], open("BENCH_rib.json", "w"))
+PY
+  echo "wrote $RIB_OUT (1 record)"
+}
+
+# --- Final sweep: every emitted BENCH_*.json must parse and carry its
+# gated keys. The merge steps above concatenate per-bench files with
+# printf/cat, so a bench that exited 0 after writing a truncated record
+# would previously produce an unparseable committed baseline and only be
+# noticed one PR later — validate everything before declaring success.
+python3 - <<'PY'
+import json, sys
+required = {
+    "BENCH_obs.json":     {"perf_routing": ["histograms"],
+                           "perf_inference": []},
+    "BENCH_par.json":     {"fig2_global_exact": ["wall_s"],
+                           "fig3_local_exact": ["wall_s"]},
+    "BENCH_chaos.json":   {"chaos_campaign": ["wall_s"]},
+    "BENCH_compile.json": {"perf_compile": ["metrics/speedup.dijkstra.depth3",
+                                            "metrics/speedup.bellman.depth3"]},
+    "BENCH_dyn.json":     {"perf_dyn": ["metrics/speedup.update.bellman.depth1",
+                                        "metrics/identical"]},
+    "BENCH_rib.json":     {"perf_rib": ["metrics/speedup.rib.cold_batched",
+                                        "metrics/rib.warm.affected_pct",
+                                        "metrics/rib.warm.affected_max_pct",
+                                        "metrics/identical"]},
+}
+bad = []
+for path, by_bench in required.items():
+    try:
+        recs = json.load(open(path))
+    except FileNotFoundError:
+        bad.append(f"{path}: not written")
+        continue
+    except json.JSONDecodeError as e:
+        bad.append(f"{path}: does not parse as JSON ({e})")
+        continue
+    if not isinstance(recs, list) or not recs:
+        bad.append(f"{path}: expected a non-empty JSON array of records")
+        continue
+    names = {}
+    for rec in recs:
+        if not isinstance(rec, dict) or "bench" not in rec:
+            bad.append(f"{path}: record without a 'bench' field")
+            continue
+        names.setdefault(rec["bench"], rec)
+    for bench, keys in by_bench.items():
+        rec = names.get(bench)
+        if rec is None:
+            bad.append(f"{path}: no record for bench '{bench}'")
+            continue
+        for spec in keys:
+            node = rec
+            # '/' separates JSON nesting; metric names themselves contain
+            # dots, so they are one path segment.
+            for part in spec.split("/"):
+                node = node.get(part) if isinstance(node, dict) else None
+                if node is None:
+                    break
+            if node is None:
+                bad.append(f"{path}: {bench} record missing '{spec}'")
+if bad:
+    print("bench_json.sh: EMITTED-JSON VALIDATION FAILED:", *bad,
+          sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print("all emitted BENCH_*.json records parse and carry their gated keys")
+PY

@@ -15,6 +15,11 @@
 #          journal, provenance, and metrics suites with MRT_JOURNAL=1 under
 #          ThreadSanitizer with MRT_THREADS=4 (per-thread rings drained
 #          mid-run is exactly the race surface), then exit.
+#   --preset rib — tsan build focused on the batched routing tables: runs
+#          the mrt::rib differential and unit suites (plus the dyn seam
+#          they build on) under ThreadSanitizer with MRT_THREADS=4 — the
+#          par-chunked destination blocks writing shared stats is the race
+#          surface — then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
 #          property, chaos, perf); see tests/CMakeLists.txt.
 set -euo pipefail
@@ -68,8 +73,21 @@ if [ -n "$PRESET" ]; then
       echo "obs preset passed"
       exit 0
       ;;
+    rib)
+      # Batched routing-table focus: destination blocks run in parallel
+      # chunks through mrt::par and write per-column stats into shared
+      # arrays, so the whole batched surface (and the dyn seam under it)
+      # runs under ThreadSanitizer with more threads than blocks.
+      cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      cmake --build build-tsan -j "$(nproc)" \
+        --target mrt_tests mrt_property_tests
+      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+        -R 'Rib|DynDifferential|SolverSeam'
+      echo "rib preset passed"
+      exit 0
+      ;;
     *)
-      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs)" >&2
+      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs, rib)" >&2
       exit 2
       ;;
   esac

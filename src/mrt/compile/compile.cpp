@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "mrt/obs/metrics.hpp"
+#include "mrt/support/require.hpp"
 
 namespace mrt {
 namespace compile {
@@ -707,6 +708,159 @@ void CompiledAlgebra::run_apply(const ApplyOp* ops, std::size_t n,
         break;
     }
   }
+}
+
+void CompiledAlgebra::run_apply_block(const ApplyOp* ops, std::size_t n,
+                                      std::uint64_t* w, int ncols,
+                                      std::uint64_t mask) const {
+  MRT_REQUIRE(ncols >= 1 && ncols <= 64);
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  // SkipIfGuard is per-column control flow: a column whose ω guard fired sits
+  // out the next op.a opcodes while its block-mates keep executing, so each
+  // column carries its own countdown instead of the scalar path's ip bump.
+  // Columns outside `mask` are skipped entirely (their words are neither
+  // read nor written), so a sparse visit pays only for the lanes it needs.
+  std::uint32_t skip[64];
+  for (int c = 0; c < ncols; ++c) skip[c] = 0;
+  for (std::size_t ip = 0; ip < n; ++ip) {
+    const ApplyOp& op = ops[ip];
+    for (int c = 0; c < ncols; ++c) {
+      if (((mask >> c) & 1u) == 0) continue;
+      if (skip[c] > 0) {
+        --skip[c];
+        continue;
+      }
+      std::uint64_t* wc = w + static_cast<std::size_t>(c) * stride;
+      switch (op.k) {
+        case ApplyOp::K::Set:
+          wc[op.slot] = op.imm;
+          break;
+        case ApplyOp::K::AddSat:
+          if (wc[op.slot] != kInf) wc[op.slot] += op.imm;
+          break;
+        case ApplyOp::K::MinWord:
+          if (op.imm < wc[op.slot]) wc[op.slot] = op.imm;
+          break;
+        case ApplyOp::K::MulReal:
+          wc[op.slot] =
+              double_bits(bits_double(wc[op.slot]) * bits_double(op.imm));
+          break;
+        case ApplyOp::K::ChainAdd: {
+          const std::uint64_t s = wc[op.slot] + op.imm;
+          wc[op.slot] = s > op.a ? op.a : s;
+          break;
+        }
+        case ApplyOp::K::Table:
+          wc[op.slot] = aux_[op.a + wc[op.slot]];
+          break;
+        case ApplyOp::K::SkipIfGuard:
+          if (wc[op.slot] == 1) skip[c] = op.a;
+          break;
+        case ApplyOp::K::CollapseIfTop:
+          if (eval_top(wc, op.a, op.b)) {
+            const int lo = static_cast<int>((op.imm >> 16) & 0xFFFF);
+            const int hi = static_cast<int>(op.imm & 0xFFFF);
+            for (int s = lo; s < hi; ++s) wc[s] = 0;
+            wc[op.slot] = 1;
+          }
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+inline int lane_of(unsigned m) {
+  int l = 0;
+  while ((m & 1u) == 0) {
+    m >>= 1;
+    ++l;
+  }
+  return l;
+}
+}  // namespace
+
+std::uint8_t CompiledAlgebra::select_block(const CompiledLabel& f,
+                                           const std::uint64_t* src,
+                                           std::uint64_t* best, int ncols,
+                                           std::uint8_t need,
+                                           std::uint8_t have) const {
+  MRT_REQUIRE(ncols >= 1 && ncols <= 8);
+  if (words_ == 1) {
+    // Single-word carriers — the common batched case. Lanes are one word
+    // apart; each needed lane runs the scalar opcode path on a stack word.
+    // (Measured: for the short label programs that compile to one or two
+    // opcodes, per-lane scalar dispatch beats the blocked kernel's per-column
+    // mask/skip branches even on dense visits.)
+    std::uint8_t adopted = 0;
+    for (unsigned m = need; m != 0; m &= m - 1) {
+      const int l = lane_of(m);
+      std::uint64_t cand = src[l];
+      run_apply(f.ops.data(), f.ops.size(), &cand);
+      if ((have & (1u << l)) == 0 || compare(&cand, &best[l]) == Cmp::Less) {
+        best[l] = cand;
+        adopted |= static_cast<std::uint8_t>(1u << l);
+      }
+    }
+    return adopted;
+  }
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  const std::size_t wbytes = stride * sizeof(std::uint64_t);
+  // One scratch row per thread: wide enough for the few-words carriers the
+  // batched tables actually compile; anything wider spills to the heap once.
+  constexpr std::size_t kStack = 64;
+  std::uint64_t stackbuf[kStack];
+  std::uint64_t* cand = stackbuf;
+  thread_local std::vector<std::uint64_t> spill;
+  const std::size_t rowlen = stride * static_cast<std::size_t>(ncols);
+  if (rowlen > kStack) {
+    if (spill.size() < rowlen) spill.resize(rowlen);
+    cand = spill.data();
+  }
+  for (unsigned m = need; m != 0; m &= m - 1) {
+    const int l = lane_of(m);
+    std::memcpy(cand + static_cast<std::size_t>(l) * stride,
+                src + static_cast<std::size_t>(l) * stride, wbytes);
+  }
+  run_apply_block(f.ops.data(), f.ops.size(), cand, ncols, need);
+  std::uint8_t adopted = 0;
+  for (unsigned m = need; m != 0; m &= m - 1) {
+    const int l = lane_of(m);
+    const std::uint64_t* cw = cand + static_cast<std::size_t>(l) * stride;
+    std::uint64_t* bw = best + static_cast<std::size_t>(l) * stride;
+    if ((have & (1u << l)) == 0 || compare(cw, bw) == Cmp::Less) {
+      std::memcpy(bw, cw, wbytes);
+      adopted |= static_cast<std::uint8_t>(1u << l);
+    }
+  }
+  return adopted;
+}
+
+bool CompiledAlgebra::apply_if_equiv(const CompiledLabel& f,
+                                     const std::uint64_t* src,
+                                     std::uint64_t* cur) const {
+  if (words_ == 1) {
+    std::uint64_t c = *src;
+    run_apply(f.ops.data(), f.ops.size(), &c);
+    if (compare(&c, cur) != Cmp::Equiv) return false;
+    *cur = c;
+    return true;
+  }
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  const std::size_t wbytes = stride * sizeof(std::uint64_t);
+  constexpr std::size_t kStack = 64;
+  std::uint64_t stackbuf[kStack];
+  std::uint64_t* c = stackbuf;
+  thread_local std::vector<std::uint64_t> spill;
+  if (stride > kStack) {
+    if (spill.size() < stride) spill.resize(stride);
+    c = spill.data();
+  }
+  std::memcpy(c, src, wbytes);
+  run_apply(f.ops.data(), f.ops.size(), c);
+  if (compare(c, cur) != Cmp::Equiv) return false;
+  std::memcpy(cur, c, wbytes);
+  return true;
 }
 
 // --- encode / decode -------------------------------------------------------

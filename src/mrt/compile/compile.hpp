@@ -133,6 +133,36 @@ class CompiledAlgebra {
     run_apply(f.ops.data(), f.ops.size(), w);
   }
 
+  /// Applies one label program to `ncols` consecutive weights (each words()
+  /// long, contiguous — one destination block of a batched route table),
+  /// decoding each opcode once per block instead of once per column.
+  /// Byte-identical to ncols separate apply() calls; per-column control flow
+  /// (ω guards) is tracked with per-column skip counters. ncols <= 64.
+  void apply_block(const CompiledLabel& f, std::uint64_t* w, int ncols) const {
+    const std::uint64_t all =
+        ncols >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << ncols) - 1);
+    run_apply_block(f.ops.data(), f.ops.size(), w, ncols, all);
+  }
+
+  /// Fused relax kernel for one arc visit over a block of `ncols`
+  /// contiguous weights (each words() long): for every lane set in `need`,
+  /// computes f(src_lane) and adopts it into the matching lane of `best`
+  /// when the lane is absent from `have` or the candidate compares strictly
+  /// Less. Returns the adopted-lane mask. Byte-identical to a per-lane
+  /// apply() + compare() + copy loop in ascending lane order, with one
+  /// opcode decode and one call for the whole visit. ncols <= 8.
+  std::uint8_t select_block(const CompiledLabel& f, const std::uint64_t* src,
+                            std::uint64_t* best, int ncols, std::uint8_t need,
+                            std::uint8_t have) const;
+
+  /// Fused witness-check kernel: computes f(src) and, when the result
+  /// compares Equiv to `cur`, stores it into `cur` (canonicalizing the weight
+  /// to the achieved encoding) and returns true; otherwise `cur` is left
+  /// untouched. Byte-identical to apply() into a scratch row followed by
+  /// compare() and a conditional copy — one call instead of three.
+  bool apply_if_equiv(const CompiledLabel& f, const std::uint64_t* src,
+                      std::uint64_t* cur) const;
+
   /// Encodes a carrier element; false if `v` is not representable in this
   /// layout (the caller must then stay boxed).
   bool encode(const Value& v, std::uint64_t* out) const;
@@ -187,6 +217,8 @@ class CompiledAlgebra {
   bool eval_top(const std::uint64_t* w, std::uint32_t off,
                 std::uint32_t len) const;
   void run_apply(const ApplyOp* ops, std::size_t n, std::uint64_t* w) const;
+  void run_apply_block(const ApplyOp* ops, std::size_t n, std::uint64_t* w,
+                       int ncols, std::uint64_t mask) const;
 
   Fallback fallback_ = Fallback::OpaqueOrder;
   int words_ = 0;

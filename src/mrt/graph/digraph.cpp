@@ -12,6 +12,23 @@ Digraph::Digraph(int num_nodes) {
   in_.resize(static_cast<std::size_t>(num_nodes));
 }
 
+Digraph::Digraph(const Digraph& o)
+    : arcs_(o.arcs_),
+      out_(o.out_),
+      in_(o.in_),
+      endpoint_index_(o.endpoint_index_) {}
+
+Digraph& Digraph::operator=(const Digraph& o) {
+  if (this != &o) {
+    arcs_ = o.arcs_;
+    out_ = o.out_;
+    in_ = o.in_;
+    endpoint_index_ = o.endpoint_index_;
+    csr_built_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
 void Digraph::check_node(int u) const {
   MRT_REQUIRE(u >= 0 && u < num_nodes());
 }
@@ -24,7 +41,45 @@ int Digraph::add_arc(int u, int v) {
   out_[static_cast<std::size_t>(u)].push_back(id);
   in_[static_cast<std::size_t>(v)].push_back(id);
   endpoint_index_.insert(endpoint_key(u, v));
+  csr_built_.store(false, std::memory_order_release);
   return id;
+}
+
+void Digraph::build_csr() const {
+  std::lock_guard<std::mutex> lock(csr_mu_);
+  if (csr_built_.load(std::memory_order_relaxed)) return;
+  const std::size_t n = out_.size();
+  const std::size_t m = arcs_.size();
+  auto fill = [&](const std::vector<std::vector<int>>& adj, bool heads_dst,
+                  CsrAdjacency& csr) {
+    csr.offset.assign(n + 1, 0);
+    csr.arc.clear();
+    csr.arc.reserve(m);
+    csr.head.clear();
+    csr.head.reserve(m);
+    for (std::size_t u = 0; u < n; ++u) {
+      csr.offset[u] = static_cast<int>(csr.arc.size());
+      for (int id : adj[u]) {
+        csr.arc.push_back(id);
+        const Arc& a = arcs_[static_cast<std::size_t>(id)];
+        csr.head.push_back(heads_dst ? a.dst : a.src);
+      }
+    }
+    csr.offset[n] = static_cast<int>(csr.arc.size());
+  };
+  fill(out_, /*heads_dst=*/true, csr_out_);
+  fill(in_, /*heads_dst=*/false, csr_in_);
+  csr_built_.store(true, std::memory_order_release);
+}
+
+const CsrAdjacency& Digraph::csr_out() const {
+  if (!csr_built_.load(std::memory_order_acquire)) build_csr();
+  return csr_out_;
+}
+
+const CsrAdjacency& Digraph::csr_in() const {
+  if (!csr_built_.load(std::memory_order_acquire)) build_csr();
+  return csr_in_;
 }
 
 const Arc& Digraph::arc(int id) const {

@@ -5,7 +5,9 @@
 // weights) live in parallel arrays owned by the layers above.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -17,9 +19,26 @@ struct Arc {
   int dst = -1;
 };
 
+/// A compressed-sparse-row view of one adjacency direction: arc ids (and the
+/// far endpoints) of node u live in `arc[offset[u]..offset[u+1])`, in the
+/// same ascending-arc-id order as the out_arcs()/in_arcs() lists. One flat
+/// index chase per neighbour instead of two pointer hops through
+/// vector<vector<int>> — the iteration shape of every batched hot loop
+/// (mrt::rib sweeps, bellman rows, the simulator's flood/withdraw scans).
+struct CsrAdjacency {
+  std::vector<int> offset;  ///< num_nodes + 1 prefix offsets
+  std::vector<int> arc;     ///< arc ids, grouped by node
+  std::vector<int> head;    ///< far endpoint of arc[i] (dst for out, src for in)
+
+  int begin(int u) const { return offset[static_cast<std::size_t>(u)]; }
+  int end(int u) const { return offset[static_cast<std::size_t>(u) + 1]; }
+};
+
 class Digraph {
  public:
   explicit Digraph(int num_nodes);
+  Digraph(const Digraph& o);
+  Digraph& operator=(const Digraph& o);
 
   int num_nodes() const { return static_cast<int>(out_.size()); }
   int num_arcs() const { return static_cast<int>(arcs_.size()); }
@@ -37,6 +56,14 @@ class Digraph {
   /// densely while building random graphs).
   bool has_arc(int u, int v) const;
 
+  /// CSR views of the out-/in-adjacency, built once on first use and cached
+  /// until the next add_arc (which invalidates them). Safe to request from
+  /// multiple threads on a graph nobody is mutating — the build is guarded;
+  /// mutation, as everywhere on Digraph, is single-threaded. Entry order per
+  /// node matches out_arcs()/in_arcs() (ascending arc id).
+  const CsrAdjacency& csr_out() const;
+  const CsrAdjacency& csr_in() const;
+
   /// The graph with every arc reversed (arc ids preserved).
   Digraph reversed() const;
 
@@ -45,6 +72,7 @@ class Digraph {
 
  private:
   void check_node(int u) const;
+  void build_csr() const;
 
   static std::uint64_t endpoint_key(int u, int v) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
@@ -55,6 +83,13 @@ class Digraph {
   std::vector<std::vector<int>> out_;
   std::vector<std::vector<int>> in_;
   std::unordered_set<std::uint64_t> endpoint_index_;  // (src, dst) pairs
+
+  // Cached CSR views. csr_built_ is the publish flag (acquire/release around
+  // the guarded build); add_arc resets it, so a stale view is never returned.
+  mutable std::mutex csr_mu_;
+  mutable std::atomic<bool> csr_built_{false};
+  mutable CsrAdjacency csr_out_;
+  mutable CsrAdjacency csr_in_;
 };
 
 }  // namespace mrt

@@ -1,0 +1,1013 @@
+#include "mrt/rib/rib.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "mrt/dyn/solver.hpp"
+#include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt {
+namespace rib {
+
+namespace {
+
+using dyn::DynNet;
+using dyn::TopologyDelta;
+using obs::EventKind;
+using obs::Subsystem;
+
+int popcount8(unsigned m) {
+  int c = 0;
+  while (m != 0) {
+    m &= m - 1;
+    ++c;
+  }
+  return c;
+}
+
+int ctz8(unsigned m) {
+  int i = 0;
+  while ((m & 1u) == 0) {
+    m >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+// All batched passes below mirror the dyn Bellman engine *per column*: the
+// same Gauss–Seidel worklist (frontier sorted ascending each round, tails of
+// all in-arcs activated on change, round cap opts.max_rounds), the same
+// smallest-arc-id tie break in the candidate scan, the same transitive
+// witness invalidation, and the same canonical witness-forest rebuild.
+// Columns never read each other's state, so running them in lockstep over a
+// shared arc visit changes only the memory traffic — each column's
+// trajectory, and therefore its bytes, is exactly the standalone solver's.
+struct RibSolver::Impl {
+  OrderTransform alg;
+  const compile::WeightEngine* weng = nullptr;
+  RibOptions opts;
+
+  DynNet dnet;
+  Value origin;
+  std::vector<int> dsts;
+  bool bound = false;
+
+  compile::CompiledNet cnet;
+  bool flat = false;       // batched flat kernels active
+  std::size_t stride = 0;  // words per weight (flat)
+  std::vector<std::uint64_t> origin_w;
+
+  // Shared alive-mask: one byte per arc id, refreshed once per topology
+  // version and read by every column of every block.
+  std::vector<std::uint8_t> alive;
+
+  // One destination block: up to kBlockCols columns over shared per-node
+  // masks. Flat state is column-major within a node-major row — the words of
+  // node v's `cols` columns are contiguous, which is what lets one arc visit
+  // stream the whole block through apply_block.
+  struct Block {
+    int base = 0;
+    int cols = 0;
+    // flat storage
+    std::vector<std::uint64_t> w;        // n * cols * stride (zero-init; rows
+                                         // only ever hold valid encodings)
+    std::vector<std::uint8_t> present;   // n, bit l = column routed
+    // shared (flat + boxed)
+    std::vector<int> next;               // n * cols witness arcs (-1 = none)
+    std::vector<std::uint8_t> destmask;  // n, bit l where dests[base+l] == v
+    // boxed fallback storage, per lane
+    std::vector<std::vector<std::optional<Value>>> bw;  // cols × n
+  };
+  std::vector<Block> blocks;
+  int bwidth = kBlockCols;
+
+  std::vector<std::uint8_t> col_conv;
+  RibStats stats;
+  std::uint32_t jstream = 0;
+
+  mutable std::vector<Routing> rcache;
+  mutable std::vector<std::uint8_t> rvalid;
+
+  Impl(const OrderTransform& a, const compile::WeightEngine* e, RibOptions o)
+      : alg(a), weng(e), opts(o) {
+    if (opts.block < 1) opts.block = 1;
+    if (opts.block > kBlockCols) opts.block = kBlockCols;
+    if (opts.max_rounds < 1) opts.max_rounds = 1;
+  }
+
+  int columns() const { return static_cast<int>(dsts.size()); }
+
+  void refresh_alive() {
+    const int m = dnet.graph().num_arcs();
+    alive.assign(static_cast<std::size_t>(m), 0);
+    for (int id = 0; id < m; ++id) {
+      alive[static_cast<std::size_t>(id)] = dnet.arc_alive(id) ? 1 : 0;
+    }
+  }
+
+  std::uint64_t* row(Block& blk, int v) {
+    return blk.w.data() +
+           static_cast<std::size_t>(v) * static_cast<std::size_t>(blk.cols) *
+               stride;
+  }
+
+  void clear_route(Block& blk, int v, int l) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+    if (flat) {
+      blk.present[static_cast<std::size_t>(v)] &= static_cast<std::uint8_t>(~bit);
+    } else {
+      blk.bw[static_cast<std::size_t>(l)][static_cast<std::size_t>(v)] =
+          std::nullopt;
+    }
+    blk.next[static_cast<std::size_t>(v) * static_cast<std::size_t>(blk.cols) +
+             static_cast<std::size_t>(l)] = -1;
+  }
+
+  void clear_lane(Block& blk, int l) {
+    const int n = dnet.num_nodes();
+    for (int v = 0; v < n; ++v) clear_route(blk, v, l);
+  }
+
+  // --- batched flat relaxation ---------------------------------------------
+
+  /// One worklist pass over every active lane of `qmask` (a per-node lane
+  /// bitmask; qmask[v] != 0 iff v is on the frontier). Consumes qmask,
+  /// accumulates per-lane touched bits, and returns the mask of lanes still
+  /// active when the round cap hit (those lanes' state is exactly the
+  /// standalone solver's state at its own cap).
+  std::uint8_t flat_relax(Block& blk, std::vector<std::uint8_t>& qmask,
+                          std::vector<std::uint8_t>& touched,
+                          std::uint64_t& relaxations) {
+    const int n = dnet.num_nodes();
+    const Digraph& g = dnet.graph();
+    const CsrAdjacency& out = g.csr_out();
+    const CsrAdjacency& in = g.csr_in();
+    const compile::CompiledAlgebra& ca = cnet.algebra();
+    const int cols = blk.cols;
+    const std::size_t rowlen = static_cast<std::size_t>(cols) * stride;
+    const std::size_t wbytes = stride * sizeof(std::uint64_t);
+    std::uint64_t* W = blk.w.data();
+    std::uint8_t* P = blk.present.data();
+    int* NX = blk.next.data();
+    // Runtime-sized memcmp/memcpy are real libc calls; single-word carriers
+    // (the common batched case) get direct word compare/store instead.
+    const bool one_word = stride == 1;
+    auto weq = [&](const std::uint64_t* a, const std::uint64_t* b) {
+      return one_word ? *a == *b : std::memcmp(a, b, wbytes) == 0;
+    };
+    auto wcopy = [&](std::uint64_t* d, const std::uint64_t* s) {
+      if (one_word) {
+        *d = *s;
+      } else {
+        std::memcpy(d, s, wbytes);
+      }
+    };
+
+    // Per-thread scratch: relax runs once per block, and blocks on the same
+    // thread never nest, so reusing the buffers avoids one malloc/free set
+    // per block per update (a measurable slice of the cold solve).
+    thread_local std::vector<int> frontier;
+    thread_local std::vector<int> nextf;
+    thread_local std::vector<std::uint8_t> cur;
+    thread_local std::vector<std::uint64_t> best;
+    frontier.clear();
+    for (int v = 0; v < n; ++v) {
+      if (qmask[static_cast<std::size_t>(v)] != 0) frontier.push_back(v);
+    }
+    best.resize(rowlen);
+    int best_arc[kBlockCols] = {0};
+    std::uint8_t capped = 0;
+    int rounds = 0;
+    while (!frontier.empty()) {
+      if (++rounds > opts.max_rounds) {
+        for (int u : frontier) {
+          capped |= qmask[static_cast<std::size_t>(u)];
+          qmask[static_cast<std::size_t>(u)] = 0;
+        }
+        break;
+      }
+      std::sort(frontier.begin(), frontier.end());
+      cur.resize(frontier.size());
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        cur[i] = qmask[static_cast<std::size_t>(frontier[i])];
+        qmask[static_cast<std::size_t>(frontier[i])] = 0;
+      }
+      nextf.clear();
+      for (std::size_t fi = 0; fi < frontier.size(); ++fi) {
+        const int u = frontier[fi];
+        const std::uint8_t act = cur[fi];
+        touched[static_cast<std::size_t>(u)] |= act;
+        const std::uint8_t dm = blk.destmask[static_cast<std::size_t>(u)];
+        const std::uint8_t scan = act & static_cast<std::uint8_t>(~dm);
+        std::uint8_t bestm = 0;
+        if (scan != 0) {
+          for (int e = out.begin(u); e < out.end(u); ++e) {
+            const int id = out.arc[static_cast<std::size_t>(e)];
+            if (!alive[static_cast<std::size_t>(id)]) continue;
+            const int v = out.head[static_cast<std::size_t>(e)];
+            if (v == u) continue;
+            const std::uint8_t need =
+                scan & P[static_cast<std::size_t>(v)];
+            if (need == 0) continue;
+            relaxations += static_cast<std::uint64_t>(popcount8(need));
+            const std::uint64_t* src = W + static_cast<std::size_t>(v) * rowlen;
+            // One fused call per arc visit: apply the label program to every
+            // needed lane (blocked opcode decode; lanes outside `need`
+            // compute garbage that is never read — safe, because every row
+            // is either a valid encoding or still zero-initialized) and fold
+            // strict improvements into the running best row.
+            const std::uint8_t adopted = ca.select_block(
+                cnet.label(id), src, best.data(), cols, need, bestm);
+            bestm |= adopted;
+            for (unsigned m = adopted; m != 0; m &= m - 1) {
+              best_arc[ctz8(m)] = id;
+            }
+          }
+        }
+        std::uint8_t changed = 0;
+        std::uint64_t* wu = W + static_cast<std::size_t>(u) * rowlen;
+        for (unsigned m = act; m != 0; m &= m - 1) {
+          const int l = ctz8(m);
+          const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+          std::uint64_t* wl = wu + static_cast<std::size_t>(l) * stride;
+          const bool had = (P[static_cast<std::size_t>(u)] & bit) != 0;
+          if ((dm & bit) != 0) {
+            if (!had || !weq(wl, origin_w.data())) {
+              wcopy(wl, origin_w.data());
+              P[static_cast<std::size_t>(u)] |= bit;
+              NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(l)] = -1;
+              changed |= bit;
+            }
+          } else {
+            const bool now = (bestm & bit) != 0;
+            bool ch = had != now;
+            if (!ch && now) {
+              ch = !weq(wl,
+                        best.data() + static_cast<std::size_t>(l) * stride);
+            }
+            if (ch) {
+              if (now) {
+                wcopy(wl,
+                      best.data() + static_cast<std::size_t>(l) * stride);
+                P[static_cast<std::size_t>(u)] |= bit;
+                NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
+                   static_cast<std::size_t>(l)] = best_arc[l];
+              } else {
+                P[static_cast<std::size_t>(u)] &= static_cast<std::uint8_t>(~bit);
+                NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
+                   static_cast<std::size_t>(l)] = -1;
+              }
+              changed |= bit;
+            }
+          }
+        }
+        if (changed != 0) {
+          for (int e = in.begin(u); e < in.end(u); ++e) {
+            const int t = in.head[static_cast<std::size_t>(e)];
+            if (!dnet.node_up(t)) continue;
+            if (qmask[static_cast<std::size_t>(t)] == 0) nextf.push_back(t);
+            qmask[static_cast<std::size_t>(t)] |= changed;
+          }
+        }
+      }
+      frontier.swap(nextf);
+    }
+    return capped;
+  }
+
+  /// Canonical witness-forest rebuild of one flat lane (the standalone
+  /// engine's rebuild_witnesses, on words).
+  void flat_rebuild(Block& blk, int l, std::uint64_t& relaxations) {
+    const int n = dnet.num_nodes();
+    const Digraph& g = dnet.graph();
+    const CsrAdjacency& out = g.csr_out();
+    const CsrAdjacency& in = g.csr_in();
+    const compile::CompiledAlgebra& ca = cnet.algebra();
+    const int cols = blk.cols;
+    const std::size_t rowlen = static_cast<std::size_t>(cols) * stride;
+    const std::size_t loff = static_cast<std::size_t>(l) * stride;
+    const std::size_t wbytes = stride * sizeof(std::uint64_t);
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+    const int dest = dsts[static_cast<std::size_t>(blk.base + l)];
+    std::uint64_t* W = blk.w.data();
+    std::uint8_t* P = blk.present.data();
+    int* NX = blk.next.data();
+    // Per-thread scratch (one rebuild per lane per converged update; lanes on
+    // one thread never nest), reused to keep malloc out of the rebuild loop.
+    thread_local std::vector<char> attached;
+    attached.assign(static_cast<std::size_t>(n), 0);
+    if (dnet.node_up(dest) && (P[static_cast<std::size_t>(dest)] & bit) != 0) {
+      std::memcpy(W + static_cast<std::size_t>(dest) * rowlen + loff,
+                  origin_w.data(), wbytes);
+      NX[static_cast<std::size_t>(dest) * static_cast<std::size_t>(cols) +
+         static_cast<std::size_t>(l)] = -1;
+      attached[static_cast<std::size_t>(dest)] = 1;
+      thread_local std::vector<int> frontier;
+      thread_local std::vector<int> cands;
+      thread_local std::vector<int> nextf;
+      thread_local std::vector<char> in_cands;
+      if (in_cands.size() < static_cast<std::size_t>(n)) {
+        in_cands.assign(static_cast<std::size_t>(n), 0);
+      }
+      frontier.assign(1, dest);
+      while (!frontier.empty()) {
+        // Collect this layer's candidates deduplicated on the fly (a node
+        // adjacent to several frontier members would otherwise be pushed —
+        // and sorted — once per in-arc). The flags are wiped per layer by
+        // walking the candidate list, so the array stays O(n) once.
+        cands.clear();
+        for (int v : frontier) {
+          for (int e = in.begin(v); e < in.end(v); ++e) {
+            const int id = in.arc[static_cast<std::size_t>(e)];
+            if (!alive[static_cast<std::size_t>(id)]) continue;
+            const int u = in.head[static_cast<std::size_t>(e)];
+            if (!attached[static_cast<std::size_t>(u)] &&
+                !in_cands[static_cast<std::size_t>(u)] && dnet.node_up(u) &&
+                (P[static_cast<std::size_t>(u)] & bit) != 0) {
+              in_cands[static_cast<std::size_t>(u)] = 1;
+              cands.push_back(u);
+            }
+          }
+        }
+        for (int u : cands) in_cands[static_cast<std::size_t>(u)] = 0;
+        std::sort(cands.begin(), cands.end());
+        nextf.clear();
+        for (int u : cands) {
+          std::uint64_t* wu = W + static_cast<std::size_t>(u) * rowlen + loff;
+          for (int e = out.begin(u); e < out.end(u); ++e) {
+            const int id = out.arc[static_cast<std::size_t>(e)];
+            if (!alive[static_cast<std::size_t>(id)]) continue;
+            const int h = out.head[static_cast<std::size_t>(e)];
+            if (h == u || !attached[static_cast<std::size_t>(h)]) continue;
+            ++relaxations;
+            // Fused witness check: on Equiv the candidate is written into
+            // the lane (canonicalizing the stored weight to the achieved
+            // encoding), exactly as the unfused apply/compare/copy did.
+            if (ca.apply_if_equiv(
+                    cnet.label(id),
+                    W + static_cast<std::size_t>(h) * rowlen + loff, wu)) {
+              NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(l)] = id;
+              nextf.push_back(u);
+              break;
+            }
+          }
+        }
+        for (int u : nextf) attached[static_cast<std::size_t>(u)] = 1;
+        frontier.swap(nextf);
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!attached[static_cast<std::size_t>(v)]) clear_route(blk, v, l);
+    }
+  }
+
+  // --- boxed fallback (per-lane loops, byte-identical) ----------------------
+
+  std::uint8_t boxed_relax(Block& blk, std::vector<std::uint8_t>& qmask,
+                           std::vector<std::uint8_t>& touched,
+                           std::uint64_t& relaxations) {
+    const int n = dnet.num_nodes();
+    const Digraph& g = dnet.graph();
+    const CsrAdjacency& out = g.csr_out();
+    const CsrAdjacency& in = g.csr_in();
+    std::uint8_t capped = 0;
+    for (int l = 0; l < blk.cols; ++l) {
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+      const int dest = dsts[static_cast<std::size_t>(blk.base + l)];
+      auto& wcol = blk.bw[static_cast<std::size_t>(l)];
+      std::vector<char> queued(static_cast<std::size_t>(n), 0);
+      std::vector<int> frontier;
+      for (int v = 0; v < n; ++v) {
+        if ((qmask[static_cast<std::size_t>(v)] & bit) != 0) {
+          queued[static_cast<std::size_t>(v)] = 1;
+          frontier.push_back(v);
+        }
+      }
+      int rounds = 0;
+      while (!frontier.empty()) {
+        if (++rounds > opts.max_rounds) {
+          capped |= bit;
+          break;
+        }
+        std::sort(frontier.begin(), frontier.end());
+        for (int u : frontier) queued[static_cast<std::size_t>(u)] = 0;
+        std::vector<int> nextf;
+        auto activate = [&](int x) {
+          if (dnet.node_up(x) && !queued[static_cast<std::size_t>(x)]) {
+            queued[static_cast<std::size_t>(x)] = 1;
+            nextf.push_back(x);
+          }
+        };
+        for (int u : frontier) {
+          touched[static_cast<std::size_t>(u)] |= bit;
+          bool changed = false;
+          auto& wu = wcol[static_cast<std::size_t>(u)];
+          if (u == dest) {
+            changed = !wu || !(*wu == origin);
+            if (changed) {
+              wu = origin;
+              blk.next[static_cast<std::size_t>(u) *
+                           static_cast<std::size_t>(blk.cols) +
+                       static_cast<std::size_t>(l)] = -1;
+            }
+          } else {
+            std::optional<Value> bestw;
+            int besta = -1;
+            for (int e = out.begin(u); e < out.end(u); ++e) {
+              const int id = out.arc[static_cast<std::size_t>(e)];
+              if (!alive[static_cast<std::size_t>(id)]) continue;
+              const int v = out.head[static_cast<std::size_t>(e)];
+              if (v == u) continue;
+              const auto& wv = wcol[static_cast<std::size_t>(v)];
+              if (!wv) continue;
+              ++relaxations;
+              Value c = alg.fns->apply(dnet.label(id), *wv);
+              if (!bestw || lt_of(alg.ord->cmp(c, *bestw))) {
+                bestw = std::move(c);
+                besta = id;
+              }
+            }
+            changed = (bestw.has_value() != wu.has_value()) ||
+                      (bestw && !(*bestw == *wu));
+            if (changed) {
+              wu = std::move(bestw);
+              blk.next[static_cast<std::size_t>(u) *
+                           static_cast<std::size_t>(blk.cols) +
+                       static_cast<std::size_t>(l)] = besta;
+            }
+          }
+          if (changed) {
+            for (int e = in.begin(u); e < in.end(u); ++e) {
+              activate(in.head[static_cast<std::size_t>(e)]);
+            }
+          }
+        }
+        frontier = std::move(nextf);
+      }
+      // Leave qmask clean for a retry pass.
+      for (int v = 0; v < n; ++v) {
+        qmask[static_cast<std::size_t>(v)] &= static_cast<std::uint8_t>(~bit);
+      }
+    }
+    return capped;
+  }
+
+  void boxed_rebuild(Block& blk, int l, std::uint64_t& relaxations) {
+    const int n = dnet.num_nodes();
+    const Digraph& g = dnet.graph();
+    const CsrAdjacency& out = g.csr_out();
+    const CsrAdjacency& in = g.csr_in();
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+    (void)bit;
+    const int dest = dsts[static_cast<std::size_t>(blk.base + l)];
+    auto& wcol = blk.bw[static_cast<std::size_t>(l)];
+    std::vector<char> attached(static_cast<std::size_t>(n), 0);
+    if (dnet.node_up(dest) && wcol[static_cast<std::size_t>(dest)]) {
+      wcol[static_cast<std::size_t>(dest)] = origin;
+      blk.next[static_cast<std::size_t>(dest) *
+                   static_cast<std::size_t>(blk.cols) +
+               static_cast<std::size_t>(l)] = -1;
+      attached[static_cast<std::size_t>(dest)] = 1;
+      std::vector<int> frontier{dest};
+      std::vector<int> cands;
+      std::vector<int> nextf;
+      while (!frontier.empty()) {
+        cands.clear();
+        for (int v : frontier) {
+          for (int e = in.begin(v); e < in.end(v); ++e) {
+            const int id = in.arc[static_cast<std::size_t>(e)];
+            if (!alive[static_cast<std::size_t>(id)]) continue;
+            const int u = in.head[static_cast<std::size_t>(e)];
+            if (!attached[static_cast<std::size_t>(u)] && dnet.node_up(u) &&
+                wcol[static_cast<std::size_t>(u)]) {
+              cands.push_back(u);
+            }
+          }
+        }
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        nextf.clear();
+        for (int u : cands) {
+          for (int e = out.begin(u); e < out.end(u); ++e) {
+            const int id = out.arc[static_cast<std::size_t>(e)];
+            if (!alive[static_cast<std::size_t>(id)]) continue;
+            const int h = out.head[static_cast<std::size_t>(e)];
+            if (h == u || !attached[static_cast<std::size_t>(h)]) continue;
+            ++relaxations;
+            Value c = alg.fns->apply(dnet.label(id),
+                                     *wcol[static_cast<std::size_t>(h)]);
+            if (equiv_of(
+                    alg.ord->cmp(c, *wcol[static_cast<std::size_t>(u)]))) {
+              wcol[static_cast<std::size_t>(u)] = std::move(c);
+              blk.next[static_cast<std::size_t>(u) *
+                           static_cast<std::size_t>(blk.cols) +
+                       static_cast<std::size_t>(l)] = id;
+              nextf.push_back(u);
+              break;
+            }
+          }
+        }
+        for (int u : nextf) attached[static_cast<std::size_t>(u)] = 1;
+        frontier.swap(nextf);
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!attached[static_cast<std::size_t>(v)]) clear_route(blk, v, l);
+    }
+  }
+
+  // --- shared invalidation / seeding ----------------------------------------
+
+  /// One transitive witness-invalidation pass over every warm lane of the
+  /// block at once: kill masks propagate along stored witness chains
+  /// (next[u] == arc), exactly the standalone invalidate() per lane — the
+  /// per-lane invalid set is the same least fixed point, discovered in one
+  /// shared traversal. Cleared routes are recorded per lane (ascending) in
+  /// `invalid_out`.
+  void invalidate_block(Block& blk, const DynNet::Applied& ap,
+                        std::uint8_t lanemask,
+                        std::vector<std::vector<int>>& invalid_out) {
+    const int n = dnet.num_nodes();
+    const Digraph& g = dnet.graph();
+    const CsrAdjacency& in = g.csr_in();
+    const int cols = blk.cols;
+    std::vector<std::uint8_t> inv(static_cast<std::size_t>(n), 0);
+    std::vector<std::pair<int, std::uint8_t>> stack;
+    auto kill = [&](int v, std::uint8_t m) {
+      const std::uint8_t nb =
+          m & static_cast<std::uint8_t>(~inv[static_cast<std::size_t>(v)]);
+      if (nb != 0) {
+        inv[static_cast<std::size_t>(v)] |= nb;
+        stack.emplace_back(v, nb);
+      }
+    };
+    auto witness_mask = [&](int u, int id, std::uint8_t m) {
+      std::uint8_t out = 0;
+      for (unsigned mm = m; mm != 0; mm &= mm - 1) {
+        const int l = ctz8(mm);
+        if (blk.next[static_cast<std::size_t>(u) *
+                         static_cast<std::size_t>(cols) +
+                     static_cast<std::size_t>(l)] == id) {
+          out |= static_cast<std::uint8_t>(1u << l);
+        }
+      }
+      return out;
+    };
+    for (int v : ap.nodes_down) kill(v, lanemask);
+    for (int id : ap.changed_arcs) {
+      const int u = g.arc(id).src;
+      kill(u, witness_mask(u, id, lanemask));
+    }
+    while (!stack.empty()) {
+      const auto [v, m] = stack.back();
+      stack.pop_back();
+      for (int e = in.begin(v); e < in.end(v); ++e) {
+        const int id = in.arc[static_cast<std::size_t>(e)];
+        const int u = in.head[static_cast<std::size_t>(e)];
+        kill(u, witness_mask(u, id, m));
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      const std::uint8_t m = inv[static_cast<std::size_t>(v)];
+      if (m == 0) continue;
+      for (unsigned mm = m; mm != 0; mm &= mm - 1) {
+        const int l = ctz8(mm);
+        invalid_out[static_cast<std::size_t>(l)].push_back(v);
+        clear_route(blk, v, l);
+      }
+    }
+  }
+
+  /// Warm-start frontier per lane: the lane's invalidated set, plus (for
+  /// every warm lane) the tails of changed arcs and restarted nodes; crashed
+  /// nodes excluded — the standalone seed_nodes(), as a lane bitmask.
+  void warm_seeds(const DynNet::Applied& ap, std::uint8_t lanemask,
+                  const std::vector<std::vector<int>>& invalid,
+                  std::vector<std::uint8_t>& qmask) {
+    for (unsigned mm = lanemask; mm != 0; mm &= mm - 1) {
+      const int l = ctz8(mm);
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+      for (int v : invalid[static_cast<std::size_t>(l)]) {
+        if (dnet.node_up(v)) qmask[static_cast<std::size_t>(v)] |= bit;
+      }
+    }
+    const Digraph& g = dnet.graph();
+    for (int id : ap.changed_arcs) {
+      const int u = g.arc(id).src;
+      if (dnet.node_up(u)) qmask[static_cast<std::size_t>(u)] |= lanemask;
+    }
+    for (int v : ap.nodes_up) {
+      if (dnet.node_up(v)) qmask[static_cast<std::size_t>(v)] |= lanemask;
+    }
+  }
+
+  // --- per-block driver ------------------------------------------------------
+
+  std::uint8_t relax(Block& blk, std::vector<std::uint8_t>& qmask,
+                     std::vector<std::uint8_t>& touched,
+                     std::uint64_t& relaxations) {
+    return flat ? flat_relax(blk, qmask, touched, relaxations)
+                : boxed_relax(blk, qmask, touched, relaxations);
+  }
+
+  void rebuild(Block& blk, int l, std::uint64_t& relaxations) {
+    if (flat) {
+      flat_rebuild(blk, l, relaxations);
+    } else {
+      boxed_rebuild(blk, l, relaxations);
+    }
+  }
+
+  /// Runs one block through a solve/update pass: decide warm vs cold per
+  /// lane, invalidate + seed the warm lanes in one shared pass, relax every
+  /// lane in lockstep, retry capped warm lanes cold, and canonicalize every
+  /// converged lane. `ap == nullptr` means a cold bind (solve()).
+  void run_block(Block& blk, const DynNet::Applied* ap, bool cold_all,
+                 std::uint64_t& relaxations, int& cold_cols) {
+    const int n = dnet.num_nodes();
+    const int cols = blk.cols;
+    const std::uint8_t all =
+        static_cast<std::uint8_t>(cols == 8 ? 0xFFu : ((1u << cols) - 1));
+    std::uint8_t coldm = 0;
+    if (ap == nullptr || cold_all) {
+      coldm = all;
+    } else {
+      for (int l = 0; l < cols; ++l) {
+        if (!col_conv[static_cast<std::size_t>(blk.base + l)]) {
+          coldm |= static_cast<std::uint8_t>(1u << l);
+        }
+      }
+    }
+    const std::uint8_t warmm = all & static_cast<std::uint8_t>(~coldm);
+
+    std::vector<std::uint8_t> qmask(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
+    if (warmm != 0) {
+      std::vector<std::vector<int>> invalid(static_cast<std::size_t>(cols));
+      invalidate_block(blk, *ap, warmm, invalid);
+      warm_seeds(*ap, warmm, invalid, qmask);
+    }
+    for (unsigned mm = coldm; mm != 0; mm &= mm - 1) {
+      const int l = ctz8(mm);
+      clear_lane(blk, l);
+      const int d = dsts[static_cast<std::size_t>(blk.base + l)];
+      if (dnet.node_up(d)) {
+        qmask[static_cast<std::size_t>(d)] |=
+            static_cast<std::uint8_t>(1u << l);
+      }
+    }
+    const std::uint8_t capped = relax(blk, qmask, touched, relaxations);
+
+    // Warm lanes that hit the round cap fall back to a cold pass with a
+    // fresh round budget — the standalone update()'s run_cold() fallback.
+    const std::uint8_t retry = capped & warmm;
+    std::uint8_t capped2 = 0;
+    if (retry != 0) {
+      std::fill(qmask.begin(), qmask.end(), 0);
+      for (unsigned mm = retry; mm != 0; mm &= mm - 1) {
+        const int l = ctz8(mm);
+        clear_lane(blk, l);
+        const int d = dsts[static_cast<std::size_t>(blk.base + l)];
+        if (dnet.node_up(d)) {
+          qmask[static_cast<std::size_t>(d)] |=
+              static_cast<std::uint8_t>(1u << l);
+        }
+      }
+      capped2 = relax(blk, qmask, touched, relaxations);
+    }
+    const std::uint8_t final_cold = coldm | retry;
+    const std::uint8_t unconv =
+        static_cast<std::uint8_t>((capped & coldm) | capped2);
+    cold_cols += popcount8(final_cold);
+    for (int l = 0; l < cols; ++l) {
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+      const bool conv = (unconv & bit) == 0;
+      col_conv[static_cast<std::size_t>(blk.base + l)] =
+          conv ? 1 : 0;
+      if (conv) rebuild(blk, l, relaxations);
+      if ((final_cold & bit) != 0) {
+        stats.affected[static_cast<std::size_t>(blk.base + l)] = n;
+      } else {
+        int cnt = 0;
+        for (int v = 0; v < n; ++v) {
+          if ((touched[static_cast<std::size_t>(v)] & bit) != 0) ++cnt;
+        }
+        stats.affected[static_cast<std::size_t>(blk.base + l)] = cnt;
+      }
+    }
+  }
+
+  /// mrt::par chunking over destination blocks. Blocks own disjoint state
+  /// and write disjoint stats slots; per-block accumulators merge in block
+  /// order, so the result is bit-identical at any thread count.
+  void run_all_blocks(const DynNet::Applied* ap, bool cold_all) {
+    const std::size_t nb = blocks.size();
+    std::vector<std::uint64_t> relax_pb(nb, 0);
+    std::vector<int> cold_pb(nb, 0);
+    par::parallel_for(nb, 1, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t b = b0; b < b1; ++b) {
+        run_block(blocks[b], ap, cold_all, relax_pb[b], cold_pb[b]);
+      }
+    });
+    for (std::size_t b = 0; b < nb; ++b) {
+      stats.relaxations += relax_pb[b];
+      stats.cold_columns += cold_pb[b];
+    }
+    stats.cold = stats.cold_columns == stats.columns;
+    rvalid.assign(static_cast<std::size_t>(columns()), 0);
+  }
+
+  // --- stats / journal -------------------------------------------------------
+
+  void begin_stats(bool cold, std::size_t changed_arcs) {
+    stats = RibStats{};
+    stats.cold = cold;
+    stats.columns = columns();
+    stats.total = dnet.num_nodes();
+    stats.changed_arcs = static_cast<int>(changed_arcs);
+    stats.affected.assign(static_cast<std::size_t>(columns()), 0);
+  }
+
+  void finish_stats() const {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry();
+    reg.counter("dyn.rib.updates").add(1);
+    if (stats.cold) reg.counter("dyn.rib.updates_cold").add(1);
+    reg.counter("dyn.rib.cold_columns")
+        .add(static_cast<std::uint64_t>(stats.cold_columns));
+    reg.counter("dyn.rib.affected_nodes")
+        .add(static_cast<std::uint64_t>(stats.affected_total()));
+    reg.counter("dyn.rib.changed_arcs")
+        .add(static_cast<std::uint64_t>(stats.changed_arcs));
+    reg.counter("dyn.rib.relaxations").add(stats.relaxations);
+    reg.histogram("dyn.rib.affected_pct")
+        .record(static_cast<std::uint64_t>(stats.affected_mean_fraction() *
+                                           100.0));
+  }
+
+  /// The standalone journal_delta(), once per table (not per column): the
+  /// RIB emits aggregate flight-recorder records on its own stream; per-node
+  /// provenance stays with the single-destination solvers.
+  void journal_delta(const TopologyDelta& delta, const DynNet::Applied& ap) {
+    if (!obs::journal_enabled()) return;
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateBegin, jstream, -1, -1,
+                 static_cast<std::int64_t>(delta.ops.size()), dnet.version());
+    for (int id : ap.changed_arcs) {
+      const bool relabeled = std::binary_search(ap.relabeled_arcs.begin(),
+                                                ap.relabeled_arcs.end(), id);
+      obs::jrecord(Subsystem::Dyn,
+                   relabeled ? EventKind::DeltaRelabel : EventKind::DeltaArc,
+                   jstream, dnet.graph().arc(id).src, id,
+                   dnet.arc_alive(id) ? 1 : 0, dnet.version());
+    }
+    for (int v : ap.nodes_down) {
+      obs::jrecord(Subsystem::Dyn, EventKind::DeltaNodeDown, jstream, v, -1,
+                   0, dnet.version());
+    }
+    for (int v : ap.nodes_up) {
+      obs::jrecord(Subsystem::Dyn, EventKind::DeltaNodeUp, jstream, v, -1, 0,
+                   dnet.version());
+    }
+  }
+
+  // --- demotion ---------------------------------------------------------------
+
+  /// A relabel pushed the network off the compiled path (a label outside the
+  /// family's range): materialize every flat lane into boxed storage — the
+  /// stored words decode losslessly, so not a byte of the table changes —
+  /// and continue on the per-lane fallback.
+  void demote_to_boxed() {
+    const compile::CompiledAlgebra& ca = cnet.algebra();
+    const int n = dnet.num_nodes();
+    for (Block& blk : blocks) {
+      const std::size_t rowlen = static_cast<std::size_t>(blk.cols) * stride;
+      blk.bw.assign(static_cast<std::size_t>(blk.cols),
+                    std::vector<std::optional<Value>>(
+                        static_cast<std::size_t>(n)));
+      for (int v = 0; v < n; ++v) {
+        const std::uint8_t p = blk.present[static_cast<std::size_t>(v)];
+        for (unsigned mm = p; mm != 0; mm &= mm - 1) {
+          const int l = ctz8(mm);
+          blk.bw[static_cast<std::size_t>(l)][static_cast<std::size_t>(v)] =
+              ca.decode(blk.w.data() + static_cast<std::size_t>(v) * rowlen +
+                        static_cast<std::size_t>(l) * stride);
+        }
+      }
+      blk.w.clear();
+      blk.w.shrink_to_fit();
+      blk.present.clear();
+      blk.present.shrink_to_fit();
+    }
+    flat = false;
+    if (obs::enabled()) obs::counter("dyn.rib.flat_demotions").add(1);
+  }
+
+  // --- binding / top level -----------------------------------------------------
+
+  void bind(const LabeledGraph& net, std::vector<int> ds, const Value& org) {
+    MRT_REQUIRE(!ds.empty());
+    for (int d : ds) MRT_REQUIRE(d >= 0 && d < net.num_nodes());
+    dnet = DynNet(net);
+    origin = org;
+    dsts = std::move(ds);
+    bound = true;
+    jstream = obs::journal_next_stream();
+    if (weng != nullptr) {
+      cnet = compile::CompiledNet::make(*weng, dnet.net());
+    } else {
+      cnet = compile::CompiledNet();
+    }
+    stride = 0;
+    flat = false;
+    if (cnet.ok()) {
+      stride = static_cast<std::size_t>(cnet.words());
+      origin_w.assign(stride, 0);
+      flat = cnet.algebra().encode(origin, origin_w.data());
+    }
+    if (obs::enabled()) {
+      obs::counter(flat ? "dyn.rib.solves_flat" : "dyn.rib.solves_boxed")
+          .add(1);
+      obs::counter("dyn.rib.columns")
+          .add(static_cast<std::uint64_t>(dsts.size()));
+    }
+
+    const int n = dnet.num_nodes();
+    bwidth = opts.block;
+    const int total = columns();
+    blocks.clear();
+    for (int base = 0; base < total; base += bwidth) {
+      Block blk;
+      blk.base = base;
+      blk.cols = std::min(bwidth, total - base);
+      const std::size_t ncols = static_cast<std::size_t>(blk.cols);
+      blk.next.assign(static_cast<std::size_t>(n) * ncols, -1);
+      blk.destmask.assign(static_cast<std::size_t>(n), 0);
+      for (int l = 0; l < blk.cols; ++l) {
+        blk.destmask[static_cast<std::size_t>(
+            dsts[static_cast<std::size_t>(base + l)])] |=
+            static_cast<std::uint8_t>(1u << l);
+      }
+      if (flat) {
+        blk.w.assign(static_cast<std::size_t>(n) * ncols * stride, 0);
+        blk.present.assign(static_cast<std::size_t>(n), 0);
+      } else {
+        blk.bw.assign(ncols, std::vector<std::optional<Value>>(
+                                 static_cast<std::size_t>(n)));
+      }
+      blocks.push_back(std::move(blk));
+    }
+    col_conv.assign(static_cast<std::size_t>(total), 0);
+    rcache.assign(static_cast<std::size_t>(total), Routing{});
+    rvalid.assign(static_cast<std::size_t>(total), 0);
+    refresh_alive();
+    // Build the CSR views once, outside the parallel region.
+    dnet.graph().csr_out();
+    dnet.graph().csr_in();
+  }
+
+  void solve(const LabeledGraph& net, std::vector<int> ds, const Value& org) {
+    obs::ScopedSpan span("rib.solve", "routing");
+    static obs::Histogram& solve_ns =
+        obs::registry().histogram("dyn.rib.solve_ns");
+    obs::ScopedTimer timer(solve_ns);
+    bind(net, std::move(ds), org);
+    obs::jrecord(Subsystem::Dyn, EventKind::SolveBegin, jstream, -1, -1,
+                 static_cast<std::int64_t>(columns()), dnet.version());
+    begin_stats(/*cold=*/true, 0);
+    run_all_blocks(nullptr, /*cold_all=*/true);
+    finish_stats();
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream, -1, -1,
+                 -stats.affected_total(), dnet.version());
+  }
+
+  void update(const TopologyDelta& delta) {
+    MRT_REQUIRE(bound);
+    obs::ScopedSpan span("rib.update", "routing");
+    static obs::Histogram& update_ns =
+        obs::registry().histogram("dyn.rib.update_ns");
+    obs::ScopedTimer timer(update_ns);
+    const DynNet::Applied ap = dnet.apply(delta);
+    journal_delta(delta, ap);
+    // Delta-aware re-encoding, as in the standalone engines; if a relabel
+    // pushes the network off the compiled path, the table demotes to boxed.
+    if (weng != nullptr) {
+      for (int id : ap.relabeled_arcs) cnet.relabel(id, dnet.label(id));
+      if (flat && !cnet.ok()) demote_to_boxed();
+    }
+    begin_stats(/*cold=*/false, ap.changed_arcs.size());
+    if (!ap.any()) {
+      finish_stats();
+      return;
+    }
+    refresh_alive();
+    run_all_blocks(&ap, /*cold_all=*/!dyn::enabled());
+    finish_stats();
+    obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream, -1, -1,
+                 stats.cold ? -stats.affected_total()
+                            : stats.affected_total(),
+                 dnet.version());
+  }
+
+  const Routing& routing(int c) const {
+    MRT_REQUIRE(bound && c >= 0 && c < columns());
+    if (!rvalid[static_cast<std::size_t>(c)]) {
+      const Block& blk = blocks[static_cast<std::size_t>(c / bwidth)];
+      const int l = c % bwidth;
+      const int n = dnet.num_nodes();
+      Routing& r = rcache[static_cast<std::size_t>(c)];
+      r.weight.assign(static_cast<std::size_t>(n), std::nullopt);
+      r.next_arc.assign(static_cast<std::size_t>(n), -1);
+      if (flat) {
+        const compile::CompiledAlgebra& ca = cnet.algebra();
+        const std::size_t rowlen =
+            static_cast<std::size_t>(blk.cols) * stride;
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
+        for (int v = 0; v < n; ++v) {
+          if ((blk.present[static_cast<std::size_t>(v)] & bit) != 0) {
+            r.weight[static_cast<std::size_t>(v)] =
+                ca.decode(blk.w.data() + static_cast<std::size_t>(v) * rowlen +
+                          static_cast<std::size_t>(l) * stride);
+          }
+          r.next_arc[static_cast<std::size_t>(v)] =
+              blk.next[static_cast<std::size_t>(v) *
+                           static_cast<std::size_t>(blk.cols) +
+                       static_cast<std::size_t>(l)];
+        }
+      } else {
+        const auto& wcol = blk.bw[static_cast<std::size_t>(l)];
+        for (int v = 0; v < n; ++v) {
+          r.weight[static_cast<std::size_t>(v)] =
+              wcol[static_cast<std::size_t>(v)];
+          r.next_arc[static_cast<std::size_t>(v)] =
+              blk.next[static_cast<std::size_t>(v) *
+                           static_cast<std::size_t>(blk.cols) +
+                       static_cast<std::size_t>(l)];
+        }
+      }
+      rvalid[static_cast<std::size_t>(c)] = 1;
+    }
+    return rcache[static_cast<std::size_t>(c)];
+  }
+};
+
+RibSolver::RibSolver(const OrderTransform& alg,
+                     const compile::WeightEngine* engine, RibOptions opts)
+    : impl_(std::make_unique<Impl>(alg, engine, opts)) {}
+
+RibSolver::~RibSolver() = default;
+
+void RibSolver::solve(const LabeledGraph& net, std::vector<int> dests,
+                      const Value& origin) {
+  impl_->solve(net, std::move(dests), origin);
+}
+
+void RibSolver::solve_all(const LabeledGraph& net, const Value& origin) {
+  std::vector<int> all(static_cast<std::size_t>(net.num_nodes()));
+  for (int v = 0; v < net.num_nodes(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  impl_->solve(net, std::move(all), origin);
+}
+
+void RibSolver::update(const dyn::TopologyDelta& delta) {
+  impl_->update(delta);
+}
+
+int RibSolver::num_columns() const { return impl_->columns(); }
+
+const std::vector<int>& RibSolver::dests() const { return impl_->dsts; }
+
+const Routing& RibSolver::routing(int column) const {
+  return impl_->routing(column);
+}
+
+bool RibSolver::converged() const {
+  for (std::uint8_t c : impl_->col_conv) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+bool RibSolver::column_converged(int column) const {
+  MRT_REQUIRE(column >= 0 && column < impl_->columns());
+  return impl_->col_conv[static_cast<std::size_t>(column)] != 0;
+}
+
+const RibStats& RibSolver::last_update() const { return impl_->stats; }
+
+const dyn::DynNet& RibSolver::net() const { return impl_->dnet; }
+
+std::uint32_t RibSolver::journal_stream() const { return impl_->jstream; }
+
+bool RibSolver::batched_flat() const { return impl_->flat; }
+
+}  // namespace rib
+}  // namespace mrt

@@ -22,10 +22,12 @@ struct Candidate {
 };
 
 Candidate best_candidate(const OrderTransform& alg, const LabeledGraph& net,
-                         int u, const Routing& r, std::uint64_t& relaxations) {
+                         const CsrAdjacency& out, int u, const Routing& r,
+                         std::uint64_t& relaxations) {
   Candidate best;
-  for (int id : net.graph().out_arcs(u)) {
-    const int v = net.graph().arc(id).dst;
+  for (int e = out.begin(u); e < out.end(u); ++e) {
+    const int id = out.arc[static_cast<std::size_t>(e)];
+    const int v = out.head[static_cast<std::size_t>(e)];
     const auto& wv = r.weight[static_cast<std::size_t>(v)];
     if (!wv) continue;
     ++relaxations;
@@ -43,6 +45,9 @@ bool bellman_step_boxed(const OrderTransform& alg, const LabeledGraph& net,
                         int dest, const Value& origin, Routing& r,
                         const BellmanOptions& opts) {
   const int n = net.num_nodes();
+  // One flat CSR walk per relaxation instead of two pointer hops through
+  // vector<vector<int>> — built once per graph, shared by every round.
+  const CsrAdjacency& out = net.graph().csr_out();
   std::atomic<std::uint64_t> relax_total{0};
   std::atomic<bool> changed_any{false};
   Routing next = r;
@@ -61,7 +66,7 @@ bool bellman_step_boxed(const OrderTransform& alg, const LabeledGraph& net,
             next.next_arc[uu] = -1;
             continue;
           }
-          Candidate cand = best_candidate(alg, net, u, r, relaxations);
+          Candidate cand = best_candidate(alg, net, out, u, r, relaxations);
           auto& cur = next.weight[uu];
           auto& cur_arc = next.next_arc[uu];
           if (!cand.weight) {
@@ -143,6 +148,7 @@ bool bellman_step_flat(const LabeledGraph& net, int dest,
                        const BellmanOptions& opts,
                        const compile::CompiledNet& cn) {
   const int n = net.num_nodes();
+  const CsrAdjacency& out = net.graph().csr_out();
   const compile::CompiledAlgebra& ca = cn.algebra();
   const std::size_t stride = r.stride;
   std::atomic<std::uint64_t> relax_total{0};
@@ -164,8 +170,9 @@ bool bellman_step_flat(const LabeledGraph& net, int dest,
           }
           bool have = false;
           int best_arc = -1;
-          for (int id : net.graph().out_arcs(u)) {
-            const int v = net.graph().arc(id).dst;
+          for (int e = out.begin(u); e < out.end(u); ++e) {
+            const int id = out.arc[static_cast<std::size_t>(e)];
+            const int v = out.head[static_cast<std::size_t>(e)];
             if (!r.present[static_cast<std::size_t>(v)]) continue;
             ++relaxations;
             for (std::size_t k = 0; k < stride; ++k) cand[k] = r.at(v)[k];

@@ -161,6 +161,38 @@ KBestResult kbest_bellman_flat(const LabeledGraph& net, int dest,
   return out;
 }
 
+// Post-hoc witness scan, the mechanical dual of kbest_certified: for each
+// kept entry, the smallest out-arc id whose one-arc extension of some
+// successor entry reproduces it (the origin entry at dest takes precedence
+// and gets -1, exactly as the certificate skips it).
+void fill_witness_arcs(const OrderTransform& alg, const LabeledGraph& net,
+                       int dest, const Value& origin, KBestResult& r) {
+  const int n = net.num_nodes();
+  r.witness_arcs.assign(static_cast<std::size_t>(n), {});
+  for (int u = 0; u < n; ++u) {
+    const ValueVec& wu = r.weights[static_cast<std::size_t>(u)];
+    std::vector<int>& au = r.witness_arcs[static_cast<std::size_t>(u)];
+    au.assign(wu.size(), -1);
+    for (std::size_t i = 0; i < wu.size(); ++i) {
+      if (u == dest && wu[i] == origin) continue;
+      for (int id : net.graph().out_arcs(u)) {
+        const int v = net.graph().arc(id).dst;
+        bool achieved = false;
+        for (const Value& wv : r.weights[static_cast<std::size_t>(v)]) {
+          if (alg.fns->apply(net.label(id), wv) == wu[i]) {
+            achieved = true;
+            break;
+          }
+        }
+        if (achieved) {
+          au[i] = id;  // out_arcs is ascending, so the first hit is smallest
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
@@ -182,6 +214,7 @@ KBestResult kbest_bellman(const OrderTransform& alg, const LabeledGraph& net,
     }
   }
   if (!flat) out = kbest_bellman_boxed(alg, net, dest, origin, k, opts, c);
+  fill_witness_arcs(alg, net, dest, origin, out);
 
   if (obs::enabled()) {
     obs::Registry& reg = obs::registry();

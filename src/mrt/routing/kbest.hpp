@@ -25,6 +25,11 @@ ValueVec k_best(const PreorderSet& ord, const ValueVec& xs, int k);
 struct KBestResult {
   /// Per node: up to k best distinct route weights, best first.
   std::vector<ValueVec> weights;
+  /// Per node, parallel to `weights`: the witness arc achieving each entry —
+  /// the smallest out-arc id whose one-arc extension of some successor entry
+  /// equals the weight. -1 for the origin entry at the destination (which
+  /// needs no arc) and for unachieved entries of a non-converged run.
+  std::vector<std::vector<int>> witness_arcs;
   int iterations = 0;
   bool converged = false;
 };

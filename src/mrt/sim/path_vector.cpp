@@ -139,7 +139,11 @@ void PathVectorSim::advertise(int node, double now) {
   const bool withdrawal =
       flat_ ? !selected_flat_[static_cast<std::size_t>(node)].present
             : !selected_[static_cast<std::size_t>(node)];
-  for (int id : net_.graph().in_arcs(node)) {
+  // Per-message hot loop: walk the CSR in-view (one flat index chase per
+  // neighbour) instead of the vector<vector<int>> adjacency.
+  const CsrAdjacency& in = net_.graph().csr_in();
+  for (int e = in.begin(node); e < in.end(node); ++e) {
+    const int id = in.arc[static_cast<std::size_t>(e)];
     if (!arc_alive(id)) continue;
     // Base latency comes from rng_ unconditionally, so the schedule of a
     // seed is identical whether or not faults are installed; fault windows
@@ -212,7 +216,9 @@ void PathVectorSim::reselect_boxed(int node, double now) {
   // improvement replaces.
   std::optional<Value> best;
   int best_arc = -1;
-  for (int id : net_.graph().out_arcs(node)) {
+  const CsrAdjacency& out = net_.graph().csr_out();
+  for (int e = out.begin(node); e < out.end(node); ++e) {
+    const int id = out.arc[static_cast<std::size_t>(e)];
     auto cand = candidate_via(id);
     if (!cand) continue;
     if (!best || lt_of(alg_.ord->cmp(*cand, *best))) {
@@ -273,7 +279,9 @@ void PathVectorSim::reselect_flat(int node, double now) {
   int best_arc = -1;
   compile::FlatMsg cand;
   cand.n = best.n;
-  for (int id : net_.graph().out_arcs(node)) {
+  const CsrAdjacency& out = net_.graph().csr_out();
+  for (int e = out.begin(node); e < out.end(node); ++e) {
+    const int id = out.arc[static_cast<std::size_t>(e)];
     candidate_via_flat(id, &cand);
     if (!cand.present) continue;
     if (!best.present ||

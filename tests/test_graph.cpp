@@ -22,6 +22,49 @@ TEST(Digraph, ArcsAndAdjacency) {
   EXPECT_FALSE(g.has_arc(1, 0));
 }
 
+TEST(Digraph, CsrViewsMatchAdjacencyLists) {
+  Rng rng(0xC54);
+  for (int trial = 0; trial < 8; ++trial) {
+    Digraph g = random_connected(rng, 12, 4);
+    const CsrAdjacency& out = g.csr_out();
+    const CsrAdjacency& in = g.csr_in();
+    ASSERT_EQ(out.offset.size(), static_cast<std::size_t>(g.num_nodes()) + 1);
+    EXPECT_EQ(out.offset.back(), g.num_arcs());
+    EXPECT_EQ(in.offset.back(), g.num_arcs());
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      std::vector<int> got_out, got_in;
+      for (int e = out.begin(u); e < out.end(u); ++e) {
+        got_out.push_back(out.arc[(std::size_t)e]);
+        EXPECT_EQ(out.head[(std::size_t)e], g.arc(out.arc[(std::size_t)e]).dst);
+      }
+      for (int e = in.begin(u); e < in.end(u); ++e) {
+        got_in.push_back(in.arc[(std::size_t)e]);
+        EXPECT_EQ(in.head[(std::size_t)e], g.arc(in.arc[(std::size_t)e]).src);
+      }
+      EXPECT_EQ(got_out, g.out_arcs(u)) << "trial " << trial << " node " << u;
+      EXPECT_EQ(got_in, g.in_arcs(u)) << "trial " << trial << " node " << u;
+    }
+  }
+}
+
+TEST(Digraph, CsrInvalidatedByAddArcAndSurvivesCopy) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  EXPECT_EQ(g.csr_out().arc.size(), 1u);
+  g.add_arc(1, 2);  // must drop the cached view
+  EXPECT_EQ(g.csr_out().arc.size(), 2u);
+  EXPECT_EQ(g.csr_in().end(2) - g.csr_in().begin(2), 1);
+
+  Digraph c = g;  // copy with a built cache — views stay independent
+  c.add_arc(2, 0);
+  EXPECT_EQ(c.csr_out().arc.size(), 3u);
+  EXPECT_EQ(g.csr_out().arc.size(), 2u);
+  Digraph a(1);
+  a = g;
+  EXPECT_EQ(a.csr_out().arc.size(), 2u);
+  EXPECT_TRUE(a.has_arc(0, 1));
+}
+
 TEST(Digraph, BoundsChecked) {
   Digraph g(2);
   EXPECT_THROW(g.add_arc(0, 2), std::logic_error);

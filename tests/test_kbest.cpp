@@ -93,6 +93,56 @@ TEST(KBestBellman, LineGraphEnumeratesDetours) {
   EXPECT_EQ(r.weights[1], (ValueVec{I(2), I(4), I(5)}));
   EXPECT_EQ(r.weights[2], (ValueVec{I(1), I(3), I(5)}));
   EXPECT_TRUE(kbest_certified(sp, net, 0, I(0), r));
+
+  // Witness arcs (arc ids in insertion order: 0 = 1→0 cost 5, 1 = 1→2,
+  // 2 = 2→0, 3 = 2→1): the origin entry at dest needs no arc; 2 and 4 at
+  // node 1 ride the 1→2 arc, 5 the direct arc; at node 2, only the best
+  // entry exits via 2→0, the detours bounce through 2→1.
+  EXPECT_EQ(r.witness_arcs[0], (std::vector<int>{-1}));
+  EXPECT_EQ(r.witness_arcs[1], (std::vector<int>{1, 1, 0}));
+  EXPECT_EQ(r.witness_arcs[2], (std::vector<int>{2, 3, 3}));
+}
+
+// Every witness arc must actually achieve its entry via some successor
+// entry, be the smallest such arc, and be -1 exactly for the origin entry
+// at the destination — the per-entry refinement of kbest_certified.
+TEST(KBestBellman, WitnessArcsAchieveTheirEntries) {
+  Rng rng(0x6BE61);
+  const OrderTransform sp = ot_shortest_path(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Digraph g = random_connected(rng, 8, 5);
+    LabeledGraph net = label_randomly(sp, std::move(g), rng);
+    const KBestResult kb = kbest_bellman(sp, net, 0, I(0), 3);
+    ASSERT_TRUE(kb.converged);
+    ASSERT_EQ(kb.witness_arcs.size(), kb.weights.size());
+    for (int u = 0; u < net.num_nodes(); ++u) {
+      const auto& wu = kb.weights[(std::size_t)u];
+      const auto& au = kb.witness_arcs[(std::size_t)u];
+      ASSERT_EQ(au.size(), wu.size()) << "trial " << trial << " node " << u;
+      for (std::size_t i = 0; i < wu.size(); ++i) {
+        auto achieves = [&](int id) {
+          const int v = net.graph().arc(id).dst;
+          for (const Value& wv : kb.weights[(std::size_t)v]) {
+            if (sp.fns->apply(net.label(id), wv) == wu[i]) return true;
+          }
+          return false;
+        };
+        if (u == 0 && wu[i] == I(0)) {
+          EXPECT_EQ(au[i], -1) << "trial " << trial;
+          continue;
+        }
+        ASSERT_GE(au[i], 0) << "trial " << trial << " node " << u;
+        EXPECT_EQ(net.graph().arc(au[i]).src, u);
+        EXPECT_TRUE(achieves(au[i])) << "trial " << trial << " node " << u;
+        for (int id : net.graph().out_arcs(u)) {
+          if (id >= au[i]) break;
+          EXPECT_FALSE(achieves(id))
+              << "trial " << trial << " node " << u << ": arc " << id
+              << " beats recorded witness " << au[i];
+        }
+      }
+    }
+  }
 }
 
 TEST(KBestBellman, BestWeightMatchesDijkstra) {
@@ -185,6 +235,8 @@ TEST(KBestBellman, CompiledPathIsByteIdenticalToBoxed) {
     ASSERT_EQ(boxed.weights.size(), flat.weights.size());
     for (std::size_t v = 0; v < boxed.weights.size(); ++v) {
       EXPECT_EQ(boxed.weights[v], flat.weights[v])
+          << "trial " << trial << " node " << v;
+      EXPECT_EQ(boxed.witness_arcs[v], flat.witness_arcs[v])
           << "trial " << trial << " node " << v;
     }
     EXPECT_TRUE(kbest_certified(sp, net, 0, I(0), flat)) << "trial " << trial;

@@ -1,0 +1,336 @@
+// Differential property suite for mrt::rib: every column of a batched
+// RibSolver — cold, and after hundreds of random delta batches — must be
+// byte-identical (weights AND witness arcs) to a standalone
+// dyn::Solver(Bellman) bound to the same destination, across random chain
+// algebras × random connected topologies × random single/multi-op deltas,
+// and across every A/B axis the batched solver owns:
+//
+//   MRT_COMPILE — WeightEngine present (flat blocked kernels) vs absent
+//                 (boxed per-column fallback), via in-process toggles;
+//   MRT_DYN     — dyn::set_enabled(false) forces cold re-solves;
+//   MRT_THREADS — par::set_thread_limit, the bit-identical-at-any-
+//                 thread-count contract over destination blocks.
+//
+// The license for exact comparison is the same as test_dyn_differential:
+// both sides canonicalize witnesses, and the chain carriers are
+// antisymmetric total orders, so the fixed point has a unique normal form.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "mrt/dyn/solver.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/rib/rib.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+using dyn::TopologyDelta;
+
+struct RibInstance {
+  OrderTransform ot;
+  LabeledGraph net;
+  int label_lo = 0;
+  int label_hi = 0;
+  std::string desc;
+};
+
+/// ⊗ = saturating +c (increasing shortest-path chain) — compiles flat.
+RibInstance sat_plus_instance(Rng& rng) {
+  const int n = 4 + static_cast<int>(rng.below(6));
+  const int hi =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+  Digraph g = random_connected(rng, 5 + static_cast<int>(rng.below(6)),
+                               3 + static_cast<int>(rng.below(6)));
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    labels.push_back(I(rng.range(1, hi)));
+  }
+  return RibInstance{OrderTransform{"chain(<=,sat+)", ord_chain(n),
+                                    fam_chain_add(n, 1, hi), {}},
+                     LabeledGraph(std::move(g), std::move(labels)),
+                     1,
+                     hi,
+                     "sat_plus n=" + std::to_string(n)};
+}
+
+/// ⊗ = max(·, c): ND but not increasing (widest-path-like), table family.
+RibInstance chain_max_instance(Rng& rng) {
+  const int n = 4 + static_cast<int>(rng.below(6));
+  Digraph g = random_connected(rng, 5 + static_cast<int>(rng.below(6)),
+                               3 + static_cast<int>(rng.below(6)));
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    labels.push_back(I(rng.range(0, n)));
+  }
+  std::vector<std::vector<int>> fns;
+  for (int c = 0; c <= n; ++c) {
+    std::vector<int> f;
+    for (int x = 0; x <= n; ++x) f.push_back(std::max(x, c));
+    fns.push_back(std::move(f));
+  }
+  return RibInstance{OrderTransform{"chain(<=,max)", ord_chain(n),
+                                    fam_table("{max(.,c)}", n + 1,
+                                              std::move(fns)),
+                                    {}},
+                     LabeledGraph(std::move(g), std::move(labels)),
+                     0,
+                     n,
+                     "chain_max n=" + std::to_string(n)};
+}
+
+/// 1–4 random edits, biased toward arc flaps, with relabels and node
+/// crash/restart mixed in — the same shape as the dyn differential suite.
+TopologyDelta random_delta(Rng& rng, const RibInstance& inst) {
+  TopologyDelta d;
+  const int m = inst.net.graph().num_arcs();
+  const int n = inst.net.num_nodes();
+  const int ops = 1 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < ops; ++i) {
+    const int arc = static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    const int node =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    switch (rng.below(8)) {
+      case 0:
+      case 1:
+      case 2:
+        d.arc_down(arc);
+        break;
+      case 3:
+      case 4:
+        d.arc_up(arc);
+        break;
+      case 5:
+        d.relabel(arc, I(rng.range(inst.label_lo, inst.label_hi)));
+        break;
+      case 6:
+        d.node_down(node);
+        break;
+      default:
+        d.node_up(node);
+        break;
+    }
+  }
+  return d;
+}
+
+void expect_identical(const Routing& a, const Routing& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.weight.size(), b.weight.size()) << what;
+  for (std::size_t v = 0; v < a.weight.size(); ++v) {
+    ASSERT_EQ(a.weight[v].has_value(), b.weight[v].has_value())
+        << what << " node " << v;
+    if (a.weight[v]) {
+      ASSERT_EQ(*a.weight[v], *b.weight[v]) << what << " node " << v;
+    }
+    ASSERT_EQ(a.next_arc[v], b.next_arc[v]) << what << " node " << v;
+  }
+}
+
+/// Scoped toggles: restores dyn::enabled and the par thread limit on exit
+/// so one trial's A/B setting never leaks into the next.
+struct ScopedToggles {
+  bool dyn_before = dyn::enabled();
+  int threads_before = par::thread_limit();
+  ScopedToggles(bool dyn_on, int threads) {
+    dyn::set_enabled(dyn_on);
+    par::set_thread_limit(threads);
+  }
+  ~ScopedToggles() {
+    dyn::set_enabled(dyn_before);
+    par::set_thread_limit(threads_before);
+  }
+};
+
+// The headline differential: sweeping the full toggle cube, every RIB
+// column must match a standalone Bellman dyn::Solver byte for byte on the
+// cold solve and after every one of ≥500 random delta batches.
+TEST(RibDifferential, ColumnsByteIdenticalToStandaloneAcrossDeltas) {
+  constexpr int kTrials = 64;
+  constexpr int kBatches = 8;  // 64 × 8 = 512 delta batches
+  long warm_batches = 0;
+  long flat_trials = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(par::mix_seed(0x51B0, static_cast<std::uint64_t>(trial)));
+    RibInstance inst =
+        (trial % 2 == 0) ? sat_plus_instance(rng) : chain_max_instance(rng);
+    inst.desc += " trial " + std::to_string(trial);
+
+    // The toggle cube: MRT_COMPILE × MRT_DYN × MRT_THREADS.
+    const bool with_engine = (trial % 2 == 0);
+    const bool dyn_on = (trial % 4 < 3);  // every 4th trial forces cold
+    const int threads = (trial % 3 == 0) ? 4 : 1;
+    ScopedToggles toggles(dyn_on, threads);
+
+    const compile::WeightEngine eng(inst.ot);
+    const compile::WeightEngine* weng = with_engine ? &eng : nullptr;
+
+    // All |V| destinations — the full routing table.
+    const int n = inst.net.num_nodes();
+    rib::RibSolver rib(inst.ot, weng);
+    rib.solve_all(inst.net, I(0));
+    if (rib.batched_flat()) ++flat_trials;
+
+    std::vector<std::unique_ptr<Solver>> ref;
+    for (int d = 0; d < n; ++d) {
+      ref.push_back(dyn::make_solver(dyn::EngineKind::Bellman, inst.ot, weng));
+      ref.back()->solve(inst.net, d, I(0));
+      ASSERT_EQ(rib.column_converged(d), ref.back()->converged())
+          << inst.desc << " col " << d;
+      expect_identical(rib.routing(d), ref.back()->routing(),
+                       inst.desc + " cold col " + std::to_string(d));
+    }
+    ASSERT_TRUE(rib.last_update().cold) << inst.desc;
+    ASSERT_EQ(rib.num_columns(), n);
+
+    for (int b = 0; b < kBatches; ++b) {
+      const TopologyDelta d = random_delta(rng, inst);
+      rib.update(d);
+      if (!rib.last_update().cold && rib.last_update().changed_arcs > 0) {
+        ++warm_batches;
+      }
+      ASSERT_EQ(static_cast<int>(rib.last_update().affected.size()), n)
+          << inst.desc;
+      for (int c = 0; c < n; ++c) {
+        ref[static_cast<std::size_t>(c)]->update(d);
+        ASSERT_EQ(rib.column_converged(c),
+                  ref[static_cast<std::size_t>(c)]->converged())
+            << inst.desc << " batch " << b << " col " << c;
+        if (!rib.column_converged(c)) continue;
+        expect_identical(rib.routing(c),
+                         ref[static_cast<std::size_t>(c)]->routing(),
+                         inst.desc + " batch " + std::to_string(b) + " col " +
+                             std::to_string(c) + " " + d.describe());
+      }
+    }
+  }
+  // The sweep must genuinely exercise both the incremental path and the
+  // flat blocked kernels, not silently fall back everywhere.
+  EXPECT_GT(warm_batches, 100) << "batched incremental path barely exercised";
+  EXPECT_GT(flat_trials, 20) << "flat blocked kernels barely exercised";
+}
+
+// The mrt::par contract, verified bit-for-bit: the same instance and delta
+// sequence run under thread limits 1 and 4 must produce identical columns
+// AND identical work accounting after every batch.
+TEST(RibDifferential, ThreadCountInvariance) {
+  constexpr int kTrials = 12;
+  constexpr int kBatches = 6;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng seed_rng(par::mix_seed(0x51B1, static_cast<std::uint64_t>(trial)));
+    const std::uint64_t inst_seed = seed_rng.next();
+
+    auto run = [&](int threads) {
+      Rng rng(inst_seed);
+      RibInstance inst =
+          (trial % 2 == 0) ? sat_plus_instance(rng) : chain_max_instance(rng);
+      const compile::WeightEngine eng(inst.ot);
+      const compile::WeightEngine* weng = (trial % 3 != 0) ? &eng : nullptr;
+      ScopedToggles toggles(true, threads);
+      auto rib = std::make_unique<rib::RibSolver>(inst.ot, weng);
+      rib->solve_all(inst.net, I(0));
+      std::vector<Routing> snaps;
+      std::vector<std::vector<int>> affected;
+      for (int b = 0; b < kBatches; ++b) {
+        rib->update(random_delta(rng, inst));
+        for (int c = 0; c < rib->num_columns(); ++c) {
+          snaps.push_back(rib->routing(c));
+        }
+        affected.push_back(rib->last_update().affected);
+      }
+      return std::make_pair(std::move(snaps), std::move(affected));
+    };
+
+    auto one = run(1);
+    auto four = run(4);
+    ASSERT_EQ(one.first.size(), four.first.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < one.first.size(); ++i) {
+      expect_identical(one.first[i], four.first[i],
+                       "trial " + std::to_string(trial) + " snapshot " +
+                           std::to_string(i));
+    }
+    ASSERT_EQ(one.second, four.second)
+        << "trial " << trial << ": affected-set accounting diverged";
+  }
+}
+
+TEST(Rib, SolveBindsAndMaterializesColumns) {
+  Rng rng(0x51B2);
+  RibInstance inst = sat_plus_instance(rng);
+  const compile::WeightEngine eng(inst.ot);
+  rib::RibSolver rib(inst.ot, &eng);
+  const int n = inst.net.num_nodes();
+
+  // Duplicate + unordered destination subset: columns are independent.
+  std::vector<int> dests{n - 1, 0, n - 1};
+  rib.solve(inst.net, dests, I(0));
+  EXPECT_EQ(rib.num_columns(), 3);
+  EXPECT_EQ(rib.dests(), dests);
+  EXPECT_TRUE(rib.converged());
+  EXPECT_TRUE(rib.batched_flat());
+  EXPECT_NE(rib.journal_stream(), 0u);
+  expect_identical(rib.routing(0), rib.routing(2), "duplicate columns");
+  const rib::RibStats& st = rib.last_update();
+  EXPECT_TRUE(st.cold);
+  EXPECT_EQ(st.columns, 3);
+  EXPECT_EQ(st.cold_columns, 3);
+  EXPECT_EQ(st.affected, (std::vector<int>{n, n, n}));
+  EXPECT_EQ(st.affected_max(), n);
+  EXPECT_DOUBLE_EQ(st.affected_mean_fraction(), 1.0);
+
+  // Without an engine the boxed fallback serves the same bytes.
+  rib::RibSolver boxed(inst.ot);
+  boxed.solve(inst.net, dests, I(0));
+  EXPECT_FALSE(boxed.batched_flat());
+  for (int c = 0; c < 3; ++c) {
+    expect_identical(rib.routing(c), boxed.routing(c),
+                     "flat vs boxed col " + std::to_string(c));
+  }
+
+  EXPECT_THROW(rib.routing(3), std::logic_error);
+  rib::RibSolver empty(inst.ot);
+  EXPECT_THROW(empty.solve(inst.net, {}, I(0)), std::logic_error);
+  EXPECT_THROW(empty.solve(inst.net, {n}, I(0)), std::logic_error);
+  EXPECT_THROW(empty.update(TopologyDelta{}.arc_down(0)), std::logic_error);
+}
+
+// Warm multi-destination maintenance on a ring: single arc flaps must not
+// re-relax the whole table on average — the shared-invalidation payoff the
+// perf gate measures on large topologies, pinned here functionally.
+TEST(Rib, WarmAffectedSetsStayLocalOnRing) {
+  Rng rng(0x51B3);
+  const int n = 32;
+  Digraph g = ring(n);
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) labels.push_back(I(1));
+  OrderTransform ot{"chain(<=,sat+)", ord_chain(64), fam_chain_add(64, 1, 1),
+                    {}};
+  LabeledGraph net(std::move(g), std::move(labels));
+  const compile::WeightEngine eng(ot);
+  rib::RibSolver rib(ot, &eng);
+  rib.solve_all(net, I(0));
+
+  double fraction_sum = 0;
+  int updates = 0;
+  const int m = net.graph().num_arcs();
+  for (int b = 0; b < 100; ++b) {
+    const int arc = static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    rib.update(TopologyDelta{}.arc_down(arc));
+    ASSERT_FALSE(rib.last_update().cold);
+    fraction_sum += rib.last_update().affected_mean_fraction();
+    ++updates;
+    rib.update(TopologyDelta{}.arc_up(arc));
+    fraction_sum += rib.last_update().affected_mean_fraction();
+    ++updates;
+  }
+  EXPECT_LT(fraction_sum / updates, 0.75)
+      << "batched warm updates re-relaxed almost the whole table on average";
+}
+
+}  // namespace
+}  // namespace mrt
