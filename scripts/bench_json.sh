@@ -5,8 +5,9 @@
 # their stdout tables differ (the mrt::par determinism contract), and merge
 # the timed records into BENCH_par.json. Further sections gate the chaos
 # campaign (BENCH_chaos.json), the compiled kernels (BENCH_compile.json),
-# the incremental solvers (BENCH_dyn.json), and the batched routing tables
-# (BENCH_rib.json) the same way.
+# the incremental solvers (BENCH_dyn.json), the batched routing tables
+# (BENCH_rib.json), and the adversarial-schedule certificates
+# (BENCH_adv.json) the same way.
 #
 # Every gate is mandatory: a missing bench binary fails the script rather
 # than skipping the gate. Before declaring success the script re-opens every
@@ -377,6 +378,48 @@ PY
   echo "wrote $RIB_OUT (1 record)"
 }
 
+# --- Adversarial-schedule gates + BENCH_adv.json ---------------------------
+# Three gates on mrt::adv:
+#   1. validity: every certificate in the (algebra × topology × schedule)
+#      sweep must match theory — WithinBound for exhaustively-increasing
+#      algebras, an honest Converged/Diverged otherwise
+#      (adv.cert_validity == 1.0);
+#   2. falsification: zero Daggitt–Griffin bound violations
+#      (adv.bound_violations == 0) — a violation would be a theorem
+#      falsification, not a perf regression;
+#   3. overhead: the Scheduler seam must stay cheap — adversarial runs cost
+#      at most 1.25× the default jittered FIFO per delivered event.
+ADV_OUT="BENCH_adv.json"
+pa="$BUILD/bench/adv_schedules"
+require_bin "$pa"
+{
+  echo "== adv_schedules =="
+  "$pa" --json "$tmpdir/adv.json"
+
+  python3 - "$tmpdir/adv.json" <<'PY'
+import json, sys
+adv_rec = json.load(open(sys.argv[1]))
+m = adv_rec["metrics"]
+bad = []
+if m.get("adv.cert_validity", 0.0) != 1.0:
+    bad.append(f"adv.cert_validity = {m.get('adv.cert_validity', 0.0)} != 1.0")
+if m.get("adv.bound_violations", 1.0) != 0.0:
+    bad.append(f"adv.bound_violations = {m.get('adv.bound_violations')} != 0")
+if m.get("adv.overhead_per_event", 99.0) > 1.25:
+    bad.append(f"adv.overhead_per_event = "
+               f"{m.get('adv.overhead_per_event', 99.0):.2f} > 1.25")
+if bad:
+    print("bench_json.sh: ADV GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   gates passed: {int(m['adv.runs'])} certificates all valid, "
+      f"0 bound violations, seam overhead "
+      f"{m['adv.overhead_per_event']:.2f}x <= 1.25x")
+json.dump([adv_rec], open("BENCH_adv.json", "w"))
+PY
+  echo "wrote $ADV_OUT (1 record)"
+}
+
 # --- Final sweep: every emitted BENCH_*.json must parse and carry its
 # gated keys. The merge steps above concatenate per-bench files with
 # printf/cat, so a bench that exited 0 after writing a truncated record
@@ -398,6 +441,9 @@ required = {
                                         "metrics/rib.warm.affected_pct",
                                         "metrics/rib.warm.affected_max_pct",
                                         "metrics/identical"]},
+    "BENCH_adv.json":     {"adv_schedules": ["metrics/adv.cert_validity",
+                                             "metrics/adv.bound_violations",
+                                             "metrics/adv.overhead_per_event"]},
 }
 bad = []
 for path, by_bench in required.items():

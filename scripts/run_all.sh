@@ -20,8 +20,13 @@
 #          they build on) under ThreadSanitizer with MRT_THREADS=4 — the
 #          par-chunked destination blocks writing shared stats is the race
 #          surface — then exit.
+#   --preset adv — tsan build focused on the adversarial schedulers: runs
+#          the mrt::adv certificate/shrinker suites plus the simulator core
+#          under ThreadSanitizer with MRT_THREADS=4 (the triple property
+#          suite fans out over mrt::par workers while adversarial schedulers
+#          mutate per-arc state — exactly the race surface), then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
-#          property, chaos, perf); see tests/CMakeLists.txt.
+#          property, chaos, adv, perf); see tests/CMakeLists.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,8 +91,23 @@ if [ -n "$PRESET" ]; then
       echo "rib preset passed"
       exit 0
       ;;
+    adv)
+      # Adversarial-scheduler focus: the triple property suite runs
+      # certificate sweeps across mrt::par workers while each worker's
+      # scheduler mutates per-arc reorder/starvation state, and the campaign
+      # schedule axis shares verdict accumulators — run the adv tier and the
+      # simulator core under ThreadSanitizer.
+      cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      cmake --build build-tsan -j "$(nproc)" \
+        --target mrt_tests mrt_adv_tests
+      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -L adv
+      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+        -R 'Sim|PathVector|EventQueue'
+      echo "adv preset passed"
+      exit 0
+      ;;
     *)
-      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs, rib)" >&2
+      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs, rib, adv)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,214 @@
+// mrt::adv — adversarial asynchronous schedules and convergence certificates.
+//
+// Metarouting's promise is that algebraic properties guarantee protocol
+// behaviour under *any* message schedule; Daggitt & Griffin (arXiv
+// 2106.01184) sharpen this for policy-rich distributed Bellman–Ford: with a
+// strictly increasing algebra the protocol converges within a bounded number
+// of activation rounds no matter how adversarial the asynchrony. This module
+// turns PathVectorSim into a falsifier of that theorem:
+//
+//  * Schedule adversaries over the sim's Scheduler seam — unbounded per-arc
+//    reordering, heavy-tailed per-arc latency classes, priority inversion
+//    that starves whichever arcs currently carry best routes, and fixed
+//    per-arc pessimal scalings searched greedily (the chaos shrinker's
+//    restart-loop pattern with rounds-to-quiescence as fitness).
+//  * A ConvergenceCertificate per run: the algebra's convergence property
+//    profile (from the Checker), the schedule class, the measured activation
+//    rounds, the theoretical bound when it applies, and a machine-checkable
+//    verdict. A bound violation on an exhaustively-proved increasing algebra
+//    is a theorem falsification — a hard test failure.
+//  * A schedule-prefix shrinker: a failing adversarial schedule is reduced
+//    to a 1-minimal prefix (adversarial for the first k sends, benign after)
+//    that still reproduces the verdict.
+//
+// See docs/ADVERSARY.md for the schedule classes, the activation-round
+// accounting, and how to read a bound-violation repro.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrt/core/checker.hpp"
+#include "mrt/sim/path_vector.hpp"
+
+namespace mrt::adv {
+
+/// A value-type description of one schedule policy: everything needed to
+/// reconstruct the Scheduler deterministically (campaigns copy these per
+/// run, the shrinker mutates `prefix`).
+struct ScheduleSpec {
+  SchedulerKind kind = SchedulerKind::FifoJitter;
+  /// Seed of the policy's private rng (per-arc latency classes, Pareto
+  /// draws). Mixed with — never replacing — the sim's schedule stream.
+  std::uint64_t seed = 1;
+  /// Reorder: base latencies are stretched into [min_delay,
+  /// min_delay + spread·(max_delay−min_delay)) with no FIFO clamp, so later
+  /// sends overtake earlier ones arbitrarily often.
+  double spread = 16.0;
+  /// HeavyTail: Pareto shape (smaller = heavier tail) and the cap on the
+  /// sampled stretch factor (keeps virtual time finite).
+  double alpha = 1.2;
+  double tail_cap = 512.0;
+  /// Starve: latency multiplier for messages riding an arc the receiver
+  /// currently selects (best-route news travels slowest).
+  double starve_factor = 32.0;
+  /// ArcScaled: fixed per-arc latency multipliers (index = arc id; arcs
+  /// beyond the vector use 1.0). Empty = synthesized from `seed` at bind.
+  std::vector<double> arc_scale;
+  /// Adversarial behaviour applies only to the first `prefix` sends; the
+  /// rest ride the default jittered FIFO. Negative = the whole run. This is
+  /// the shrinker's knob: a 1-minimal failing prefix is a repro.
+  long prefix = -1;
+
+  std::string describe() const;
+};
+
+/// Instantiates the policy a spec describes. FifoJitter returns the sim's
+/// default policy; everything else is an AdvScheduler subclass.
+std::unique_ptr<Scheduler> make_scheduler(const ScheduleSpec& spec);
+
+/// One spec per built-in adversarial class (Reorder, HeavyTail, Starve,
+/// ArcScaled), all seeded from `seed` — the standard falsification gauntlet.
+std::vector<ScheduleSpec> builtin_adversaries(std::uint64_t seed);
+
+/// Adversarial-event counts a policy accumulated over one run.
+struct AdvCounters {
+  long reordered = 0;  ///< sends that overtook an earlier send on their arc
+  long starved = 0;    ///< best-route sends priority-inverted
+  long stretched = 0;  ///< sends stretched ≥4× by a heavy-tail draw
+};
+
+/// Shared base of the adversarial policies: per-run bind state, the
+/// adversarial-prefix window, FIFO fallback bookkeeping, a policy-private
+/// rng, and AdvCounters. Concrete policies override adv_delay()/unordered().
+class AdvScheduler : public Scheduler {
+ public:
+  explicit AdvScheduler(ScheduleSpec spec) : spec_(std::move(spec)) {}
+
+  void bind(const LabeledGraph& net, const SimOptions& opts,
+            std::uint32_t stream) override;
+  double draw_delay(int arc, double now, Rng& rng) override;
+  double depart(int arc, double now, double delay) override;
+  bool reorders() const override { return unordered(); }
+
+  const ScheduleSpec& spec() const { return spec_; }
+  const AdvCounters& counters() const { return counters_; }
+
+ protected:
+  /// Policy hook: extra per-run setup after the base bind.
+  virtual void on_bind(const LabeledGraph& net, const SimOptions& opts);
+  /// Policy hook: the adversarial latency for a send whose default-policy
+  /// latency would have been `base` (exactly one sim-rng draw, already
+  /// consumed — policies must not touch the sim stream again).
+  virtual double adv_delay(int arc, double now, double base) = 0;
+  /// Policy hook: true if the adversarial window abandons per-arc FIFO.
+  virtual bool unordered() const { return false; }
+
+  ScheduleSpec spec_;
+  Rng policy_rng_{1};
+  AdvCounters counters_;
+  double min_ = 0.1;
+  double span_ = 0.9;
+  std::vector<double> last_;  // per arc: previous delivery time
+  long sends_ = 0;
+  bool cur_adv_ = false;  // current send inside the adversarial prefix?
+  std::uint32_t jstream_ = 0;
+};
+
+/// The policy's counters, or nullptr if `s` is not an adversarial policy
+/// (e.g. the default FifoJitterScheduler).
+const AdvCounters* adv_counters(const Scheduler& s);
+
+/// The activation-round ceiling claimed by the certificate for an n-node
+/// network with a strictly increasing algebra: n² rounds. Daggitt & Griffin
+/// prove convergence within O(n²) activation rounds (n rounds to freeze each
+/// next hop-count ring in the worst case); our generation counting subsumes
+/// ≥1 of their pseudocycles per counted round, so a measured count above n²
+/// falsifies the theorem rather than the accounting.
+long dg_bound(int nodes);
+
+enum class Verdict : unsigned char {
+  WithinBound,    ///< bound applies; converged within it
+  BoundViolated,  ///< bound applies; diverged or exceeded it — falsification
+  Converged,      ///< bound not applicable; run reached quiescence
+  Diverged,       ///< bound not applicable; run hit the event cap
+};
+
+const char* to_string(Verdict v);
+
+/// Machine-checkable evidence for one sim run: what algebra, what schedule,
+/// how many activation rounds, and how that compares to theory. POD —
+/// campaigns aggregate these, write_json exports them via mrt::obs.
+struct ConvergenceCertificate {
+  ConvergenceProfile profile;  ///< Checker verdicts for M/ND/Inc/SInc (left)
+  SchedulerKind schedule = SchedulerKind::FifoJitter;
+  std::uint64_t sim_seed = 0;
+  std::uint64_t schedule_seed = 0;
+  int nodes = 0;
+  int arcs = 0;
+  bool converged = false;
+  bool faulted = false;  ///< injected faults / topology events in the run
+  long events = 0;       ///< messages delivered
+  long messages = 0;     ///< messages sent
+  long rounds = 0;       ///< measured activation rounds (generations)
+  long stale_discarded = 0;
+  double finish_time = 0.0;
+  /// dg_bound(nodes) when the bound applies (Inc_L proved exhaustively and
+  /// the run was fault-free), else -1.
+  long bound = -1;
+  Verdict verdict = Verdict::Diverged;
+
+  std::string describe() const;
+  void write_json(std::ostream& out) const;
+};
+
+/// Builds the certificate for a finished run. The bound is claimed only when
+/// `profile.increasing` was proved exhaustively AND the run injected no
+/// faults or topology events (the theorem bounds rounds *between* topology
+/// changes; a faulted run's total generations are not comparable).
+ConvergenceCertificate make_certificate(const ConvergenceProfile& profile,
+                                        const ScheduleSpec& spec,
+                                        std::uint64_t sim_seed, int nodes,
+                                        int arcs, const SimResult& res);
+
+/// Runs one simulation under `spec` and certifies it. `profile` avoids
+/// re-checking the algebra per run (pass the result of convergence_profile);
+/// when null it is computed here. Bumps the adv.* obs counters.
+ConvergenceCertificate certify(const OrderTransform& alg,
+                               const LabeledGraph& net, int dest,
+                               const Value& origin, const ScheduleSpec& spec,
+                               const SimOptions& opts,
+                               const ConvergenceProfile* profile = nullptr,
+                               const compile::WeightEngine* engine = nullptr);
+
+/// Greedy pessimal-schedule search (the chaos shrinker's restart-loop
+/// pattern, inverted): starting from unit per-arc scales, repeatedly bump
+/// one arc's latency multiplier and keep any bump that costs the protocol
+/// more activation rounds (divergence beats any round count). At most
+/// `budget` simulations.
+struct PessimalResult {
+  ScheduleSpec spec;            ///< the worst schedule found (ArcScaled)
+  ConvergenceCertificate cert;  ///< its certificate
+  long evaluated = 0;           ///< simulations spent
+};
+PessimalResult pessimal_search(const OrderTransform& alg,
+                               const LabeledGraph& net, int dest,
+                               const Value& origin, const SimOptions& opts,
+                               long budget = 64,
+                               const ConvergenceProfile* profile = nullptr,
+                               const compile::WeightEngine* engine = nullptr);
+
+/// Reduces a failing spec (BoundViolated or Diverged) to a 1-minimal
+/// adversarial prefix that reproduces the same verdict: binary search down,
+/// then walk to the smallest k where `prefix = k` still fails but k−1 does
+/// not. Returns the input spec unchanged if it does not fail.
+ScheduleSpec shrink_schedule(const OrderTransform& alg,
+                             const LabeledGraph& net, int dest,
+                             const Value& origin, const ScheduleSpec& spec,
+                             const SimOptions& opts,
+                             const ConvergenceProfile* profile = nullptr,
+                             const compile::WeightEngine* engine = nullptr);
+
+}  // namespace mrt::adv

@@ -1,0 +1,157 @@
+#include <ostream>
+#include <sstream>
+
+#include "mrt/adv/adv.hpp"
+#include "mrt/obs/json.hpp"
+#include "mrt/obs/obs.hpp"
+
+namespace mrt::adv {
+
+long dg_bound(int nodes) {
+  return static_cast<long>(nodes) * static_cast<long>(nodes);
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::WithinBound: return "within_bound";
+    case Verdict::BoundViolated: return "bound_violated";
+    case Verdict::Converged: return "converged";
+    case Verdict::Diverged: return "diverged";
+  }
+  return "?";
+}
+
+namespace {
+
+bool run_was_faulted(const SimStats& st) {
+  // Every injected fault or topology event leaves a trace in SimStats (the
+  // chaos conservation contract), so "no trace" certifies a pure-schedule
+  // run — the only regime where total generations are theorem-comparable.
+  return st.link_down_events != 0 || st.link_up_events != 0 ||
+         st.node_crash_events != 0 || st.node_restart_events != 0 ||
+         st.resync_events != 0 || st.dropped_injected_loss != 0 ||
+         st.duplicated_messages != 0 || st.jittered_messages != 0;
+}
+
+const char* tri_name(Tri t) {
+  switch (t) {
+    case Tri::True: return "true";
+    case Tri::False: return "false";
+    case Tri::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ConvergenceCertificate make_certificate(const ConvergenceProfile& profile,
+                                        const ScheduleSpec& spec,
+                                        std::uint64_t sim_seed, int nodes,
+                                        int arcs, const SimResult& res) {
+  ConvergenceCertificate c;
+  c.profile = profile;
+  c.schedule = spec.kind;
+  c.sim_seed = sim_seed;
+  c.schedule_seed = spec.seed;
+  c.nodes = nodes;
+  c.arcs = arcs;
+  c.converged = res.converged;
+  c.faulted = run_was_faulted(res.stats);
+  c.events = res.events;
+  c.messages = res.stats.messages_sent;
+  c.rounds = res.rounds;
+  c.stale_discarded = res.stats.stale_discarded;
+  c.finish_time = res.finish_time;
+  const bool bound_applies =
+      profile.increasing == Tri::True && profile.exhaustive && !c.faulted;
+  if (bound_applies) {
+    c.bound = dg_bound(nodes);
+    c.verdict = (c.converged && c.rounds <= c.bound) ? Verdict::WithinBound
+                                                     : Verdict::BoundViolated;
+  } else {
+    c.bound = -1;
+    c.verdict = c.converged ? Verdict::Converged : Verdict::Diverged;
+  }
+  return c;
+}
+
+std::string ConvergenceCertificate::describe() const {
+  std::ostringstream out;
+  out << to_string(verdict) << " schedule=" << mrt::to_string(schedule)
+      << " n=" << nodes << " rounds=" << rounds;
+  if (bound >= 0) out << "/" << bound;
+  out << " events=" << events << " inc=" << tri_name(profile.increasing)
+      << (profile.exhaustive ? "(exhaustive)" : "(sampled)")
+      << " seed=" << sim_seed;
+  if (faulted) out << " faulted";
+  return out.str();
+}
+
+void ConvergenceCertificate::write_json(std::ostream& out) const {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("verdict").value(to_string(verdict));
+  w.key("schedule").value(mrt::to_string(schedule));
+  w.key("sim_seed").value(static_cast<std::uint64_t>(sim_seed));
+  w.key("schedule_seed").value(static_cast<std::uint64_t>(schedule_seed));
+  w.key("nodes").value(nodes);
+  w.key("arcs").value(arcs);
+  w.key("converged").value(converged);
+  w.key("faulted").value(faulted);
+  w.key("events").value(static_cast<std::int64_t>(events));
+  w.key("messages").value(static_cast<std::int64_t>(messages));
+  w.key("rounds").value(static_cast<std::int64_t>(rounds));
+  w.key("stale_discarded").value(static_cast<std::int64_t>(stale_discarded));
+  w.key("finish_time").value(finish_time);
+  w.key("bound").value(static_cast<std::int64_t>(bound));
+  w.key("profile").begin_object();
+  w.key("monotone").value(tri_name(profile.monotone));
+  w.key("nondecreasing").value(tri_name(profile.nondecreasing));
+  w.key("increasing").value(tri_name(profile.increasing));
+  w.key("strictly_increasing").value(tri_name(profile.strictly_increasing));
+  w.key("exhaustive").value(profile.exhaustive);
+  w.end_object();
+  w.end_object();
+}
+
+ConvergenceCertificate certify(const OrderTransform& alg,
+                               const LabeledGraph& net, int dest,
+                               const Value& origin, const ScheduleSpec& spec,
+                               const SimOptions& opts,
+                               const ConvergenceProfile* profile,
+                               const compile::WeightEngine* engine) {
+  const ConvergenceProfile prof =
+      profile != nullptr ? *profile : convergence_profile(alg);
+  PathVectorSim sim(alg, net, dest, origin, opts, engine);
+  std::unique_ptr<Scheduler> sched = make_scheduler(spec);
+  sim.set_scheduler(sched.get());
+  const SimResult res = sim.run();
+  const ConvergenceCertificate cert = make_certificate(
+      prof, spec, opts.seed, net.num_nodes(), net.graph().num_arcs(), res);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("adv.certificates").add(1);
+    switch (cert.verdict) {
+      case Verdict::WithinBound: reg.counter("adv.within_bound").add(1); break;
+      case Verdict::BoundViolated:
+        reg.counter("adv.bound_violations").add(1);
+        break;
+      case Verdict::Converged: reg.counter("adv.converged_na").add(1); break;
+      case Verdict::Diverged: reg.counter("adv.diverged_na").add(1); break;
+    }
+    reg.counter("adv.stale_discarded")
+        .add(static_cast<std::uint64_t>(cert.stale_discarded));
+    if (const AdvCounters* ac = adv_counters(*sched)) {
+      reg.counter("adv.reordered")
+          .add(static_cast<std::uint64_t>(ac->reordered));
+      reg.counter("adv.starved").add(static_cast<std::uint64_t>(ac->starved));
+      reg.counter("adv.stretched")
+          .add(static_cast<std::uint64_t>(ac->stretched));
+    }
+    reg.histogram("adv.rounds_per_run")
+        .record(static_cast<std::uint64_t>(cert.rounds));
+  }
+  return cert;
+}
+
+}  // namespace mrt::adv

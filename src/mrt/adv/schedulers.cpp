@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cmath>
+
+#include "mrt/adv/adv.hpp"
+#include "mrt/obs/obs.hpp"
+#include "mrt/par/par.hpp"
+#include "mrt/support/require.hpp"
+
+namespace mrt::adv {
+
+void AdvScheduler::bind(const LabeledGraph& net, const SimOptions& opts,
+                        std::uint32_t stream) {
+  min_ = opts.min_delay;
+  span_ = opts.max_delay - opts.min_delay;
+  last_.assign(static_cast<std::size_t>(net.graph().num_arcs()), 0.0);
+  sends_ = 0;
+  cur_adv_ = false;
+  counters_ = {};
+  jstream_ = stream;
+  // Mixed with the sim seed so two runs of one campaign scenario see
+  // different (still reproducible) adversarial draws.
+  policy_rng_ = Rng(par::mix_seed(spec_.seed, opts.seed));
+  on_bind(net, opts);
+}
+
+void AdvScheduler::on_bind(const LabeledGraph& net, const SimOptions& opts) {
+  (void)net;
+  (void)opts;
+}
+
+double AdvScheduler::draw_delay(int arc, double now, Rng& rng) {
+  ++sends_;
+  cur_adv_ = spec_.prefix < 0 || sends_ <= spec_.prefix;
+  // Exactly one draw from the sim's schedule stream per message — the same
+  // contract as the default policy, so the adversarial prefix's boundary
+  // leaves the benign suffix's draws aligned with a pure-FIFO run.
+  const double base = min_ + rng.unit() * span_;
+  if (!cur_adv_) return base;
+  return adv_delay(arc, now, base);
+}
+
+double AdvScheduler::depart(int arc, double now, double delay) {
+  double& last = last_[static_cast<std::size_t>(arc)];
+  if (cur_adv_ && unordered()) {
+    // No FIFO clamp: the message lands whenever its own latency says,
+    // overtaking anything slower that is still in flight on the arc.
+    const double when = now + delay;
+    if (when < last) {
+      ++counters_.reordered;
+      obs::jrecord(obs::Subsystem::Sim, obs::EventKind::SchedReorder,
+                   jstream_, -1, arc, 0, 0,
+                   static_cast<std::uint64_t>(now * 1e6));
+    }
+    last = std::max(last, when);
+    return when;
+  }
+  const double when = std::max(last, now) + delay;
+  last = when;
+  return when;
+}
+
+const AdvCounters* adv_counters(const Scheduler& s) {
+  const auto* a = dynamic_cast<const AdvScheduler*>(&s);
+  return a != nullptr ? &a->counters() : nullptr;
+}
+
+namespace {
+
+/// Unbounded per-arc reordering: latencies stretched into a window `spread`
+/// times the default, delivered with no FIFO clamp. The stretch reuses the
+/// base draw (delay and base are strictly monotone in the same unit draw),
+/// so the sim-stream draw count stays one per message.
+class ReorderScheduler final : public AdvScheduler {
+ public:
+  using AdvScheduler::AdvScheduler;
+  SchedulerKind kind() const override { return SchedulerKind::Reorder; }
+
+ protected:
+  double adv_delay(int arc, double now, double base) override {
+    (void)arc;
+    (void)now;
+    return min_ + (base - min_) * spec_.spread;
+  }
+  bool unordered() const override { return true; }
+};
+
+/// Heavy-tailed latencies: each arc is assigned a latency class at bind
+/// (1×, 4×, or 16×), and every send multiplies in a capped Pareto(alpha)
+/// stretch from the policy rng. FIFO is kept — the adversity is variance,
+/// not reordering.
+class HeavyTailScheduler final : public AdvScheduler {
+ public:
+  using AdvScheduler::AdvScheduler;
+  SchedulerKind kind() const override { return SchedulerKind::HeavyTail; }
+
+ protected:
+  void on_bind(const LabeledGraph& net, const SimOptions& opts) override {
+    (void)opts;
+    const int m = net.graph().num_arcs();
+    arc_class_.resize(static_cast<std::size_t>(m));
+    for (int a = 0; a < m; ++a) {
+      const std::uint64_t c = policy_rng_.below(3);
+      arc_class_[static_cast<std::size_t>(a)] = c == 0 ? 1.0
+                                              : c == 1 ? 4.0
+                                                       : 16.0;
+    }
+  }
+
+  double adv_delay(int arc, double now, double base) override {
+    (void)now;
+    // Pareto via inverse CDF; 1 - unit() ∈ (0, 1].
+    const double u = 1.0 - policy_rng_.unit();
+    const double stretch =
+        std::min(spec_.tail_cap, std::pow(u, -1.0 / spec_.alpha));
+    if (stretch >= 4.0) ++counters_.stretched;
+    return min_ +
+           (base - min_) * arc_class_[static_cast<std::size_t>(arc)] * stretch;
+  }
+
+ private:
+  std::vector<double> arc_class_;
+};
+
+/// Priority inversion: messages riding an arc its receiver currently
+/// selects (tracked via note_selection) crawl at `starve_factor` times the
+/// default latency, while everything else sprints — the best news always
+/// arrives last.
+class StarveScheduler final : public AdvScheduler {
+ public:
+  using AdvScheduler::AdvScheduler;
+  SchedulerKind kind() const override { return SchedulerKind::Starve; }
+
+  void note_selection(int node, int arc) override {
+    selected_arc_[static_cast<std::size_t>(node)] = arc;
+  }
+
+ protected:
+  void on_bind(const LabeledGraph& net, const SimOptions& opts) override {
+    (void)opts;
+    const int m = net.graph().num_arcs();
+    arc_src_.resize(static_cast<std::size_t>(m));
+    for (int a = 0; a < m; ++a) {
+      arc_src_[static_cast<std::size_t>(a)] = net.graph().arc(a).src;
+    }
+    selected_arc_.assign(static_cast<std::size_t>(net.num_nodes()), -1);
+  }
+
+  double adv_delay(int arc, double now, double base) override {
+    const int receiver = arc_src_[static_cast<std::size_t>(arc)];
+    if (selected_arc_[static_cast<std::size_t>(receiver)] == arc) {
+      ++counters_.starved;
+      obs::jrecord(obs::Subsystem::Sim, obs::EventKind::SchedStarve,
+                   jstream_, receiver, arc, 0, 0,
+                   static_cast<std::uint64_t>(now * 1e6));
+      return min_ + (base - min_) * spec_.starve_factor;
+    }
+    // Non-best news rides the express lane (a tenth of the default window)
+    // to maximize the inversion.
+    return min_ + (base - min_) * 0.1;
+  }
+
+ private:
+  std::vector<int> arc_src_;       // arc id -> receiving node
+  std::vector<int> selected_arc_;  // node -> currently selected arc
+};
+
+/// Fixed per-arc latency multipliers — the substrate of pessimal_search.
+/// An empty spec.arc_scale synthesizes scales from the policy rng (making
+/// the bare kind usable as a builtin adversary).
+class ArcScaledScheduler final : public AdvScheduler {
+ public:
+  using AdvScheduler::AdvScheduler;
+  SchedulerKind kind() const override { return SchedulerKind::ArcScaled; }
+
+ protected:
+  void on_bind(const LabeledGraph& net, const SimOptions& opts) override {
+    (void)opts;
+    const std::size_t m =
+        static_cast<std::size_t>(net.graph().num_arcs());
+    scale_ = spec_.arc_scale;
+    if (scale_.empty()) {
+      scale_.resize(m);
+      for (std::size_t a = 0; a < m; ++a) {
+        const std::uint64_t c = policy_rng_.below(4);
+        scale_[a] = c == 0 ? 1.0 : c == 1 ? 1.0 : c == 2 ? 8.0 : 64.0;
+      }
+    } else if (scale_.size() < m) {
+      scale_.resize(m, 1.0);
+    }
+  }
+
+  double adv_delay(int arc, double now, double base) override {
+    (void)now;
+    return min_ + (base - min_) * scale_[static_cast<std::size_t>(arc)];
+  }
+
+ private:
+  std::vector<double> scale_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const ScheduleSpec& spec) {
+  switch (spec.kind) {
+    case SchedulerKind::FifoJitter:
+      return std::make_unique<FifoJitterScheduler>();
+    case SchedulerKind::Reorder:
+      return std::make_unique<ReorderScheduler>(spec);
+    case SchedulerKind::HeavyTail:
+      return std::make_unique<HeavyTailScheduler>(spec);
+    case SchedulerKind::Starve:
+      return std::make_unique<StarveScheduler>(spec);
+    case SchedulerKind::ArcScaled:
+      return std::make_unique<ArcScaledScheduler>(spec);
+  }
+  MRT_REQUIRE(false);
+  return nullptr;
+}
+
+std::vector<ScheduleSpec> builtin_adversaries(std::uint64_t seed) {
+  std::vector<ScheduleSpec> out;
+  for (SchedulerKind k :
+       {SchedulerKind::Reorder, SchedulerKind::HeavyTail,
+        SchedulerKind::Starve, SchedulerKind::ArcScaled}) {
+    ScheduleSpec s;
+    s.kind = k;
+    s.seed = seed;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ScheduleSpec::describe() const {
+  std::string out = to_string(kind);
+  out += " seed=" + std::to_string(seed);
+  if (prefix >= 0) out += " prefix=" + std::to_string(prefix);
+  switch (kind) {
+    case SchedulerKind::Reorder:
+      out += " spread=" + std::to_string(spread);
+      break;
+    case SchedulerKind::HeavyTail:
+      out += " alpha=" + std::to_string(alpha);
+      break;
+    case SchedulerKind::Starve:
+      out += " factor=" + std::to_string(starve_factor);
+      break;
+    case SchedulerKind::ArcScaled:
+      out += " scales=" + std::to_string(arc_scale.size());
+      break;
+    case SchedulerKind::FifoJitter:
+      break;
+  }
+  return out;
+}
+
+}  // namespace mrt::adv

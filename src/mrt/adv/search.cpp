@@ -1,0 +1,111 @@
+#include <utility>
+
+#include "mrt/adv/adv.hpp"
+#include "mrt/obs/obs.hpp"
+
+namespace mrt::adv {
+
+namespace {
+
+// Divergence outranks any round count in the fitness order.
+bool worse(const ConvergenceCertificate& a, const ConvergenceCertificate& b) {
+  if (a.converged != b.converged) return !a.converged;
+  return a.rounds > b.rounds;
+}
+
+}  // namespace
+
+PessimalResult pessimal_search(const OrderTransform& alg,
+                               const LabeledGraph& net, int dest,
+                               const Value& origin, const SimOptions& opts,
+                               long budget,
+                               const ConvergenceProfile* profile,
+                               const compile::WeightEngine* engine) {
+  const ConvergenceProfile prof =
+      profile != nullptr ? *profile : convergence_profile(alg);
+  const int m = net.graph().num_arcs();
+
+  PessimalResult out;
+  out.spec.kind = SchedulerKind::ArcScaled;
+  out.spec.seed = opts.seed;
+  out.spec.arc_scale.assign(static_cast<std::size_t>(m), 1.0);
+  out.cert = certify(alg, net, dest, origin, out.spec, opts, &prof, engine);
+  out.evaluated = 1;
+
+  // Greedy coordinate ascent, restarting the arc sweep after every accepted
+  // bump (the same restart-loop shape as chaos::shrink_plan, with the
+  // objective flipped to "more activation rounds").
+  bool progress = true;
+  while (progress && out.evaluated < budget) {
+    progress = false;
+    for (int a = 0; a < m && out.evaluated < budget; ++a) {
+      ScheduleSpec cand = out.spec;
+      cand.arc_scale[static_cast<std::size_t>(a)] *= 16.0;
+      ConvergenceCertificate c =
+          certify(alg, net, dest, origin, cand, opts, &prof, engine);
+      ++out.evaluated;
+      if (worse(c, out.cert)) {
+        out.spec = std::move(cand);
+        out.cert = c;
+        progress = true;
+        break;
+      }
+    }
+  }
+  if (obs::enabled()) {
+    obs::registry()
+        .counter("adv.pessimal_evals")
+        .add(static_cast<std::uint64_t>(out.evaluated));
+  }
+  return out;
+}
+
+ScheduleSpec shrink_schedule(const OrderTransform& alg,
+                             const LabeledGraph& net, int dest,
+                             const Value& origin, const ScheduleSpec& spec,
+                             const SimOptions& opts,
+                             const ConvergenceProfile* profile,
+                             const compile::WeightEngine* engine) {
+  const ConvergenceProfile prof =
+      profile != nullptr ? *profile : convergence_profile(alg);
+  const ConvergenceCertificate full =
+      certify(alg, net, dest, origin, spec, opts, &prof, engine);
+  if (full.verdict != Verdict::BoundViolated &&
+      full.verdict != Verdict::Diverged) {
+    return spec;  // nothing to shrink: the schedule does not fail
+  }
+  const Verdict target = full.verdict;
+  const auto fails_at = [&](long prefix) {
+    ScheduleSpec s = spec;
+    s.prefix = prefix;
+    return certify(alg, net, dest, origin, s, opts, &prof, engine).verdict ==
+           target;
+  };
+
+  // The failing run's own send count is a sufficient prefix (every send was
+  // adversarial); divergent runs may keep generating sends forever, so the
+  // cap is the honest upper end of the search.
+  long hi = spec.prefix >= 0 ? spec.prefix : full.messages;
+  if (!fails_at(hi)) return spec;  // fails only unbounded: nothing smaller
+
+  // Binary search the failing frontier, assuming monotonicity...
+  long lo = 0;  // prefix 0 = pure FIFO; a failure here is schedule-independent
+  while (lo + 1 < hi) {
+    const long mid = lo + (hi - lo) / 2;
+    if (fails_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // ...then certify 1-minimality directly (the frontier need not be
+  // monotone): walk down while the next smaller prefix still fails.
+  while (hi > 0 && fails_at(hi - 1)) --hi;
+
+  ScheduleSpec out = spec;
+  out.prefix = hi;
+  if (obs::enabled()) obs::registry().counter("adv.shrinks").add(1);
+  return out;
+}
+
+}  // namespace mrt::adv

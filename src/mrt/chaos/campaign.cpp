@@ -1,5 +1,6 @@
 #include "mrt/chaos/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <ostream>
@@ -53,6 +54,9 @@ struct Acc {
   long faults_injected = 0;
   long messages_sent = 0;
   long deliveries = 0;
+  long bound_applicable = 0;
+  long bound_violations = 0;
+  long max_rounds = 0;
   double total_finish_time = 0.0;
   std::vector<std::pair<long, std::uint64_t>> failing;  ///< (run idx, seed)
 };
@@ -62,10 +66,15 @@ struct Acc {
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
                    const FaultPlan& plan, bool check_global,
                    const compile::WeightEngine* engine,
-                   const Solver* baseline) {
+                   const Solver* baseline, const ConvergenceProfile* profile) {
   SimOptions opts = sc.sim;
   opts.seed = seed;
   PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts, engine);
+  // The scenario's schedule adversary: the policy's own rng mixes its spec
+  // seed with this run's seed at bind, so adversarial draws differ per run
+  // but stay reproducible from (campaign seed, run index).
+  const std::unique_ptr<Scheduler> sched = adv::make_scheduler(sc.schedule);
+  sim.set_scheduler(sched.get());
   plan.apply(sim);
   const SimResult res = sim.run();
 
@@ -74,9 +83,17 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   v.finish_time = res.finish_time;
   v.stats = res.stats;
   v.accounting_ok = conservation_holds(res.stats);
+  // Without a profile the certificate still records schedule class and
+  // rounds, but never claims the theoretical bound (all-Unknown profile).
+  v.cert = adv::make_certificate(
+      profile != nullptr ? *profile : ConvergenceProfile{}, sc.schedule, seed,
+      sc.net.num_nodes(), sc.net.graph().num_arcs(), res);
+  const bool bound_violated =
+      v.cert.verdict == adv::Verdict::BoundViolated;
 
   // Flight-recorder verdict, on the sim's own stream: aux 0 = pass,
-  // 1 = diverged, 2 = conservation violated, 3 = oracle refuted.
+  // 1 = diverged, 2 = conservation violated, 3 = oracle refuted,
+  // 4 = certificate bound violated.
   const auto jverdict = [&](int outcome) {
     obs::jrecord(obs::Subsystem::Chaos, obs::EventKind::FaultOutcome,
                  sim.journal_stream(), -1,
@@ -85,10 +102,11 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   };
 
   if (!res.converged) {
-    v.pass = !sc.expect_convergence && v.accounting_ok;
-    v.detail = v.accounting_ok ? "diverged (event cap)"
-                               : "accounting: conservation violated";
-    jverdict(v.accounting_ok ? (v.pass ? 0 : 1) : 2);
+    v.pass = !sc.expect_convergence && v.accounting_ok && !bound_violated;
+    v.detail = !v.accounting_ok ? "accounting: conservation violated"
+               : bound_violated ? "certificate: " + v.cert.describe()
+                                : "diverged (event cap)";
+    jverdict(!v.accounting_ok ? 2 : bound_violated ? 4 : (v.pass ? 0 : 1));
     return v;
   }
   if (!v.accounting_ok) {
@@ -104,23 +122,26 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   oo.baseline = baseline;
   const OracleReport rep =
       check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
-  v.pass = rep.all_pass();
-  v.detail = rep.first_failure();
-  jverdict(v.pass ? 0 : 3);
+  v.pass = rep.all_pass() && !bound_violated;
+  v.detail = !rep.all_pass()
+                 ? rep.first_failure()
+                 : (bound_violated ? "certificate: " + v.cert.describe() : "");
+  jverdict(!rep.all_pass() ? 3 : bound_violated ? 4 : 0);
   return v;
 }
 
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
                       FaultPlan plan, bool check_global,
                       const compile::WeightEngine* engine,
-                      const Solver* baseline) {
+                      const Solver* baseline, const ConvergenceProfile* profile) {
   bool progress = true;
   while (progress && !plan.faults.empty()) {
     progress = false;
     for (std::size_t i = 0; i < plan.faults.size(); ++i) {
       FaultPlan cand = plan;
       cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
-      if (!run_one(sc, seed, cand, check_global, engine, baseline).pass) {
+      if (!run_one(sc, seed, cand, check_global, engine, baseline, profile)
+               .pass) {
         plan = std::move(cand);
         progress = true;
         break;  // restart the scan: indices shifted
@@ -177,6 +198,11 @@ void CampaignReport::write_json(std::ostream& out) const {
     w.key("faults_injected").value(static_cast<std::int64_t>(s.faults_injected));
     w.key("messages_sent").value(static_cast<std::int64_t>(s.messages_sent));
     w.key("deliveries").value(static_cast<std::int64_t>(s.deliveries));
+    w.key("bound_applicable")
+        .value(static_cast<std::int64_t>(s.bound_applicable));
+    w.key("bound_violations")
+        .value(static_cast<std::int64_t>(s.bound_violations));
+    w.key("max_rounds").value(static_cast<std::int64_t>(s.max_rounds));
     w.key("mean_convergence_time")
         .value(s.converged > 0
                    ? s.total_finish_time / static_cast<double>(s.converged)
@@ -225,6 +251,10 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
       baseline = dyn::make_solver(dyn::EngineKind::Dijkstra, sc.alg, &engine);
       baseline->solve(sc.net, sc.dest, sc.origin);
     }
+    // One profile per scenario: every run's certificate embeds the same
+    // Checker verdicts, so the bound is claimed (and falsifiable) exactly
+    // when Inc_L was proved exhaustively.
+    const ConvergenceProfile profile = convergence_profile(sc.alg);
     // Per-scenario seed stream, independent of scenario order in the list.
     const std::uint64_t sc_seed = par::mix_seed(cfg.seed, 0xC0DE0000ULL + si);
     const std::size_t runs = static_cast<std::size_t>(cfg.runs_per_scenario);
@@ -237,12 +267,20 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
             const FaultPlan plan =
                 random_fault_plan(seed, sc.net, sc.dest, sc.faults);
             const RunVerdict v = run_one(sc, seed, plan, check_global, &engine,
-                                         baseline.get());
+                                         baseline.get(), &profile);
             a.converged += v.converged ? 1 : 0;
             a.diverged += v.converged ? 0 : 1;
             if (v.converged) a.total_finish_time += v.finish_time;
             if (!v.accounting_ok) ++a.accounting_failures;
-            if (v.converged && v.accounting_ok && !v.pass) ++a.oracle_failures;
+            if (v.cert.bound >= 0) ++a.bound_applicable;
+            if (v.cert.verdict == adv::Verdict::BoundViolated) {
+              ++a.bound_violations;
+            }
+            a.max_rounds = std::max(a.max_rounds, v.cert.rounds);
+            if (v.converged && v.accounting_ok && !v.pass &&
+                v.cert.verdict != adv::Verdict::BoundViolated) {
+              ++a.oracle_failures;
+            }
             a.faults_injected += total_faults(plan);
             a.messages_sent += v.stats.messages_sent;
             a.deliveries += v.stats.deliveries;
@@ -259,6 +297,9 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
           into.faults_injected += from.faults_injected;
           into.messages_sent += from.messages_sent;
           into.deliveries += from.deliveries;
+          into.bound_applicable += from.bound_applicable;
+          into.bound_violations += from.bound_violations;
+          into.max_rounds = std::max(into.max_rounds, from.max_rounds);
           into.total_finish_time += from.total_finish_time;
           // Keep only the earliest examples; counts above already cover all.
           for (const auto& f : from.failing) {
@@ -282,14 +323,17 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
     out.faults_injected = acc.faults_injected;
     out.messages_sent = acc.messages_sent;
     out.deliveries = acc.deliveries;
+    out.bound_applicable = acc.bound_applicable;
+    out.bound_violations = acc.bound_violations;
+    out.max_rounds = acc.max_rounds;
     out.total_finish_time = acc.total_finish_time;
 
     // Reproduce + shrink the kept failures, sequentially and in run order.
     for (const auto& [idx, seed] : acc.failing) {
       (void)idx;
       FaultPlan plan = random_fault_plan(seed, sc.net, sc.dest, sc.faults);
-      const RunVerdict v =
-          run_one(sc, seed, plan, check_global, &engine, baseline.get());
+      const RunVerdict v = run_one(sc, seed, plan, check_global, &engine,
+                                   baseline.get(), &profile);
       FailureCase fc;
       fc.seed = seed;
       fc.diverged = !v.converged;
@@ -299,7 +343,7 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
       if (cfg.shrink_failures) {
         const FaultPlan small = shrink_plan(sc, seed, std::move(plan),
                                             check_global, &engine,
-                                            baseline.get());
+                                            baseline.get(), &profile);
         fc.shrunk = small.describe();
         fc.shrunk_size = small.faults.size();
         // Attach the shrunk repro's flight-recorder log: re-run it once with
@@ -309,7 +353,8 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
         const bool was_on = obs::journal_enabled();
         obs::journal().drain();
         obs::set_journal_enabled(true);
-        (void)run_one(sc, seed, small, check_global, &engine, baseline.get());
+        (void)run_one(sc, seed, small, check_global, &engine, baseline.get(),
+                      &profile);
         obs::set_journal_enabled(was_on);
         const std::vector<obs::JournalRecord> recs = obs::journal().drain();
         fc.journal_events = recs.size();
@@ -332,6 +377,10 @@ CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
           .add(static_cast<std::uint64_t>(out.accounting_failures));
       reg.counter("chaos.faults_injected")
           .add(static_cast<std::uint64_t>(out.faults_injected));
+      reg.counter("chaos.bound_applicable")
+          .add(static_cast<std::uint64_t>(out.bound_applicable));
+      reg.counter("chaos.bound_violations")
+          .add(static_cast<std::uint64_t>(out.bound_violations));
     }
     report.scenarios.push_back(std::move(out));
   }

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 
+#include "mrt/adv/adv.hpp"
 #include "mrt/chaos/fault_plan.hpp"
 #include "mrt/chaos/oracles.hpp"
 
@@ -30,6 +31,10 @@ struct CampaignScenario {
   /// Per-run options; `seed` is overridden with the run's derived seed.
   SimOptions sim;
   FaultPlanConfig faults;
+  /// The schedule-adversary axis, orthogonal to the fault axis: every run of
+  /// the scenario executes under this message-schedule policy (the policy's
+  /// rng reseeds per run from the run seed). Default: the jittered FIFO.
+  adv::ScheduleSpec schedule;
   /// When true, a run that hits the event cap fails the campaign. Set false
   /// for divergence-capable algebras (BAD GADGET), whose converged runs are
   /// still oracle-checked.
@@ -58,6 +63,10 @@ struct RunVerdict {
   std::string detail;         ///< first failure ("" when passing)
   double finish_time = 0.0;
   SimStats stats;
+  /// The run's convergence certificate. The theoretical bound is claimed
+  /// only when the caller supplied an exhaustive ConvergenceProfile and the
+  /// run's fault plan was empty; a BoundViolated verdict fails the run.
+  adv::ConvergenceCertificate cert;
 };
 
 /// A failing run, kept as a reproducible example.
@@ -91,12 +100,20 @@ struct ScenarioOutcome {
   long faults_injected = 0;
   long messages_sent = 0;
   long deliveries = 0;
+  /// Certificate aggregation: runs where the Daggitt–Griffin bound applied
+  /// (exhaustively-increasing algebra, fault-free plan), how many violated
+  /// it (a falsification — fails the scenario), and the worst activation
+  /// round count observed across all runs.
+  long bound_applicable = 0;
+  long bound_violations = 0;
+  long max_rounds = 0;
   double total_finish_time = 0.0;  ///< summed over converged runs
   std::vector<FailureCase> failures;
 
   bool pass() const {
     return oracle_failures == 0 && accounting_failures == 0 &&
-           (!expect_convergence || diverged == 0) && diverged >= min_divergent;
+           bound_violations == 0 && (!expect_convergence || diverged == 0) &&
+           diverged >= min_divergent;
   }
 };
 
@@ -119,18 +136,22 @@ struct CampaignReport {
 /// same either way. `baseline` (optional) is a solved Solver on the
 /// unfaulted network; the global oracle then replays each run's fault
 /// outcome through Solver::update() instead of solving cold (identical
-/// verdicts, incremental work — see docs/DYN.md).
+/// verdicts, incremental work — see docs/DYN.md). `profile` (optional) is
+/// the algebra's convergence profile; when present the run's certificate can
+/// claim the theoretical bound (run_campaign computes it once per scenario).
 RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
                    const FaultPlan& plan, bool check_global,
                    const compile::WeightEngine* engine = nullptr,
-                   const Solver* baseline = nullptr);
+                   const Solver* baseline = nullptr,
+                   const ConvergenceProfile* profile = nullptr);
 
 /// Greedy 1-minimal shrink: repeatedly drops any single fault whose removal
 /// keeps the run failing, until no single removal does.
 FaultPlan shrink_plan(const CampaignScenario& sc, std::uint64_t seed,
                       FaultPlan plan, bool check_global,
                       const compile::WeightEngine* engine = nullptr,
-                      const Solver* baseline = nullptr);
+                      const Solver* baseline = nullptr,
+                      const ConvergenceProfile* profile = nullptr);
 
 CampaignReport run_campaign(const std::vector<CampaignScenario>& scenarios,
                             const CampaignConfig& cfg = {});

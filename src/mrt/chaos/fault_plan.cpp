@@ -43,8 +43,15 @@ void FaultPlan::apply(PathVectorSim& sim) const {
   for (const Fault& f : faults) {
     switch (f.kind) {
       case Fault::Kind::LinkFlap:
-        sim.schedule_link_down(f.at, f.arc);
-        sim.schedule_link_up(f.at + f.duration, f.arc);
+        // A zero-length flap is an explicit no-op. Scheduling both events
+        // would put a down/up pair at the same timestamp, tie-broken only by
+        // heap insertion order — the Crash case below already guards the
+        // same way. (random_fault_plan never draws duration 0, so this only
+        // affects hand-built plans.)
+        if (f.duration > 0.0) {
+          sim.schedule_link_down(f.at, f.arc);
+          sim.schedule_link_up(f.at + f.duration, f.arc);
+        }
         break;
       case Fault::Kind::Loss: {
         ArcFault af;

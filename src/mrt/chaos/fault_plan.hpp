@@ -19,7 +19,8 @@ namespace mrt::chaos {
 /// One timed fault, already bound to a concrete arc or node.
 struct Fault {
   enum class Kind : unsigned char {
-    LinkFlap,   ///< arc down at `at`, back up at `at + duration`
+    LinkFlap,   ///< arc down at `at`, back up at `at + duration`; a
+                ///< zero-length flap is an explicit no-op
     Loss,       ///< deliveries on arc lost w.p. `p` during the window
     Jitter,     ///< sends on arc stretched by extra_delay + U[0, jitter)
     Duplicate,  ///< sends on arc duplicated w.p. `p` during the window

@@ -719,4 +719,21 @@ Tri probe_no_strict_pair(const PreorderSet& p, const CheckLimits& limits) {
   return exhaustive ? Tri::True : Tri::Unknown;
 }
 
+ConvergenceProfile convergence_profile(const OrderTransform& alg,
+                                       const Checker& chk) {
+  ConvergenceProfile out;
+  bool exhaustive = true;
+  const auto one = [&](Prop p, Tri& slot) {
+    const CheckResult r = chk.prop(alg, p);
+    slot = r.verdict;
+    exhaustive = exhaustive && r.exhaustive;
+  };
+  one(Prop::M_L, out.monotone);
+  one(Prop::ND_L, out.nondecreasing);
+  one(Prop::Inc_L, out.increasing);
+  one(Prop::SInc_L, out.strictly_increasing);
+  out.exhaustive = exhaustive;
+  return out;
+}
+
 }  // namespace mrt

@@ -83,6 +83,27 @@ class Checker {
   CheckLimits limits_;
 };
 
+/// The slice of an algebra's property report that decides asynchronous
+/// convergence behaviour — what a ConvergenceCertificate (mrt::adv) embeds.
+/// `increasing` (Inc_L: strict below ⊤) is the Daggitt–Griffin "strictly
+/// increasing" hypothesis, under which async DBF converges within a bounded
+/// number of activation rounds; `strictly_increasing` (SInc_L) is the
+/// refinement with no ⊤ exemption, recorded for completeness but not
+/// required by the bound.
+struct ConvergenceProfile {
+  Tri monotone = Tri::Unknown;            ///< M_L
+  Tri nondecreasing = Tri::Unknown;       ///< ND_L
+  Tri increasing = Tri::Unknown;          ///< Inc_L
+  Tri strictly_increasing = Tri::Unknown; ///< SInc_L
+  /// True when every verdict above came from complete enumeration — only
+  /// then may a bound violation be treated as a theorem falsification.
+  bool exhaustive = false;
+};
+
+/// Queries the four convergence-relevant properties of `alg`.
+ConvergenceProfile convergence_profile(const OrderTransform& alg,
+                                       const Checker& chk = Checker{});
+
 // Carrier probes used by the inference rules for left / right / scoped
 // operators (Theorem 6's side conditions).
 //

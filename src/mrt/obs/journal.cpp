@@ -92,6 +92,12 @@ const char* to_string(EventKind k) noexcept {
       return "node_restart";
     case EventKind::Resync:
       return "resync";
+    case EventKind::StaleDrop:
+      return "stale_drop";
+    case EventKind::SchedReorder:
+      return "sched_reorder";
+    case EventKind::SchedStarve:
+      return "sched_starve";
     case EventKind::FaultOutcome:
       return "fault_outcome";
   }

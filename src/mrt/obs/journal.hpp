@@ -78,8 +78,13 @@ enum class EventKind : std::uint8_t {
   NodeCrash,
   NodeRestart,
   Resync,
+  StaleDrop,  ///< reordered delivery discarded as stale (latest send wins)
+  // mrt::adv — adversarial schedule policies (sim_us carries virtual time).
+  SchedReorder,  ///< a send overtook an earlier one on its arc
+  SchedStarve,   ///< a best-route advertisement was priority-inverted
   // mrt::chaos
-  FaultOutcome,  ///< run verdict; aux = 0 pass, 1 diverged, 2 accounting, 3 oracle
+  FaultOutcome,  ///< run verdict; aux = 0 pass, 1 diverged, 2 accounting,
+                 ///< 3 oracle, 4 certificate bound violated
 };
 
 const char* to_string(Subsystem s) noexcept;

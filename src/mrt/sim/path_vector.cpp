@@ -27,7 +27,6 @@ PathVectorSim::PathVectorSim(const OrderTransform& alg, LabeledGraph net,
   arc_up_.assign(static_cast<std::size_t>(m), true);
   node_up_.assign(static_cast<std::size_t>(n), true);
   arc_faults_.assign(static_cast<std::size_t>(m), {});
-  arc_last_delivery_.assign(static_cast<std::size_t>(m), 0.0);
   selected_.assign(static_cast<std::size_t>(n), std::nullopt);
   selected_arc_.assign(static_cast<std::size_t>(n), -1);
   selected_path_.assign(static_cast<std::size_t>(n), {});
@@ -79,6 +78,10 @@ void PathVectorSim::schedule_resync(double t, int arc) {
 void PathVectorSim::add_arc_fault(const ArcFault& f) {
   MRT_REQUIRE(f.arc >= 0 && f.arc < net_.graph().num_arcs());
   arc_faults_[static_cast<std::size_t>(f.arc)].push_back(f);
+}
+
+void PathVectorSim::set_scheduler(Scheduler* s) {
+  sched_ = s != nullptr ? s : &fifo_;
 }
 
 bool PathVectorSim::arc_alive(int arc) const {
@@ -145,11 +148,10 @@ void PathVectorSim::advertise(int node, double now) {
   for (int e = in.begin(node); e < in.end(node); ++e) {
     const int id = in.arc[static_cast<std::size_t>(e)];
     if (!arc_alive(id)) continue;
-    // Base latency comes from rng_ unconditionally, so the schedule of a
-    // seed is identical whether or not faults are installed; fault windows
-    // only ever add on top, drawing from fault_rng_.
-    double delay =
-        opts_.min_delay + rng_.unit() * (opts_.max_delay - opts_.min_delay);
+    // Base latency comes from the scheduler's draw on rng_ unconditionally,
+    // so the schedule of a seed is identical whether or not faults are
+    // installed; fault windows only ever add on top, drawing from fault_rng_.
+    double delay = sched_->draw_delay(id, now, rng_);
     int copies = 1;
     if (const ArcFault* f = active_fault(id, now)) {
       if (f->extra_delay > 0.0 || f->jitter > 0.0) {
@@ -168,12 +170,12 @@ void PathVectorSim::advertise(int node, double now) {
         delay = opts_.min_delay +
                 fault_rng_.unit() * (opts_.max_delay - opts_.min_delay);
       }
-      // FIFO per arc: each message departs after the previous one *arrived*,
-      // but always with fresh random latency — collapsing onto the previous
-      // arrival time would lock oscillating nodes into artificial lockstep.
-      auto& last = arc_last_delivery_[static_cast<std::size_t>(id)];
-      const double when = std::max(last, now) + delay;
-      last = when;
+      // The policy owns the channel discipline: the default clamps to
+      // per-arc FIFO (each message departs after the previous one *arrived*,
+      // with fresh latency — collapsing onto the previous arrival time would
+      // lock oscillating nodes into artificial lockstep); adversaries may
+      // reorder.
+      const double when = sched_->depart(id, now, delay);
       if (flat_) {
         queue_.push(when, Event::Kind::Deliver, id,
                     selected_flat_[static_cast<std::size_t>(node)],
@@ -257,6 +259,7 @@ void PathVectorSim::reselect_boxed(int node, double now) {
     sel = best;
     sel_arc = best_arc;
     selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    sched_->note_selection(node, best_arc);
     obs::jrecord(obs::Subsystem::Sim, obs::EventKind::Reselect, jstream_,
                  node, best_arc, flaps_[static_cast<std::size_t>(node)], 0,
                  static_cast<std::uint64_t>(now * 1e6));
@@ -321,6 +324,7 @@ void PathVectorSim::reselect_flat(int node, double now) {
     sel = best;
     sel_arc = best_arc;
     selected_path_[static_cast<std::size_t>(node)] = std::move(best_path);
+    sched_->note_selection(node, best_arc);
     obs::jrecord(obs::Subsystem::Sim, obs::EventKind::Reselect, jstream_,
                  node, best_arc, flaps_[static_cast<std::size_t>(node)], 0,
                  static_cast<std::uint64_t>(now * 1e6));
@@ -356,6 +360,7 @@ void PathVectorSim::crash_node(int node, double now) {
   selected_arc_[static_cast<std::size_t>(node)] = -1;
   selected_path_[static_cast<std::size_t>(node)].clear();
   if (flat_) selected_flat_[static_cast<std::size_t>(node)].present = false;
+  sched_->note_selection(node, -1);
   // Every neighbour's session to the crashed node dies with it: the arcs
   // (x → node) carried node's advertisements to x, so x forgets them and
   // reselects — exactly the LinkDown treatment, for all sessions at once.
@@ -405,10 +410,26 @@ SimResult PathVectorSim::run() {
   static obs::Histogram& run_ns = obs::registry().histogram("sim.run_ns");
   obs::ScopedTimer timer(run_ns);
   obs::TraceSession* trace = obs::TraceSession::current();
+  sched_->bind(net_, opts_, jstream_);
+  sched_reorders_ = sched_->reorders();
+  if (sched_reorders_) {
+    arc_seq_floor_.assign(static_cast<std::size_t>(net_.graph().num_arcs()),
+                          0);
+  }
   advertise(dest_, 0.0);
+
+  // Round 1 is everything the origination put in flight; round r+1 is
+  // whatever is in flight when the last round-r Deliver leaves the queue.
+  rounds_ = 0;
+  round_mark_ = queue_.pushes();
+  round_pending_ = queue_.pending_delivers();
 
   while (!queue_.empty() && delivered_ < opts_.max_events) {
     Event e = queue_.pop();
+    if (e.kind == Event::Kind::Deliver && e.seq < round_mark_ &&
+        round_pending_ > 0) {
+      --round_pending_;
+    }
     switch (e.kind) {
       case Event::Kind::Deliver: {
         if (!arc_alive(e.arc)) {  // lost
@@ -429,6 +450,22 @@ SimResult PathVectorSim::run() {
                            obs::TraceSession::kSimPid, e.arc);
           }
           break;
+        }
+        if (sched_reorders_) {
+          // Reordering schedule: an older send arriving after a newer one
+          // must not roll the RIB-in back — the channel models "latest send
+          // wins". Count the stale copy as delivered so conservation holds.
+          auto& floor = arc_seq_floor_[static_cast<std::size_t>(e.arc)];
+          if (e.seq < floor) {
+            ++delivered_;
+            ++stats_.deliveries;
+            ++stats_.stale_discarded;
+            obs::jrecord(obs::Subsystem::Sim, obs::EventKind::StaleDrop,
+                         jstream_, net_.graph().arc(e.arc).src, e.arc, 0, 0,
+                         static_cast<std::uint64_t>(queue_.now() * 1e6));
+            break;
+          }
+          floor = e.seq + 1;
         }
         ++delivered_;
         ++stats_.deliveries;
@@ -516,6 +553,13 @@ SimResult PathVectorSim::run() {
         break;
       }
     }
+    if (e.kind == Event::Kind::Deliver && round_pending_ == 0) {
+      // The round's last message (and any it triggered) has been handled:
+      // everything now in flight forms the next generation.
+      ++rounds_;
+      round_mark_ = queue_.pushes();
+      round_pending_ = queue_.pending_delivers();
+    }
   }
 
   stats_.queue_high_water = queue_.high_water();
@@ -535,6 +579,7 @@ SimResult PathVectorSim::run() {
   SimResult out;
   out.converged = queue_.empty();
   out.events = delivered_;
+  out.rounds = rounds_;
   out.finish_time = queue_.now();
   out.routing.weight = selected_;
   out.routing.next_arc = selected_arc_;
@@ -584,12 +629,16 @@ SimResult PathVectorSim::run() {
         .add(static_cast<std::uint64_t>(stats_.node_restart_events));
     reg.counter("sim.resync_events")
         .add(static_cast<std::uint64_t>(stats_.resync_events));
+    reg.counter("sim.stale_discarded")
+        .add(static_cast<std::uint64_t>(stats_.stale_discarded));
     reg.counter("sim.heap_pushes").add(queue_.pushes());
     reg.counter("sim.heap_pops").add(queue_.pops());
     reg.gauge("sim.queue_high_water")
         .max_of(static_cast<double>(stats_.queue_high_water));
     reg.histogram("sim.events_per_run")
         .record(static_cast<std::uint64_t>(delivered_));
+    reg.histogram("sim.rounds_per_run")
+        .record(static_cast<std::uint64_t>(rounds_));
     obs::Histogram& flap_hist = reg.histogram("sim.flaps_per_node");
     for (int f : flaps_) flap_hist.record(static_cast<std::uint64_t>(f));
   }

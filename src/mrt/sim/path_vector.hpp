@@ -13,24 +13,10 @@
 #include "mrt/dyn/delta.hpp"
 #include "mrt/routing/labeled_graph.hpp"
 #include "mrt/sim/event_queue.hpp"
+#include "mrt/sim/scheduler.hpp"
 #include "mrt/support/rng.hpp"
 
 namespace mrt {
-
-struct SimOptions {
-  std::uint64_t seed = 1;
-  /// Message delay is drawn uniformly from [min_delay, max_delay].
-  double min_delay = 0.1;
-  double max_delay = 1.0;
-  /// Divergence declaration threshold.
-  long max_events = 100'000;
-  /// Treat ⊤-weighted candidates as unusable (Sobrinho's φ — "invalid
-  /// route"): they are never selected and thus never advertised as routes.
-  bool drop_top_routes = false;
-  /// Carry the node path in advertisements and reject routes whose path
-  /// already contains the learning node (BGP's AS-path loop detection).
-  bool loop_detection = false;
-};
 
 struct SimEventLog {
   double time;
@@ -80,12 +66,22 @@ struct SimStats {
   long node_restart_events = 0;
   long resync_events = 0;          ///< post-loss-window re-advertisements
   long in_flight_at_end = 0;       ///< Deliver events still queued at exit
+  /// Deliveries discarded as stale under a reordering scheduler (an older
+  /// send arrived after a newer one on the same arc — latest send wins).
+  /// Counted inside `deliveries`, so conservation identities still hold.
+  long stale_discarded = 0;
   std::size_t queue_high_water = 0;  ///< deepest event-queue backlog
 };
 
 struct SimResult {
   bool converged = false;  ///< queue drained below the event cap
   long events = 0;         ///< messages delivered
+  /// Activation rounds to quiescence, counted as message generations: round
+  /// r+1 starts once every Deliver enqueued before round r's sequence
+  /// watermark has left the queue. Each generation subsumes at least one
+  /// Üresin–Dubois pseudocycle, so for a strictly increasing algebra this
+  /// count is bounded by the Daggitt–Griffin theorem (see mrt::adv).
+  long rounds = 0;
   double finish_time = 0.0;
   Routing routing;
   std::vector<int> flaps;  ///< selection changes per node
@@ -141,6 +137,11 @@ class PathVectorSim {
   /// Installs a windowed per-arc fault behaviour (loss / jitter / dup).
   void add_arc_fault(const ArcFault& f);
 
+  /// Installs a message-schedule policy (non-owning; must outlive run()).
+  /// Default: the built-in FifoJitterScheduler, whose schedules are
+  /// byte-identical per seed to the pre-seam simulator.
+  void set_scheduler(Scheduler* s);
+
   /// Runs to quiescence or to the event cap.
   SimResult run();
 
@@ -183,7 +184,6 @@ class PathVectorSim {
   std::vector<bool> arc_up_;                   // per arc id (admin state)
   std::vector<bool> node_up_;                  // per node (crash state)
   std::vector<std::vector<ArcFault>> arc_faults_;  // per arc id
-  std::vector<double> arc_last_delivery_;      // per arc id (FIFO)
   std::vector<std::optional<Value>> selected_; // per node
   std::vector<int> selected_arc_;              // per node
   std::vector<std::vector<int>> selected_path_;// per node
@@ -191,6 +191,18 @@ class PathVectorSim {
   long delivered_ = 0;
   SimStats stats_;
   std::uint32_t jstream_ = 0;                  // flight-recorder stream id
+
+  // Schedule policy seam. fifo_ is the built-in default; sched_ points at it
+  // unless set_scheduler installed another policy.
+  FifoJitterScheduler fifo_;
+  Scheduler* sched_ = &fifo_;
+  bool sched_reorders_ = false;              // cached sched_->reorders()
+  std::vector<std::uint64_t> arc_seq_floor_; // per arc: newest accepted seq+1
+
+  // Activation-round (message-generation) accounting; see SimResult::rounds.
+  long rounds_ = 0;
+  std::uint64_t round_mark_ = 0;     // seq watermark of the current round
+  std::size_t round_pending_ = 0;    // Delivers below the watermark still queued
 };
 
 }  // namespace mrt

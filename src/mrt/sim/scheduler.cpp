@@ -1,0 +1,24 @@
+#include "mrt/sim/scheduler.hpp"
+
+namespace mrt {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::FifoJitter: return "fifo_jitter";
+    case SchedulerKind::Reorder: return "reorder";
+    case SchedulerKind::HeavyTail: return "heavy_tail";
+    case SchedulerKind::Starve: return "starve";
+    case SchedulerKind::ArcScaled: return "arc_scaled";
+  }
+  return "?";
+}
+
+void FifoJitterScheduler::bind(const LabeledGraph& net, const SimOptions& opts,
+                               std::uint32_t stream) {
+  (void)stream;
+  min_ = opts.min_delay;
+  span_ = opts.max_delay - opts.min_delay;
+  last_.assign(static_cast<std::size_t>(net.graph().num_arcs()), 0.0);
+}
+
+}  // namespace mrt

@@ -1,0 +1,118 @@
+// The message-schedule seam of the asynchronous simulator.
+//
+// PathVectorSim delegates every per-message latency decision to a Scheduler:
+// `draw_delay` produces the message's base latency (consuming draws from the
+// sim's schedule Rng), and `depart` turns that latency into an absolute
+// delivery time, owning whatever per-arc channel state the policy needs
+// (FIFO clamping, reorder windows, ...). The default policy —
+// FifoJitterScheduler — is the historical jittered-FIFO behaviour extracted
+// verbatim: exactly one rng_.unit() draw per message and
+// `when = max(last_delivery, now) + delay`, so a seed's schedule is
+// byte-identical to every pre-seam release.
+//
+// Adversarial policies (unbounded reordering, heavy tails, best-route
+// starvation, per-arc pessimal scaling) live in mrt::adv on top of this
+// interface; see adv/adv.hpp and docs/ADVERSARY.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/routing/labeled_graph.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  /// Message delay is drawn uniformly from [min_delay, max_delay].
+  double min_delay = 0.1;
+  double max_delay = 1.0;
+  /// Divergence declaration threshold.
+  long max_events = 100'000;
+  /// Treat ⊤-weighted candidates as unusable (Sobrinho's φ — "invalid
+  /// route"): they are never selected and thus never advertised as routes.
+  bool drop_top_routes = false;
+  /// Carry the node path in advertisements and reject routes whose path
+  /// already contains the learning node (BGP's AS-path loop detection).
+  bool loop_detection = false;
+};
+
+/// The built-in schedule-policy classes. FifoJitter is the default
+/// (jittered per-arc FIFO); the rest are adversaries defined in mrt::adv.
+enum class SchedulerKind : unsigned char {
+  FifoJitter,  ///< uniform jitter, per-arc FIFO (the historical default)
+  Reorder,     ///< unbounded per-arc reordering (no FIFO clamp)
+  HeavyTail,   ///< Pareto-tailed latencies with per-arc scale classes
+  Starve,      ///< priority inversion: currently-selected arcs are slowest
+  ArcScaled,   ///< fixed per-arc latency multipliers (pessimal search)
+};
+
+const char* to_string(SchedulerKind k);
+
+/// A message-schedule policy. One Scheduler instance serves one run:
+/// PathVectorSim calls bind() once at the start of run(), then draw_delay /
+/// depart once per enqueued message, in send order.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual SchedulerKind kind() const = 0;
+
+  /// Resets per-run state. `stream` is the sim's flight-recorder stream, so
+  /// adversarial policies can journal reorder/starve decisions.
+  virtual void bind(const LabeledGraph& net, const SimOptions& opts,
+                    std::uint32_t stream) = 0;
+
+  /// The base latency of the next message on `arc`, sent at sim time `now`.
+  /// `rng` is the sim's schedule stream; policies must consume exactly the
+  /// draws their schedule needs and nothing else (the default consumes one
+  /// unit() per message — the byte-identity contract).
+  virtual double draw_delay(int arc, double now, Rng& rng) = 0;
+
+  /// Absolute delivery time for a message on `arc` sent at `now` with base
+  /// latency `delay` (fault windows may have added to it). Owns the per-arc
+  /// channel state: the default clamps to per-arc FIFO.
+  virtual double depart(int arc, double now, double delay) = 0;
+
+  /// True if this policy can deliver messages out of send order on an arc.
+  /// The sim then discards stale deliveries at receipt (latest send wins),
+  /// keeping the RIB-in coherent with the sender's final state.
+  virtual bool reorders() const { return false; }
+
+  /// Called when `node` switches its selection to `arc` (-1 = none): the
+  /// starvation adversary uses this to track which arcs carry best routes.
+  virtual void note_selection(int node, int arc) { (void)node; (void)arc; }
+};
+
+/// The historical default policy: latency uniform in [min_delay, max_delay]
+/// (one rng draw per message) and per-arc FIFO — each message departs after
+/// the previous one on the arc *arrived*, with fresh latency, so oscillating
+/// nodes never lock into artificial lockstep.
+class FifoJitterScheduler final : public Scheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::FifoJitter; }
+
+  void bind(const LabeledGraph& net, const SimOptions& opts,
+            std::uint32_t stream) override;
+
+  double draw_delay(int arc, double now, Rng& rng) override {
+    (void)arc;
+    (void)now;
+    return min_ + rng.unit() * span_;
+  }
+
+  double depart(int arc, double now, double delay) override {
+    double& last = last_[static_cast<std::size_t>(arc)];
+    const double when = (last > now ? last : now) + delay;
+    last = when;
+    return when;
+  }
+
+ private:
+  double min_ = 0.1;
+  double span_ = 0.9;
+  std::vector<double> last_;  // per arc: previous delivery time (FIFO)
+};
+
+}  // namespace mrt
