@@ -326,19 +326,26 @@ PY
 }
 
 # --- Batched routing-table gates + BENCH_rib.json -------------------------
-# Four gates on mrt::rib:
+# Six gates on mrt::rib:
 #   1. speedup: one batched cold solve over 64 destinations of a ≥1k-node
 #      Gao–Rexford internet must be ≥3× faster than 64 independent
 #      standalone cold solves;
 #   2. warm maintenance: the 10k-node flap workload must report the
-#      per-destination affected-set stats (mean and max %), and the mean
-#      must stay a small fraction of the network;
+#      per-destination affected-set stats (mean and max %), the mean
+#      must stay a small fraction of the network, every timed update must
+#      actually take the warm path (rib.warm.baseline_warm == 1), and the
+#      peak-RSS footprint metric must be present (rib.peak_rss_mb);
 #   3. equivalence: perf_rib byte-compares every batched column against a
 #      standalone solver and a fresh cold build internally (exit 1 on
 #      divergence) — `identical` must be 1;
 #   4. invariance: the same delta sequence under MRT_THREADS ∈ {1,4},
 #      MRT_DYN ∈ {on,off}, and with/without a WeightEngine must produce
-#      byte-identical columns (each axis is a 0/1 metric pinned to 1).
+#      byte-identical columns (each axis is a 0/1 metric pinned to 1);
+#   5. SIMD speedup: the 4-word lex-stack cold solve must run ≥1.5× faster
+#      with the vertical kernels than with MRT_SIMD=0 (interleaved A/B,
+#      speedup.rib.simd);
+#   6. SIMD identity: the SIMD and scalar tables must be byte-identical
+#      (rib.simd_invariant == 1).
 RIB_OUT="BENCH_rib.json"
 pr="$BUILD/bench/perf_rib"
 require_bin "$pr"
@@ -360,8 +367,14 @@ for k in ("rib.warm.affected_pct", "rib.warm.affected_max_pct"):
 if m.get("rib.warm.affected_pct", 100.0) > 25.0:
     bad.append(f"rib.warm.affected_pct = "
                f"{m.get('rib.warm.affected_pct', 100.0):.1f}% > 25%")
+if "rib.peak_rss_mb" not in m:
+    bad.append("rib.peak_rss_mb missing from the perf_rib record")
+if m.get("speedup.rib.simd", 0.0) < 1.5:
+    bad.append(f"speedup.rib.simd = "
+               f"{m.get('speedup.rib.simd', 0.0):.2f} < 1.5")
 for k in ("rib.thread_invariant", "rib.toggle_invariant",
-          "rib.compile_invariant", "identical"):
+          "rib.compile_invariant", "rib.simd_invariant",
+          "rib.warm.baseline_warm", "identical"):
     if m.get(k, 0.0) != 1.0:
         bad.append(f"{k} = {m.get(k)} != 1")
 if bad:
@@ -369,10 +382,11 @@ if bad:
           file=sys.stderr)
     sys.exit(1)
 print(f"   gates passed: cold batched "
-      f"{m['speedup.rib.cold_batched']:.2f}x >= 3x, warm affected "
+      f"{m['speedup.rib.cold_batched']:.2f}x >= 3x, simd "
+      f"{m['speedup.rib.simd']:.2f}x >= 1.5x, warm affected "
       f"{m['rib.warm.affected_pct']:.2f}% (max "
       f"{m['rib.warm.affected_max_pct']:.2f}%), "
-      f"invariance thread/dyn/compile all 1")
+      f"invariance thread/dyn/compile/simd all 1")
 json.dump([rib_rec], open("BENCH_rib.json", "w"))
 PY
   echo "wrote $RIB_OUT (1 record)"
@@ -440,6 +454,10 @@ required = {
     "BENCH_rib.json":     {"perf_rib": ["metrics/speedup.rib.cold_batched",
                                         "metrics/rib.warm.affected_pct",
                                         "metrics/rib.warm.affected_max_pct",
+                                        "metrics/speedup.rib.simd",
+                                        "metrics/rib.simd_invariant",
+                                        "metrics/rib.peak_rss_mb",
+                                        "metrics/rib.warm.baseline_warm",
                                         "metrics/identical"]},
     "BENCH_adv.json":     {"adv_schedules": ["metrics/adv.cert_validity",
                                              "metrics/adv.bound_violations",

@@ -17,9 +17,10 @@
 #          mid-run is exactly the race surface), then exit.
 #   --preset rib — tsan build focused on the batched routing tables: runs
 #          the mrt::rib differential and unit suites (plus the dyn seam
-#          they build on) under ThreadSanitizer with MRT_THREADS=4 — the
-#          par-chunked destination blocks writing shared stats is the race
-#          surface — then exit.
+#          they build on) under ThreadSanitizer with MRT_THREADS=4 and
+#          MRT_SIMD=1 — destination blocks stolen in LPT order writing
+#          shared stats, with the vectorized vertical relax inside each
+#          block, is the race surface — then exit.
 #   --preset adv — tsan build focused on the adversarial schedulers: runs
 #          the mrt::adv certificate/shrinker suites plus the simulator core
 #          under ThreadSanitizer with MRT_THREADS=4 (the triple property
@@ -79,14 +80,17 @@ if [ -n "$PRESET" ]; then
       exit 0
       ;;
     rib)
-      # Batched routing-table focus: destination blocks run in parallel
-      # chunks through mrt::par and write per-column stats into shared
-      # arrays, so the whole batched surface (and the dyn seam under it)
-      # runs under ThreadSanitizer with more threads than blocks.
+      # Batched routing-table focus: destination blocks are stolen in
+      # LPT order through par::parallel_steal and write per-column stats
+      # into shared arrays, so the whole batched surface (and the dyn
+      # seam under it) runs under ThreadSanitizer with more threads than
+      # blocks. MRT_SIMD=1 keeps the vectorized vertical relax (and its
+      # slot-major reshapes) on the race surface alongside the stealing
+      # scheduler.
       cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
       cmake --build build-tsan -j "$(nproc)" \
         --target mrt_tests mrt_property_tests
-      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+      MRT_SIMD=1 MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
         -R 'Rib|DynDifferential|SolverSeam'
       echo "rib preset passed"
       exit 0

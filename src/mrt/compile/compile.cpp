@@ -666,7 +666,37 @@ CompiledLabel CompiledAlgebra::compile_label(const Value& label) const {
   CompiledLabel cl;
   if (!ok()) return cl;
   cl.ok = emit_apply(fam_root_, label, cl.ops);
-  if (!cl.ok) cl.ops.clear();
+  if (!cl.ok) {
+    cl.ops.clear();
+    return cl;
+  }
+  // SIMD eligibility: every opcode lanewise arithmetic, no per-column
+  // control flow (Table gathers, ω guards, collapses force the scalar
+  // kernels — they would need per-lane program counters).
+  cl.vec = true;
+  for (const ApplyOp& op : cl.ops) {
+    switch (op.k) {
+      case ApplyOp::K::Set:
+      case ApplyOp::K::AddSat:
+      case ApplyOp::K::MinWord:
+      case ApplyOp::K::MulReal:
+      case ApplyOp::K::ChainAdd:
+        break;
+      default:
+        cl.vec = false;
+        break;
+    }
+    if (!cl.vec) break;
+  }
+  if (cl.vec && cl.ops.size() == static_cast<std::size_t>(words_)) {
+    cl.dense = true;
+    for (std::size_t k = 0; k < cl.ops.size(); ++k) {
+      if (cl.ops[k].slot != k) {
+        cl.dense = false;
+        break;
+      }
+    }
+  }
   return cl;
 }
 
@@ -787,6 +817,14 @@ std::uint8_t CompiledAlgebra::select_block(const CompiledLabel& f,
                                            std::uint8_t have) const {
   MRT_REQUIRE(ncols >= 1 && ncols <= 8);
   if (words_ == 1) {
+    // Vertical-lane kernel for dense visits of vec-eligible programs; the
+    // threshold keeps sparse visits on the scalar path, where per-lane
+    // dispatch is cheaper than padding and blending 8 lanes. Both sides of
+    // the threshold produce identical bytes, so it tunes speed only.
+    if (fast_ && f.vec && simd::enabled() && __builtin_popcount(need) >= 3) {
+      return simd::select_w1()(f.ops.data(), f.ops.size(), src, best, ncols,
+                               need, have, fast_cmp_[0]);
+    }
     // Single-word carriers — the common batched case. Lanes are one word
     // apart; each needed lane runs the scalar opcode path on a stack word.
     // (Measured: for the short label programs that compile to one or two
@@ -836,6 +874,62 @@ std::uint8_t CompiledAlgebra::select_block(const CompiledLabel& f,
   return adopted;
 }
 
+std::uint8_t CompiledAlgebra::select_v(const CompiledLabel& f,
+                                       const std::uint64_t* src,
+                                       std::uint64_t* best, std::uint8_t need,
+                                       std::uint8_t have) const {
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  if (f.vec && simd::enabled()) {
+    // Candidate scratch rows (stride × 8 lanes). The kernel writes a slot's
+    // row before ever reading it back, so growth needs no initialization.
+    thread_local std::vector<std::uint64_t> tvec;
+    if (tvec.size() < stride * 8) tvec.resize(stride * 8);
+    const std::uint32_t flags =
+        (f.dense ? simd::kDenseOps : 0) | (keys_asc_ ? simd::kKeysAsc : 0);
+    return selv_(f.ops.data(), f.ops.size(), src, best, stride, need, have,
+                 fast_cmp_.data(), fast_cmp_.size(), tvec.data(), flags);
+  }
+  // Scalar fallback inside an otherwise vertical relax (non-vec programs, or
+  // the kernels toggled off mid-run): gather the lane from the slot-major
+  // rows, run the scalar program, scatter on adoption.
+  constexpr std::size_t kStack = 64;
+  std::uint64_t cbuf[kStack];
+  std::uint64_t bbuf[kStack];
+  thread_local std::vector<std::uint64_t> cspill, bspill;
+  std::uint64_t* cw = cbuf;
+  std::uint64_t* bw = bbuf;
+  if (stride > kStack) {
+    if (cspill.size() < stride) {
+      cspill.resize(stride);
+      bspill.resize(stride);
+    }
+    cw = cspill.data();
+    bw = bspill.data();
+  }
+  std::uint8_t adopted = 0;
+  for (unsigned m = need; m != 0; m &= m - 1) {
+    const int l = lane_of(m);
+    for (std::size_t k = 0; k < stride; ++k) {
+      cw[k] = src[k * 8 + static_cast<std::size_t>(l)];
+    }
+    run_apply(f.ops.data(), f.ops.size(), cw);
+    bool adopt = (have & (1u << l)) == 0;
+    if (!adopt) {
+      for (std::size_t k = 0; k < stride; ++k) {
+        bw[k] = best[k * 8 + static_cast<std::size_t>(l)];
+      }
+      adopt = compare(cw, bw) == Cmp::Less;
+    }
+    if (adopt) {
+      for (std::size_t k = 0; k < stride; ++k) {
+        best[k * 8 + static_cast<std::size_t>(l)] = cw[k];
+      }
+      adopted |= static_cast<std::uint8_t>(1u << l);
+    }
+  }
+  return adopted;
+}
+
 bool CompiledAlgebra::apply_if_equiv(const CompiledLabel& f,
                                      const std::uint64_t* src,
                                      std::uint64_t* cur) const {
@@ -858,6 +952,12 @@ bool CompiledAlgebra::apply_if_equiv(const CompiledLabel& f,
   }
   std::memcpy(c, src, wbytes);
   run_apply(f.ops.data(), f.ops.size(), c);
+  if (fast_full_ && simd::enabled()) {
+    // Full-coverage flat chains make Equiv coincide with byte equality, so
+    // the canonicalizing store is always a no-op: one vector compare
+    // replaces compare + memcpy with identical observable bytes.
+    return simd::words_equal(c, cur, stride);
+  }
   if (compare(c, cur) != Cmp::Equiv) return false;
   std::memcpy(cur, c, wbytes);
   return true;
@@ -1042,8 +1142,18 @@ CompiledAlgebra CompiledAlgebra::compile(const OrderTransform& alg) {
     if (ok) {
       c.fast_ = true;
       c.fast_cmp_ = std::move(fast);
+      c.keys_asc_ = c.fast_cmp_.size() == static_cast<std::size_t>(c.words_);
+      for (std::size_t i = 0; c.keys_asc_ && i < c.fast_cmp_.size(); ++i) {
+        if (c.fast_cmp_[i].slot != i) c.keys_asc_ = false;
+      }
     }
   }
+  c.selv_ = simd::select_v();
+  // A flat chain always visits each word once (scalars own one slot, guard
+  // words compile to Asc entries), but assert coverage explicitly before
+  // letting witness checks treat Equiv as byte equality.
+  c.fast_full_ =
+      c.fast_ && c.fast_cmp_.size() == static_cast<std::size_t>(c.words_);
 
   int fam_root = -1;
   if (!c.align_family(alg.fns->describe(), c.root_, &fam_root)) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mrt/compile/flat.hpp"
+#include "mrt/compile/simd.hpp"
 #include "mrt/core/describe.hpp"
 #include "mrt/core/order.hpp"
 #include "mrt/core/quadrants.hpp"
@@ -101,10 +102,17 @@ struct ApplyOp {
   std::uint64_t imm = 0;
 };
 
-/// A per-label apply program (precompiled once per arc).
+/// A per-label apply program (precompiled once per arc). `vec` marks
+/// programs made only of lanewise ops (Set/AddSat/MinWord/MulReal/ChainAdd —
+/// no per-column control flow), eligible for the SIMD select kernels.
+/// `dense` additionally marks exactly one op per slot in slot order
+/// 0..words-1 (the shape every lex stack of scalar components emits), which
+/// lets the vertical kernel fuse apply and lex fold into one pass.
 struct CompiledLabel {
   std::vector<ApplyOp> ops;
   bool ok = false;
+  bool vec = false;
+  bool dense = false;
 };
 
 class CompiledAlgebra {
@@ -155,6 +163,20 @@ class CompiledAlgebra {
                             std::uint64_t* best, int ncols, std::uint8_t need,
                             std::uint8_t have) const;
 
+  /// True when compare() lowers to the flat lex-key chain the SIMD kernels
+  /// fold — the precondition for the vertical (slot-major) relax layout.
+  bool lex_flat() const { return fast_; }
+
+  /// select_block over slot-major rows: `src` and `best` hold all 8 lanes of
+  /// one full block node row word-interleaved (word k of lane l at k*8 + l).
+  /// Vec-eligible programs run the dispatched vertical kernel (vector loads
+  /// end to end); other programs gather/scatter per lane. Byte-identical to
+  /// select_block on the equivalent lane-major rows. Requires lex_flat() and
+  /// a full 8-lane block.
+  std::uint8_t select_v(const CompiledLabel& f, const std::uint64_t* src,
+                        std::uint64_t* best, std::uint8_t need,
+                        std::uint8_t have) const;
+
   /// Fused witness-check kernel: computes f(src) and, when the result
   /// compares Equiv to `cur`, stores it into `cur` (canonicalizing the weight
   /// to the achieved encoding) and returns true; otherwise `cur` is left
@@ -201,10 +223,8 @@ class CompiledAlgebra {
     int kid[2] = {-1, -1};
   };
 
-  struct FastCmp {
-    std::uint16_t slot;
-    std::uint8_t desc;
-  };
+  // The flat-chain compare step is the same POD the SIMD lex fold consumes.
+  using FastCmp = LexKey;
 
   int build_node(const OrderDesc& d);
   bool align_family(const FamilyDesc& fd, int node, int* out);
@@ -231,7 +251,16 @@ class CompiledAlgebra {
   std::uint32_t root_top_len_ = 0;  // root program = top_ops_[0, len)
   std::vector<std::uint64_t> aux_;  // leq matrices + table-family rows
   bool fast_ = false;
+  // fast_ with the chain covering every word slot: Equiv coincides with
+  // byte equality, so witness checks can skip the canonicalizing store.
+  bool fast_full_ = false;
   std::vector<FastCmp> fast_cmp_;
+  // ISA-dispatched vertical kernel, resolved once at compile() so the
+  // per-arc-visit hot path skips the dispatcher accessor.
+  simd::SelectVFn selv_ = nullptr;
+  // fast_ chain where key ki compares slot ki ascending coverage — the
+  // select_v fused-pass precondition (paired with CompiledLabel::dense).
+  bool keys_asc_ = false;
 };
 
 }  // namespace compile

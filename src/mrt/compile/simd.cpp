@@ -1,0 +1,75 @@
+// Generic SIMD build + the MRT_SIMD toggle and runtime ISA dispatch. The
+// kernels here are the baseline-ISA lowering of simd_body.inc (SSE2 on
+// x86-64, NEON on aarch64); simd_avx2.cpp compiles the same bodies with
+// -mavx2, and the dispatcher picks the AVX2 table once when the CPU
+// supports it.
+
+#include "mrt/compile/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#define MRT_SIMD_ISA generic
+#define MRT_SIMD_ENTRY generic_kernels
+#include "mrt/compile/simd_body.inc"
+#undef MRT_SIMD_ISA
+#undef MRT_SIMD_ENTRY
+
+namespace mrt {
+namespace compile {
+namespace simd {
+namespace {
+
+bool simd_enabled_from_env() {
+  const char* e = std::getenv("MRT_SIMD");
+  return e == nullptr || std::string(e) != "0";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{simd_enabled_from_env()};
+  return flag;
+}
+
+bool have_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels& active() {
+  static const Kernels& k =
+#if defined(__x86_64__) || defined(__i386__)
+      have_avx2() ? detail::avx2_kernels() : detail::generic_kernels();
+#else
+      detail::generic_kernels();
+#endif
+  return k;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+const char* active_isa() { return have_avx2() ? "avx2" : "generic"; }
+
+SelectW1Fn select_w1() { return active().select_w1; }
+SelectVFn select_v() { return active().select_v; }
+
+bool words_equal(const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n) {
+  return active().words_equal(a, b, n);
+}
+
+void words_copy(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  active().words_copy(dst, src, n);
+}
+
+}  // namespace simd
+}  // namespace compile
+}  // namespace mrt

@@ -1,0 +1,128 @@
+// mrt::compile::simd — vectorized lane kernels for the batched RIB hot path.
+//
+// The RIB stores a destination block's weights column-major inside a
+// node-major row (words[(v*cols + c)*stride + k]), so the kBlockCols = 8
+// columns of one node sit side by side in memory: for single-word carriers
+// they are 8 contiguous uint64 lanes. For wider carriers the RIB reshapes
+// full blocks to slot-major rows (word k of lane l at k*8 + l) around dense
+// relaxes, so every word slot's 8 lanes line up contiguously and the whole
+// arc visit — apply, lex fold, adopt blend — runs gather-free. These kernels
+// run the fused relax primitives over those vertical lanes with GCC/Clang
+// vector extensions:
+//
+//   select_w1 / select_v — the select_block arc visit: apply one label
+//     program to every needed lane and lex-fold strict improvements into the
+//     running best row, lane masks instead of per-lane branches
+//   words_equal / words_copy — branch-free word-row compare/copy for the
+//     stride > 1 relax inner loop
+//
+// Vectorization never changes a byte: the op set is restricted to lanewise
+// exact arithmetic (saturating add, unsigned min, chain add, Set, and IEEE
+// double multiply — a single vector multiply rounds identically to the
+// scalar multiply), and the lex fold computes the same Less verdict the
+// scalar fast-compare chain does. Programs containing per-column control
+// flow (ω guards, table gathers, collapses) are not eligible
+// (CompiledLabel::vec == false) and stay on the scalar kernels.
+//
+// Dispatch is resolved once at startup: an AVX2 translation unit is selected
+// when the CPU supports it, otherwise a generic build of the same code
+// (vector extensions lowered to the baseline ISA — SSE2 on x86-64, NEON on
+// aarch64). MRT_SIMD=0 (or set_enabled(false)) forces the scalar kernels,
+// mirroring the MRT_COMPILE=0 A/B toggle; results are byte-identical either
+// way, so the toggle is purely a measurement instrument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrt {
+namespace compile {
+
+struct ApplyOp;
+
+/// One step of the flat lex-chain compare fast path: classify slot `slot`
+/// ascending (desc == 0) or descending (desc != 0); the first unequal slot
+/// decides. Shared by CompiledAlgebra::compare and the SIMD lex fold.
+struct LexKey {
+  std::uint16_t slot;
+  std::uint8_t desc;
+};
+
+namespace simd {
+
+/// True unless MRT_SIMD=0 (read once) or set_enabled(false); when false,
+/// every consumer runs the scalar kernels.
+bool enabled();
+/// Runtime override of the MRT_SIMD toggle (tests/benches A/B the kernels
+/// in-process).
+void set_enabled(bool on);
+/// The instruction set the dispatched kernels were compiled for: "avx2" or
+/// "generic".
+const char* active_isa();
+
+/// Single-word-carrier select: for every lane l < ncols set in `need`, runs
+/// the (vec-eligible) label program on src[l] and adopts the result into
+/// best[l] when l is absent from `have` or the result compares strictly
+/// Less under `key`. Returns the adopted-lane mask — byte-identical to the
+/// scalar per-lane loop. ncols <= 8.
+using SelectW1Fn = std::uint8_t (*)(const ApplyOp* ops, std::size_t nops,
+                                    const std::uint64_t* src,
+                                    std::uint64_t* best, int ncols,
+                                    std::uint8_t need, std::uint8_t have,
+                                    LexKey key);
+
+/// select_v flags: kDenseOps marks a program with exactly one op per slot,
+/// in slot order 0..stride-1 (CompiledLabel::dense); kKeysAsc marks a lex
+/// chain whose key ki compares slot ki (the layout every lex stack of
+/// scalar components gets). Together they enable the fused one-pass kernel.
+inline constexpr std::uint32_t kDenseOps = 1;
+inline constexpr std::uint32_t kKeysAsc = 2;
+
+/// Multi-word vertical select over slot-major rows: `src` and `best` hold a
+/// full 8-lane block node row word-interleaved (word k of lane l at
+/// k*8 + l). Runs the program as one vector op per opcode on contiguous
+/// lane rows (lazily through `scratch`, stride * 8 words), folds the lex
+/// chain `keys` with undecided/less lane masks, and blends adopted lanes
+/// into `best` — no gathers or scatters anywhere. With kDenseOps|kKeysAsc
+/// the apply and fold fuse into a single register-resident pass per slot.
+/// Returns the adopted-lane mask, byte-identical to the scalar per-lane
+/// loop.
+using SelectVFn = std::uint8_t (*)(const ApplyOp* ops, std::size_t nops,
+                                   const std::uint64_t* src,
+                                   std::uint64_t* best, std::size_t stride,
+                                   std::uint8_t need, std::uint8_t have,
+                                   const LexKey* keys, std::size_t nkeys,
+                                   std::uint64_t* scratch,
+                                   std::uint32_t flags);
+
+using WordsEqualFn = bool (*)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+using WordsCopyFn = void (*)(std::uint64_t* dst, const std::uint64_t* src,
+                             std::size_t n);
+
+/// One ISA build's kernel table; detail::*_kernels() export one per TU and
+/// the dispatcher picks a table once at startup.
+struct Kernels {
+  SelectW1Fn select_w1;
+  SelectVFn select_v;
+  WordsEqualFn words_equal;
+  WordsCopyFn words_copy;
+};
+
+namespace detail {
+const Kernels& generic_kernels();
+const Kernels& avx2_kernels();  // defined only on x86 (referenced only there)
+}  // namespace detail
+
+/// Dispatched kernel entry points (resolved once; never null).
+SelectW1Fn select_w1();
+SelectVFn select_v();
+
+/// Branch-free word-row equality / copy through the dispatched kernels.
+bool words_equal(const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n);
+void words_copy(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+
+}  // namespace simd
+}  // namespace compile
+}  // namespace mrt

@@ -1,0 +1,15 @@
+// AVX2 build of the simd_body.inc kernels. This translation unit (and only
+// this one) is compiled with -mavx2 on x86 (see src/CMakeLists.txt); the
+// dispatcher in simd.cpp selects it at startup iff __builtin_cpu_supports
+// reports AVX2, so no AVX2 instruction executes on older CPUs. On non-x86
+// targets the file compiles to nothing and the accessor is never referenced.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#define MRT_SIMD_ISA avx2
+#define MRT_SIMD_ENTRY avx2_kernels
+#include "mrt/compile/simd_body.inc"
+#undef MRT_SIMD_ISA
+#undef MRT_SIMD_ENTRY
+
+#endif  // x86

@@ -75,7 +75,7 @@ class EngineBase : public Solver {
     begin_stats(/*cold=*/true, 0);
     cold_solve();
     stats_.affected = dnet_.num_nodes();
-    finish_stats();
+    finish_stats(/*is_update=*/false);
     journal_routing_diff();
     obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream_, -1, -1,
                  -static_cast<std::int64_t>(stats_.affected),
@@ -97,7 +97,7 @@ class EngineBase : public Solver {
     }
     begin_stats(/*cold=*/false, ap.changed_arcs.size());
     if (!ap.any()) {
-      finish_stats();
+      finish_stats(/*is_update=*/true);
       return r_;
     }
     if (!dyn::enabled() || !converged_) {
@@ -109,7 +109,7 @@ class EngineBase : public Solver {
       // on the Dijkstra engine, and caps identically on Bellman).
       if (!converged_) run_cold();
     }
-    finish_stats();
+    finish_stats(/*is_update=*/true);
     journal_routing_diff();
     obs::jrecord(Subsystem::Dyn, EventKind::UpdateEnd, jstream_, -1, -1,
                  stats_.cold ? -static_cast<std::int64_t>(stats_.affected)
@@ -376,18 +376,28 @@ class EngineBase : public Solver {
     stats_.changed_arcs = static_cast<int>(changed_arcs);
   }
 
-  void finish_stats() const {
+  /// `is_update` splits solve() and update() accounting: a cold bind is not
+  /// a failed warm update, so dyn.updates / dyn.updates_cold / the
+  /// affected-percentage histogram count update() calls only (solve() calls
+  /// land in dyn.solves — they are definitionally 100%-affected and were
+  /// previously polluting the warm-path ratios).
+  void finish_stats(bool is_update) const {
     if (!obs::enabled()) return;
     obs::Registry& reg = obs::registry();
-    reg.counter("dyn.updates").add(1);
-    if (stats_.cold) reg.counter("dyn.updates_cold").add(1);
+    if (is_update) {
+      reg.counter("dyn.updates").add(1);
+      if (stats_.cold) reg.counter("dyn.updates_cold").add(1);
+      reg.histogram("dyn.affected_pct")
+          .record(static_cast<std::uint64_t>(stats_.affected_fraction() *
+                                             100));
+    } else {
+      reg.counter("dyn.solves").add(1);
+    }
     reg.counter("dyn.affected_nodes")
         .add(static_cast<std::uint64_t>(stats_.affected));
     reg.counter("dyn.changed_arcs")
         .add(static_cast<std::uint64_t>(stats_.changed_arcs));
     reg.counter("dyn.relaxations").add(stats_.relaxations);
-    reg.histogram("dyn.affected_pct")
-        .record(static_cast<std::uint64_t>(stats_.affected_fraction() * 100));
   }
 
   OrderTransform alg_;

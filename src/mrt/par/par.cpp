@@ -202,6 +202,14 @@ void parallel_for(std::size_t n, std::size_t grain,
   });
 }
 
+void parallel_steal(const std::vector<std::size_t>& order,
+                    const std::function<void(std::size_t)>& item) {
+  // One chunk per item: Batch::next is the shared claim counter, and chunk c
+  // maps to the c-th entry of the caller's priority order.
+  detail::run_chunks(order.size(),
+                     [&](std::size_t c) { item(order[c]); });
+}
+
 std::size_t parallel_find_first(std::size_t n, std::size_t grain,
                                 const std::function<bool(std::size_t)>& pred) {
   if (n == 0) return 0;

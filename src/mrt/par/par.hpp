@@ -64,6 +64,16 @@ void run_chunks(std::size_t num_chunks,
 void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
+/// Deterministic work stealing: runs item(order[c]) for every c, with the
+/// claim sequence following `order` — the caller's priority permutation
+/// (typically heaviest item first, LPT). Threads dynamically steal the next
+/// unclaimed slot from a shared counter, so one skewed item no longer pins a
+/// static chunk assignment to a single thread; because claiming only decides
+/// *who* runs an item (never *what* it computes) and callers merge results by
+/// item index, output stays bit-identical at any thread count.
+void parallel_steal(const std::vector<std::size_t>& order,
+                    const std::function<void(std::size_t)>& item);
+
 /// Lowest index in [0, n) for which pred returns true, or n if none.
 /// Workers cooperatively stop scanning past the best match found so far, so
 /// the result — always the *global* minimum — costs close to the sequential

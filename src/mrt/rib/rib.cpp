@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "mrt/compile/simd.hpp"
 #include "mrt/dyn/solver.hpp"
 #include "mrt/obs/obs.hpp"
 #include "mrt/par/par.hpp"
@@ -74,18 +75,68 @@ struct RibSolver::Impl {
   struct Block {
     int base = 0;
     int cols = 0;
+    // The block's destination nodes (dest[l] == dsts[base+l], -1 padding).
+    // Replaces the former per-node destmask byte array — at all-|V|
+    // destinations that array cost n bytes per block (n²/8 total, 12.5 MB at
+    // 10k nodes); eight compares per frontier visit recover the same mask.
+    int dest[kBlockCols] = {-1, -1, -1, -1, -1, -1, -1, -1};
     // flat storage
     std::vector<std::uint64_t> w;        // n * cols * stride (zero-init; rows
                                          // only ever hold valid encodings)
     std::vector<std::uint8_t> present;   // n, bit l = column routed
     // shared (flat + boxed)
     std::vector<int> next;               // n * cols witness arcs (-1 = none)
-    std::vector<std::uint8_t> destmask;  // n, bit l where dests[base+l] == v
     // boxed fallback storage, per lane
     std::vector<std::vector<std::optional<Value>>> bw;  // cols × n
   };
   std::vector<Block> blocks;
   int bwidth = kBlockCols;
+
+  std::uint8_t destmask_of(const Block& blk, int u) const {
+    std::uint8_t m = 0;
+    for (int l = 0; l < blk.cols; ++l) {
+      if (blk.dest[l] == u) m |= static_cast<std::uint8_t>(1u << l);
+    }
+    return m;
+  }
+
+  // Shared per-thread scratch arena: every dense all-|V| temporary the block
+  // passes need (frontier masks, invalidation state, boxed queues) lives
+  // here once per thread instead of being allocated per block per update.
+  // The qmask/inv arrays rely on a consume-what-you-set discipline — every
+  // pass that sets bits clears them before returning — so blocks on the
+  // same thread reuse them without an O(n) wipe.
+  struct Scratch {
+    std::vector<std::uint8_t> qmask;    // n; all-zero between uses
+    std::vector<std::uint8_t> touched;  // n; wiped per block
+    std::vector<std::uint8_t> inv;      // n; all-zero between uses
+    std::vector<std::pair<int, std::uint8_t>> stack;
+    std::vector<int> killed;  // nodes holding inv bits this pass
+    std::vector<int> seeded;  // nodes holding qmask bits this pass
+    std::vector<char> queued;            // boxed relax bookkeeping
+    std::vector<int> bfrontier, bnextf;  // boxed relax worklists
+    void ensure(std::size_t n) {
+      if (qmask.size() != n) {
+        qmask.assign(n, 0);
+        inv.assign(n, 0);
+      }
+    }
+  };
+  static Scratch& scratch() {
+    thread_local Scratch s;
+    return s;
+  }
+
+  /// Phase-1 output for one block: lane split, warm frontier seeds
+  /// (ascending node order), and an estimated relax cost that orders the
+  /// phase-2 steal queue. Pure function of (block, delta), so the plan — and
+  /// everything derived from it — is thread-count-invariant.
+  struct BlockPlan {
+    std::uint8_t coldm = 0;
+    std::uint8_t warmm = 0;
+    std::uint64_t cost = 0;
+    std::vector<std::pair<int, std::uint8_t>> seeds;
+  };
 
   std::vector<std::uint8_t> col_conv;
   RibStats stats;
@@ -136,14 +187,46 @@ struct RibSolver::Impl {
 
   // --- batched flat relaxation ---------------------------------------------
 
+  /// Reshapes a full flat block between lane-major node rows (the storage
+  /// layout everything else reads) and slot-major node rows (word k of lane
+  /// l at k*kBlockCols + l — the vertical-lane layout the SIMD select
+  /// kernels consume gather-free). Two linear passes, amortized against the
+  /// many frontier visits per node a dense relax performs.
+  void reshape_block(Block& blk, bool to_slot_major) {
+    const int n = dnet.num_nodes();
+    const std::size_t rowlen = static_cast<std::size_t>(blk.cols) * stride;
+    thread_local std::vector<std::uint64_t> buf;
+    if (buf.size() < rowlen) buf.resize(rowlen);
+    std::uint64_t* W = blk.w.data();
+    for (int u = 0; u < n; ++u) {
+      std::uint64_t* row = W + static_cast<std::size_t>(u) * rowlen;
+      std::memcpy(buf.data(), row, rowlen * sizeof(std::uint64_t));
+      for (int l = 0; l < blk.cols; ++l) {
+        for (std::size_t k = 0; k < stride; ++k) {
+          const std::size_t lm = static_cast<std::size_t>(l) * stride + k;
+          const std::size_t sm =
+              k * static_cast<std::size_t>(kBlockCols) +
+              static_cast<std::size_t>(l);
+          if (to_slot_major) {
+            row[sm] = buf[lm];
+          } else {
+            row[lm] = buf[sm];
+          }
+        }
+      }
+    }
+  }
+
   /// One worklist pass over every active lane of `qmask` (a per-node lane
   /// bitmask; qmask[v] != 0 iff v is on the frontier). Consumes qmask,
   /// accumulates per-lane touched bits, and returns the mask of lanes still
   /// active when the round cap hit (those lanes' state is exactly the
-  /// standalone solver's state at its own cap).
+  /// standalone solver's state at its own cap). With `ivec` the block's
+  /// rows are slot-major (see reshape_block) and arc visits go through the
+  /// vertical select kernel; bytes are identical either way.
   std::uint8_t flat_relax(Block& blk, std::vector<std::uint8_t>& qmask,
                           std::vector<std::uint8_t>& touched,
-                          std::uint64_t& relaxations) {
+                          std::uint64_t& relaxations, bool ivec) {
     const int n = dnet.num_nodes();
     const Digraph& g = dnet.graph();
     const CsrAdjacency& out = g.csr_out();
@@ -156,26 +239,74 @@ struct RibSolver::Impl {
     std::uint8_t* P = blk.present.data();
     int* NX = blk.next.data();
     // Runtime-sized memcmp/memcpy are real libc calls; single-word carriers
-    // (the common batched case) get direct word compare/store instead.
+    // (the common batched case) get direct word compare/store instead, and
+    // multi-word rows go through the dispatched SIMD compare/copy kernels
+    // when MRT_SIMD is on (byte-identical either way).
     const bool one_word = stride == 1;
+    const bool vec_words = !one_word && compile::simd::enabled();
     auto weq = [&](const std::uint64_t* a, const std::uint64_t* b) {
-      return one_word ? *a == *b : std::memcmp(a, b, wbytes) == 0;
+      if (one_word) return *a == *b;
+      return vec_words ? compile::simd::words_equal(a, b, stride)
+                       : std::memcmp(a, b, wbytes) == 0;
     };
     auto wcopy = [&](std::uint64_t* d, const std::uint64_t* s) {
       if (one_word) {
         *d = *s;
+      } else if (vec_words) {
+        compile::simd::words_copy(d, s, stride);
       } else {
         std::memcpy(d, s, wbytes);
       }
+    };
+    // Lane geometry. Lane-major rows put lane l's words contiguously at
+    // l*stride; slot-major rows interleave them kBlockCols apart at offset
+    // l. origin_w stays contiguous in both modes, so it gets its own pair.
+    const std::size_t lmul = ivec ? 1 : stride;
+    const std::size_t wstep = ivec ? static_cast<std::size_t>(kBlockCols) : 1;
+    auto lane_eq = [&](const std::uint64_t* a, const std::uint64_t* b) {
+      if (!ivec) return weq(a, b);
+      for (std::size_t k = 0; k < stride; ++k) {
+        if (a[k * wstep] != b[k * wstep]) return false;
+      }
+      return true;
+    };
+    auto lane_copy = [&](std::uint64_t* d, const std::uint64_t* s) {
+      if (!ivec) {
+        wcopy(d, s);
+        return;
+      }
+      for (std::size_t k = 0; k < stride; ++k) d[k * wstep] = s[k * wstep];
+    };
+    auto lane_eq_origin = [&](const std::uint64_t* a) {
+      if (!ivec) return weq(a, origin_w.data());
+      for (std::size_t k = 0; k < stride; ++k) {
+        if (a[k * wstep] != origin_w[k]) return false;
+      }
+      return true;
+    };
+    auto lane_copy_origin = [&](std::uint64_t* d) {
+      if (!ivec) {
+        wcopy(d, origin_w.data());
+        return;
+      }
+      for (std::size_t k = 0; k < stride; ++k) d[k * wstep] = origin_w[k];
     };
 
     // Per-thread scratch: relax runs once per block, and blocks on the same
     // thread never nest, so reusing the buffers avoids one malloc/free set
     // per block per update (a measurable slice of the cold solve).
     thread_local std::vector<int> frontier;
-    thread_local std::vector<int> nextf;
     thread_local std::vector<std::uint8_t> cur;
     thread_local std::vector<std::uint64_t> best;
+    // The next-round frontier is a node bitset drained in word order: set
+    // bits come out ascending, which is exactly the order the per-round
+    // std::sort used to impose — the sort (a real slice of dense relax
+    // rounds) is gone but the trajectory, and therefore every byte, is
+    // unchanged. Bits are cleared as they drain, so the buffer is all-zero
+    // between calls and costs one word scan per round.
+    thread_local std::vector<std::uint64_t> nextb;
+    const std::size_t nwords = (static_cast<std::size_t>(n) + 63) / 64;
+    if (nextb.size() < nwords) nextb.assign(nwords, 0);
     frontier.clear();
     for (int v = 0; v < n; ++v) {
       if (qmask[static_cast<std::size_t>(v)] != 0) frontier.push_back(v);
@@ -192,18 +323,16 @@ struct RibSolver::Impl {
         }
         break;
       }
-      std::sort(frontier.begin(), frontier.end());
       cur.resize(frontier.size());
       for (std::size_t i = 0; i < frontier.size(); ++i) {
         cur[i] = qmask[static_cast<std::size_t>(frontier[i])];
         qmask[static_cast<std::size_t>(frontier[i])] = 0;
       }
-      nextf.clear();
       for (std::size_t fi = 0; fi < frontier.size(); ++fi) {
         const int u = frontier[fi];
         const std::uint8_t act = cur[fi];
         touched[static_cast<std::size_t>(u)] |= act;
-        const std::uint8_t dm = blk.destmask[static_cast<std::size_t>(u)];
+        const std::uint8_t dm = destmask_of(blk, u);
         const std::uint8_t scan = act & static_cast<std::uint8_t>(~dm);
         std::uint8_t bestm = 0;
         if (scan != 0) {
@@ -221,9 +350,13 @@ struct RibSolver::Impl {
             // needed lane (blocked opcode decode; lanes outside `need`
             // compute garbage that is never read — safe, because every row
             // is either a valid encoding or still zero-initialized) and fold
-            // strict improvements into the running best row.
-            const std::uint8_t adopted = ca.select_block(
-                cnet.label(id), src, best.data(), cols, need, bestm);
+            // strict improvements into the running best row. Slot-major rows
+            // take the gather-free vertical kernel.
+            const std::uint8_t adopted =
+                ivec ? ca.select_v(cnet.label(id), src, best.data(), need,
+                                   bestm)
+                     : ca.select_block(cnet.label(id), src, best.data(), cols,
+                                       need, bestm);
             bestm |= adopted;
             for (unsigned m = adopted; m != 0; m &= m - 1) {
               best_arc[ctz8(m)] = id;
@@ -235,11 +368,13 @@ struct RibSolver::Impl {
         for (unsigned m = act; m != 0; m &= m - 1) {
           const int l = ctz8(m);
           const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
-          std::uint64_t* wl = wu + static_cast<std::size_t>(l) * stride;
+          std::uint64_t* wl = wu + static_cast<std::size_t>(l) * lmul;
+          const std::uint64_t* bl =
+              best.data() + static_cast<std::size_t>(l) * lmul;
           const bool had = (P[static_cast<std::size_t>(u)] & bit) != 0;
           if ((dm & bit) != 0) {
-            if (!had || !weq(wl, origin_w.data())) {
-              wcopy(wl, origin_w.data());
+            if (!had || !lane_eq_origin(wl)) {
+              lane_copy_origin(wl);
               P[static_cast<std::size_t>(u)] |= bit;
               NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
                  static_cast<std::size_t>(l)] = -1;
@@ -249,13 +384,11 @@ struct RibSolver::Impl {
             const bool now = (bestm & bit) != 0;
             bool ch = had != now;
             if (!ch && now) {
-              ch = !weq(wl,
-                        best.data() + static_cast<std::size_t>(l) * stride);
+              ch = !lane_eq(wl, bl);
             }
             if (ch) {
               if (now) {
-                wcopy(wl,
-                      best.data() + static_cast<std::size_t>(l) * stride);
+                lane_copy(wl, bl);
                 P[static_cast<std::size_t>(u)] |= bit;
                 NX[static_cast<std::size_t>(u) * static_cast<std::size_t>(cols) +
                    static_cast<std::size_t>(l)] = best_arc[l];
@@ -272,12 +405,23 @@ struct RibSolver::Impl {
           for (int e = in.begin(u); e < in.end(u); ++e) {
             const int t = in.head[static_cast<std::size_t>(e)];
             if (!dnet.node_up(t)) continue;
-            if (qmask[static_cast<std::size_t>(t)] == 0) nextf.push_back(t);
+            nextb[static_cast<std::size_t>(t) >> 6] |=
+                std::uint64_t{1} << (t & 63);
             qmask[static_cast<std::size_t>(t)] |= changed;
           }
         }
       }
-      frontier.swap(nextf);
+      frontier.clear();
+      for (std::size_t wi = 0; wi < nwords; ++wi) {
+        std::uint64_t w = nextb[wi];
+        if (w == 0) continue;
+        nextb[wi] = 0;
+        do {
+          frontier.push_back(static_cast<int>((wi << 6) +
+                                              __builtin_ctzll(w)));
+          w &= w - 1;
+        } while (w != 0);
+      }
     }
     return capped;
   }
@@ -379,15 +523,21 @@ struct RibSolver::Impl {
     const CsrAdjacency& out = g.csr_out();
     const CsrAdjacency& in = g.csr_in();
     std::uint8_t capped = 0;
+    // Per-thread worklist state from the shared arena — the per-lane queue
+    // flags and both frontiers were previously allocated per lane (and the
+    // next-frontier once per round).
+    Scratch& s = scratch();
     for (int l = 0; l < blk.cols; ++l) {
       const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
       const int dest = dsts[static_cast<std::size_t>(blk.base + l)];
       auto& wcol = blk.bw[static_cast<std::size_t>(l)];
-      std::vector<char> queued(static_cast<std::size_t>(n), 0);
-      std::vector<int> frontier;
+      s.queued.assign(static_cast<std::size_t>(n), 0);
+      std::vector<int>& frontier = s.bfrontier;
+      std::vector<int>& nextf = s.bnextf;
+      frontier.clear();
       for (int v = 0; v < n; ++v) {
         if ((qmask[static_cast<std::size_t>(v)] & bit) != 0) {
-          queued[static_cast<std::size_t>(v)] = 1;
+          s.queued[static_cast<std::size_t>(v)] = 1;
           frontier.push_back(v);
         }
       }
@@ -395,14 +545,15 @@ struct RibSolver::Impl {
       while (!frontier.empty()) {
         if (++rounds > opts.max_rounds) {
           capped |= bit;
+          frontier.clear();
           break;
         }
         std::sort(frontier.begin(), frontier.end());
-        for (int u : frontier) queued[static_cast<std::size_t>(u)] = 0;
-        std::vector<int> nextf;
+        for (int u : frontier) s.queued[static_cast<std::size_t>(u)] = 0;
+        nextf.clear();
         auto activate = [&](int x) {
-          if (dnet.node_up(x) && !queued[static_cast<std::size_t>(x)]) {
-            queued[static_cast<std::size_t>(x)] = 1;
+          if (dnet.node_up(x) && !s.queued[static_cast<std::size_t>(x)]) {
+            s.queued[static_cast<std::size_t>(x)] = 1;
             nextf.push_back(x);
           }
         };
@@ -450,7 +601,7 @@ struct RibSolver::Impl {
             }
           }
         }
-        frontier = std::move(nextf);
+        frontier.swap(nextf);
       }
       // Leave qmask clean for a retry pass.
       for (int v = 0; v < n; ++v) {
@@ -530,23 +681,23 @@ struct RibSolver::Impl {
   /// block at once: kill masks propagate along stored witness chains
   /// (next[u] == arc), exactly the standalone invalidate() per lane — the
   /// per-lane invalid set is the same least fixed point, discovered in one
-  /// shared traversal. Cleared routes are recorded per lane (ascending) in
-  /// `invalid_out`.
+  /// shared traversal. Invalidated routes are cleared; surviving nodes seed
+  /// the warm frontier through `seed`.
+  template <typename Seed>
   void invalidate_block(Block& blk, const DynNet::Applied& ap,
-                        std::uint8_t lanemask,
-                        std::vector<std::vector<int>>& invalid_out) {
-    const int n = dnet.num_nodes();
+                        std::uint8_t lanemask, Scratch& s, const Seed& seed) {
     const Digraph& g = dnet.graph();
     const CsrAdjacency& in = g.csr_in();
     const int cols = blk.cols;
-    std::vector<std::uint8_t> inv(static_cast<std::size_t>(n), 0);
-    std::vector<std::pair<int, std::uint8_t>> stack;
+    s.stack.clear();
+    s.killed.clear();
     auto kill = [&](int v, std::uint8_t m) {
       const std::uint8_t nb =
-          m & static_cast<std::uint8_t>(~inv[static_cast<std::size_t>(v)]);
+          m & static_cast<std::uint8_t>(~s.inv[static_cast<std::size_t>(v)]);
       if (nb != 0) {
-        inv[static_cast<std::size_t>(v)] |= nb;
-        stack.emplace_back(v, nb);
+        if (s.inv[static_cast<std::size_t>(v)] == 0) s.killed.push_back(v);
+        s.inv[static_cast<std::size_t>(v)] |= nb;
+        s.stack.emplace_back(v, nb);
       }
     };
     auto witness_mask = [&](int u, int id, std::uint8_t m) {
@@ -566,55 +717,81 @@ struct RibSolver::Impl {
       const int u = g.arc(id).src;
       kill(u, witness_mask(u, id, lanemask));
     }
-    while (!stack.empty()) {
-      const auto [v, m] = stack.back();
-      stack.pop_back();
+    while (!s.stack.empty()) {
+      const auto [v, m] = s.stack.back();
+      s.stack.pop_back();
       for (int e = in.begin(v); e < in.end(v); ++e) {
         const int id = in.arc[static_cast<std::size_t>(e)];
         const int u = in.head[static_cast<std::size_t>(e)];
         kill(u, witness_mask(u, id, m));
       }
     }
-    for (int v = 0; v < n; ++v) {
-      const std::uint8_t m = inv[static_cast<std::size_t>(v)];
-      if (m == 0) continue;
+    std::sort(s.killed.begin(), s.killed.end());
+    for (int v : s.killed) {
+      const std::uint8_t m = s.inv[static_cast<std::size_t>(v)];
+      s.inv[static_cast<std::size_t>(v)] = 0;  // leave inv all-zero again
       for (unsigned mm = m; mm != 0; mm &= mm - 1) {
-        const int l = ctz8(mm);
-        invalid_out[static_cast<std::size_t>(l)].push_back(v);
-        clear_route(blk, v, l);
+        clear_route(blk, v, ctz8(mm));
       }
+      if (dnet.node_up(v)) seed(v, m);
     }
   }
 
-  /// Warm-start frontier per lane: the lane's invalidated set, plus (for
-  /// every warm lane) the tails of changed arcs and restarted nodes; crashed
-  /// nodes excluded — the standalone seed_nodes(), as a lane bitmask.
-  void warm_seeds(const DynNet::Applied& ap, std::uint8_t lanemask,
-                  const std::vector<std::vector<int>>& invalid,
-                  std::vector<std::uint8_t>& qmask) {
-    for (unsigned mm = lanemask; mm != 0; mm &= mm - 1) {
-      const int l = ctz8(mm);
-      const std::uint8_t bit = static_cast<std::uint8_t>(1u << l);
-      for (int v : invalid[static_cast<std::size_t>(l)]) {
-        if (dnet.node_up(v)) qmask[static_cast<std::size_t>(v)] |= bit;
+  /// Phase 1 of a table pass: split the block's lanes warm/cold, run the
+  /// shared invalidation, and capture the warm frontier — the invalidated
+  /// survivors plus the tails of changed arcs and restarted nodes (the
+  /// standalone seed_nodes(), as a lane bitmask) — into the plan, along
+  /// with the cost estimate phase 2 orders its steal queue by.
+  void plan_block(Block& blk, const DynNet::Applied* ap, bool cold_all,
+                  BlockPlan& plan) {
+    const int cols = blk.cols;
+    const std::uint8_t all =
+        static_cast<std::uint8_t>(cols == 8 ? 0xFFu : ((1u << cols) - 1));
+    if (ap == nullptr || cold_all) {
+      plan.coldm = all;
+    } else {
+      for (int l = 0; l < cols; ++l) {
+        if (!col_conv[static_cast<std::size_t>(blk.base + l)]) {
+          plan.coldm |= static_cast<std::uint8_t>(1u << l);
+        }
       }
     }
+    plan.warmm = all & static_cast<std::uint8_t>(~plan.coldm);
+    plan.cost = static_cast<std::uint64_t>(dnet.num_nodes()) *
+                static_cast<std::uint64_t>(popcount8(plan.coldm));
+    if (plan.warmm == 0) return;
+    Scratch& s = scratch();
+    s.ensure(static_cast<std::size_t>(dnet.num_nodes()));
+    auto seed = [&](int v, std::uint8_t m) {
+      if (s.qmask[static_cast<std::size_t>(v)] == 0) s.seeded.push_back(v);
+      s.qmask[static_cast<std::size_t>(v)] |= m;
+    };
+    invalidate_block(blk, *ap, plan.warmm, s, seed);
     const Digraph& g = dnet.graph();
-    for (int id : ap.changed_arcs) {
+    for (int id : ap->changed_arcs) {
       const int u = g.arc(id).src;
-      if (dnet.node_up(u)) qmask[static_cast<std::size_t>(u)] |= lanemask;
+      if (dnet.node_up(u)) seed(u, plan.warmm);
     }
-    for (int v : ap.nodes_up) {
-      if (dnet.node_up(v)) qmask[static_cast<std::size_t>(v)] |= lanemask;
+    for (int v : ap->nodes_up) {
+      if (dnet.node_up(v)) seed(v, plan.warmm);
     }
+    std::sort(s.seeded.begin(), s.seeded.end());
+    plan.seeds.reserve(s.seeded.size());
+    for (int v : s.seeded) {
+      const std::uint8_t m = s.qmask[static_cast<std::size_t>(v)];
+      plan.seeds.emplace_back(v, m);
+      plan.cost += static_cast<std::uint64_t>(popcount8(m));
+      s.qmask[static_cast<std::size_t>(v)] = 0;  // leave qmask all-zero again
+    }
+    s.seeded.clear();
   }
 
   // --- per-block driver ------------------------------------------------------
 
   std::uint8_t relax(Block& blk, std::vector<std::uint8_t>& qmask,
                      std::vector<std::uint8_t>& touched,
-                     std::uint64_t& relaxations) {
-    return flat ? flat_relax(blk, qmask, touched, relaxations)
+                     std::uint64_t& relaxations, bool ivec) {
+    return flat ? flat_relax(blk, qmask, touched, relaxations, ivec)
                 : boxed_relax(blk, qmask, touched, relaxations);
   }
 
@@ -626,63 +803,61 @@ struct RibSolver::Impl {
     }
   }
 
-  /// Runs one block through a solve/update pass: decide warm vs cold per
-  /// lane, invalidate + seed the warm lanes in one shared pass, relax every
-  /// lane in lockstep, retry capped warm lanes cold, and canonicalize every
-  /// converged lane. `ap == nullptr` means a cold bind (solve()).
-  void run_block(Block& blk, const DynNet::Applied* ap, bool cold_all,
-                 std::uint64_t& relaxations, int& cold_cols) {
+  /// Phase 2: runs one planned block — seed the frontier from the plan,
+  /// relax every lane in lockstep, retry capped warm lanes cold with a fresh
+  /// round budget (the standalone update()'s run_cold() fallback), and
+  /// canonicalize every converged lane.
+  void run_block(Block& blk, const BlockPlan& plan, std::uint64_t& relaxations,
+                 int& cold_cols) {
     const int n = dnet.num_nodes();
     const int cols = blk.cols;
-    const std::uint8_t all =
-        static_cast<std::uint8_t>(cols == 8 ? 0xFFu : ((1u << cols) - 1));
-    std::uint8_t coldm = 0;
-    if (ap == nullptr || cold_all) {
-      coldm = all;
-    } else {
-      for (int l = 0; l < cols; ++l) {
-        if (!col_conv[static_cast<std::size_t>(blk.base + l)]) {
-          coldm |= static_cast<std::uint8_t>(1u << l);
-        }
-      }
+    const std::uint8_t coldm = plan.coldm;
+    const std::uint8_t warmm = plan.warmm;
+    // Vertical-lane relax: dense (cold-lane) multi-word relaxes of full
+    // blocks run on slot-major rows so the SIMD select kernel is gather-free
+    // end to end. The one-off reshape amortizes only when whole lanes
+    // rebuild; warm-only relaxes keep the lane-major layout untouched.
+    const bool ivec = flat && stride > 1 && cols == kBlockCols &&
+                      coldm != 0 && compile::simd::enabled() &&
+                      cnet.algebra().lex_flat();
+    Scratch& s = scratch();
+    s.ensure(static_cast<std::size_t>(n));
+    // s.qmask is all-zero on entry (relax consumes every bit it is handed,
+    // and the planner zeroed its seeds), so seeding is sparse stores.
+    for (const auto& [v, m] : plan.seeds) {
+      s.qmask[static_cast<std::size_t>(v)] = m;
     }
-    const std::uint8_t warmm = all & static_cast<std::uint8_t>(~coldm);
-
-    std::vector<std::uint8_t> qmask(static_cast<std::size_t>(n), 0);
-    std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
-    if (warmm != 0) {
-      std::vector<std::vector<int>> invalid(static_cast<std::size_t>(cols));
-      invalidate_block(blk, *ap, warmm, invalid);
-      warm_seeds(*ap, warmm, invalid, qmask);
-    }
+    s.touched.assign(static_cast<std::size_t>(n), 0);
     for (unsigned mm = coldm; mm != 0; mm &= mm - 1) {
       const int l = ctz8(mm);
       clear_lane(blk, l);
       const int d = dsts[static_cast<std::size_t>(blk.base + l)];
       if (dnet.node_up(d)) {
-        qmask[static_cast<std::size_t>(d)] |=
+        s.qmask[static_cast<std::size_t>(d)] |=
             static_cast<std::uint8_t>(1u << l);
       }
     }
-    const std::uint8_t capped = relax(blk, qmask, touched, relaxations);
+    if (ivec) reshape_block(blk, /*to_slot_major=*/true);
+    const std::uint8_t capped = relax(blk, s.qmask, s.touched, relaxations,
+                                      ivec);
 
-    // Warm lanes that hit the round cap fall back to a cold pass with a
-    // fresh round budget — the standalone update()'s run_cold() fallback.
     const std::uint8_t retry = capped & warmm;
     std::uint8_t capped2 = 0;
     if (retry != 0) {
-      std::fill(qmask.begin(), qmask.end(), 0);
+      // clear_lane touches only present/next bits, so the slot-major rows
+      // can stay in place across the retry.
       for (unsigned mm = retry; mm != 0; mm &= mm - 1) {
         const int l = ctz8(mm);
         clear_lane(blk, l);
         const int d = dsts[static_cast<std::size_t>(blk.base + l)];
         if (dnet.node_up(d)) {
-          qmask[static_cast<std::size_t>(d)] |=
+          s.qmask[static_cast<std::size_t>(d)] |=
               static_cast<std::uint8_t>(1u << l);
         }
       }
-      capped2 = relax(blk, qmask, touched, relaxations);
+      capped2 = relax(blk, s.qmask, s.touched, relaxations, ivec);
     }
+    if (ivec) reshape_block(blk, /*to_slot_major=*/false);
     const std::uint8_t final_cold = coldm | retry;
     const std::uint8_t unconv =
         static_cast<std::uint8_t>((capped & coldm) | capped2);
@@ -698,24 +873,39 @@ struct RibSolver::Impl {
       } else {
         int cnt = 0;
         for (int v = 0; v < n; ++v) {
-          if ((touched[static_cast<std::size_t>(v)] & bit) != 0) ++cnt;
+          if ((s.touched[static_cast<std::size_t>(v)] & bit) != 0) ++cnt;
         }
         stats.affected[static_cast<std::size_t>(blk.base + l)] = cnt;
       }
     }
   }
 
-  /// mrt::par chunking over destination blocks. Blocks own disjoint state
-  /// and write disjoint stats slots; per-block accumulators merge in block
-  /// order, so the result is bit-identical at any thread count.
+  /// Two-phase pass over the destination blocks. Phase 1 plans every block
+  /// (lane split, invalidation, warm seeds, cost estimate) under static
+  /// chunking; phase 2 relaxes them under deterministic work stealing in
+  /// descending-cost order (LPT, ties by block index), so one skewed
+  /// destination region no longer pins a static chunk assignment to a
+  /// single thread. Blocks own disjoint state and write disjoint stats
+  /// slots; the steal order decides only *who* runs a block, and per-block
+  /// accumulators merge in block order — bit-identical at any thread count.
   void run_all_blocks(const DynNet::Applied* ap, bool cold_all) {
     const std::size_t nb = blocks.size();
+    std::vector<BlockPlan> plans(nb);
     std::vector<std::uint64_t> relax_pb(nb, 0);
     std::vector<int> cold_pb(nb, 0);
     par::parallel_for(nb, 1, [&](std::size_t b0, std::size_t b1) {
       for (std::size_t b = b0; b < b1; ++b) {
-        run_block(blocks[b], ap, cold_all, relax_pb[b], cold_pb[b]);
+        plan_block(blocks[b], ap, cold_all, plans[b]);
       }
+    });
+    std::vector<std::size_t> order(nb);
+    for (std::size_t b = 0; b < nb; ++b) order[b] = b;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return plans[a].cost > plans[b].cost;
+                     });
+    par::parallel_steal(order, [&](std::size_t b) {
+      run_block(blocks[b], plans[b], relax_pb[b], cold_pb[b]);
     });
     for (std::size_t b = 0; b < nb; ++b) {
       stats.relaxations += relax_pb[b];
@@ -849,11 +1039,8 @@ struct RibSolver::Impl {
       blk.cols = std::min(bwidth, total - base);
       const std::size_t ncols = static_cast<std::size_t>(blk.cols);
       blk.next.assign(static_cast<std::size_t>(n) * ncols, -1);
-      blk.destmask.assign(static_cast<std::size_t>(n), 0);
       for (int l = 0; l < blk.cols; ++l) {
-        blk.destmask[static_cast<std::size_t>(
-            dsts[static_cast<std::size_t>(base + l)])] |=
-            static_cast<std::uint8_t>(1u << l);
+        blk.dest[l] = dsts[static_cast<std::size_t>(base + l)];
       }
       if (flat) {
         blk.w.assign(static_cast<std::size_t>(n) * ncols * stride, 0);

@@ -159,7 +159,12 @@ bool bellman_step_flat(const LabeledGraph& net, int dest,
       [&](std::size_t ub, std::size_t ue) {
         std::uint64_t relaxations = 0;
         bool changed = false;
-        std::vector<std::uint64_t> best(stride), cand(stride);
+        // Reused per-thread scratch rows: the step runs once per Bellman
+        // iteration, so constructing these here allocated twice per chunk
+        // per iteration.
+        thread_local std::vector<std::uint64_t> best, cand;
+        if (best.size() < stride) best.resize(stride);
+        if (cand.size() < stride) cand.resize(stride);
         for (std::size_t uu = ub; uu < ue; ++uu) {
           const int u = static_cast<int>(uu);
           if (u == dest) {

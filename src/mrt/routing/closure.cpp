@@ -123,7 +123,12 @@ ClosureResult kleene_closure_flat(const Bisemigroup& alg,
       par::parallel_for(hi - lo, kRowGrain,
                         [&](std::size_t b, std::size_t e) {
         std::uint64_t local_steps = 0;
-        std::vector<std::uint64_t> t1(stride), t2(stride);
+        // Reused per-thread scratch rows: this body runs once per chunk per
+        // pivot k, so constructing the vectors here cost 2n mallocs per
+        // closure per thread.
+        thread_local std::vector<std::uint64_t> t1, t2;
+        if (t1.size() < stride) t1.resize(stride);
+        if (t2.size() < stride) t2.resize(stride);
         for (std::size_t i = lo + b; i < lo + e; ++i) {
           if (!a.has(i, k)) continue;
           local_steps += n;
@@ -136,7 +141,9 @@ ClosureResult kleene_closure_flat(const Bisemigroup& alg,
     };
     eliminate_rows(0, k);
     if (a.has(k, k)) {
-      std::vector<std::uint64_t> t1(stride), t2(stride);
+      thread_local std::vector<std::uint64_t> t1, t2;
+      if (t1.size() < stride) t1.resize(stride);
+      if (t2.size() < stride) t2.resize(stride);
       product_steps.fetch_add(n, std::memory_order_relaxed);
       for (std::size_t j = 0; j < n; ++j) {
         relax_entry_flat(cb, a, k, k, j, t1.data(), t2.data());
@@ -209,7 +216,11 @@ ClosureResult iterative_closure_flat(const Bisemigroup& alg,
     }
     par::parallel_for(n, kRowGrain, [&](std::size_t rb, std::size_t re) {
       std::uint64_t local_steps = 0;
-      std::vector<std::uint64_t> t1(stride), t2(stride);
+      // Reused per-thread scratch rows (see kleene_closure_flat): one body
+      // run per chunk per power iteration.
+      thread_local std::vector<std::uint64_t> t1, t2;
+      if (t1.size() < stride) t1.resize(stride);
+      if (t2.size() < stride) t2.resize(stride);
       for (std::size_t i = rb; i < re; ++i) {
         for (std::size_t k = 0; k < n; ++k) {
           if (!a.has(i, k)) continue;

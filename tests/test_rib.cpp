@@ -9,7 +9,10 @@
 //                 (boxed per-column fallback), via in-process toggles;
 //   MRT_DYN     — dyn::set_enabled(false) forces cold re-solves;
 //   MRT_THREADS — par::set_thread_limit, the bit-identical-at-any-
-//                 thread-count contract over destination blocks.
+//                 thread-count contract over destination blocks;
+//   MRT_SIMD    — compile::simd::set_enabled, the vectorized select/compare
+//                 kernels (including the slot-major vertical relax on
+//                 multi-word carriers) vs their scalar twins.
 //
 // The license for exact comparison is the same as test_dyn_differential:
 // both sides canonicalize witnesses, and the chain carriers are
@@ -21,6 +24,9 @@
 #include <vector>
 
 #include "helpers.hpp"
+#include "mrt/compile/simd.hpp"
+#include "mrt/core/bases.hpp"
+#include "mrt/core/combinators.hpp"
 #include "mrt/dyn/solver.hpp"
 #include "mrt/graph/generators.hpp"
 #include "mrt/par/par.hpp"
@@ -38,7 +44,13 @@ struct RibInstance {
   int label_lo = 0;
   int label_hi = 0;
   std::string desc;
+  bool pair_labels = false;  ///< labels (and relabels) are (cost, cap) pairs
 };
+
+/// The origin weight matching an instance's carrier shape.
+Value origin_of(const RibInstance& inst) {
+  return inst.pair_labels ? Value::pair(I(0), Value::inf()) : I(0);
+}
 
 /// ⊗ = saturating +c (increasing shortest-path chain) — compiles flat.
 RibInstance sat_plus_instance(Rng& rng) {
@@ -84,6 +96,26 @@ RibInstance chain_max_instance(Rng& rng) {
                      "chain_max n=" + std::to_string(n)};
 }
 
+/// lex(shortest, widest): a two-word flat carrier whose labels compile to
+/// dense AddSat/MinWord programs — the multi-word vec-capable shape the
+/// slot-major vertical SIMD kernel targets. Node counts ≥ 9 guarantee at
+/// least one full 8-lane block in the all-|V| sweep, so the vertical path
+/// genuinely engages.
+RibInstance lex_stack_instance(Rng& rng) {
+  Digraph g = random_connected(rng, 9 + static_cast<int>(rng.below(8)),
+                               5 + static_cast<int>(rng.below(8)));
+  ValueVec labels;
+  for (int id = 0; id < g.num_arcs(); ++id) {
+    labels.push_back(Value::pair(I(rng.range(1, 5)), I(rng.range(1, 5))));
+  }
+  return RibInstance{lex(ot_shortest_path(6), ot_widest_path(6)),
+                     LabeledGraph(std::move(g), std::move(labels)),
+                     1,
+                     5,
+                     "lex_stack",
+                     /*pair_labels=*/true};
+}
+
 /// 1–4 random edits, biased toward arc flaps, with relabels and node
 /// crash/restart mixed in — the same shape as the dyn differential suite.
 TopologyDelta random_delta(Rng& rng, const RibInstance& inst) {
@@ -106,7 +138,11 @@ TopologyDelta random_delta(Rng& rng, const RibInstance& inst) {
         d.arc_up(arc);
         break;
       case 5:
-        d.relabel(arc, I(rng.range(inst.label_lo, inst.label_hi)));
+        d.relabel(arc,
+                  inst.pair_labels
+                      ? Value::pair(I(rng.range(inst.label_lo, inst.label_hi)),
+                                    I(rng.range(inst.label_lo, inst.label_hi)))
+                      : I(rng.range(inst.label_lo, inst.label_hi)));
         break;
       case 6:
         d.node_down(node);
@@ -132,18 +168,22 @@ void expect_identical(const Routing& a, const Routing& b,
   }
 }
 
-/// Scoped toggles: restores dyn::enabled and the par thread limit on exit
-/// so one trial's A/B setting never leaks into the next.
+/// Scoped toggles: restores dyn::enabled, the par thread limit, and the
+/// SIMD kernel toggle on exit so one trial's A/B setting never leaks into
+/// the next.
 struct ScopedToggles {
   bool dyn_before = dyn::enabled();
   int threads_before = par::thread_limit();
-  ScopedToggles(bool dyn_on, int threads) {
+  bool simd_before = compile::simd::enabled();
+  ScopedToggles(bool dyn_on, int threads, bool simd_on) {
     dyn::set_enabled(dyn_on);
     par::set_thread_limit(threads);
+    compile::simd::set_enabled(simd_on);
   }
   ~ScopedToggles() {
     dyn::set_enabled(dyn_before);
     par::set_thread_limit(threads_before);
+    compile::simd::set_enabled(simd_before);
   }
 };
 
@@ -155,31 +195,35 @@ TEST(RibDifferential, ColumnsByteIdenticalToStandaloneAcrossDeltas) {
   constexpr int kBatches = 8;  // 64 × 8 = 512 delta batches
   long warm_batches = 0;
   long flat_trials = 0;
+  long vec_trials = 0;
   for (int trial = 0; trial < kTrials; ++trial) {
     Rng rng(par::mix_seed(0x51B0, static_cast<std::uint64_t>(trial)));
-    RibInstance inst =
-        (trial % 2 == 0) ? sat_plus_instance(rng) : chain_max_instance(rng);
+    RibInstance inst = (trial % 3 == 0)   ? sat_plus_instance(rng)
+                       : (trial % 3 == 1) ? chain_max_instance(rng)
+                                          : lex_stack_instance(rng);
     inst.desc += " trial " + std::to_string(trial);
 
-    // The toggle cube: MRT_COMPILE × MRT_DYN × MRT_THREADS.
+    // The toggle cube: MRT_SIMD × MRT_COMPILE × MRT_DYN × MRT_THREADS.
     const bool with_engine = (trial % 2 == 0);
     const bool dyn_on = (trial % 4 < 3);  // every 4th trial forces cold
     const int threads = (trial % 3 == 0) ? 4 : 1;
-    ScopedToggles toggles(dyn_on, threads);
+    const bool simd_on = (trial % 5 != 4);  // every 5th trial scalar kernels
+    ScopedToggles toggles(dyn_on, threads, simd_on);
 
     const compile::WeightEngine eng(inst.ot);
     const compile::WeightEngine* weng = with_engine ? &eng : nullptr;
+    if (inst.pair_labels && with_engine && simd_on) ++vec_trials;
 
     // All |V| destinations — the full routing table.
     const int n = inst.net.num_nodes();
     rib::RibSolver rib(inst.ot, weng);
-    rib.solve_all(inst.net, I(0));
+    rib.solve_all(inst.net, origin_of(inst));
     if (rib.batched_flat()) ++flat_trials;
 
     std::vector<std::unique_ptr<Solver>> ref;
     for (int d = 0; d < n; ++d) {
       ref.push_back(dyn::make_solver(dyn::EngineKind::Bellman, inst.ot, weng));
-      ref.back()->solve(inst.net, d, I(0));
+      ref.back()->solve(inst.net, d, origin_of(inst));
       ASSERT_EQ(rib.column_converged(d), ref.back()->converged())
           << inst.desc << " col " << d;
       expect_identical(rib.routing(d), ref.back()->routing(),
@@ -209,10 +253,12 @@ TEST(RibDifferential, ColumnsByteIdenticalToStandaloneAcrossDeltas) {
       }
     }
   }
-  // The sweep must genuinely exercise both the incremental path and the
-  // flat blocked kernels, not silently fall back everywhere.
+  // The sweep must genuinely exercise the incremental path, the flat
+  // blocked kernels, and the multi-word vertical SIMD relax — not silently
+  // fall back everywhere.
   EXPECT_GT(warm_batches, 100) << "batched incremental path barely exercised";
   EXPECT_GT(flat_trials, 20) << "flat blocked kernels barely exercised";
+  EXPECT_GT(vec_trials, 5) << "vertical SIMD kernels barely exercised";
 }
 
 // The mrt::par contract, verified bit-for-bit: the same instance and delta
@@ -227,13 +273,14 @@ TEST(RibDifferential, ThreadCountInvariance) {
 
     auto run = [&](int threads) {
       Rng rng(inst_seed);
-      RibInstance inst =
-          (trial % 2 == 0) ? sat_plus_instance(rng) : chain_max_instance(rng);
+      RibInstance inst = (trial % 3 == 0)   ? sat_plus_instance(rng)
+                         : (trial % 3 == 1) ? chain_max_instance(rng)
+                                            : lex_stack_instance(rng);
       const compile::WeightEngine eng(inst.ot);
       const compile::WeightEngine* weng = (trial % 3 != 0) ? &eng : nullptr;
-      ScopedToggles toggles(true, threads);
+      ScopedToggles toggles(true, threads, /*simd_on=*/trial % 4 != 3);
       auto rib = std::make_unique<rib::RibSolver>(inst.ot, weng);
-      rib->solve_all(inst.net, I(0));
+      rib->solve_all(inst.net, origin_of(inst));
       std::vector<Routing> snaps;
       std::vector<std::vector<int>> affected;
       for (int b = 0; b < kBatches; ++b) {
@@ -256,6 +303,89 @@ TEST(RibDifferential, ThreadCountInvariance) {
     }
     ASSERT_EQ(one.second, four.second)
         << "trial " << trial << ": affected-set accounting diverged";
+  }
+}
+
+// Deterministic work stealing under skew: a dense hub cluster plus a long
+// tail makes the per-block relax cost wildly uneven, so with static
+// chunking one thread would own almost all the work — exactly the profile
+// the claim-counter scheduler exists for. Snapshots, affected accounting,
+// and relaxation counts must still be identical at every thread count,
+// with the multi-word vertical SIMD kernel engaged on the full blocks.
+TEST(RibDifferential, WorkStealingSkewThreadInvariance) {
+  // 48 nodes = 6 full 8-lane destination blocks. Nodes 0..15 form a dense
+  // window-4 cluster (expensive columns), 16..47 a thin bidirectional tail.
+  const int n = 48;
+  Digraph g(n);
+  Rng rng(0x51B7);
+  ValueVec labels;
+  auto arc = [&](int u, int v) {
+    g.add_arc(u, v);
+    labels.push_back(
+        Value::pair(I(rng.range(1, 5)), I(rng.range(1, 5))));
+  };
+  for (int u = 0; u < 16; ++u) {
+    for (int d = 1; d <= 4; ++d) {
+      arc(u, (u + d) % 16);
+      arc((u + d) % 16, u);
+    }
+  }
+  for (int u = 15; u + 1 < n; ++u) {
+    arc(u, u + 1);
+    arc(u + 1, u);
+  }
+  OrderTransform ot = lex(ot_shortest_path(6), ot_widest_path(6));
+  LabeledGraph net(std::move(g), std::move(labels));
+  const compile::WeightEngine eng(ot);
+
+  auto run = [&](int threads) {
+    ScopedToggles toggles(true, threads, /*simd_on=*/true);
+    rib::RibSolver rib(ot, &eng);
+    rib.solve_all(net, Value::pair(I(0), Value::inf()));
+    EXPECT_TRUE(rib.batched_flat());
+    std::vector<Routing> snaps;
+    std::vector<std::vector<int>> affected;
+    std::vector<std::uint64_t> relaxations{rib.last_update().relaxations};
+    Rng drng(0x51B8);
+    for (int b = 0; b < 6; ++b) {
+      TopologyDelta d;
+      const int a =
+          static_cast<int>(drng.below(static_cast<std::uint64_t>(
+              net.graph().num_arcs())));
+      d.arc_down(a);
+      rib.update(d);
+      relaxations.push_back(rib.last_update().relaxations);
+      affected.push_back(rib.last_update().affected);
+      for (int c = 0; c < rib.num_columns(); ++c) {
+        snaps.push_back(rib.routing(c));
+      }
+      TopologyDelta u;
+      u.arc_up(a);
+      rib.update(u);
+      relaxations.push_back(rib.last_update().relaxations);
+      affected.push_back(rib.last_update().affected);
+      for (int c = 0; c < rib.num_columns(); ++c) {
+        snaps.push_back(rib.routing(c));
+      }
+    }
+    return std::make_tuple(std::move(snaps), std::move(affected),
+                           std::move(relaxations));
+  };
+
+  auto base = run(1);
+  for (int threads : {2, 3, 8}) {
+    auto other = run(threads);
+    ASSERT_EQ(std::get<0>(base).size(), std::get<0>(other).size())
+        << threads << " threads";
+    for (std::size_t i = 0; i < std::get<0>(base).size(); ++i) {
+      expect_identical(std::get<0>(base)[i], std::get<0>(other)[i],
+                       std::to_string(threads) + " threads snapshot " +
+                           std::to_string(i));
+    }
+    ASSERT_EQ(std::get<1>(base), std::get<1>(other))
+        << threads << " threads: affected-set accounting diverged";
+    ASSERT_EQ(std::get<2>(base), std::get<2>(other))
+        << threads << " threads: relaxation counts diverged";
   }
 }
 
