@@ -1,0 +1,184 @@
+// EXP-SERVE — sustained delta throughput and per-update latency of the
+// routing daemon.
+//
+// One workload, measured the way a deployment would run it: a 512-node
+// Gao–Rexford internet bound warm across 16 destination columns, then a
+// ≥10k-delta replay log (alternating single-arc down/up flaps, so every
+// delta invalidates at least one arc) drained through serve::Daemon from
+// the framed wire format. The drain is timed end to end — decode, warm
+// RibSolver::update, route-change diff — giving the two headline numbers
+// scripts/bench_json.sh gates into BENCH_serve.json:
+//
+//   serve.deltas_per_sec       sustained drain throughput (floor: 300/s;
+//                              ~1000/s on the reference machine)
+//   serve.p99_update_ns        p99 of the serve.update_ns histogram, i.e.
+//                              the tail latency of one warm update
+//                              (ceiling: 10 ms; ~2 ms on the reference
+//                              machine)
+//
+// Every timed update is asserted warm (serve.warm pinned to 1): the bench
+// aborts if any delta fell back to a cold solve or changed no arc, so the
+// gate can never pass on accidentally-cold numbers. After the drain the
+// daemon's table is byte-compared against one concatenated batch update and
+// a cold re-solve of the end state (serve.stream_batch_identical pinned to
+// 1) — the stream≡batch≡cold contract under the same bytes the throughput
+// number came from.
+#include "bench_util.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/dyn/solver.hpp"
+#include "mrt/obs/obs.hpp"
+#include "mrt/rib/rib.hpp"
+#include "mrt/serve/serve.hpp"
+#include "mrt/sim/scenario.hpp"
+#include "mrt/stream/stream.hpp"
+#include "mrt/stream/wire.hpp"
+
+namespace mrt {
+namespace {
+
+bool same_routing(const Routing& a, const Routing& b) {
+  if (a.weight.size() != b.weight.size()) return false;
+  for (std::size_t v = 0; v < a.weight.size(); ++v) {
+    if (a.weight[v].has_value() != b.weight[v].has_value()) return false;
+    if (a.weight[v] && !(*a.weight[v] == *b.weight[v])) return false;
+    if (a.next_arc[v] != b.next_arc[v]) return false;
+  }
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::vector<int> spread_dests(int n, int k) {
+  std::vector<int> d;
+  for (int i = 0; i < k; ++i) {
+    d.push_back(static_cast<int>((static_cast<long>(i) * n) / k));
+  }
+  return d;
+}
+
+}  // namespace
+}  // namespace mrt
+
+int main(int argc, char** argv) {
+  using namespace mrt;
+  bench::JsonReport report("perf_serve", argc, argv);
+  bench::banner("EXP-SERVE: daemon drain throughput and p99 update latency");
+
+  // The latency histogram must record regardless of how the binary was
+  // invoked; the p99 gate reads it back from the registry.
+  obs::set_enabled(true);
+  obs::registry().reset();
+
+  Rng rng(0x5E18);
+  const Scenario sc = gao_rexford_hierarchy(rng, 512, 384);
+  const int m = sc.net.graph().num_arcs();
+  const std::vector<int> dests = spread_dests(sc.net.num_nodes(), 16);
+
+  // ≥10k single-op deltas: down/up pairs over a deterministic arc cycle, so
+  // every update invalidates exactly one arc against warm state.
+  const int kDeltas = 12000;
+  std::vector<dyn::TopologyDelta> log;
+  log.reserve(kDeltas);
+  for (int i = 0; i < kDeltas; ++i) {
+    const int arc = ((i / 2) * 7919) % m;
+    dyn::TopologyDelta d;
+    if (i % 2 == 0) {
+      d.arc_down(arc);
+    } else {
+      d.arc_up(arc);
+    }
+    log.push_back(std::move(d));
+  }
+  const std::vector<std::uint8_t> bytes = stream::encode_stream(log);
+
+  // Compiled flat kernels, as a deployment would run: the daemon forwards
+  // the engine to its RibSolver; the references below get the same one.
+  const compile::WeightEngine eng(sc.alg);
+  serve::Daemon daemon(sc.alg, &eng);
+  daemon.start(sc.net, dests, sc.origin);
+  report.metric("serve.flat", daemon.rib().batched_flat() ? 1.0 : 0.0);
+
+  // Timed drain: decode + warm update + route-change diff per delta, with a
+  // warmth assertion inside the loop (O(1) per update — reads the stats the
+  // update already produced).
+  bool all_warm = true;
+  stream::BufferSource src(bytes);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t applied = 0;
+  while (std::optional<dyn::TopologyDelta> d = src.next()) {
+    daemon.apply(*d);
+    const rib::RibStats& st = daemon.rib().last_update();
+    if (st.cold || st.changed_arcs == 0) all_warm = false;
+    ++applied;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  bool ok = src.error().empty() && applied == log.size();
+  if (!ok) {
+    std::cerr << "perf_serve: drain stopped after " << applied << "/"
+              << log.size() << " deltas: " << src.error() << "\n";
+  }
+  if (!all_warm) {
+    std::cerr << "perf_serve: a timed update was cold or changed no arc — "
+              << "the throughput number is invalid\n";
+  }
+
+  const double per_sec = secs > 0.0 ? static_cast<double>(applied) / secs : 0.0;
+  const double p99_ns =
+      obs::registry().histogram("serve.update_ns").quantile(0.99);
+
+  // stream ≡ batch ≡ cold on the exact bytes just drained.
+  dyn::TopologyDelta all;
+  for (const dyn::TopologyDelta& d : log) {
+    all.ops.insert(all.ops.end(), d.ops.begin(), d.ops.end());
+  }
+  rib::RibSolver batch(sc.alg, &eng);
+  batch.solve(sc.net, dests, sc.origin);
+  batch.update(all);
+  rib::RibSolver cold(sc.alg, &eng);
+  cold.solve(sc.net, dests, sc.origin);
+  {
+    const bool before = dyn::enabled();
+    dyn::set_enabled(false);
+    cold.update(all);
+    dyn::set_enabled(before);
+  }
+  bool identical = true;
+  for (int c = 0; c < batch.num_columns(); ++c) {
+    identical = identical &&
+                same_routing(daemon.rib().routing(c), batch.routing(c)) &&
+                same_routing(daemon.rib().routing(c), cold.routing(c));
+  }
+  if (!identical) {
+    std::cerr << "perf_serve: stream/batch/cold tables diverged\n";
+  }
+
+  const serve::ServeStats& st = daemon.stats();
+  Table table({"metric", "value"});
+  table.add_row({"deltas drained", std::to_string(applied)});
+  table.add_row({"drain seconds", fmt(secs)});
+  table.add_row({"deltas/sec", fmt(per_sec)});
+  table.add_row({"p99 update (us)", fmt(p99_ns / 1e3)});
+  table.add_row({"route changes", std::to_string(st.route_changes)});
+  table.add_row({"warm/cold", std::to_string(st.warm_updates) + "/" +
+                                  std::to_string(st.cold_updates)});
+  std::cout << table;
+
+  report.metric("serve.deltas", static_cast<double>(applied));
+  report.metric("serve.deltas_per_sec", per_sec);
+  report.metric("serve.p99_update_ns", p99_ns);
+  report.metric("serve.warm", all_warm ? 1.0 : 0.0);
+  report.metric("serve.stream_batch_identical", identical ? 1.0 : 0.0);
+
+  ok = ok && all_warm && identical;
+  return ok ? 0 : 1;
+}

@@ -6,8 +6,8 @@
 # the timed records into BENCH_par.json. Further sections gate the chaos
 # campaign (BENCH_chaos.json), the compiled kernels (BENCH_compile.json),
 # the incremental solvers (BENCH_dyn.json), the batched routing tables
-# (BENCH_rib.json), and the adversarial-schedule certificates
-# (BENCH_adv.json) the same way.
+# (BENCH_rib.json), the adversarial-schedule certificates (BENCH_adv.json),
+# and the routing daemon (BENCH_serve.json) the same way.
 #
 # Every gate is mandatory: a missing bench binary fails the script rather
 # than skipping the gate. Before declaring success the script re-opens every
@@ -434,6 +434,54 @@ PY
   echo "wrote $ADV_OUT (1 record)"
 }
 
+# --- Routing-daemon gates + BENCH_serve.json -------------------------------
+# Four gates on mrt::serve (perf_serve drains a 12k-delta replay log through
+# a warm daemon over a 512-node Gao–Rexford internet):
+#   1. throughput: sustained drain rate ≥300 deltas/sec end to end (decode +
+#      warm update + route-change diff; ~1000/s on the reference machine);
+#   2. latency: p99 of the serve.update_ns histogram ≤10 ms and nonzero
+#      (~2 ms on the reference machine);
+#   3. warmth: every timed update must take the warm path and invalidate at
+#      least one arc (serve.warm == 1) — the bench refuses to report
+#      accidentally-cold numbers;
+#   4. identity: the drained table must be byte-identical to one
+#      concatenated batch update and to a cold re-solve of the end state
+#      (serve.stream_batch_identical == 1).
+SERVE_OUT="BENCH_serve.json"
+ps="$BUILD/bench/perf_serve"
+require_bin "$ps"
+{
+  echo "== perf_serve =="
+  "$ps" --json "$tmpdir/serve.json"
+
+  python3 - "$tmpdir/serve.json" <<'PY'
+import json, sys
+serve_rec = json.load(open(sys.argv[1]))
+m = serve_rec["metrics"]
+bad = []
+if m.get("serve.deltas", 0.0) < 10000:
+    bad.append(f"serve.deltas = {m.get('serve.deltas', 0.0):.0f} < 10000")
+if m.get("serve.deltas_per_sec", 0.0) < 300.0:
+    bad.append(f"serve.deltas_per_sec = "
+               f"{m.get('serve.deltas_per_sec', 0.0):.1f} < 300")
+p99 = m.get("serve.p99_update_ns", 0.0)
+if not (0.0 < p99 <= 10e6):
+    bad.append(f"serve.p99_update_ns = {p99:.0f} outside (0, 10ms]")
+for k in ("serve.warm", "serve.stream_batch_identical"):
+    if m.get(k, 0.0) != 1.0:
+        bad.append(f"{k} = {m.get(k)} != 1")
+if bad:
+    print("bench_json.sh: SERVE GATE FAILED:", *bad, sep="\n  ",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   gates passed: {int(m['serve.deltas'])} deltas at "
+      f"{m['serve.deltas_per_sec']:.0f}/s >= 300/s, p99 "
+      f"{p99 / 1e6:.2f}ms <= 10ms, all warm, stream==batch==cold")
+json.dump([serve_rec], open("BENCH_serve.json", "w"))
+PY
+  echo "wrote $SERVE_OUT (1 record)"
+}
+
 # --- Final sweep: every emitted BENCH_*.json must parse and carry its
 # gated keys. The merge steps above concatenate per-bench files with
 # printf/cat, so a bench that exited 0 after writing a truncated record
@@ -462,6 +510,11 @@ required = {
     "BENCH_adv.json":     {"adv_schedules": ["metrics/adv.cert_validity",
                                              "metrics/adv.bound_violations",
                                              "metrics/adv.overhead_per_event"]},
+    "BENCH_serve.json":   {"perf_serve": ["metrics/serve.deltas",
+                                          "metrics/serve.deltas_per_sec",
+                                          "metrics/serve.p99_update_ns",
+                                          "metrics/serve.warm",
+                                          "metrics/serve.stream_batch_identical"]},
 }
 bad = []
 for path, by_bench in required.items():

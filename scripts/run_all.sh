@@ -26,8 +26,13 @@
 #          under ThreadSanitizer with MRT_THREADS=4 (the triple property
 #          suite fans out over mrt::par workers while adversarial schedulers
 #          mutate per-arc state — exactly the race surface), then exit.
+#   --preset serve — tsan build focused on the routing daemon: runs the
+#          delta-stream + daemon suites under ThreadSanitizer with
+#          MRT_THREADS=4 — the drain loop feeds warm RibSolver updates whose
+#          destination blocks are stolen across workers while the daemon
+#          diffs shadow state between them — then exit.
 #   --labels <regex> — only run ctest tests whose label matches (unit,
-#          property, chaos, adv, perf); see tests/CMakeLists.txt.
+#          property, chaos, adv, perf, serve); see tests/CMakeLists.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -110,8 +115,20 @@ if [ -n "$PRESET" ]; then
       echo "adv preset passed"
       exit 0
       ;;
+    serve)
+      # Routing-daemon focus: drain() pushes warm updates through the batched
+      # RibSolver (block stealing across workers) while the daemon reads the
+      # materialized columns back for the route-change diff, so the whole
+      # stream→daemon path runs under ThreadSanitizer.
+      cmake -B build-tsan -DMRT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      cmake --build build-tsan -j "$(nproc)" \
+        --target mrt_tests mrt_serve_tests
+      MRT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -L serve
+      echo "serve preset passed"
+      exit 0
+      ;;
     *)
-      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs, rib, adv)" >&2
+      echo "run_all.sh: unknown preset '$PRESET' (known: dyn, obs, rib, adv, serve)" >&2
       exit 2
       ;;
   esac

@@ -69,6 +69,10 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
                    const Solver* baseline, const ConvergenceProfile* profile) {
   SimOptions opts = sc.sim;
   opts.seed = seed;
+  // Oracle-during-the-run: record every quiescent instant so each
+  // intermediate stable state can be checked, not just the end state.
+  // Recording consumes no RNG draws, so the schedule is unchanged.
+  if (sc.oracle_during_run) opts.record_quiescent = true;
   PathVectorSim sim(sc.alg, sc.net, sc.dest, sc.origin, opts, engine);
   // The scenario's schedule adversary: the policy's own rng mixes its spec
   // seed with this run's seed at bind, so adversarial draws differ per run
@@ -122,11 +126,20 @@ RunVerdict run_one(const CampaignScenario& sc, std::uint64_t seed,
   oo.baseline = baseline;
   const OracleReport rep =
       check_oracles(sc.alg, sc.net, sc.dest, sc.origin, res, oo);
-  v.pass = rep.all_pass() && !bound_violated;
-  v.detail = !rep.all_pass()
-                 ? rep.first_failure()
+  // Oracle-during-the-run: every recorded quiescent instant must be a local
+  // optimum of its surviving topology, not just the end state. Scored as an
+  // oracle failure, same as the end-state refutations.
+  OracleVerdict qv;
+  if (sc.oracle_during_run) {
+    qv = check_quiescent_points(sc.alg, sc.net, sc.dest, sc.origin, res,
+                                sc.sim.drop_top_routes);
+  }
+  v.pass = rep.all_pass() && qv.pass && !bound_violated;
+  v.detail = !rep.all_pass() ? rep.first_failure()
+             : !qv.pass
+                 ? "stability(during-run): " + qv.detail
                  : (bound_violated ? "certificate: " + v.cert.describe() : "");
-  jverdict(!rep.all_pass() ? 3 : bound_violated ? 4 : 0);
+  jverdict((!rep.all_pass() || !qv.pass) ? 3 : bound_violated ? 4 : 0);
   return v;
 }
 

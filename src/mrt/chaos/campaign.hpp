@@ -43,6 +43,14 @@ struct CampaignScenario {
   /// expect_convergence = false to assert BAD GADGET actually misbehaves).
   long min_divergent = 0;
   GlobalCheck global = GlobalCheck::Auto;
+  /// Oracle-during-the-run mode: record every quiescent instant of each run
+  /// (SimOptions::record_quiescent is forced on) and require each one's
+  /// routing to be a local optimum of its surviving topology — the stream of
+  /// intermediate stable states is checked, not just the end state. Leave
+  /// off for scenarios with message-loss faults: between a loss and its
+  /// resync the RIB-in is genuinely stale and the transient quiescent state
+  /// may legitimately not be optimal (see check_quiescent_points).
+  bool oracle_during_run = false;
 };
 
 struct CampaignConfig {

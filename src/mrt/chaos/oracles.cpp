@@ -149,4 +149,25 @@ OracleReport check_oracles(const OrderTransform& alg, const LabeledGraph& net,
   return out;
 }
 
+OracleVerdict check_quiescent_points(const OrderTransform& alg,
+                                     const LabeledGraph& net, int dest,
+                                     const Value& origin, const SimResult& res,
+                                     bool drop_top_routes) {
+  OracleVerdict v;
+  v.checked = true;  // evaluated (vacuously true when no points recorded)
+  for (std::size_t i = 0; i < res.quiescent.size(); ++i) {
+    const QuiescentPoint& p = res.quiescent[i];
+    const SurvivingTopology topo{p.arc_alive, p.node_up};
+    if (!is_locally_optimal(alg, net, dest, origin, p.routing, topo,
+                            drop_top_routes)) {
+      v.pass = false;
+      v.detail = "quiescent point " + std::to_string(i) + " (t=" +
+                 std::to_string(p.time) +
+                 ") is not a local optimum of its surviving topology";
+      return v;
+    }
+  }
+  return v;
+}
+
 }  // namespace mrt::chaos

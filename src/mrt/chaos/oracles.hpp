@@ -74,4 +74,17 @@ OracleReport check_oracles(const OrderTransform& alg, const LabeledGraph& net,
                            int dest, const Value& origin, const SimResult& res,
                            const OracleOptions& opts = {});
 
+/// The oracle-during-the-run mode: checks the stability oracle at *every*
+/// quiescent point the run recorded (SimOptions::record_quiescent), not just
+/// the end state — each point's routing must be a local optimum of that
+/// point's surviving topology. Applies to divergent runs too (the points
+/// before the event cap are real stable states). Caveat: a message-loss
+/// window leaves a genuinely stale RIB-in until its resync repairs it, so
+/// scenarios with loss faults should keep this mode off — the transient
+/// points it would refute are stale by construction, not by bug.
+OracleVerdict check_quiescent_points(const OrderTransform& alg,
+                                     const LabeledGraph& net, int dest,
+                                     const Value& origin, const SimResult& res,
+                                     bool drop_top_routes = false);
+
 }  // namespace mrt::chaos

@@ -142,8 +142,14 @@ DynNet::Applied DynNet::apply(const TopologyDelta& delta) {
   for (int id = 0; id < narcs; ++id) {
     const bool relabeled = std::binary_search(
         out.relabeled_arcs.begin(), out.relabeled_arcs.end(), id);
-    if (arc_alive(id) != alive_before[static_cast<std::size_t>(id)] ||
-        relabeled) {
+    const bool alive_now = arc_alive(id);
+    // A relabel of a dead arc changes no reachable route: the new label is
+    // reported in relabeled_arcs (consumers re-encode their compiled label
+    // programs from it), but the arc only enters changed_arcs — and thus
+    // seeds witness invalidation — once it is actually alive. When it later
+    // comes up, the alive transition puts it in changed_arcs then.
+    if (alive_now != alive_before[static_cast<std::size_t>(id)] ||
+        (relabeled && alive_now)) {
       out.changed_arcs.push_back(id);
     }
   }

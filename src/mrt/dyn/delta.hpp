@@ -92,8 +92,15 @@ class DynNet {
   /// arc — produce nothing). The incremental solvers seed their affected
   /// sets from this.
   struct Applied {
-    std::vector<int> changed_arcs;    ///< alive-status or label changed
-    std::vector<int> relabeled_arcs;  ///< subset of changed_arcs
+    /// Alive-status changed, or label changed while alive. A relabel of a
+    /// dead arc is *not* a change for routing purposes (nothing can route
+    /// through it), so it appears only in relabeled_arcs; the arc re-enters
+    /// changed_arcs when it next comes alive.
+    std::vector<int> changed_arcs;
+    /// Every arc whose label changed, alive or not — consumers that cache
+    /// compiled label programs re-encode from this list unconditionally so
+    /// the label is already right when a dead arc revives.
+    std::vector<int> relabeled_arcs;
     std::vector<int> nodes_down;      ///< transitioned up → down
     std::vector<int> nodes_up;        ///< transitioned down → up
     bool any() const {

@@ -9,6 +9,7 @@
 #include "mrt/dyn/solver.hpp"
 #include "mrt/obs/obs.hpp"
 #include "mrt/par/par.hpp"
+#include "mrt/stream/stream.hpp"
 #include "mrt/support/require.hpp"
 
 namespace mrt {
@@ -1166,6 +1167,15 @@ void RibSolver::solve_all(const LabeledGraph& net, const Value& origin) {
 
 void RibSolver::update(const dyn::TopologyDelta& delta) {
   impl_->update(delta);
+}
+
+std::size_t RibSolver::consume(stream::DeltaStream& s) {
+  std::size_t n = 0;
+  while (std::optional<dyn::TopologyDelta> d = s.next()) {
+    impl_->update(*d);
+    ++n;
+  }
+  return n;
 }
 
 int RibSolver::num_columns() const { return impl_->columns(); }

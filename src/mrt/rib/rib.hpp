@@ -43,6 +43,11 @@
 #include "mrt/dyn/delta.hpp"
 
 namespace mrt {
+
+namespace stream {
+class DeltaStream;
+}  // namespace stream
+
 namespace rib {
 
 /// Destination columns per block: wide enough to amortize opcode decode and
@@ -112,6 +117,13 @@ class RibSolver {
   /// incrementally (cold when dyn::enabled() is false or a column's previous
   /// pass did not converge). Requires a prior solve().
   void update(const dyn::TopologyDelta& delta);
+
+  /// Drains `s`, applying every delta batch through update() in order —
+  /// update() is the single-record case of this loop. Returns the number of
+  /// batches applied. Requires a prior solve(). A stream that terminates on
+  /// a decode failure leaves the table at the last successfully applied
+  /// delta (check s.error()).
+  std::size_t consume(stream::DeltaStream& s);
 
   int num_columns() const;
   const std::vector<int>& dests() const;

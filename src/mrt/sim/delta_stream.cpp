@@ -1,0 +1,75 @@
+#include "mrt/sim/delta_stream.hpp"
+
+namespace mrt {
+namespace {
+
+// Replays `d`'s admin-state ops onto the masks (Relabel is not produced by
+// the simulator and is ignored here).
+void apply_masks(const dyn::TopologyDelta& d, std::vector<bool>& arc_up,
+                 std::vector<bool>& node_up) {
+  for (const dyn::DeltaOp& op : d.ops) {
+    switch (op.kind) {
+      case dyn::DeltaOp::Kind::ArcDown:
+        arc_up[static_cast<std::size_t>(op.arc)] = false;
+        break;
+      case dyn::DeltaOp::Kind::ArcUp:
+        arc_up[static_cast<std::size_t>(op.arc)] = true;
+        break;
+      case dyn::DeltaOp::Kind::NodeDown:
+        node_up[static_cast<std::size_t>(op.node)] = false;
+        break;
+      case dyn::DeltaOp::Kind::NodeUp:
+        node_up[static_cast<std::size_t>(op.node)] = true;
+        break;
+      case dyn::DeltaOp::Kind::Relabel:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+SimDeltaSource::SimDeltaSource(const SimResult& res) {
+  const std::size_t m = res.arc_alive.size();
+  const std::size_t n = res.node_up.size();
+  std::vector<bool> arc_up(m, true);
+  std::vector<bool> node_up(n, true);
+  deltas_.reserve(res.quiescent.size() + 1);
+  for (const QuiescentPoint& p : res.quiescent) {
+    deltas_.push_back(p.delta);
+    apply_masks(p.delta, arc_up, node_up);
+  }
+  // res.delta is the end state as a diff from all-up; replay it to recover
+  // the final admin masks, then emit whatever the quiescent log has not
+  // covered (non-converged runs, or faults after the last quiescent point).
+  std::vector<bool> final_arc_up(m, true);
+  std::vector<bool> final_node_up(n, true);
+  apply_masks(res.delta, final_arc_up, final_node_up);
+  dyn::TopologyDelta correction;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (arc_up[a] != final_arc_up[a]) {
+      if (final_arc_up[a]) {
+        correction.arc_up(static_cast<int>(a));
+      } else {
+        correction.arc_down(static_cast<int>(a));
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (node_up[v] != final_node_up[v]) {
+      if (final_node_up[v]) {
+        correction.node_up(static_cast<int>(v));
+      } else {
+        correction.node_down(static_cast<int>(v));
+      }
+    }
+  }
+  if (!correction.empty()) deltas_.push_back(std::move(correction));
+}
+
+std::optional<dyn::TopologyDelta> SimDeltaSource::next() {
+  if (i_ >= deltas_.size()) return std::nullopt;
+  return deltas_[i_++];
+}
+
+}  // namespace mrt

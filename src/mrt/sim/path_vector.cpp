@@ -406,6 +406,75 @@ void PathVectorSim::restart_node(int node, double now) {
   }
 }
 
+Routing PathVectorSim::snapshot_routing() const {
+  Routing r;
+  if (flat_) {
+    const compile::CompiledAlgebra& ca = cnet_.algebra();
+    r.weight.resize(selected_flat_.size());
+    for (std::size_t v = 0; v < selected_flat_.size(); ++v) {
+      r.weight[v] = selected_flat_[v].present
+                        ? std::optional<Value>(
+                              ca.decode(selected_flat_[v].w.data()))
+                        : std::nullopt;
+    }
+  } else {
+    r.weight = selected_;
+  }
+  r.next_arc = selected_arc_;
+  return r;
+}
+
+void PathVectorSim::maybe_record_quiescent(double now) {
+  const std::size_t m = arc_up_.size();
+  const std::size_t n = node_up_.size();
+  if (!q_have_) {
+    // The first point diffs against the all-up network — the state a
+    // replaying solver binds cold before consuming the stream.
+    q_arc_up_.assign(m, true);
+    q_node_up_.assign(n, true);
+  }
+  dyn::TopologyDelta d;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (arc_up_[a] != q_arc_up_[a]) {
+      if (arc_up_[a]) {
+        d.arc_up(static_cast<int>(a));
+      } else {
+        d.arc_down(static_cast<int>(a));
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (node_up_[v] != q_node_up_[v]) {
+      if (node_up_[v]) {
+        d.node_up(static_cast<int>(v));
+      } else {
+        d.node_down(static_cast<int>(v));
+      }
+    }
+  }
+  Routing r = snapshot_routing();
+  const bool topo_changed = !d.ops.empty();
+  const bool routing_changed = !q_have_ || r.weight != q_routing_.weight ||
+                               r.next_arc != q_routing_.next_arc;
+  // The queue can drain many times in a row with nothing new (e.g. a fault
+  // event that triggered no reaction): only state changes produce points.
+  if (!topo_changed && !routing_changed) return;
+  QuiescentPoint p;
+  p.time = now;
+  p.delta = std::move(d);
+  p.arc_alive.resize(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    p.arc_alive[a] = arc_alive(static_cast<int>(a));
+  }
+  p.node_up = node_up_;
+  q_arc_up_ = arc_up_;
+  q_node_up_ = node_up_;
+  q_routing_ = std::move(r);
+  q_have_ = true;
+  p.routing = q_routing_;
+  quiescent_.push_back(std::move(p));
+}
+
 SimResult PathVectorSim::run() {
   static obs::Histogram& run_ns = obs::registry().histogram("sim.run_ns");
   obs::ScopedTimer timer(run_ns);
@@ -560,6 +629,12 @@ SimResult PathVectorSim::run() {
       round_mark_ = queue_.pushes();
       round_pending_ = queue_.pending_delivers();
     }
+    // Quiescent instant: no advertisements in flight (future fault events
+    // may still be queued — each fault wave then yields its own points).
+    // Pure observation: consumes no RNG draws, enqueues nothing.
+    if (opts_.record_quiescent && queue_.pending_delivers() == 0) {
+      maybe_record_quiescent(queue_.now());
+    }
   }
 
   stats_.queue_high_water = queue_.high_water();
@@ -592,6 +667,7 @@ SimResult PathVectorSim::run() {
   }
   out.node_up = node_up_;
   out.delta = dyn::TopologyDelta::to_state(arc_up_, node_up_);
+  out.quiescent = std::move(quiescent_);
   out.stats = stats_;
 
   if (obs::enabled()) {

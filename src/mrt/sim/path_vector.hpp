@@ -73,6 +73,28 @@ struct SimStats {
   std::size_t queue_high_water = 0;  ///< deepest event-queue backlog
 };
 
+/// One quiescent instant of a run: the Deliver queue drained and either the
+/// topology or some node's selection had changed since the previous point.
+/// At such an instant every node has processed its neighbours' latest
+/// advertisements, so (absent in-window message loss) the snapshot is a
+/// stable state of the protocol — a local optimum of the surviving
+/// topology — which is exactly what the oracle-during-the-run chaos mode
+/// checks. The deltas chain: composing them in order (starting from the
+/// all-up network) reproduces each point's admin state, and
+/// SimDeltaSource replays them as a stream.
+struct QuiescentPoint {
+  double time = 0.0;
+  /// Topology edits since the previous point (empty for e.g. the initial
+  /// convergence instant). Admin-state semantics, like SimResult::delta.
+  dyn::TopologyDelta delta;
+  /// Protocol state at this instant (weights + witness arcs, decoded even
+  /// in compiled runs).
+  Routing routing;
+  /// Surviving topology at this instant (same semantics as SimResult's).
+  std::vector<bool> arc_alive;
+  std::vector<bool> node_up;
+};
+
 struct SimResult {
   bool converged = false;  ///< queue drained below the event cap
   long events = 0;         ///< messages delivered
@@ -95,6 +117,10 @@ struct SimResult {
   /// applying it to a freshly bound dyn::DynNet reproduces `arc_alive` /
   /// `node_up` exactly, so fault outcomes feed Solver::update directly.
   dyn::TopologyDelta delta;
+  /// Quiescent-instant log (only with SimOptions::record_quiescent). The
+  /// composition of all `quiescent[i].delta` plus the trailing correction
+  /// SimDeltaSource appends equals `delta`.
+  std::vector<QuiescentPoint> quiescent;
   SimStats stats;
 };
 
@@ -158,6 +184,12 @@ class PathVectorSim {
   const ArcFault* active_fault(int arc, double now) const;
   void crash_node(int node, double now);
   void restart_node(int node, double now);
+  /// Current protocol state as a boxed Routing (decodes the flat mirrors in
+  /// compiled runs). Consumes no RNG draws.
+  Routing snapshot_routing() const;
+  /// Appends a QuiescentPoint if topology or routing changed since the last
+  /// recorded one. Called when the Deliver queue is empty.
+  void maybe_record_quiescent(double now);
 
   const OrderTransform& alg_;
   LabeledGraph net_;
@@ -198,6 +230,14 @@ class PathVectorSim {
   Scheduler* sched_ = &fifo_;
   bool sched_reorders_ = false;              // cached sched_->reorders()
   std::vector<std::uint64_t> arc_seq_floor_; // per arc: newest accepted seq+1
+
+  // Quiescent-instant log (opts_.record_quiescent): the previously recorded
+  // admin/crash masks and routing, against which the next point diffs.
+  std::vector<QuiescentPoint> quiescent_;
+  std::vector<bool> q_arc_up_;   // admin mask at the last recorded point
+  std::vector<bool> q_node_up_;  // crash mask at the last recorded point
+  Routing q_routing_;            // routing at the last recorded point
+  bool q_have_ = false;          // any point recorded yet?
 
   // Activation-round (message-generation) accounting; see SimResult::rounds.
   long rounds_ = 0;

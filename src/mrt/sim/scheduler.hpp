@@ -36,6 +36,14 @@ struct SimOptions {
   /// Carry the node path in advertisements and reject routes whose path
   /// already contains the learning node (BGP's AS-path loop detection).
   bool loop_detection = false;
+  /// Record a QuiescentPoint (topology delta since the previous point plus
+  /// a routing snapshot) into SimResult::quiescent every time the Deliver
+  /// queue drains with changed state — the raw material of delta-stream
+  /// replay (mrt/sim/delta_stream.hpp) and the oracle-during-the-run chaos
+  /// mode. Recording consumes no RNG draws, so a seed's schedule is
+  /// byte-identical with it on or off. Default off: snapshots cost O(|V|)
+  /// per quiescent instant.
+  bool record_quiescent = false;
 };
 
 /// The built-in schedule-policy classes. FifoJitter is the default

@@ -1,0 +1,16 @@
+// Solver::consume — the stream drive loop, kept out of mrt_dyn so the dyn
+// layer stays independent of the wire format while still owning the seam's
+// declaration.
+#include "mrt/dyn/solver.hpp"
+#include "mrt/stream/stream.hpp"
+
+namespace mrt {
+
+const Routing& Solver::consume(stream::DeltaStream& s) {
+  while (std::optional<dyn::TopologyDelta> d = s.next()) {
+    update(*d);
+  }
+  return routing();
+}
+
+}  // namespace mrt

@@ -1,0 +1,45 @@
+#include "mrt/stream/stream.hpp"
+
+#include <fstream>
+#include <iterator>
+
+#include "mrt/stream/wire.hpp"
+
+namespace mrt::stream {
+
+std::optional<dyn::TopologyDelta> BufferSource::next() {
+  if (!error_.empty() || pos_ >= bytes_.size()) return std::nullopt;
+  Expected<DecodedFrame> f =
+      decode_frame(bytes_.data() + pos_, bytes_.size() - pos_, pos_);
+  if (!f.ok()) {
+    error_ = f.error().to_string();
+    pos_ = bytes_.size();
+    return std::nullopt;
+  }
+  pos_ += f.value().consumed;
+  return std::move(f.value().delta);
+}
+
+std::optional<dyn::TopologyDelta> FileSource::next() {
+  if (!loaded_) {
+    loaded_ = true;
+    std::ifstream f(path_, std::ios::binary);
+    if (!f) {
+      error_ = "cannot open delta file: " + path_;
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                    std::istreambuf_iterator<char>());
+    if (f.bad()) {
+      error_ = "read error on delta file: " + path_;
+      return std::nullopt;
+    }
+    buf_.emplace(std::move(bytes));
+  }
+  if (!buf_.has_value()) return std::nullopt;
+  std::optional<dyn::TopologyDelta> d = buf_->next();
+  if (!buf_->error().empty()) error_ = buf_->error();
+  return d;
+}
+
+}  // namespace mrt::stream

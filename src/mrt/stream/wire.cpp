@@ -1,0 +1,352 @@
+#include "mrt/stream/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace mrt::stream {
+namespace {
+
+// -- primitive writers (explicit little-endian, platform independent) --------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// -- primitive readers --------------------------------------------------------
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool have(std::size_t n) const { return size - pos >= n && pos <= size; }
+  std::uint8_t u8() { return data[pos++]; }
+  std::uint16_t u16() {
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data[pos] | (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+};
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+// -- Value codec --------------------------------------------------------------
+
+enum class ValueTag : std::uint8_t {
+  Unit = 0,
+  Int = 1,
+  Real = 2,
+  Inf = 3,
+  Omega = 4,
+  Tuple = 5,
+  Tagged = 6,
+};
+
+void encode_value(const Value& v, std::vector<std::uint8_t>& out) {
+  switch (v.kind()) {
+    case Value::Kind::Unit:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Unit));
+      break;
+    case Value::Kind::Int:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Int));
+      put_i64(out, v.as_int());
+      break;
+    case Value::Kind::Real:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Real));
+      put_u64(out, std::bit_cast<std::uint64_t>(v.as_real()));
+      break;
+    case Value::Kind::Inf:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Inf));
+      break;
+    case Value::Kind::Omega:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Omega));
+      break;
+    case Value::Kind::Tuple: {
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Tuple));
+      const ValueVec& kids = v.as_tuple();
+      put_u32(out, static_cast<std::uint32_t>(kids.size()));
+      for (const Value& k : kids) encode_value(k, out);
+      break;
+    }
+    case Value::Kind::Tagged:
+      put_u8(out, static_cast<std::uint8_t>(ValueTag::Tagged));
+      put_i32(out, v.tag());
+      encode_value(v.untagged(), out);
+      break;
+  }
+}
+
+// Decodes one value; returns false (and sets err) on malformed input.
+// `depth` guards against stack exhaustion from adversarial nesting.
+bool decode_value(Cursor& c, Value& out, std::string& err, int depth = 0) {
+  if (depth > 64) {
+    err = "value nesting deeper than 64";
+    return false;
+  }
+  if (!c.have(1)) {
+    err = "truncated value";
+    return false;
+  }
+  const std::uint8_t tag = c.u8();
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::Unit:
+      out = Value::unit();
+      return true;
+    case ValueTag::Int:
+      if (!c.have(8)) {
+        err = "truncated int value";
+        return false;
+      }
+      out = Value::integer(c.i64());
+      return true;
+    case ValueTag::Real:
+      if (!c.have(8)) {
+        err = "truncated real value";
+        return false;
+      }
+      out = Value::real(std::bit_cast<double>(c.u64()));
+      return true;
+    case ValueTag::Inf:
+      out = Value::inf();
+      return true;
+    case ValueTag::Omega:
+      out = Value::omega();
+      return true;
+    case ValueTag::Tuple: {
+      if (!c.have(4)) {
+        err = "truncated tuple count";
+        return false;
+      }
+      const std::uint32_t count = c.u32();
+      // Each element needs at least one tag byte, so a count larger than
+      // the remaining payload is corrupt — reject before allocating.
+      if (count > c.size - c.pos) {
+        err = "tuple count exceeds payload";
+        return false;
+      }
+      ValueVec kids;
+      kids.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Value k;
+        if (!decode_value(c, k, err, depth + 1)) return false;
+        kids.push_back(std::move(k));
+      }
+      out = Value::tuple(std::move(kids));
+      return true;
+    }
+    case ValueTag::Tagged: {
+      if (!c.have(4)) {
+        err = "truncated tagged value";
+        return false;
+      }
+      const std::int32_t vtag = c.i32();
+      Value payload;
+      if (!decode_value(c, payload, err, depth + 1)) return false;
+      out = Value::tagged(vtag, std::move(payload));
+      return true;
+    }
+  }
+  err = "bad value tag " + std::to_string(tag);
+  return false;
+}
+
+Error frame_error(std::size_t offset, const std::string& what) {
+  return Error{"delta frame at byte " + std::to_string(offset) + ": " + what};
+}
+
+}  // namespace
+
+void encode_delta(const dyn::TopologyDelta& delta,
+                  std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, static_cast<std::uint32_t>(delta.ops.size()));
+  for (const dyn::DeltaOp& op : delta.ops) {
+    put_u8(payload, static_cast<std::uint8_t>(op.kind));
+    put_i32(payload, op.arc);
+    put_i32(payload, op.node);
+    if (op.kind == dyn::DeltaOp::Kind::Relabel) encode_value(op.label, payload);
+  }
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u16(out, kWireVersion);
+  put_u16(out, 0);  // flags
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, fnv1a(payload.data(), payload.size()));
+}
+
+std::vector<std::uint8_t> encode_stream(
+    const std::vector<dyn::TopologyDelta>& deltas) {
+  std::vector<std::uint8_t> out;
+  for (const dyn::TopologyDelta& d : deltas) encode_delta(d, out);
+  return out;
+}
+
+Expected<DecodedFrame> decode_frame(const std::uint8_t* data, std::size_t size,
+                                    std::size_t stream_offset) {
+  if (size < kFrameHeaderBytes) {
+    return frame_error(stream_offset, "truncated header (" +
+                                          std::to_string(size) + " of " +
+                                          std::to_string(kFrameHeaderBytes) +
+                                          " bytes)");
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return frame_error(stream_offset, "bad magic (want \"MRTD\")");
+  }
+  Cursor c{data, size, 4};
+  const std::uint16_t version = c.u16();
+  if (version != kWireVersion) {
+    return frame_error(stream_offset,
+                       "unsupported version " + std::to_string(version));
+  }
+  const std::uint16_t flags = c.u16();
+  if (flags != 0) {
+    return frame_error(stream_offset,
+                       "unsupported flags " + std::to_string(flags));
+  }
+  const std::uint32_t payload_len = c.u32();
+  if (!c.have(static_cast<std::size_t>(payload_len) + 4)) {
+    return frame_error(stream_offset, "truncated payload (want " +
+                                          std::to_string(payload_len) +
+                                          "+4 bytes, have " +
+                                          std::to_string(size - c.pos) + ")");
+  }
+  const std::uint8_t* payload = data + c.pos;
+  Cursor pc{payload, payload_len, 0};
+  c.pos += payload_len;
+  const std::uint32_t want_sum = c.u32();
+  const std::uint32_t got_sum = fnv1a(payload, payload_len);
+  if (want_sum != got_sum) {
+    return frame_error(stream_offset, "checksum mismatch");
+  }
+
+  DecodedFrame out;
+  out.consumed = c.pos;
+  std::string err;
+  if (!pc.have(4)) {
+    return frame_error(stream_offset, "truncated op count");
+  }
+  const std::uint32_t op_count = pc.u32();
+  // Every op is at least 9 bytes (kind + arc + node).
+  if (op_count > payload_len / 9) {
+    return frame_error(stream_offset, "op count exceeds payload");
+  }
+  out.delta.ops.reserve(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    if (!pc.have(9)) {
+      return frame_error(stream_offset,
+                         "truncated op " + std::to_string(i));
+    }
+    dyn::DeltaOp op;
+    const std::uint8_t kind = pc.u8();
+    if (kind > static_cast<std::uint8_t>(dyn::DeltaOp::Kind::NodeUp)) {
+      return frame_error(stream_offset,
+                         "bad op kind " + std::to_string(kind));
+    }
+    op.kind = static_cast<dyn::DeltaOp::Kind>(kind);
+    op.arc = pc.i32();
+    op.node = pc.i32();
+    if (op.kind == dyn::DeltaOp::Kind::Relabel) {
+      if (!decode_value(pc, op.label, err)) {
+        return frame_error(stream_offset, err);
+      }
+    }
+    out.delta.ops.push_back(std::move(op));
+  }
+  if (pc.pos != payload_len) {
+    return frame_error(stream_offset,
+                       "trailing garbage in payload (" +
+                           std::to_string(payload_len - pc.pos) + " bytes)");
+  }
+  return out;
+}
+
+Expected<std::vector<dyn::TopologyDelta>> decode_stream(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<dyn::TopologyDelta> out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    Expected<DecodedFrame> f =
+        decode_frame(bytes.data() + pos, bytes.size() - pos, pos);
+    if (!f.ok()) return f.error();
+    out.push_back(std::move(f.value().delta));
+    pos += f.value().consumed;
+  }
+  return out;
+}
+
+bool write_delta_file(const std::string& path,
+                      const std::vector<dyn::TopologyDelta>& deltas) {
+  const std::vector<std::uint8_t> bytes = encode_stream(deltas);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+Expected<std::vector<dyn::TopologyDelta>> read_delta_file(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Error{"cannot open delta file: " + path};
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  if (f.bad()) return Error{"read error on delta file: " + path};
+  return decode_stream(bytes);
+}
+
+}  // namespace mrt::stream

@@ -1,0 +1,86 @@
+// Wire format for TopologyDelta streams.
+//
+// A delta stream is a flat sequence of *frames*, one per TopologyDelta
+// batch. Every frame is self-delimiting and independently checksummed so a
+// reader can resynchronize after truncation and reject corruption before
+// handing ops to a solver:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     4  magic "MRTD" (0x4D 0x52 0x54 0x44)
+//        4     2  format version, little-endian u16 (currently 1)
+//        6     2  flags, little-endian u16 (must be 0 in version 1)
+//        8     4  payload length in bytes, little-endian u32
+//       12     n  payload (see below)
+//     12+n     4  FNV-1a 32-bit checksum of the payload, little-endian u32
+//
+// Payload encoding (all integers little-endian):
+//
+//   u32 op_count
+//   op_count times:
+//     u8  kind            0=ArcDown 1=ArcUp 2=Relabel 3=NodeDown 4=NodeUp
+//     i32 arc             (-1 when not applicable)
+//     i32 node            (-1 when not applicable)
+//     value               Relabel only
+//
+// Value encoding (recursive, covers every carrier shape of the metalanguage):
+//
+//   u8 tag   0=Unit 1=Int 2=Real 3=Inf 4=Omega 5=Tuple 6=Tagged
+//   Int:    i64
+//   Real:   u64 (IEEE-754 bit pattern)
+//   Tuple:  u32 element count, then each element
+//   Tagged: i32 tag, then the payload value
+//
+// Decoding never throws: malformed input (truncation, bad magic, unknown
+// version, checksum mismatch, bad op/value tags) comes back as an Error via
+// Expected, with the byte offset of the offending frame in the message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mrt/dyn/delta.hpp"
+#include "mrt/support/expected.hpp"
+
+namespace mrt::stream {
+
+inline constexpr std::uint8_t kMagic[4] = {0x4D, 0x52, 0x54, 0x44};  // "MRTD"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;  // magic+version+flags+len
+
+/// Appends one frame encoding `delta` to `out`. Encoding is canonical: the
+/// same delta always produces the same bytes, so round-tripped streams can be
+/// compared byte-for-byte.
+void encode_delta(const dyn::TopologyDelta& delta,
+                  std::vector<std::uint8_t>& out);
+
+/// Convenience: one frame per delta, concatenated.
+std::vector<std::uint8_t> encode_stream(
+    const std::vector<dyn::TopologyDelta>& deltas);
+
+/// Result of decoding a single frame from a byte buffer.
+struct DecodedFrame {
+  dyn::TopologyDelta delta;
+  std::size_t consumed = 0;  ///< frame size in bytes, header through checksum
+};
+
+/// Decodes the frame starting at `data` (with `size` bytes available).
+/// `stream_offset` is only used to position error messages.
+Expected<DecodedFrame> decode_frame(const std::uint8_t* data, std::size_t size,
+                                    std::size_t stream_offset = 0);
+
+/// Decodes a whole buffer of concatenated frames.
+Expected<std::vector<dyn::TopologyDelta>> decode_stream(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Writes `deltas` to `path` in wire format. Returns false on I/O failure.
+bool write_delta_file(const std::string& path,
+                      const std::vector<dyn::TopologyDelta>& deltas);
+
+/// Reads a wire-format file back into deltas.
+Expected<std::vector<dyn::TopologyDelta>> read_delta_file(
+    const std::string& path);
+
+}  // namespace mrt::stream

@@ -1,0 +1,216 @@
+// serve::Daemon — the long-running routing daemon over the delta-stream seam.
+//
+//   correctness — draining a stream leaves every column byte-identical to a
+//                 cold RibSolver of the final topology (the daemon adds no
+//                 solver logic, so this is the stream≡cold contract again,
+//                 now through the daemon's warm loop).
+//   events      — route-change detection: an arc flap on a line graph emits
+//                 the withdrawal and the restoration, nothing else.
+//   telemetry   — serve.deltas_consumed / serve.route_changes /
+//                 serve.update_ns are present in write_json and the
+//                 OpenMetrics exposition after one apply.
+//   resilience  — a missing replay file or a corrupt frame terminates the
+//                 drain gracefully (decode_errors bumped, error() set).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "mrt/graph/generators.hpp"
+#include "mrt/obs/obs.hpp"
+#include "mrt/rib/rib.hpp"
+#include "mrt/serve/serve.hpp"
+#include "mrt/sim/scenario.hpp"
+#include "mrt/stream/stream.hpp"
+#include "mrt/stream/wire.hpp"
+#include "mrt/support/rng.hpp"
+
+namespace mrt {
+namespace {
+
+using mrt::testing::I;
+using dyn::TopologyDelta;
+
+void expect_identical(const Routing& a, const Routing& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.weight.size(), b.weight.size()) << what;
+  for (std::size_t v = 0; v < a.weight.size(); ++v) {
+    ASSERT_EQ(a.weight[v].has_value(), b.weight[v].has_value())
+        << what << " node " << v;
+    if (a.weight[v]) {
+      ASSERT_EQ(*a.weight[v], *b.weight[v]) << what << " node " << v;
+    }
+    ASSERT_EQ(a.next_arc[v], b.next_arc[v]) << what << " node " << v;
+  }
+}
+
+TEST(Serve, DrainMatchesColdRibPerColumn) {
+  Rng rng(0x5E12);
+  const Scenario sc = gao_rexford_hierarchy(rng, 32, 16);
+  const int arcs = sc.net.graph().num_arcs();
+
+  std::vector<TopologyDelta> seq;
+  for (int i = 0; i < 12; ++i) {
+    TopologyDelta d;
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(arcs)));
+    if (i % 3 == 2) {
+      d.arc_up(a);
+    } else {
+      d.arc_down(a);
+    }
+    seq.push_back(std::move(d));
+  }
+
+  std::vector<int> dests;
+  for (int v = 0; v < sc.net.num_nodes(); v += 5) dests.push_back(v);
+
+  serve::Daemon daemon(sc.alg);
+  EXPECT_FALSE(daemon.started());
+  daemon.start(sc.net, dests, sc.origin);
+  ASSERT_TRUE(daemon.started());
+
+  stream::BufferSource src(stream::encode_stream(seq));
+  const std::size_t batches = daemon.drain(src);
+  EXPECT_EQ(batches, seq.size());
+  EXPECT_EQ(daemon.stats().deltas_consumed, seq.size());
+  EXPECT_EQ(daemon.stats().warm_updates, seq.size());
+  EXPECT_EQ(daemon.stats().cold_updates, 0u);
+  EXPECT_EQ(daemon.stats().decode_errors, 0u);
+
+  // Cold reference: one batch of all ops onto a fresh table.
+  TopologyDelta all;
+  for (const TopologyDelta& d : seq) {
+    all.ops.insert(all.ops.end(), d.ops.begin(), d.ops.end());
+  }
+  rib::RibSolver cold(sc.alg);
+  cold.solve(sc.net, dests, sc.origin);
+  cold.update(all);
+
+  ASSERT_EQ(daemon.rib().num_columns(), cold.num_columns());
+  for (int c = 0; c < cold.num_columns(); ++c) {
+    ASSERT_EQ(daemon.rib().column_converged(c), cold.column_converged(c));
+    if (!cold.column_converged(c)) continue;
+    expect_identical(daemon.rib().routing(c), cold.routing(c),
+                     "daemon vs cold col " + std::to_string(c));
+  }
+}
+
+TEST(Serve, ArcFlapEmitsWithdrawalAndRestoration) {
+  // Line 0 <- 1 <- 2: node 2 reaches dest 0 only through node 1's arc.
+  Digraph g(3);
+  const int a10 = g.add_arc(1, 0);
+  const int a21 = g.add_arc(2, 1);
+  const int n = 3;
+  OrderTransform ot{"chain(<=,sat+)", ord_chain(n), fam_chain_add(n, 1, 1),
+                    {}};
+  LabeledGraph net(std::move(g), {I(1), I(1)});
+
+  serve::Daemon daemon(ot);
+  daemon.start(net, {0}, I(0));
+
+  std::vector<serve::RouteChange> events;
+  const auto sink = [&events](const serve::RouteChange& ev) {
+    events.push_back(ev);
+  };
+
+  // Down the 1->0 arc: both 1 and 2 lose their route.
+  std::size_t changes = daemon.apply(TopologyDelta{}.arc_down(a10), sink);
+  EXPECT_EQ(changes, 2u);
+  ASSERT_EQ(events.size(), 2u);
+  for (const serve::RouteChange& ev : events) {
+    EXPECT_EQ(ev.update_index, 0u);
+    EXPECT_EQ(ev.column, 0);
+    EXPECT_EQ(ev.dest, 0);
+    EXPECT_TRUE(ev.had_route);
+    EXPECT_FALSE(ev.has_route);
+    EXPECT_EQ(ev.next_arc, -1);
+  }
+  EXPECT_EQ(daemon.stats().withdrawals, 2u);
+
+  // Restore it: both routes come back with their original witness arcs.
+  events.clear();
+  changes = daemon.apply(TopologyDelta{}.arc_up(a10), sink);
+  EXPECT_EQ(changes, 2u);
+  ASSERT_EQ(events.size(), 2u);
+  for (const serve::RouteChange& ev : events) {
+    EXPECT_EQ(ev.update_index, 1u);
+    EXPECT_FALSE(ev.had_route);
+    EXPECT_TRUE(ev.has_route);
+    EXPECT_EQ(ev.next_arc, ev.node == 1 ? a10 : a21);
+  }
+
+  // A delta that changes nothing emits nothing.
+  events.clear();
+  changes = daemon.apply(TopologyDelta{}, sink);
+  EXPECT_EQ(changes, 0u);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(daemon.stats().route_changes, 4u);
+  EXPECT_EQ(daemon.stats().deltas_consumed, 3u);
+}
+
+TEST(Serve, MetricsPresentInJsonAndOpenMetrics) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::registry().reset();
+
+  Digraph g(2);
+  g.add_arc(1, 0);
+  OrderTransform ot{"chain(<=,sat+)", ord_chain(2), fam_chain_add(2, 1, 1),
+                    {}};
+  LabeledGraph net(std::move(g), {I(1)});
+
+  serve::Daemon daemon(ot);
+  daemon.start(net, {0}, I(0));
+  daemon.apply(TopologyDelta{}.arc_down(0));
+
+  std::ostringstream json;
+  obs::registry().write_json(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("serve.deltas_consumed"), std::string::npos) << j;
+  EXPECT_NE(j.find("serve.route_changes"), std::string::npos) << j;
+  EXPECT_NE(j.find("serve.update_ns"), std::string::npos) << j;
+
+  std::ostringstream om;
+  obs::registry().write_openmetrics(om);
+  const std::string m = om.str();
+  EXPECT_NE(m.find("mrt_serve_deltas_consumed_total"), std::string::npos)
+      << m;
+  EXPECT_NE(m.find("mrt_serve_route_changes_total"), std::string::npos) << m;
+  EXPECT_NE(m.find("mrt_serve_update_ns"), std::string::npos) << m;
+
+  // The histogram actually observed the update.
+  EXPECT_GE(obs::registry().histogram("serve.update_ns").count(), 1u);
+  obs::set_enabled(was_enabled);
+}
+
+TEST(Serve, MissingFileAndCorruptStreamTerminateGracefully) {
+  Digraph g(2);
+  g.add_arc(1, 0);
+  OrderTransform ot{"chain(<=,sat+)", ord_chain(2), fam_chain_add(2, 1, 1),
+                    {}};
+  LabeledGraph net(std::move(g), {I(1)});
+
+  serve::Daemon daemon(ot);
+  daemon.start(net, {0}, I(0));
+
+  stream::FileSource missing("/nonexistent/mrt-no-such-replay.bin");
+  EXPECT_EQ(daemon.drain(missing), 0u);
+  EXPECT_EQ(daemon.stats().decode_errors, 1u);
+  EXPECT_FALSE(missing.error().empty());
+
+  // One good frame followed by garbage: the good frame applies, then the
+  // drain stops with a decode error — the table stays at the last good batch.
+  std::vector<std::uint8_t> bytes;
+  stream::encode_delta(TopologyDelta{}.arc_down(0), bytes);
+  bytes.push_back(0xFF);
+  stream::BufferSource corrupt(bytes);
+  EXPECT_EQ(daemon.drain(corrupt), 1u);
+  EXPECT_EQ(daemon.stats().decode_errors, 2u);
+  EXPECT_FALSE(corrupt.error().empty());
+  EXPECT_FALSE(daemon.rib().routing(0).has_route(1));
+}
+
+}  // namespace
+}  // namespace mrt
